@@ -1,0 +1,102 @@
+"""Reproduction-specific ablations for design choices called out in
+DESIGN.md: the end-cell kill, GUB tightening, and the DP kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import SCALES, run_motif, trajectory_for
+from repro.bench.experiments import ablation_end_kill, ablation_gub
+from repro.core.bounds import BoundTables
+from repro.core.dp import expand_subset_scalar, expand_subset_wavefront
+from repro.core.problem import self_space
+from repro.distances.ground import DenseGroundMatrix, ground_matrix
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+
+
+@pytest.mark.parametrize("use_end_kill", [True, False])
+def test_end_kill(benchmark, use_end_kill):
+    n = NS[-1]
+    benchmark.group = f"ablation: end-cell kill, n={n}"
+    benchmark.pedantic(
+        run_motif, args=("btm", "geolife", n),
+        kwargs={"use_end_kill": use_end_kill}, rounds=1, iterations=1,
+    )
+
+
+def test_end_kill_reduces_cells(benchmark):
+    table = benchmark.pedantic(
+        ablation_end_kill, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    for k in range(0, len(table.rows), 2):
+        on, off = table.rows[k], table.rows[k + 1]
+        assert on[2] <= off[2]  # cells expanded
+
+
+@pytest.mark.parametrize("use_gub", [True, False])
+def test_gub(benchmark, use_gub):
+    n = NS[-1]
+    benchmark.group = f"ablation: GUB tightening, n={n}"
+    benchmark.pedantic(
+        run_motif, args=("gtm", "geolife", n),
+        kwargs={"use_gub": use_gub}, rounds=1, iterations=1,
+    )
+
+
+def test_gub_table(benchmark):
+    table = benchmark.pedantic(
+        ablation_gub, kwargs={"scale": bench_scale()}, rounds=1, iterations=1,
+    )
+    save_table(table)
+    assert len(table.rows) == 2 * len(NS)
+
+
+# ----------------------------------------------------------------------
+# DP kernel comparison: scalar vs wavefront on one large subset
+# ----------------------------------------------------------------------
+def _kernel_setup():
+    n = max(NS)
+    traj = trajectory_for("baboon", n, 0)
+    dmat = ground_matrix(traj.points, "haversine")
+    space = self_space(n, max(4, n // 50))
+    oracle = DenseGroundMatrix(dmat)
+    tables = BoundTables.build(space, oracle)
+    i, j = next(iter(space.start_pairs()))
+    return dmat, oracle, space, tables, i, j
+
+
+def test_kernel_scalar(benchmark):
+    dmat, oracle, space, tables, i, j = _kernel_setup()
+    benchmark.group = "ablation: DP kernel (full subset expansion)"
+    benchmark(
+        expand_subset_scalar, oracle, space, i, j, np.inf, None,
+        cmin=tables.cmin, rmin=tables.rmin, prune=False,
+    )
+
+
+def test_kernel_wavefront(benchmark):
+    dmat, oracle, space, tables, i, j = _kernel_setup()
+    benchmark.group = "ablation: DP kernel (full subset expansion)"
+    benchmark(
+        expand_subset_wavefront, dmat, space, i, j, np.inf, None,
+        cmin=tables.cmin, rmin=tables.rmin, prune=False,
+    )
+
+
+def test_kernels_agree(benchmark):
+    dmat, oracle, space, tables, i, j = _kernel_setup()
+    benchmark.group = "ablation: DP kernel agreement"
+
+    def both():
+        a, _ = expand_subset_scalar(oracle, space, i, j, np.inf, None)
+        b, _ = expand_subset_wavefront(dmat, space, i, j, np.inf, None)
+        return a, b
+
+    a, b = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert a == pytest.approx(b)

@@ -1,0 +1,72 @@
+"""Evaluation of the future-work extensions (beyond the paper).
+
+* approximate motif: epsilon sweep -- certified quality vs work saved;
+* top-k motifs: cost relative to a single exact motif;
+* similarity join: filter cascade effectiveness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, trajectory_for, default_xi
+from repro.extensions import (
+    discover_motif_approximate,
+    discover_top_k_motifs,
+    similarity_join,
+)
+from repro.trajectory import sliding_windows
+
+from conftest import bench_scale
+
+N = SCALES[bench_scale()][-1]
+XI = default_xi(N)
+TRAJ = trajectory_for("geolife", N, 0)
+
+
+@pytest.mark.parametrize("epsilon", [0.0, 0.1, 0.5, 2.0])
+def test_approximate_epsilon_sweep(benchmark, epsilon):
+    benchmark.group = f"extensions: approximate motif, n={N}"
+    result = benchmark.pedantic(
+        discover_motif_approximate,
+        args=(TRAJ,),
+        kwargs={"min_length": XI, "epsilon": epsilon},
+        rounds=1, iterations=1,
+    )
+    exact = discover_motif_approximate(TRAJ, min_length=XI, epsilon=0.0)
+    # Certified guarantee relative to the exact answer.
+    assert result.distance <= (1.0 + epsilon) * exact.distance + 1e-9
+    assert result.distance >= exact.distance - 1e-9
+    # Larger epsilon can only reduce the number of expansions.
+    assert (
+        result.result.stats.subsets_expanded
+        <= exact.result.stats.subsets_expanded
+    )
+
+
+@pytest.mark.parametrize("k", [1, 5, 20])
+def test_topk_scaling(benchmark, k):
+    benchmark.group = f"extensions: top-k motifs, n={N}"
+    ranked = benchmark.pedantic(
+        discover_top_k_motifs,
+        args=(TRAJ,),
+        kwargs={"min_length": XI, "k": k},
+        rounds=1, iterations=1,
+    )
+    assert len(ranked) == k
+    distances = [r.distance for r in ranked]
+    assert distances == sorted(distances)
+
+
+def test_similarity_join_cascade(benchmark):
+    segments = [w for w in sliding_windows(TRAJ, length=30, step=15)]
+    benchmark.group = "extensions: similarity join"
+    matches, stats = benchmark.pedantic(
+        similarity_join,
+        args=(segments, segments, 50.0),
+        kwargs={"metric": "haversine"},
+        rounds=1, iterations=1,
+    )
+    assert stats.pruned_total + stats.decisions == stats.pairs_total
+    # The cheap filters must carry most of the work.
+    assert stats.pruned_total > stats.decisions

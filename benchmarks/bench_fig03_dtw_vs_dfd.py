@@ -1,0 +1,18 @@
+"""Figure 3: DTW misranks non-uniformly sampled twins; DFD does not."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig03_dtw_vs_dfd
+
+from conftest import save_table
+
+
+def test_fig03_dtw_vs_dfd(benchmark):
+    table = benchmark.pedantic(fig03_dtw_vs_dfd, rounds=1, iterations=1)
+    save_table(table)
+    by_measure = {row[0]: row for row in table.rows}
+    # DTW: the same-route non-uniform twin looks *farther* than a
+    # genuinely different route.
+    assert by_measure["DTW"][2] > by_measure["DTW"][1]
+    # DFD ranks the twin closer, as the paper argues.
+    assert by_measure["DFD"][2] < by_measure["DFD"][1]

@@ -1,0 +1,25 @@
+"""Figure 4: the symbolic baseline maps far-apart trajectories to the
+same string -- motif discovery on symbols cannot be trusted spatially."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig04_symbolic
+from repro.datasets import make_trajectory
+from repro.symbolic import symbolize
+
+from conftest import save_table
+
+TRUCK = make_trajectory("truck", 200, seed=0)
+
+
+def test_symbolize_cost(benchmark):
+    benchmark.group = "fig4: symbolisation"
+    benchmark(symbolize, TRUCK, 8)
+
+
+def test_fig04_failure_mode(benchmark):
+    table = benchmark.pedantic(fig04_symbolic, rounds=1, iterations=1)
+    save_table(table)
+    translated = table.rows[1]
+    assert translated[2] == "yes"   # identical strings...
+    assert translated[3] > 100.0    # ...1000+ km apart (column in km)

@@ -1,0 +1,43 @@
+"""Figure 13: BTM with tight vs relaxed bounds, sweeping n.
+
+Shape under test (paper Fig 13): the relaxed O(1) bounds prune almost
+as much as the tight ones but the search runs order(s) of magnitude
+faster end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import fig13_tight_vs_relaxed_n
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+
+
+@pytest.mark.parametrize("n", NS)
+@pytest.mark.parametrize("variant", ["tight", "relaxed"])
+def test_btm_variant(benchmark, n, variant):
+    benchmark.group = f"fig13: BTM bounds, n={n}"
+    rec = benchmark.pedantic(
+        run_motif, args=("btm", "geolife", n),
+        kwargs={"variant": variant}, rounds=1, iterations=1,
+    )
+    assert rec.stats.pruning_ratio > 0.9
+
+
+def test_fig13_shape(benchmark):
+    table = benchmark.pedantic(
+        fig13_tight_vs_relaxed_n, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    rows = table.rows
+    for k in range(0, len(rows), 2):
+        tight, relaxed = rows[k], rows[k + 1]
+        assert tight[1] == "tight" and relaxed[1] == "relaxed"
+        # Tight prunes at least as well; relaxed runs faster.
+        assert tight[2] >= relaxed[2] - 1e-9
+        assert relaxed[3] < tight[3]

@@ -1,0 +1,19 @@
+"""Figure 14: BTM with tight vs relaxed bounds, sweeping xi at fixed n."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig14_tight_vs_relaxed_xi
+
+from conftest import bench_scale, save_table
+
+
+def test_fig14_shape(benchmark):
+    table = benchmark.pedantic(
+        fig14_tight_vs_relaxed_xi, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    for k in range(0, len(table.rows), 2):
+        tight, relaxed = table.rows[k], table.rows[k + 1]
+        assert tight[2] >= relaxed[2] - 1e-9  # pruning ratio
+        assert relaxed[3] < tight[3]          # response time

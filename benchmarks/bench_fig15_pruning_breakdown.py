@@ -1,0 +1,24 @@
+"""Figure 15: pruning-ratio breakdown per bound class.
+
+Shape under test: LBcell dominates the breakdown, the bounds together
+prune > 92% of candidate subsets, and the fractions sum to one.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig15_pruning_breakdown
+
+from conftest import bench_scale, save_table
+
+
+def test_fig15_breakdown(benchmark):
+    table = benchmark.pedantic(
+        fig15_pruning_breakdown, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    for row in table.rows:
+        _, _, cell, cross, band, dfd = row
+        assert abs(cell + cross + band + dfd - 1.0) < 1e-9
+        assert cell == max(cell, cross, band)      # LBcell dominates
+        assert cell + cross + band > 0.92          # paper: >92% pruned

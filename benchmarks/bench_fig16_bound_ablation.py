@@ -1,0 +1,43 @@
+"""Figure 16: BTM response time with cumulative bound sets.
+
+Shape under test: each added bound class reduces the number of subsets
+that need exact DFD expansion (the bounds complement each other).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import fig16_bound_ablation
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+COMBOS = {
+    "cell": dict(use_cross=False, use_band=False),
+    "cell+cross": dict(use_band=False),
+    "cell+cross+band": dict(),
+}
+
+
+@pytest.mark.parametrize("combo", sorted(COMBOS))
+def test_bound_combo(benchmark, combo):
+    n = NS[-1]
+    benchmark.group = f"fig16: bound sets, n={n}"
+    benchmark.pedantic(
+        run_motif, args=("btm", "geolife", n), kwargs=COMBOS[combo],
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig16_shape(benchmark):
+    table = benchmark.pedantic(
+        fig16_bound_ablation, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    # Per n: subsets expanded must not increase as bounds are added.
+    for k in range(0, len(table.rows), 3):
+        expanded = [table.rows[k + t][3] for t in range(3)]
+        assert expanded[0] >= expanded[1] >= expanded[2]

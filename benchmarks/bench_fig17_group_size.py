@@ -1,0 +1,44 @@
+"""Figure 17: GTM sensitivity to the initial group size tau.
+
+Shape under test: GTM's response time varies by well under an order of
+magnitude across the tau range (the paper: "not overly sensitive").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import fig17_group_size
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+TAUS = (4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("tau", TAUS)
+def test_gtm_tau(benchmark, tau):
+    n = NS[-1]
+    if tau * 2 > n:
+        pytest.skip("tau too large for n")
+    benchmark.group = f"fig17: GTM tau, n={n}"
+    rec = benchmark.pedantic(
+        run_motif, args=("gtm", "geolife", n), kwargs={"tau": tau},
+        rounds=1, iterations=1,
+    )
+    assert rec.distance is not None
+
+
+def test_fig17_shape(benchmark):
+    table = benchmark.pedantic(
+        fig17_group_size, kwargs={"scale": bench_scale(), "taus": TAUS},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    by_n = {}
+    for n, tau, seconds, _ in table.rows:
+        by_n.setdefault(n, []).append(seconds)
+    for n, times in by_n.items():
+        if len(times) > 1:
+            assert max(times) / min(times) < 10.0, (n, times)

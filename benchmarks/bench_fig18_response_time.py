@@ -1,0 +1,57 @@
+"""Figure 18: response time vs trajectory length, 4 algorithms x 3 datasets.
+
+The paper's headline experiment.  Shape under test: BruteDP is the
+slowest by a wide margin (2-3 orders of magnitude at the paper's scale;
+the gap grows with n), and the bounded methods all return the same
+exact motif distance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import DATASETS, fig18_response_time
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+ALGOS = ("brute", "btm", "gtm", "gtm_star")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algo", ALGOS)
+def test_response_time(benchmark, dataset, algo):
+    n = NS[0] if algo == "brute" else NS[-1]
+    benchmark.group = f"fig18: {dataset}, n={n}"
+    rec = benchmark.pedantic(
+        run_motif, args=(algo, dataset, n), rounds=1, iterations=1,
+    )
+    assert rec.distance is not None
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig18_speedup_shape(benchmark, dataset):
+    n = NS[0]
+    benchmark.group = "fig18: speedup check"
+
+    def run_all():
+        return {algo: run_motif(algo, dataset, n) for algo in ALGOS}
+
+    recs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    reference = recs["brute"].distance
+    for algo in ("btm", "gtm", "gtm_star"):
+        assert recs[algo].distance == pytest.approx(reference), algo
+        assert recs[algo].seconds < recs["brute"].seconds, algo
+    # The bounded methods win by a growing margin; even at smoke scale
+    # the gap must exceed 5x.
+    assert recs["brute"].seconds / recs["gtm"].seconds > 5.0
+
+
+def test_fig18_table(benchmark):
+    table = benchmark.pedantic(
+        fig18_response_time, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    assert len(table.rows) == len(DATASETS) * len(NS)

@@ -1,0 +1,50 @@
+"""Figure 19: space consumption vs trajectory length.
+
+Shape under test: BTM and GTM grow quadratically with n (dominated by
+the dG matrix), GTM* stays near-linear, so the BTM/GTM* ratio widens as
+n doubles.
+"""
+
+from __future__ import annotations
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import fig19_space
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+
+
+def test_fig19_shape(benchmark):
+    table = benchmark.pedantic(
+        fig19_space, kwargs={"scale": bench_scale()}, rounds=1, iterations=1,
+    )
+    save_table(table)
+    for dataset_rows in _group_rows(table.rows):
+        first, last = dataset_rows[0], dataset_rows[-1]
+        n_ratio = last[1] / first[1]
+        # BTM space grows ~quadratically, GTM* subquadratically.
+        btm_growth = last[2] / first[2]
+        star_growth = last[4] / first[4]
+        assert btm_growth > n_ratio          # superlinear
+        assert star_growth < btm_growth      # GTM* grows slower
+        # At the largest n, GTM* uses less memory than BTM.  (The
+        # GTM* < GTM gap needs n large enough that the row cache is
+        # small relative to the matrix; see EXPERIMENTS.md n=1600.)
+        assert last[4] < last[2]
+
+
+def _group_rows(rows):
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], []).append(row)
+    return by_dataset.values()
+
+
+def test_gtm_star_space_at_largest_n(benchmark):
+    n = NS[-1]
+    benchmark.group = "fig19: GTM* space run"
+    rec = benchmark.pedantic(
+        run_motif, args=("gtm_star", "geolife", n), rounds=1, iterations=1,
+    )
+    assert rec.space_mb is not None

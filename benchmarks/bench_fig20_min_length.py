@@ -1,0 +1,28 @@
+"""Figure 20: response time vs the minimum motif length xi.
+
+Shape under test: larger xi disqualifies short, very similar candidate
+pairs, so the first good bsf arrives later and every method slows down
+(monotone trend allowing small noise).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import fig20_min_length
+
+from conftest import bench_scale, save_table
+
+
+def test_fig20_shape(benchmark):
+    table = benchmark.pedantic(
+        fig20_min_length, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    by_dataset = {}
+    for dataset, xi, btm, gtm, star in table.rows:
+        by_dataset.setdefault(dataset, []).append((xi, btm))
+    for dataset, series in by_dataset.items():
+        series.sort()
+        # Broad trend: the largest-xi run is no faster than half the
+        # smallest-xi run (timing noise tolerated).
+        assert series[-1][1] > series[0][1] * 0.5, (dataset, series)

@@ -1,0 +1,50 @@
+"""Figure 21: the cross-trajectory motif variant, response time vs n.
+
+Shape under test: performance mirrors the single-trajectory case
+(within an order of magnitude per cell), and all methods agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SCALES, run_motif
+from repro.bench.experiments import fig21_cross_trajectory
+
+from conftest import bench_scale, save_table
+
+NS = SCALES[bench_scale()]
+
+
+@pytest.mark.parametrize("algo", ["btm", "gtm", "gtm_star"])
+def test_cross_response_time(benchmark, algo):
+    n = NS[-1]
+    benchmark.group = f"fig21: cross-trajectory, n={n}"
+    rec = benchmark.pedantic(
+        run_motif, args=(algo, "geolife", n), kwargs={"cross": True},
+        rounds=1, iterations=1,
+    )
+    assert rec.distance is not None
+
+
+def test_fig21_agreement(benchmark):
+    n = NS[0]
+    benchmark.group = "fig21: agreement"
+
+    def run_all():
+        return [
+            run_motif(a, "truck", n, cross=True).distance
+            for a in ("btm", "gtm", "gtm_star")
+        ]
+
+    distances = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert max(distances) - min(distances) < 1e-9
+
+
+def test_fig21_table(benchmark):
+    table = benchmark.pedantic(
+        fig21_cross_trajectory, kwargs={"scale": bench_scale()},
+        rounds=1, iterations=1,
+    )
+    save_table(table)
+    assert all(row[2] is not None for row in table.rows)

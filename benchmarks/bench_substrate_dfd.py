@@ -1,0 +1,61 @@
+"""Substrate benchmark: the DFD implementations themselves.
+
+Not a paper figure, but the O(l^2) DFD computation is the unit cost the
+whole paper optimises around; this tracks the relative cost of the DP,
+the decision-based binary search, and the memoised recurrence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    dfd_decision,
+    dfd_matrix,
+    dfd_matrix_by_search,
+    dfd_matrix_recursive,
+)
+
+RNG = np.random.default_rng(0)
+D_SMALL = RNG.random((64, 64)) * 100
+D_LARGE = RNG.random((256, 256)) * 100
+
+IMPLS = {
+    "dp_row_scan": dfd_matrix,
+    "binary_search_decision": dfd_matrix_by_search,
+    "memoised_recurrence": dfd_matrix_recursive,
+}
+
+
+@pytest.mark.parametrize("impl", sorted(IMPLS))
+def test_dfd_impl_small(benchmark, impl):
+    benchmark.group = "substrate: DFD, 64x64"
+    value = benchmark(IMPLS[impl], D_SMALL)
+    assert value == pytest.approx(dfd_matrix(D_SMALL))
+
+
+@pytest.mark.parametrize("impl", ["dp_row_scan", "binary_search_decision"])
+def test_dfd_impl_large(benchmark, impl):
+    benchmark.group = "substrate: DFD, 256x256"
+    value = benchmark(IMPLS[impl], D_LARGE)
+    assert value == pytest.approx(dfd_matrix(D_LARGE))
+
+
+def test_decision_only(benchmark):
+    benchmark.group = "substrate: DFD, 256x256"
+    eps = float(np.median(D_LARGE))
+    benchmark(dfd_decision, D_LARGE, eps)
+
+
+def test_continuous_frechet(benchmark):
+    """Continuous vs discrete: the continuous value never exceeds the
+    discrete one, and densifying a curve only matters discretely."""
+    from repro.distances import continuous_frechet, discrete_frechet
+
+    rng = np.random.default_rng(1)
+    p = rng.normal(size=(24, 2)).cumsum(axis=0)
+    q = rng.normal(size=(28, 2)).cumsum(axis=0)
+    benchmark.group = "substrate: continuous Frechet (24x28, tol 1e-4)"
+    value = benchmark(continuous_frechet, p, q, 1e-4)
+    assert value <= discrete_frechet(p, q) + 1e-3

@@ -1,0 +1,41 @@
+"""Table 1: distance-measure robustness and computation cost.
+
+Benchmarks the five measures on equal inputs (the paper's cost column)
+and regenerates the robustness table, asserting the paper's headline:
+only DFD tolerates both non-uniform sampling and local time shifting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import sampling_testbed, table1_measures
+from repro.distances import discrete_frechet, dtw, edr, lcss, lockstep_distance
+
+from conftest import save_table
+
+S_A, S_B, _, _ = sampling_testbed(n=200, seed=0)
+
+MEASURES = {
+    "ed": lambda: lockstep_distance(S_A, S_B),
+    "dtw": lambda: dtw(S_A, S_B),
+    "lcss": lambda: lcss(S_A, S_B, 8.0),
+    "edr": lambda: edr(S_A, S_B, 8.0),
+    "dfd": lambda: discrete_frechet(S_A, S_B),
+}
+
+
+@pytest.mark.parametrize("measure", sorted(MEASURES))
+def test_measure_cost(benchmark, measure):
+    benchmark.group = "table1: measure cost (l=200)"
+    benchmark(MEASURES[measure])
+
+
+def test_table1_robustness(benchmark):
+    table = benchmark.pedantic(table1_measures, rounds=1, iterations=1)
+    save_table(table)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["DFD"][1] == "yes" and rows["DFD"][2] == "yes"
+    assert rows["ED"][1] == "no" and rows["ED"][2] == "no"
+    assert rows["DTW"][1] == "no" and rows["DTW"][2] == "yes"
+    assert rows["EDR"][1] == "no"

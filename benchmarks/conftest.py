@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every paper table/figure has one ``bench_*`` file here.  Benchmarks run
+at the ``smoke`` scale by default so the whole suite finishes in
+minutes; set ``REPRO_BENCH_SCALE=quick`` (or ``full``) for the larger
+sweeps reported in EXPERIMENTS.md.  Result tables are also written as
+JSON to ``benchmarks/results/`` for archival.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+def save_table(table) -> None:
+    """Archive an experiment table next to the benchmark outputs."""
+    name = table.title.split(":")[0].strip().lower().replace(" ", "_")
+    table.save_json(RESULTS_DIR / f"{name}.json")

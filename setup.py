@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in ``setup.cfg``.  A ``setup.py`` is kept so that
+``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to the legacy develop install).
+"""
+
+from setuptools import setup
+
+setup()

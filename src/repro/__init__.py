@@ -1,0 +1,75 @@
+"""repro -- Efficient Motif Discovery in Spatial Trajectories Using
+Discrete Frechet Distance (reproduction of Tang et al., EDBT 2017).
+
+The package discovers the *motif* of a spatial trajectory -- the pair of
+non-overlapping subtrajectories with the smallest discrete Frechet
+distance -- exactly, using the paper's lower-bound and grouping
+machinery (BruteDP, BTM, GTM, GTM*).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Trajectory, discover_motif
+
+    points = np.random.default_rng(0).random((200, 2)).cumsum(axis=0)
+    result = discover_motif(Trajectory(points), min_length=10)
+    print(result.indices, result.distance)
+"""
+
+from .errors import (
+    DatasetError,
+    InfeasibleQueryError,
+    ReproError,
+    TrajectoryError,
+)
+from .trajectory import Subtrajectory, Trajectory
+from .distances import (
+    discrete_frechet,
+    dtw,
+    edr,
+    hausdorff,
+    lcss,
+    lockstep_distance,
+)
+from .core import (
+    BTM,
+    ALGORITHMS,
+    BruteDP,
+    GTM,
+    GTMStar,
+    MotifResult,
+    MotifTimeout,
+    SearchStats,
+    discover_motif,
+    max_feasible_min_length,
+    search_space_for,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "BTM",
+    "BruteDP",
+    "DatasetError",
+    "GTM",
+    "GTMStar",
+    "InfeasibleQueryError",
+    "MotifResult",
+    "MotifTimeout",
+    "ReproError",
+    "SearchStats",
+    "Subtrajectory",
+    "Trajectory",
+    "TrajectoryError",
+    "__version__",
+    "discover_motif",
+    "discrete_frechet",
+    "dtw",
+    "edr",
+    "hausdorff",
+    "lcss",
+    "lockstep_distance",
+    "max_feasible_min_length",
+    "search_space_for",
+]

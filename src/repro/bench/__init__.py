@@ -1,0 +1,32 @@
+"""Benchmark harness: per-figure experiments, workload cache, reporting."""
+
+from .harness import (
+    DEFAULT_TIMEOUT,
+    SCALES,
+    RunRecord,
+    default_tau,
+    default_xi,
+    pair_for,
+    run_motif,
+    run_motif_averaged,
+    timed,
+    trajectory_for,
+)
+from .reporting import Table
+from .experiments import DATASETS, EXPERIMENTS
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_TIMEOUT",
+    "EXPERIMENTS",
+    "RunRecord",
+    "SCALES",
+    "Table",
+    "default_tau",
+    "default_xi",
+    "pair_for",
+    "run_motif",
+    "run_motif_averaged",
+    "timed",
+    "trajectory_for",
+]

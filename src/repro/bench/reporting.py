@@ -1,0 +1,133 @@
+"""Result tables for the experiment harness.
+
+Each experiment returns a :class:`Table` -- a titled grid of rows that
+renders as aligned ASCII (the textual analogue of the paper's figures)
+and serialises to JSON for archival in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Sequence, Union
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled result grid with column headers."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Aligned ASCII rendering."""
+        cells = [[_fmt(c) for c in self.columns]] + [
+            [_fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(r[k]) for r in cells) for k in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (for assertions in benchmarks)."""
+        k = list(self.columns).index(name)
+        return [row[k] for row in self.rows]
+
+    def charts(self, width: int = 64, height: int = 14) -> str:
+        """ASCII line charts of the table's numeric series.
+
+        Uses the first integer-valued column (``n``, ``xi``, ...) as the
+        x axis and every numeric column as a series; when a ``dataset``
+        column exists, one chart is rendered per dataset.  Returns an
+        empty string when the table has no chartable structure.
+        """
+        from ..viz import render_series
+
+        cols = list(self.columns)
+        x_col = next(
+            (k for k, name in enumerate(cols)
+             if str(name) in ("n", "xi", "tau", "value")
+             and all(isinstance(r[k], int) for r in self.rows)),
+            None,
+        )
+        if x_col is None or not self.rows:
+            return ""
+        group_col = next(
+            (k for k, name in enumerate(cols) if str(name) == "dataset"), None
+        )
+        numeric_cols = [
+            k for k, name in enumerate(cols)
+            if k not in (x_col, group_col)
+            and all(isinstance(r[k], (int, float)) or r[k] is None
+                    for r in self.rows)
+            and any(isinstance(r[k], float) for r in self.rows)
+        ]
+        if not numeric_cols:
+            return ""
+        groups = {}
+        for row in self.rows:
+            key = row[group_col] if group_col is not None else ""
+            groups.setdefault(key, []).append(row)
+        charts = []
+        for key, rows in groups.items():
+            xs = [row[x_col] for row in rows]
+            series = {
+                str(cols[k]): [row[k] for row in rows] for k in numeric_cols
+            }
+            if all(v is None for vals in series.values() for v in vals):
+                continue
+            title = self.title if not key else f"{self.title} -- {key}"
+            charts.append(
+                render_series(title, xs, series, width=width, height=height)
+            )
+        return "\n\n".join(charts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,234 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-motif discover --dataset geolife --n 500 --min-length 10
+    repro-motif discover --input track.csv --algorithm btm --min-length 20
+    repro-motif bench fig18 --scale quick
+    repro-motif datasets
+    repro-motif info
+
+``python -m repro ...`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from . import __version__
+from .bench import EXPERIMENTS, SCALES
+from .core import discover_motif
+from .datasets import dataset_names, get_dataset
+from .trajectory import read_csv, read_json, read_plt
+
+
+def _load_input(path: str):
+    suffix = Path(path).suffix.lower()
+    readers = {".plt": read_plt, ".csv": read_csv, ".json": read_json}
+    if suffix not in readers:
+        raise SystemExit(f"unsupported input format {suffix!r} (use .plt/.csv/.json)")
+    return readers[suffix](path)
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    if bool(args.input) == bool(args.dataset):
+        raise SystemExit("provide exactly one of --input or --dataset")
+    if args.input:
+        traj = _load_input(args.input)
+        second = _load_input(args.second) if args.second else None
+    else:
+        gen = get_dataset(args.dataset, seed=args.seed)
+        if args.cross:
+            traj, second = gen.generate_pair(args.n)
+        else:
+            traj, second = gen.generate(args.n), None
+    options = {}
+    if args.tau is not None:
+        options["tau"] = args.tau
+    if args.timeout is not None:
+        options["timeout"] = args.timeout
+    result = discover_motif(
+        traj, second, min_length=args.min_length,
+        algorithm=args.algorithm, **options,
+    )
+    i, ie, j, je = result.indices
+    print(f"motif: S[{i}..{ie}]  ~  {'T' if second is not None else 'S'}[{j}..{je}]")
+    print(f"discrete Frechet distance: {result.distance:.6g}")
+    first_t = result.first.time_interval
+    second_t = result.second.time_interval
+    print(f"first:  {result.first.n} points, t=[{first_t[0]:.0f}, {first_t[1]:.0f}]s")
+    print(f"second: {result.second.n} points, t=[{second_t[0]:.0f}, {second_t[1]:.0f}]s")
+    if args.stats:
+        print(result.stats.summary())
+    if args.plot:
+        from .viz import render_motif, render_trajectory
+
+        print()
+        if second is None:
+            print(render_motif(result))
+        else:
+            print(render_trajectory(
+                traj, highlights={"A": (result.first.start, result.first.end)}
+            ))
+            print(render_trajectory(
+                second,
+                highlights={"B": (result.second.start, result.second.end)},
+            ))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from .extensions import discover_top_k_motifs
+
+    if args.input:
+        traj = _load_input(args.input)
+    else:
+        traj = get_dataset(args.dataset or "geolife", seed=args.seed).generate(args.n)
+    ranked = discover_top_k_motifs(traj, min_length=args.min_length, k=args.k)
+    for motif in ranked:
+        i, ie, j, je = motif.indices
+        print(f"#{motif.rank}: S[{i}..{ie}] ~ S[{j}..{je}]  "
+              f"DFD = {motif.distance:.6g}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .extensions import cluster_subtrajectories
+
+    if args.input:
+        traj = _load_input(args.input)
+    else:
+        traj = get_dataset(args.dataset or "figure_eight", seed=args.seed).generate(
+            args.n
+        )
+    clusters = cluster_subtrajectories(
+        traj,
+        window_length=args.window,
+        theta=args.theta,
+        stride=args.stride,
+        min_cluster_size=args.min_size,
+    )
+    if not clusters:
+        print("no clusters at this threshold")
+        return 0
+    for k, cluster in enumerate(clusters):
+        starts = ", ".join(str(s) for s in cluster.members[:8])
+        more = ", ..." if len(cluster) > 8 else ""
+        print(f"cluster {k}: {len(cluster)} windows at starts [{starts}{more}]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS) if args.experiment == ["all"] else args.experiment
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+            )
+    for name in names:
+        table = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(table.render())
+        if args.chart:
+            charts = table.charts()
+            if charts:
+                print()
+                print(charts)
+        print()
+        if args.output:
+            out = Path(args.output) / f"{name}.json"
+            table.save_json(out)
+            print(f"  saved {out}")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        gen = get_dataset(name)
+        print(f"{name:14s} {gen.description}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- motif discovery with discrete Frechet distance")
+    print("reproduction of Tang, Yiu, Mouratidis, Wang (EDBT 2017)")
+    print(f"algorithms: brute_dp, btm, gtm, gtm_star")
+    print(f"datasets:   {', '.join(dataset_names())}")
+    print(f"experiments: {', '.join(EXPERIMENTS)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-motif",
+        description="Trajectory motif discovery with the discrete Frechet distance",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="discover a motif")
+    p.add_argument("--input", help="trajectory file (.plt/.csv/.json)")
+    p.add_argument("--second", help="second trajectory file (cross-trajectory variant)")
+    p.add_argument("--dataset", choices=dataset_names(), help="synthetic dataset name")
+    p.add_argument("--n", type=int, default=500, help="synthetic trajectory length")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cross", action="store_true",
+                   help="cross-trajectory variant on a generated pair")
+    p.add_argument("--min-length", type=int, required=True, help="the paper's xi")
+    p.add_argument("--algorithm", default="gtm",
+                   choices=["brute", "btm", "gtm", "gtm_star"])
+    p.add_argument("--tau", type=int, help="group size for gtm/gtm_star")
+    p.add_argument("--timeout", type=float, help="wall-clock budget (seconds)")
+    p.add_argument("--stats", action="store_true", help="print search statistics")
+    p.add_argument("--plot", action="store_true",
+                   help="render the motif as ASCII art")
+    p.set_defaults(func=_cmd_discover)
+
+    p = sub.add_parser("topk", help="top-k motif discovery")
+    p.add_argument("--input", help="trajectory file (.plt/.csv/.json)")
+    p.add_argument("--dataset", choices=dataset_names())
+    p.add_argument("--n", type=int, default=400)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--min-length", type=int, required=True)
+    p.add_argument("--k", type=int, default=5)
+    p.set_defaults(func=_cmd_topk)
+
+    p = sub.add_parser("cluster", help="DFD subtrajectory clustering")
+    p.add_argument("--input", help="trajectory file (.plt/.csv/.json)")
+    p.add_argument("--dataset", choices=dataset_names())
+    p.add_argument("--n", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--window", type=int, required=True, help="window length")
+    p.add_argument("--theta", type=float, required=True, help="DFD threshold")
+    p.add_argument("--stride", type=int, default=1)
+    p.add_argument("--min-size", type=int, default=2)
+    p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("bench", help="run experiment(s) and print tables")
+    p.add_argument("experiment", nargs="+",
+                   help=f"experiment id(s) or 'all'; known: {', '.join(EXPERIMENTS)}")
+    p.add_argument("--scale", default="quick", choices=sorted(SCALES))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="directory for JSON result files")
+    p.add_argument("--chart", action="store_true",
+                   help="render ASCII charts of numeric series")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("datasets", help="list synthetic datasets")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("info", help="package summary")
+    p.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

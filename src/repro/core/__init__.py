@@ -1,0 +1,70 @@
+"""Motif discovery core: problem geometry, bounds, and the four algorithms."""
+
+from .problem import (
+    CROSS_MODE,
+    SELF_MODE,
+    SearchSpace,
+    cross_space,
+    self_space,
+)
+from .stats import PhaseTimer, SearchStats
+from .bounds import (
+    BoundTables,
+    SubsetBounds,
+    TightBounds,
+    relaxed_subset_bounds,
+    relaxed_subset_bounds_for_pairs,
+    tight_subset_bounds,
+)
+from .brute import BruteDP, MotifTimeout
+from .btm import BTM, run_best_first
+from .grouping import (
+    GroupBoundTables,
+    GroupLevel,
+    children_pairs,
+    feasible_group_pairs,
+    group_dfd_bounds,
+    pattern_bounds_for_pairs,
+)
+from .gtm import GTM
+from .gtm_star import GTMStar
+from .motif import (
+    ALGORITHMS,
+    MotifResult,
+    discover_motif,
+    max_feasible_min_length,
+    search_space_for,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BTM",
+    "BoundTables",
+    "BruteDP",
+    "CROSS_MODE",
+    "GTM",
+    "GTMStar",
+    "GroupBoundTables",
+    "GroupLevel",
+    "MotifResult",
+    "MotifTimeout",
+    "PhaseTimer",
+    "SELF_MODE",
+    "SearchSpace",
+    "SearchStats",
+    "SubsetBounds",
+    "TightBounds",
+    "children_pairs",
+    "cross_space",
+    "discover_motif",
+    "feasible_group_pairs",
+    "group_dfd_bounds",
+    "max_feasible_min_length",
+    "pattern_bounds_for_pairs",
+    "relaxed_subset_bounds",
+    "relaxed_subset_bounds_for_pairs",
+    "run_best_first",
+    "search_space_for",
+    "self_space",
+    "tight_subset_bounds",
+]

@@ -1,0 +1,395 @@
+"""Lower bound functions for DFD motif search (paper Sections 4.2-4.3).
+
+Pattern-based bounds
+--------------------
+All bounds read the ground distance matrix ``dG`` along fixed patterns:
+
+* ``LB_cell(i, j) = dG(i, j)`` -- every path of a candidate in subset
+  ``CS_{i,j}`` starts at cell ``(i, j)`` (Observation 2).
+* ``LB_row(i, j) = min_{i'} dG(i', j+1)`` and
+  ``LB_col(i, j) = min_{j'} dG(i+1, j')`` -- the path must cross row
+  ``j+1`` and column ``i+1`` (Observation 3); their max is the
+  cross bound ``LB_cross^start`` (Eq. 4).
+* band bounds (Eqs. 5-6) -- with minimum length ``xi`` the path must
+  cross *each* of rows ``j+1 .. j+xi`` and columns ``i+1 .. i+xi``, so
+  the max of the per-row / per-column bounds applies (Observation 4).
+
+Relaxed O(1) bounds (Section 4.3)
+---------------------------------
+Precompute ``Rmin[j] = min_{i'} dG(i', j+1)`` and ``Cmin[i] =
+min_{j'} dG(i+1, j')`` over ranges valid for *every* candidate subset
+(ranges derived in :meth:`repro.core.problem.SearchSpace.rmin_range` /
+``cmin_range``; the printed Eqs. 10-11 contain free variables, we follow
+Lemma 2's proof).  Band bounds relax to sliding-window maxima over
+``Rmin`` / ``Cmin``.  Everything amortises to O(1) per subset.
+
+End-cell pruning (Eq. 9) -- a soundness fix
+-------------------------------------------
+The paper kills DP cell ``(ie, je)`` when
+``max(LB_row(ie,je), LB_col(ie,je)) >= bsf``.  That is only valid for
+candidates extending *strictly* beyond the cell in both axes.  A
+candidate extending along a single axis (``ic = ie, jc > je`` or
+``ic > ie, jc = je``) is constrained by just one of the two components,
+so the max-form can prune an optimal single-axis extension.  We
+therefore kill a cell only when ``min(component_row, component_col) >=
+bsf``, treating a component as vacuously ``+inf`` when no extension in
+that axis exists (e.g. ``je = n-1``).  This is proven safe for every
+extension type and is validated against brute force in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .problem import SELF_MODE, SearchSpace
+
+_INF = np.inf
+
+
+# ----------------------------------------------------------------------
+# Relaxed bound tables (Section 4.3)
+# ----------------------------------------------------------------------
+@dataclass
+class BoundTables:
+    """Precomputed relaxed bound arrays for one search space.
+
+    Attributes
+    ----------
+    rmin:
+        ``Rmin[j]``: smallest ground distance in row ``j+1`` over the
+        mode-appropriate column range; ``+inf`` where undefined.
+    cmin:
+        ``Cmin[i]``: smallest ground distance in column ``i+1`` over the
+        mode-appropriate row range; ``+inf`` where undefined.
+    rband_row:
+        ``rLB_band^row(j) = max_{j' in [j, j+xi-1]} Rmin[j']``.
+    rband_col:
+        ``rLB_band^col(i) = max_{i' in [i, i+xi-1]} Cmin[i']``.
+    """
+
+    space: SearchSpace
+    rmin: np.ndarray
+    cmin: np.ndarray
+    rband_row: np.ndarray
+    rband_col: np.ndarray
+
+    @classmethod
+    def build(cls, space: SearchSpace, oracle) -> "BoundTables":
+        """Stream the ground matrix row by row and fill all tables.
+
+        Works identically for dense and lazy (O(n)-space) oracles: only
+        one matrix row plus O(n) running vectors live at a time.
+        """
+        n, m = space.n_rows, space.n_cols
+        rmin = np.full(m, _INF)
+        cmin = np.full(n, _INF)
+        if space.mode == SELF_MODE:
+            colmin = np.full(m, _INF)
+            for r in range(n):
+                row = oracle.row(r)
+                # Cmin[i] with i = r - 1: min of dG[r, r+1 .. n-1].
+                if r >= 1 and r + 1 <= m - 1:
+                    cmin[r - 1] = row[r + 1 :].min()
+                np.minimum(colmin, row, out=colmin)
+                # Rmin[j] with j = r + 1: min of dG[0..r, j+1] = colmin[j+1].
+                j = r + 1
+                if j + 1 <= m - 1:
+                    rmin[j] = colmin[j + 1]
+        else:
+            colmin = np.full(m, _INF)
+            for r in range(n):
+                row = oracle.row(r)
+                if r >= 1:
+                    cmin[r - 1] = row.min()
+                np.minimum(colmin, row, out=colmin)
+            rmin[: m - 1] = colmin[1:]
+        rband_row = _sliding_max(rmin, space.xi)
+        rband_col = _sliding_max(cmin, space.xi)
+        return cls(space, rmin, cmin, rband_row, rband_col)
+
+    # ------------------------------------------------------------------
+    def start_cross(self, i: int, j: int) -> float:
+        """``rLB_cross^start(i, j)`` (Eq. 12)."""
+        return float(max(self.cmin[i], self.rmin[j]))
+
+    def band(self, i: int, j: int) -> float:
+        """``max(rLB_band^row(j), rLB_band^col(i))`` (Eqs. 14-15)."""
+        return float(max(self.rband_col[i], self.rband_row[j]))
+
+    def end_kill_threshold(self, ie: int, je: int) -> float:
+        """Safe end-cell kill value: ``min(Cmin[ie], Rmin[je])``.
+
+        See the module docstring: a DP cell may be killed once the
+        *smaller* of the two relaxed components reaches ``bsf``, which
+        covers single-axis extensions as well.
+        """
+        return float(min(self.cmin[ie], self.rmin[je]))
+
+
+def _sliding_max(values: np.ndarray, window: int) -> np.ndarray:
+    """Max over ``values[k : k+window]`` per position; +inf past the end."""
+    n = values.shape[0]
+    out = np.full(n, _INF)
+    if window <= 1:
+        return values.copy() if window == 1 else out
+    if n >= window:
+        view = np.lib.stride_tricks.sliding_window_view(values, window)
+        out[: n - window + 1] = view.max(axis=1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tight bounds (Section 4.2) -- O(n) / O(xi n) per subset
+# ----------------------------------------------------------------------
+class TightBounds:
+    """Per-subset tight bounds computed directly from a dense ``dG``.
+
+    These follow Eqs. 2-6 verbatim and are deliberately *not*
+    precomputed: the point of Figures 13-14 is that tight bounds prune
+    slightly better but cost O(n) / O(xi n) per candidate subset,
+    whereas the relaxed bounds amortise to O(1).
+    """
+
+    def __init__(self, space: SearchSpace, dmat: np.ndarray) -> None:
+        self.space = space
+        self.dmat = np.asarray(dmat, dtype=np.float64)
+
+    def row(self, i: int, j: int) -> float:
+        """``LB_row(i, j)`` (Eq. 2)."""
+        lo, hi = self.space.row_bound_range(i, j)
+        if lo > hi or j + 1 > self.space.n_cols - 1:
+            return _INF
+        return float(self.dmat[lo : hi + 1, j + 1].min())
+
+    def col(self, i: int, j: int) -> float:
+        """``LB_col(i, j)`` (Eq. 3)."""
+        lo, hi = self.space.col_bound_range(i, j)
+        if lo > hi or i + 1 > self.space.n_rows - 1:
+            return _INF
+        return float(self.dmat[i + 1, lo : hi + 1].min())
+
+    def start_cross(self, i: int, j: int) -> float:
+        """``LB_cross^start(i, j) = max(LB_row, LB_col)`` (Eq. 4)."""
+        return max(self.row(i, j), self.col(i, j))
+
+    def end_cross(self, ie: int, je: int) -> float:
+        """``LB_cross^end(ie, je)`` (Eq. 9) -- max form, for reporting."""
+        return max(self.row(ie, je), self.col(ie, je))
+
+    def end_kill_threshold(self, ie: int, je: int) -> float:
+        """Safe end-cell kill value (min form; see module docstring)."""
+        return min(self.row(ie, je), self.col(ie, je))
+
+    def band_row(self, i: int, j: int) -> float:
+        """``LB_band^row(i, j)`` (Eq. 5)."""
+        best = 0.0
+        for jp in range(j, j + self.space.xi):
+            value = self.row(i, jp)
+            if value > best:
+                best = value
+        return best
+
+    def band_col(self, i: int, j: int) -> float:
+        """``LB_band^col(i, j)`` (Eq. 6)."""
+        best = 0.0
+        for ip in range(i, i + self.space.xi):
+            value = self.col(ip, j)
+            if value > best:
+                best = value
+        return best
+
+    def band(self, i: int, j: int) -> float:
+        """``max(LB_band^row, LB_band^col)``."""
+        return max(self.band_row(i, j), self.band_col(i, j))
+
+
+# ----------------------------------------------------------------------
+# Vectorised per-subset bound assembly
+# ----------------------------------------------------------------------
+@dataclass
+class SubsetBounds:
+    """Flat per-subset bound arrays over all feasible start pairs.
+
+    ``lb_cell[k]``, ``lb_cross[k]``, ``lb_band[k]`` are the three bound
+    classes for subset ``(i_idx[k], j_idx[k])``; ``combined`` is their
+    max restricted to the enabled bound classes.
+    """
+
+    i_idx: np.ndarray
+    j_idx: np.ndarray
+    lb_cell: np.ndarray
+    lb_cross: np.ndarray
+    lb_band: np.ndarray
+    combined: np.ndarray
+
+    def __len__(self) -> int:
+        return self.i_idx.shape[0]
+
+    def order(self) -> np.ndarray:
+        """Subset indices sorted ascending by combined bound (Alg. 2 L4)."""
+        return np.argsort(self.combined, kind="stable")
+
+
+def relaxed_subset_bounds(
+    space: SearchSpace,
+    oracle,
+    tables: BoundTables,
+    use_cell: bool = True,
+    use_cross: bool = True,
+    use_band: bool = True,
+) -> SubsetBounds:
+    """Assemble relaxed bounds for every feasible subset, vectorised per row.
+
+    The ``use_*`` switches support the Figure 15/16 bound-ablation
+    experiments; a disabled class contributes ``-inf`` to ``combined``
+    but its array is still populated for reporting.
+    """
+    i_list, j_list = [], []
+    cell_list, cross_list, band_list = [], [], []
+    for i in range(space.i_max + 1):
+        j_lo, j_hi = space.j_range(i)
+        if j_hi < j_lo:
+            continue
+        js = np.arange(j_lo, j_hi + 1)
+        row = oracle.row(i)
+        cell = row[js]
+        cross = np.maximum(tables.cmin[i], tables.rmin[js])
+        band = np.maximum(tables.rband_col[i], tables.rband_row[js])
+        i_list.append(np.full(js.shape[0], i, dtype=np.int64))
+        j_list.append(js.astype(np.int64))
+        cell_list.append(cell)
+        cross_list.append(cross)
+        band_list.append(band)
+    if not i_list:
+        empty_f = np.empty(0)
+        empty_i = np.empty(0, dtype=np.int64)
+        return SubsetBounds(empty_i, empty_i, empty_f, empty_f, empty_f, empty_f)
+    i_idx = np.concatenate(i_list)
+    j_idx = np.concatenate(j_list)
+    lb_cell = np.concatenate(cell_list)
+    lb_cross = np.concatenate(cross_list)
+    lb_band = np.concatenate(band_list)
+    combined = _combine(lb_cell, lb_cross, lb_band, use_cell, use_cross, use_band)
+    return SubsetBounds(i_idx, j_idx, lb_cell, lb_cross, lb_band, combined)
+
+
+def relaxed_subset_bounds_for_pairs(
+    space: SearchSpace,
+    oracle,
+    tables: BoundTables,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    use_cell: bool = True,
+    use_cross: bool = True,
+    use_band: bool = True,
+) -> SubsetBounds:
+    """Relaxed bounds for an explicit subset list (GTM/GTM* phase 2).
+
+    Row accesses are batched per distinct ``i`` so a lazy ground oracle
+    computes each needed row exactly once.
+    """
+    i_idx = np.asarray(i_idx, dtype=np.int64)
+    j_idx = np.asarray(j_idx, dtype=np.int64)
+    lb_cell = np.empty(i_idx.shape[0])
+    order = np.argsort(i_idx, kind="stable")
+    pos = 0
+    while pos < order.shape[0]:
+        i = int(i_idx[order[pos]])
+        end = pos
+        while end < order.shape[0] and i_idx[order[end]] == i:
+            end += 1
+        sel = order[pos:end]
+        lb_cell[sel] = oracle.row(i)[j_idx[sel]]
+        pos = end
+    lb_cross = np.maximum(tables.cmin[i_idx], tables.rmin[j_idx])
+    lb_band = np.maximum(tables.rband_col[i_idx], tables.rband_row[j_idx])
+    combined = _combine(lb_cell, lb_cross, lb_band, use_cell, use_cross, use_band)
+    return SubsetBounds(i_idx, j_idx, lb_cell, lb_cross, lb_band, combined)
+
+
+def tight_subset_bounds(
+    space: SearchSpace,
+    dmat: np.ndarray,
+    use_cell: bool = True,
+    use_cross: bool = True,
+    use_band: bool = True,
+) -> SubsetBounds:
+    """Assemble tight (Section 4.2) bounds for every feasible subset.
+
+    Deliberately pays the per-subset O(n) / O(xi n) cost that motivates
+    the relaxed bounds; used by the Figure 13/14 comparison.
+    """
+    tight = TightBounds(space, dmat)
+    total = space.count_start_pairs()
+    i_idx = np.empty(total, dtype=np.int64)
+    j_idx = np.empty(total, dtype=np.int64)
+    lb_cell = np.empty(total)
+    lb_cross = np.empty(total)
+    lb_band = np.empty(total)
+    k = 0
+    for i, j in space.start_pairs():
+        i_idx[k] = i
+        j_idx[k] = j
+        lb_cell[k] = dmat[i, j]
+        lb_cross[k] = tight.start_cross(i, j)
+        lb_band[k] = tight.band(i, j)
+        k += 1
+    combined = _combine(lb_cell, lb_cross, lb_band, use_cell, use_cross, use_band)
+    return SubsetBounds(i_idx, j_idx, lb_cell, lb_cross, lb_band, combined)
+
+
+def _combine(
+    lb_cell: np.ndarray,
+    lb_cross: np.ndarray,
+    lb_band: np.ndarray,
+    use_cell: bool,
+    use_cross: bool,
+    use_band: bool,
+) -> np.ndarray:
+    combined = np.zeros_like(lb_cell)
+    if use_cell:
+        np.maximum(combined, lb_cell, out=combined)
+    if use_cross:
+        np.maximum(combined, lb_cross, out=combined)
+    if use_band:
+        np.maximum(combined, lb_band, out=combined)
+    return combined
+
+
+def attribute_pruning(
+    bounds: SubsetBounds,
+    expanded: np.ndarray,
+    bsf: float,
+    use_cell: bool = True,
+    use_cross: bool = True,
+    use_band: bool = True,
+) -> Tuple[int, int, int]:
+    """Post-hoc Figure-15 attribution of pruned subsets to bound classes.
+
+    A subset never expanded was pruned because its combined bound
+    reached the final ``bsf``; it is credited to the first enabled class
+    (cell, then cross, then band) whose bound alone suffices -- the same
+    cascade order the paper uses in its breakdown.
+    """
+    pruned = ~expanded
+    remaining = pruned.copy()
+    by_cell = by_cross = by_band = 0
+    if use_cell:
+        hit = remaining & (bounds.lb_cell >= bsf)
+        by_cell = int(hit.sum())
+        remaining &= ~hit
+    if use_cross:
+        hit = remaining & (bounds.lb_cross >= bsf)
+        by_cross = int(hit.sum())
+        remaining &= ~hit
+    if use_band:
+        hit = remaining & (bounds.lb_band >= bsf)
+        by_band = int(hit.sum())
+        remaining &= ~hit
+    # Any residue (possible only when bsf was never witnessed) is
+    # credited to the cell class to keep the fractions summing to one.
+    by_cell += int(remaining.sum())
+    return by_cell, by_cross, by_band

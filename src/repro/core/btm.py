@@ -1,0 +1,199 @@
+"""BTM -- bounding-based trajectory motif discovery (paper Algorithm 2).
+
+The search has three phases:
+
+1. precompute the relaxed bound tables (``Rmin`` / ``Cmin`` and the
+   band windows) in O(n^2) total -- amortised O(1) per subset;
+2. assemble a per-subset combined lower bound and sort all candidate
+   subsets ascending (best-first order);
+3. expand subsets in that order with the shared DP kernel, maintaining
+   the best-so-far ``bsf``; stop at the first subset whose bound proves
+   it (and every later subset) cannot beat ``bsf``.
+
+The module also exposes :func:`run_best_first`, the sorted-processing
+loop reused by GTM and GTM* for their final point-level phase.
+
+Witness rule
+------------
+GTM may tighten ``bsf`` with a group *upper* bound before any concrete
+candidate pair is known.  An unwitnessed ``bsf`` must not prune subsets
+whose bound *equals* it (the optimal pair could be exactly there), so
+the processing loop breaks on ``lb > bsf`` when unwitnessed and on
+``lb >= bsf`` once a concrete pair is held.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .bounds import (
+    BoundTables,
+    SubsetBounds,
+    attribute_pruning,
+    relaxed_subset_bounds,
+    tight_subset_bounds,
+)
+from .brute import MotifTimeout
+from .dp import Best, expand_subset
+from .problem import SearchSpace
+from .stats import PhaseTimer, SearchStats
+
+_VARIANTS = ("relaxed", "tight")
+
+
+def run_best_first(
+    oracle,
+    space: SearchSpace,
+    bounds: SubsetBounds,
+    tables: Optional[BoundTables],
+    stats: SearchStats,
+    bsf: float = float("inf"),
+    best: Best = None,
+    use_kills: bool = True,
+    approx_factor: float = 1.0,
+    timeout: Optional[float] = None,
+    started_at: Optional[float] = None,
+    use_cell: bool = True,
+    use_cross: bool = True,
+    use_band: bool = True,
+) -> Tuple[float, Best]:
+    """Process candidate subsets in ascending bound order (Alg. 2 L5-13).
+
+    ``bsf`` / ``best`` may carry over from a grouping phase; ``best`` of
+    ``None`` with a finite ``bsf`` marks an unwitnessed bound (see
+    module docstring).  ``approx_factor >= 1`` enables the
+    (1+eps)-approximate early stop of the extensions module.
+    """
+    if approx_factor < 1.0:
+        raise ValueError("approx_factor must be >= 1")
+    start_time = time.perf_counter() if started_at is None else started_at
+    deadline = None if timeout is None else start_time + timeout
+    cmin = tables.cmin if (tables is not None and use_kills) else None
+    rmin = tables.rmin if (tables is not None and use_kills) else None
+    with PhaseTimer(stats, "time_sort"):
+        order = bounds.order()
+    expanded = np.zeros(len(bounds), dtype=bool)
+    witnessed = best is not None
+    dp_started = time.perf_counter()
+    for count, k in enumerate(order):
+        lb = bounds.combined[k] * approx_factor
+        if lb > bsf or (witnessed and lb >= bsf):
+            break
+        i = int(bounds.i_idx[k])
+        j = int(bounds.j_idx[k])
+        # An unwitnessed bsf (a group upper bound) may *equal* the true
+        # motif distance; nudge the threshold so an equally-good
+        # candidate is still recorded as the witness pair.
+        threshold = bsf if witnessed else np.nextafter(bsf, np.inf)
+        new_bsf, new_best = expand_subset(
+            oracle, space, i, j, threshold, best, cmin=cmin, rmin=rmin,
+            prune=True, stats=stats,
+        )
+        if new_best is not best:
+            witnessed = True
+            bsf, best = new_bsf, new_best
+        expanded[k] = True
+        if deadline is not None and count % 64 == 0:
+            if time.perf_counter() > deadline:
+                raise MotifTimeout(f"search exceeded {timeout:.1f}s")
+    stats.time_dp += time.perf_counter() - dp_started
+    stats.subsets_total += len(bounds)
+    stats.subsets_expanded += int(expanded.sum())
+    by_cell, by_cross, by_band = attribute_pruning(
+        bounds, expanded, bsf / approx_factor,
+        use_cell=use_cell, use_cross=use_cross, use_band=use_band,
+    )
+    stats.pruned_by_cell += by_cell
+    stats.pruned_by_cross += by_cross
+    stats.pruned_by_band += by_band
+    return bsf, best
+
+
+class BTM:
+    """Bounding-based trajectory motif discovery (Algorithm 2).
+
+    Parameters
+    ----------
+    variant:
+        ``"relaxed"`` (default) uses the O(1) amortised bounds of
+        Section 4.3; ``"tight"`` pays the per-subset O(n) / O(xi n)
+        bounds of Section 4.2 (the Figure 13/14 comparison).
+    use_cell / use_cross / use_band:
+        Bound-class ablation switches (Figures 15-16).
+    use_end_kill:
+        Enables the in-subset end-cell pruning (Eq. 9, safe min-form).
+    approx_factor:
+        ``>= 1``; values above 1 give the (1+eps)-approximate variant.
+    timeout:
+        Optional wall-clock budget in seconds.
+    """
+
+    name = "btm"
+
+    def __init__(
+        self,
+        variant: str = "relaxed",
+        use_cell: bool = True,
+        use_cross: bool = True,
+        use_band: bool = True,
+        use_end_kill: bool = True,
+        approx_factor: float = 1.0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if variant not in _VARIANTS:
+            raise ValueError(f"variant must be one of {_VARIANTS}")
+        if approx_factor < 1.0:
+            raise ValueError("approx_factor must be >= 1")
+        self.variant = variant
+        self.use_cell = use_cell
+        self.use_cross = use_cross
+        self.use_band = use_band
+        self.use_end_kill = use_end_kill
+        self.approx_factor = approx_factor
+        self.timeout = timeout
+
+    def search(
+        self, oracle, space: SearchSpace, stats: Optional[SearchStats] = None
+    ) -> Tuple[float, Best]:
+        """Return ``(distance, (i, ie, j, je))`` of the motif."""
+        stats = stats if stats is not None else SearchStats()
+        stats.algorithm = f"{self.name}[{self.variant}]"
+        started_at = time.perf_counter()
+        with PhaseTimer(stats, "time_bounds"):
+            tables = BoundTables.build(space, oracle)
+            if self.variant == "tight":
+                if not hasattr(oracle, "array"):
+                    raise ValueError("tight bounds require a dense ground matrix")
+                bounds = tight_subset_bounds(
+                    space, oracle.array,
+                    use_cell=self.use_cell, use_cross=self.use_cross,
+                    use_band=self.use_band,
+                )
+            else:
+                bounds = relaxed_subset_bounds(
+                    space, oracle, tables,
+                    use_cell=self.use_cell, use_cross=self.use_cross,
+                    use_band=self.use_band,
+                )
+        bsf, best = run_best_first(
+            oracle, space, bounds, tables, stats,
+            use_kills=self.use_end_kill,
+            approx_factor=self.approx_factor,
+            timeout=self.timeout,
+            started_at=started_at,
+            use_cell=self.use_cell,
+            use_cross=self.use_cross,
+            use_band=self.use_band,
+        )
+        rows, cols = oracle.shape
+        dense = hasattr(oracle, "array")
+        stats.space_bytes = max(
+            stats.space_bytes,
+            (8 * rows * cols if dense else 0)  # dG
+            + 8 * 4 * cols                     # bound tables
+            + 8 * 6 * len(bounds),             # subset bound arrays
+        )
+        return bsf, best

@@ -1,0 +1,349 @@
+"""Shared dynamic-programming kernels for candidate-subset expansion.
+
+BruteDP (Alg. 1), BTM (Alg. 2) and the final phase of GTM/GTM* all run
+the same inner computation: for a candidate subset ``CS_{i,j}`` expand
+the DFD dynamic program over the rectangle of end positions
+``(ie, je)``, sharing work across the O(n^2) candidates with the same
+start pair.  This module provides two interchangeable kernels:
+
+* :func:`expand_subset_scalar` -- row-major Python scan.  Each finished
+  row is post-processed with vectorised candidate checks, end-cell
+  kills and the early-termination test, so only the unavoidable
+  sequential recurrence runs per cell.
+* :func:`expand_subset_wavefront` -- anti-diagonal NumPy sweep; every
+  diagonal is one vectorised step over rolling sentinel buffers.
+  Fastest whenever early termination cuts the sweep short, which is the
+  common case once a good ``bsf`` is known.
+
+With a lazy (row-on-demand) ground oracle the wavefront variant
+materialises rectangle rows only as the sweep reaches them
+(:func:`expand_subset_wavefront_lazy`): the paper's GTM* computes each
+``dG`` value per cell on the fly, which is free in C++ but ruinous in
+CPython; materialising just the expanded rows keeps the typical extra
+space at a few rows (early termination) while preserving vectorised
+diagonals.  The worst case for one subset is its full rectangle, which
+the GTM* space accounting reports.
+
+Both kernels implement the same semantics (validated against each other
+and against brute force in the tests):
+
+* best-so-far (``bsf``) candidate tracking over cells with
+  ``ie - i > xi`` and ``je - j > xi``;
+* optional end-cell kills using the *safe min-form* threshold
+  ``min(Cmin[ie], Rmin[je]) >= bsf`` (see :mod:`repro.core.bounds`);
+* optional early termination once an entire DP frontier is ``>= bsf``
+  (every downstream value is a max including some frontier value).
+
+With ``prune=False`` the kernels compute the full rectangle -- that is
+exactly BruteDP's inner loop.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .problem import SearchSpace
+from .stats import SearchStats
+
+#: Rectangles up to this many cells use the scalar kernel by default.
+SCALAR_AREA_LIMIT = 4096
+
+Best = Optional[Tuple[int, int, int, int]]
+
+
+def expand_subset(
+    oracle,
+    space: SearchSpace,
+    i: int,
+    j: int,
+    bsf: float,
+    best: Best,
+    cmin: Optional[np.ndarray] = None,
+    rmin: Optional[np.ndarray] = None,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
+    force_kernel: Optional[str] = None,
+) -> Tuple[float, Best]:
+    """Expand subset ``CS_{i,j}``; return the updated ``(bsf, best)``.
+
+    Chooses the scalar kernel for small rectangles or lazy oracles and
+    the wavefront kernel otherwise.  ``force_kernel`` ("scalar" /
+    "wavefront") overrides the heuristic (used by tests and ablations).
+    """
+    ie_hi = space.ie_limit(i, j)
+    je_hi = space.je_limit(i, j)
+    area = (ie_hi - i + 1) * (je_hi - j + 1)
+    dense = hasattr(oracle, "array")
+    if force_kernel == "scalar" or (
+        force_kernel is None and area <= SCALAR_AREA_LIMIT and dense
+    ):
+        return expand_subset_scalar(
+            oracle, space, i, j, bsf, best, cmin=cmin, rmin=rmin,
+            prune=prune, stats=stats,
+        )
+    if dense:
+        return expand_subset_wavefront(
+            oracle.array, space, i, j, bsf, best, cmin=cmin, rmin=rmin,
+            prune=prune, stats=stats,
+        )
+    return expand_subset_wavefront_lazy(
+        oracle, space, i, j, bsf, best, cmin=cmin, rmin=rmin,
+        prune=prune, stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scalar row-major kernel
+# ----------------------------------------------------------------------
+def expand_subset_scalar(
+    oracle,
+    space: SearchSpace,
+    i: int,
+    j: int,
+    bsf: float,
+    best: Best,
+    cmin: Optional[np.ndarray] = None,
+    rmin: Optional[np.ndarray] = None,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, Best]:
+    xi = space.xi
+    ie_hi = space.ie_limit(i, j)
+    je_hi = space.je_limit(i, j)
+    width = je_hi - j + 1
+    first_col = xi + 1  # first candidate column offset (je = j + xi + 1)
+    use_kills = prune and cmin is not None and rmin is not None
+    rmin_slice = rmin[j : je_hi + 1] if use_kills else None
+
+    # Boundary row (ie = i): running maxima of dG[i, j..je_hi].
+    prev_arr = np.maximum.accumulate(oracle.row(i)[j : je_hi + 1])
+    if use_kills and cmin[i] >= bsf:
+        prev_arr = np.where(rmin_slice >= bsf, inf, prev_arr)
+    prev = prev_arr.tolist()
+
+    cells = 0
+    kills = 0
+    checked = 0
+    updates = 0
+    for ie in range(i + 1, ie_hi + 1):
+        g = oracle.row(ie)[j : je_hi + 1].tolist()
+        cur = [0.0] * width
+        # Boundary column (je = j): running max down the column.
+        left = g[0] if g[0] > prev[0] else prev[0]
+        cur[0] = left
+        for c in range(1, width):
+            p = prev[c]
+            pd = prev[c - 1]
+            m = pd if pd < p else p
+            if left < m:
+                m = left
+            gc = g[c]
+            left = gc if gc > m else m
+            cur[c] = left
+        cells += width
+        # Candidate check: cells with ie - i > xi and je - j > xi.
+        if ie - i > xi:
+            tail = cur[first_col:]
+            if tail:
+                row_min = min(tail)
+                checked += len(tail)
+                if row_min < bsf:
+                    c = first_col + tail.index(row_min)
+                    bsf = row_min
+                    best = (i, ie, j, j + c)
+                    updates += 1
+        if prune:
+            # End-cell kills (safe min-form, applied after the check).
+            if use_kills and cmin[ie] >= bsf:
+                cur_arr = np.asarray(cur)
+                mask = rmin_slice >= bsf
+                n_kill = int(mask.sum())
+                if n_kill:
+                    cur_arr[mask] = inf
+                    kills += n_kill
+                    cur = cur_arr.tolist()
+            # Early termination: next rows only grow from this frontier.
+            if min(cur) >= bsf:
+                break
+        prev = cur
+    if stats is not None:
+        stats.cells_expanded += cells
+        stats.cells_killed += kills
+        stats.candidates_checked += checked
+        stats.bsf_updates += updates
+    return bsf, best
+
+
+# ----------------------------------------------------------------------
+# Wavefront (anti-diagonal) kernel
+# ----------------------------------------------------------------------
+def expand_subset_wavefront(
+    dmat: np.ndarray,
+    space: SearchSpace,
+    i: int,
+    j: int,
+    bsf: float,
+    best: Best,
+    cmin: Optional[np.ndarray] = None,
+    rmin: Optional[np.ndarray] = None,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, Best]:
+    """Anti-diagonal sweep over a dense matrix (see :func:`_rect_wavefront`)."""
+    ie_hi = space.ie_limit(i, j)
+    je_hi = space.je_limit(i, j)
+    rect = dmat[i : ie_hi + 1, j : je_hi + 1]
+    return _rect_wavefront(
+        rect, space.xi, i, j, bsf, best,
+        cmin[i : ie_hi + 1] if cmin is not None else None,
+        rmin[j : je_hi + 1] if rmin is not None else None,
+        prune, stats, ensure_rows=None,
+    )
+
+
+def expand_subset_wavefront_lazy(
+    oracle,
+    space: SearchSpace,
+    i: int,
+    j: int,
+    bsf: float,
+    best: Best,
+    cmin: Optional[np.ndarray] = None,
+    rmin: Optional[np.ndarray] = None,
+    prune: bool = True,
+    stats: Optional[SearchStats] = None,
+) -> Tuple[float, Best]:
+    """Wavefront sweep with rows materialised on demand from a lazy oracle.
+
+    ``np.empty`` reserves virtual address space only; physical memory
+    grows with the rows the sweep actually reaches, which early
+    termination keeps small in the common case.
+    """
+    ie_hi = space.ie_limit(i, j)
+    je_hi = space.je_limit(i, j)
+    n_rows = ie_hi - i + 1
+    block = np.empty((n_rows, je_hi - j + 1))
+    filled = [0]
+
+    def ensure_rows(upto: int) -> None:
+        # oracle.row uses the bound metric kernel and the LRU cache, so
+        # rows revisited by nearby subsets are not recomputed.
+        while filled[0] <= upto:
+            r = filled[0]
+            block[r] = oracle.row(i + r)[j : je_hi + 1]
+            filled[0] += 1
+
+    ensure_rows(0)
+    return _rect_wavefront(
+        block, space.xi, i, j, bsf, best,
+        cmin[i : ie_hi + 1] if cmin is not None else None,
+        rmin[j : je_hi + 1] if rmin is not None else None,
+        prune, stats, ensure_rows=ensure_rows,
+    )
+
+
+def _rect_wavefront(
+    rect: np.ndarray,
+    xi: int,
+    i: int,
+    j: int,
+    bsf: float,
+    best: Best,
+    cmin_slice: Optional[np.ndarray],
+    rmin_slice: Optional[np.ndarray],
+    prune: bool,
+    stats: Optional[SearchStats],
+    ensure_rows,
+) -> Tuple[float, Best]:
+    """Anti-diagonal sweep with O(1) NumPy calls per diagonal.
+
+    Diagonals live in three rolling buffers of length ``n_rows + 2``
+    indexed by ``row + 1`` with ``+inf`` sentinels, so the three
+    neighbour diagonals are plain contiguous slices (no gathers).  The
+    ``g`` values along an anti-diagonal of the row-major rectangle are a
+    strided view (step = row stride minus one element).
+    """
+    n_rows, n_cols = rect.shape
+    use_kills = prune and cmin_slice is not None and rmin_slice is not None
+
+    cells = 0
+    kills = 0
+    checked = 0
+    updates = 0
+
+    # Rolling buffers: index r+1 holds the value of rectangle row r on
+    # that diagonal; indices outside the occupied range stay +inf.
+    buf_a = np.full(n_rows + 2, inf)
+    buf_b = np.full(n_rows + 2, inf)
+    buf_c = np.full(n_rows + 2, inf)
+    buf_a[1] = rect[0, 0]
+    prev1, prev1_lo, prev1_hi = buf_a, 0, 0
+    prev2 = buf_b
+    spare = buf_c
+    row_stride = rect.strides[0]
+    col_stride = rect.strides[1]
+    for d in range(1, n_rows + n_cols - 1):
+        lo = max(0, d - n_cols + 1)
+        hi = min(d, n_rows - 1)
+        length = hi - lo + 1
+        if ensure_rows is not None:
+            ensure_rows(hi)
+        # Anti-diagonal of rect from (lo, d-lo) downward-left.
+        g = np.lib.stride_tricks.as_strided(
+            rect[lo:, d - lo :],
+            shape=(length,),
+            strides=(row_stride - col_stride,),
+        )
+        up = prev1[lo : lo + length]          # (r-1, c)   at index r
+        left = prev1[lo + 1 : lo + 1 + length]  # (r, c-1)  at index r+1
+        ul = prev2[lo : lo + length]          # (r-1, c-1) at index r
+        cur = spare
+        seg = cur[lo + 1 : lo + 1 + length]
+        np.minimum(up, left, out=seg)
+        np.minimum(seg, ul, out=seg)
+        np.maximum(seg, g, out=seg)
+        # Reset stale sentinels just outside the occupied range.
+        cur[lo] = inf
+        if lo + 1 + length < cur.shape[0]:
+            cur[lo + 1 + length] = inf
+        cells += length
+        # Candidate cells on this diagonal: r > xi and c = d - r > xi.
+        r_lo = max(lo, xi + 1)
+        r_hi = min(hi, d - xi - 1)
+        if r_hi >= r_lo:
+            window = cur[r_lo + 1 : r_hi + 2]
+            checked += window.shape[0]
+            k = int(np.argmin(window))
+            val = float(window[k])
+            if val < bsf:
+                r = r_lo + k
+                bsf = val
+                best = (i, i + r, j, j + d - r)
+                updates += 1
+        if prune:
+            if use_kills:
+                # cmin over rows lo..hi and rmin over the matching
+                # (descending) columns -- both contiguous slices.
+                kill_c = cmin_slice[lo : hi + 1]
+                kill_r = rmin_slice[d - hi : d - lo + 1][::-1]
+                mask = (kill_c >= bsf) & (kill_r >= bsf)
+                n_kill = int(np.count_nonzero(mask))
+                if n_kill:
+                    seg[mask] = inf
+                    kills += n_kill
+            if float(seg.min()) >= bsf:
+                prev_seg = prev1[prev1_lo + 1 : prev1_hi + 2]
+                if prev_seg.shape[0] == 0 or float(prev_seg.min()) >= bsf:
+                    break
+        spare = prev2
+        prev2 = prev1
+        prev1, prev1_lo, prev1_hi = cur, lo, hi
+    if stats is not None:
+        stats.cells_expanded += cells
+        stats.cells_killed += kills
+        stats.candidates_checked += checked
+        stats.bsf_updates += updates
+    return bsf, best

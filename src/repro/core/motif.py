@@ -1,0 +1,206 @@
+"""Public motif-discovery facade.
+
+:func:`discover_motif` is the main entry point of the library: it
+accepts one trajectory (Problem 1) or two trajectories (the
+cross-trajectory variant), builds the ground-distance oracle appropriate
+for the chosen algorithm, runs the search and wraps the answer in a
+:class:`MotifResult`.
+
+>>> from repro import Trajectory, discover_motif
+>>> import numpy as np
+>>> rng = np.random.default_rng(7)
+>>> traj = Trajectory(rng.random((80, 2)).cumsum(axis=0))
+>>> result = discover_motif(traj, min_length=5, algorithm="gtm")
+>>> result.first.start < result.first.end < result.second.start
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..distances.ground import (
+    DenseGroundMatrix,
+    GroundMetric,
+    LazyGroundMatrix,
+    get_metric,
+)
+from ..errors import ReproError
+from ..trajectory import Subtrajectory, Trajectory
+from .brute import BruteDP
+from .btm import BTM
+from .gtm import GTM
+from .gtm_star import GTMStar
+from .problem import SearchSpace, cross_space, self_space
+from .stats import PhaseTimer, SearchStats
+
+#: Algorithm registry for the string shorthand.
+ALGORITHMS = {
+    "brute": BruteDP,
+    "brute_dp": BruteDP,
+    "btm": BTM,
+    "gtm": GTM,
+    "gtm_star": GTMStar,
+    "gtm*": GTMStar,
+}
+
+
+@dataclass(frozen=True)
+class MotifResult:
+    """The discovered motif: two subtrajectories and their DFD.
+
+    Attributes
+    ----------
+    first, second:
+        The two subtrajectory views (``first`` precedes ``second`` on
+        the same trajectory in self mode; in cross mode they live on
+        the two inputs respectively).
+    distance:
+        Their discrete Frechet distance -- the minimum over all valid
+        candidate pairs.
+    stats:
+        Search instrumentation (:class:`SearchStats`).
+    """
+
+    first: Subtrajectory
+    second: Subtrajectory
+    distance: float
+    stats: SearchStats
+
+    @property
+    def indices(self):
+        """``(i, ie, j, je)`` in the paper's notation."""
+        return (
+            self.first.start,
+            self.first.end,
+            self.second.start,
+            self.second.end,
+        )
+
+    def __repr__(self) -> str:
+        i, ie, j, je = self.indices
+        return (
+            f"MotifResult(S[{i}..{ie}] ~ S[{j}..{je}], "
+            f"distance={self.distance:.6g})"
+        )
+
+
+def _as_trajectory(obj: Union[Trajectory, np.ndarray]) -> Trajectory:
+    if isinstance(obj, Trajectory):
+        return obj
+    return Trajectory(np.asarray(obj, dtype=np.float64))
+
+
+def _make_algorithm(algorithm, **kwargs):
+    if isinstance(algorithm, str):
+        try:
+            cls = ALGORITHMS[algorithm.lower()]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+            ) from None
+        return cls(**kwargs)
+    if kwargs:
+        raise ReproError("algorithm options only apply to string algorithm names")
+    return algorithm
+
+
+def discover_motif(
+    trajectory: Union[Trajectory, np.ndarray],
+    second: Optional[Union[Trajectory, np.ndarray]] = None,
+    *,
+    min_length: int,
+    algorithm: Union[str, object] = "gtm",
+    metric: Union[str, GroundMetric, None] = None,
+    **algorithm_options,
+) -> MotifResult:
+    """Discover the motif of one trajectory or between two trajectories.
+
+    Parameters
+    ----------
+    trajectory:
+        The input trajectory (or raw ``(n, d)`` points).
+    second:
+        Optional second trajectory; switches to the cross-trajectory
+        variant of Problem 1.
+    min_length:
+        The paper's ``xi``: each subtrajectory must span more than
+        ``min_length`` steps.
+    algorithm:
+        ``"brute"``, ``"btm"``, ``"gtm"`` (default), ``"gtm_star"`` or a
+        pre-built algorithm instance.
+    metric:
+        Ground metric name/instance; defaults to haversine for lat/lon
+        trajectories and Euclidean for planar ones.
+    algorithm_options:
+        Forwarded to the algorithm constructor (e.g. ``tau=16``,
+        ``variant="tight"``, ``timeout=60.0``).
+
+    Returns
+    -------
+    MotifResult
+        The exact motif (for the exact algorithms) with search stats.
+    """
+    traj_a = _as_trajectory(trajectory)
+    traj_b = None if second is None else _as_trajectory(second)
+    algo = _make_algorithm(algorithm, **algorithm_options)
+    resolved_metric = get_metric(metric, crs=traj_a.crs)
+
+    if traj_b is None:
+        space = self_space(traj_a.n, min_length)
+    else:
+        space = cross_space(traj_a.n, traj_b.n, min_length)
+
+    stats = SearchStats(
+        mode=space.mode, n_rows=space.n_rows, n_cols=space.n_cols, xi=space.xi
+    )
+    start_time = time.perf_counter()
+    oracle = _build_oracle(algo, traj_a, traj_b, resolved_metric, stats)
+    distance, best = algo.search(oracle, space, stats)
+    stats.time_total = time.perf_counter() - start_time
+    if best is None:
+        raise ReproError(
+            "search finished without a witness pair; this indicates a bug"
+        )
+    i, ie, j, je = best
+    first = traj_a.subtrajectory(i, ie)
+    second_sub = (traj_a if traj_b is None else traj_b).subtrajectory(j, je)
+    return MotifResult(first, second_sub, float(distance), stats)
+
+
+def _build_oracle(algo, traj_a, traj_b, metric, stats):
+    """Dense matrix for matrix-based algorithms, lazy rows for GTM*."""
+    with PhaseTimer(stats, "time_precompute"):
+        if isinstance(algo, GTMStar):
+            return LazyGroundMatrix(
+                traj_a.points,
+                None if traj_b is None else traj_b.points,
+                metric=metric,
+                cache_rows=algo.cache_rows,
+            )
+        points_b = traj_a.points if traj_b is None else traj_b.points
+        return DenseGroundMatrix(metric.pairwise(traj_a.points, points_b))
+
+
+def search_space_for(
+    trajectory: Union[Trajectory, np.ndarray],
+    second: Optional[Union[Trajectory, np.ndarray]] = None,
+    *,
+    min_length: int,
+) -> SearchSpace:
+    """Expose the index geometry for a prospective query (validation)."""
+    traj_a = _as_trajectory(trajectory)
+    if second is None:
+        return self_space(traj_a.n, min_length)
+    return cross_space(traj_a.n, _as_trajectory(second).n, min_length)
+
+
+def max_feasible_min_length(n: int, cross: bool = False) -> int:
+    """Largest ``min_length`` for which a query on ``n`` points is feasible."""
+    if cross:
+        return n - 2
+    return (n - 4) // 2

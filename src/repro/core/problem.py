@@ -1,0 +1,199 @@
+"""Problem geometry: candidate index ranges for both motif variants.
+
+Problem 1 of the paper (single trajectory) asks for subtrajectories
+``S[i..ie]`` and ``S[j..je]`` minimising the DFD subject to
+
+* non-overlap and ordering: ``i < ie < j < je``, and
+* minimum length: ``ie > i + xi`` and ``je > j + xi``
+  (so each subtrajectory spans more than ``xi`` steps).
+
+The cross-trajectory variant pairs ``S[i..ie]`` with ``T[j..je]`` and
+drops the ordering constraint.  All the derived loop limits and bound
+index ranges differ between the two variants, so they are centralised
+here as a small :class:`SearchSpace` object that every algorithm and
+bound builder consults.  Getting these ranges wrong silently breaks
+exactness, hence the exhaustive property tests in
+``tests/test_problem.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import InfeasibleQueryError
+
+#: Mode markers.
+SELF_MODE = "self"
+CROSS_MODE = "cross"
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Index geometry of a motif query.
+
+    Attributes
+    ----------
+    mode:
+        ``"self"`` (Problem 1) or ``"cross"`` (two-trajectory variant).
+    n_rows:
+        Length of the first trajectory (index ``i`` / ``ie`` axis).
+    n_cols:
+        Length of the second trajectory; equals ``n_rows`` in self mode.
+    xi:
+        Minimum motif length (the paper's ``xi``); a candidate needs
+        ``ie - i > xi`` and ``je - j > xi``.
+    """
+
+    mode: str
+    n_rows: int
+    n_cols: int
+    xi: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in (SELF_MODE, CROSS_MODE):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.xi < 1:
+            raise InfeasibleQueryError("min_length (xi) must be at least 1")
+        if self.mode == SELF_MODE and self.n_rows != self.n_cols:
+            raise ValueError("self mode requires a square index space")
+        if self.i_max < 0 or self.n_cols - self.xi - 2 < 0:
+            need = (
+                2 * self.xi + 4
+                if self.mode == SELF_MODE
+                else self.xi + 2
+            )
+            raise InfeasibleQueryError(
+                f"trajectory too short for min_length={self.xi}: "
+                f"need at least {need} points per input "
+                f"(got {self.n_rows} x {self.n_cols}, mode={self.mode!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Start-pair (candidate subset) ranges
+    # ------------------------------------------------------------------
+    @property
+    def i_max(self) -> int:
+        """Largest feasible start index ``i`` (inclusive).
+
+        Self mode: ``je <= n-1``, ``je >= j + xi + 1``, ``j >= i + xi + 2``
+        chain to ``i <= n - 2 xi - 4``.  Cross mode: ``i <= n - xi - 2``.
+        """
+        if self.mode == SELF_MODE:
+            return self.n_rows - 2 * self.xi - 4
+        return self.n_rows - self.xi - 2
+
+    def j_range(self, i: int) -> Tuple[int, int]:
+        """Inclusive range of feasible second-start indices ``j`` given ``i``."""
+        if self.mode == SELF_MODE:
+            return (i + self.xi + 2, self.n_cols - self.xi - 2)
+        return (0, self.n_cols - self.xi - 2)
+
+    def start_pairs(self) -> Iterator[Tuple[int, int]]:
+        """All feasible start pairs ``(i, j)`` -- the candidate subsets."""
+        for i in range(self.i_max + 1):
+            j_lo, j_hi = self.j_range(i)
+            for j in range(j_lo, j_hi + 1):
+                yield (i, j)
+
+    def count_start_pairs(self) -> int:
+        """Number of candidate subsets (closed form, no iteration)."""
+        total = 0
+        for i in range(self.i_max + 1):
+            j_lo, j_hi = self.j_range(i)
+            if j_hi >= j_lo:
+                total += j_hi - j_lo + 1
+        return total
+
+    # ------------------------------------------------------------------
+    # End-index ranges within a candidate subset CS_{i,j}
+    # ------------------------------------------------------------------
+    def ie_limit(self, i: int, j: int) -> int:
+        """Largest ``ie`` explored in subset (i, j) (inclusive).
+
+        Self mode caps at ``j - 1`` (non-overlap); cross mode at the end
+        of the first trajectory.
+        """
+        if self.mode == SELF_MODE:
+            return j - 1
+        return self.n_rows - 1
+
+    def je_limit(self, i: int, j: int) -> int:
+        """Largest ``je`` explored in subset (i, j) (inclusive)."""
+        return self.n_cols - 1
+
+    def is_valid_candidate(self, i: int, ie: int, j: int, je: int) -> bool:
+        """Check all Problem-1 constraints for a concrete candidate."""
+        if not (0 <= i < ie < self.n_rows and 0 <= j < je < self.n_cols):
+            return False
+        if ie - i <= self.xi or je - j <= self.xi:
+            return False
+        if self.mode == SELF_MODE and not ie < j:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Ranges used by the lower bounds (Section 4.2)
+    # ------------------------------------------------------------------
+    def row_bound_range(self, i: int, j: int) -> Tuple[int, int]:
+        """Columns ``i'`` a path from (i, j) may occupy when crossing
+        row ``j + 1`` -- the minimisation range of ``LB_row`` (Eq. 2).
+
+        Self mode: ``i' in [i, j-1]`` because the first subtrajectory
+        ends before ``j``.  Cross mode: ``i' in [i, n-1]``.
+        """
+        if self.mode == SELF_MODE:
+            return (i, j - 1)
+        return (i, self.n_rows - 1)
+
+    def col_bound_range(self, i: int, j: int) -> Tuple[int, int]:
+        """Rows ``j'`` a path from (i, j) may occupy when crossing column
+        ``i + 1`` -- the minimisation range of ``LB_col`` (Eq. 3)."""
+        return (j, self.n_cols - 1)
+
+    def rmin_range(self, j: int) -> Tuple[int, int]:
+        """Relaxation range for ``Rmin[j]`` (Lemma 2).
+
+        ``Rmin[j] = min_{i'} dG(i', j+1)`` must be <= ``LB_row(i, j)``
+        for every feasible ``i``; the tightest common range starts at
+        ``i' = 0`` and, in self mode, stops at ``j - 1``.
+        """
+        if self.mode == SELF_MODE:
+            return (0, j - 1)
+        return (0, self.n_rows - 1)
+
+    def cmin_range(self, i: int) -> Tuple[int, int]:
+        """Relaxation range for ``Cmin[i]``.
+
+        ``Cmin[i] = min_{j'} dG(i+1, j')`` must be <= ``LB_col(i', j)``
+        for every subset ``(i0, j)`` whose band covers ``i`` (``i0 >= i -
+        xi + 1``) -- hence ``j' >= i + 2`` suffices in self mode (proof:
+        ``j >= i0 + xi + 2 >= i + 3 > i + 2``) and crucially excludes the
+        zero diagonal ``dG(i+1, i+1)``.  Cross mode: the full column.
+        """
+        if self.mode == SELF_MODE:
+            return (i + 2, self.n_cols - 1)
+        return (0, self.n_cols - 1)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def total_candidates_estimate(self) -> int:
+        """Total number of candidate *pairs* (not subsets); O(n^4) count."""
+        total = 0
+        for i, j in self.start_pairs():
+            ie_n = self.ie_limit(i, j) - (i + self.xi + 1) + 1
+            je_n = self.je_limit(i, j) - (j + self.xi + 1) + 1
+            if ie_n > 0 and je_n > 0:
+                total += ie_n * je_n
+        return total
+
+
+def self_space(n: int, xi: int) -> SearchSpace:
+    """Search space for Problem 1 on one trajectory of length ``n``."""
+    return SearchSpace(SELF_MODE, n, n, xi)
+
+
+def cross_space(n: int, m: int, xi: int) -> SearchSpace:
+    """Search space for the two-trajectory variant (lengths ``n``, ``m``)."""
+    return SearchSpace(CROSS_MODE, n, m, xi)

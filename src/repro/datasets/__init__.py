@@ -1,0 +1,39 @@
+"""Synthetic dataset simulators (offline stand-ins for the paper's data).
+
+See DESIGN.md Section 4 for the substitution rationale: GeoLife, Truck
+and Wild-Baboon are not redistributable, so seeded simulators reproduce
+the structural characteristics that drive the algorithms' behaviour.
+"""
+
+from .base import (
+    METERS_PER_DEG_LAT,
+    TrajectoryGenerator,
+    dataset_names,
+    get_dataset,
+    local_xy_to_latlon,
+    make_trajectory,
+    meters_to_degrees,
+    register_dataset,
+)
+from .geolife import GeoLifeLike
+from .truck import TruckLike
+from .baboon import BaboonLike
+from .synthetic import FigureEight, PlantedMotifWalk, RandomWalk, nonuniform_variant
+
+__all__ = [
+    "BaboonLike",
+    "FigureEight",
+    "GeoLifeLike",
+    "METERS_PER_DEG_LAT",
+    "PlantedMotifWalk",
+    "RandomWalk",
+    "TrajectoryGenerator",
+    "TruckLike",
+    "dataset_names",
+    "get_dataset",
+    "local_xy_to_latlon",
+    "make_trajectory",
+    "meters_to_degrees",
+    "nonuniform_variant",
+    "register_dataset",
+]

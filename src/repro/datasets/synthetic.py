@@ -1,0 +1,134 @@
+"""Generic synthetic trajectory generators for tests and ablations.
+
+These are not tied to any of the paper's datasets; they provide
+controlled structure (pure random walks, planted motifs, loops) used by
+unit tests, property tests and the measure-comparison experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..trajectory import Trajectory
+from .base import TrajectoryGenerator, register_dataset
+
+
+@register_dataset
+class RandomWalk(TrajectoryGenerator):
+    """Plain Gaussian random walk in the plane (no planted structure)."""
+
+    name = "random_walk"
+    description = "planar Gaussian random walk; unstructured null model"
+
+    step_sigma = 1.0
+
+    def _generate(self, n: int, rng: np.random.Generator) -> Trajectory:
+        steps = rng.normal(0.0, self.step_sigma, size=(n, 2))
+        steps[0] = 0.0
+        return Trajectory(
+            steps.cumsum(axis=0),
+            np.arange(n, dtype=np.float64),
+            crs="plane",
+            trajectory_id=f"walk-{self.seed}",
+        )
+
+
+@register_dataset
+class PlantedMotifWalk(TrajectoryGenerator):
+    """Random walk with one near-identical segment planted twice.
+
+    The planted pair is the expected motif: a segment of
+    ``motif_fraction * n`` points is copied from the first half into the
+    second half with small Gaussian perturbation, so the true motif
+    distance is small and approximately known.
+    """
+
+    name = "planted"
+    description = "random walk with a noisy duplicated segment (known motif)"
+
+    step_sigma = 1.0
+    motif_fraction = 0.15
+    motif_noise = 0.02
+
+    def _generate(self, n: int, rng: np.random.Generator) -> Trajectory:
+        if n < 20:
+            raise DatasetError("planted motif needs n >= 20")
+        steps = rng.normal(0.0, self.step_sigma, size=(n, 2))
+        steps[0] = 0.0
+        pts = steps.cumsum(axis=0)
+        m = max(int(n * self.motif_fraction), 4)
+        src = n // 8
+        dst = n // 2 + n // 8
+        if dst + m > n:
+            m = n - dst
+        # Plant a *spatial revisit*: the walker returns to the same
+        # place and retraces the source segment with small noise.  (DFD
+        # is not translation invariant, so copying the shape elsewhere
+        # would not create a motif.)
+        noise = rng.normal(0.0, self.motif_noise, size=(m, 2))
+        pts[dst : dst + m] = pts[src : src + m] + noise
+        return Trajectory(
+            pts,
+            np.arange(n, dtype=np.float64),
+            crs="plane",
+            trajectory_id=f"planted-{self.seed}",
+        )
+
+    def planted_indices(self, n: int):
+        """``(src_start, dst_start, length)`` of the planted pair."""
+        m = max(int(n * self.motif_fraction), 4)
+        src = n // 8
+        dst = n // 2 + n // 8
+        if dst + m > n:
+            m = n - dst
+        return src, dst, m
+
+
+@register_dataset
+class FigureEight(TrajectoryGenerator):
+    """Deterministic figure-eight loop; dense self-similarity.
+
+    Every lap retraces the same curve, so motifs abound -- a stress test
+    for pruning (tiny ``bsf`` found immediately).
+    """
+
+    name = "figure_eight"
+    description = "noisy figure-eight laps; extreme self-similarity"
+
+    radius = 10.0
+    noise = 0.05
+    points_per_lap = 64
+
+    def _generate(self, n: int, rng: np.random.Generator) -> Trajectory:
+        t = np.arange(n) * (2.0 * np.pi / self.points_per_lap)
+        x = self.radius * np.sin(t)
+        y = self.radius * np.sin(t) * np.cos(t)
+        pts = np.column_stack([x, y]) + rng.normal(0.0, self.noise, size=(n, 2))
+        return Trajectory(
+            pts,
+            np.arange(n, dtype=np.float64),
+            crs="plane",
+            trajectory_id=f"eight-{self.seed}",
+        )
+
+
+def nonuniform_variant(
+    traj: Trajectory, keep_fraction: float = 0.5, seed: Optional[int] = None
+) -> Trajectory:
+    """Non-uniformly thinned copy (builds Figure 3's ``S_c``)."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise DatasetError("keep_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    n = traj.n
+    keep = rng.random(n) < keep_fraction
+    keep[0] = keep[-1] = True
+    idx = np.flatnonzero(keep)
+    return Trajectory(
+        traj.points[idx].copy(),
+        traj.timestamps[idx].copy(),
+        crs=traj.crs,
+        trajectory_id=traj.trajectory_id,
+    )

@@ -1,0 +1,59 @@
+"""Edit Distance on Real sequence (EDR).
+
+EDR (Chen, Ozsu & Oria, SIGMOD 2005) counts the minimum number of edit
+operations (insert, delete, substitute) needed to transform one sequence
+into the other, where two points are "equal" when their ground distance
+is at most ``eps``.  Like DTW and LCSS it tolerates local time shifting
+but remains sampling-rate sensitive (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .ground import GroundMetric, cross_ground_matrix
+
+
+def edr_matrix(dmat: np.ndarray, eps: float) -> int:
+    """EDR over a precomputed ground distance matrix."""
+    dmat = np.asarray(dmat, dtype=np.float64)
+    if dmat.ndim != 2 or 0 in dmat.shape:
+        raise TrajectoryError(f"distance matrix must be 2-D non-empty; got {dmat.shape}")
+    if eps < 0:
+        raise TrajectoryError("eps must be non-negative")
+    n, m = dmat.shape
+    match = dmat <= eps
+    prev = np.arange(m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        cur = np.empty(m + 1, dtype=np.int64)
+        cur[0] = i
+        row = match[i - 1]
+        for j in range(1, m + 1):
+            sub = prev[j - 1] + (0 if row[j - 1] else 1)
+            ins = cur[j - 1] + 1
+            dele = prev[j] + 1
+            best = sub if sub <= ins else ins
+            cur[j] = best if best <= dele else dele
+        prev = cur
+    return int(prev[m])
+
+
+def edr_normalized_matrix(dmat: np.ndarray, eps: float) -> float:
+    """EDR normalised by the longer sequence length, in ``[0, 1]``."""
+    n, m = dmat.shape
+    return edr_matrix(dmat, eps) / float(max(n, m))
+
+
+def edr(
+    p: np.ndarray,
+    q: np.ndarray,
+    eps: float,
+    metric: Union[str, GroundMetric] = "euclidean",
+) -> int:
+    """EDR between two point sequences (see module docstring)."""
+    p = getattr(p, "points", p)
+    q = getattr(q, "points", q)
+    return edr_matrix(cross_ground_matrix(p, q, metric), eps)

@@ -1,0 +1,51 @@
+"""Lock-step Euclidean distance between equal-length sequences.
+
+The simplest trajectory measure: pair the i-th points of both sequences
+and aggregate their ground distances.  It is O(n), but -- as Figure 2 of
+the paper shows -- it measures spatial proximity only and dismisses the
+movement pattern, and it cannot tolerate any time shifting (Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .ground import GroundMetric, get_metric
+
+_AGGREGATES = ("mean", "sum", "max", "rms")
+
+
+def lockstep_distance(
+    p: np.ndarray,
+    q: np.ndarray,
+    metric: Union[str, GroundMetric] = "euclidean",
+    aggregate: str = "mean",
+) -> float:
+    """Aggregate of index-aligned ground distances of two sequences.
+
+    Parameters
+    ----------
+    p, q:
+        Equal-length ``(n, d)`` coordinate arrays.
+    aggregate:
+        ``"mean"`` (default), ``"sum"``, ``"max"`` or ``"rms"``.
+    """
+    p = np.asarray(getattr(p, "points", p), dtype=np.float64)
+    q = np.asarray(getattr(q, "points", q), dtype=np.float64)
+    if p.shape != q.shape:
+        raise TrajectoryError(
+            f"lock-step distance needs equal shapes; got {p.shape} and {q.shape}"
+        )
+    if aggregate not in _AGGREGATES:
+        raise TrajectoryError(f"aggregate must be one of {_AGGREGATES}")
+    d = get_metric(metric).rowwise(p, q)
+    if aggregate == "mean":
+        return float(d.mean())
+    if aggregate == "sum":
+        return float(d.sum())
+    if aggregate == "max":
+        return float(d.max())
+    return float(np.sqrt((d ** 2).mean()))

@@ -1,0 +1,340 @@
+"""Ground (point-to-point) distance metrics and distance matrices.
+
+The paper measures ground distance between trajectory points with the
+great-circle (haversine) distance on Earth and notes the methods apply
+unchanged to other ground distances such as Euclidean.  All motif
+algorithms in :mod:`repro.core` consume ground distances through either
+
+* a dense precomputed matrix (:func:`ground_matrix` /
+  :func:`cross_ground_matrix`), the paper's ``dG[.][.]``, or
+* a :class:`LazyGroundMatrix` that computes rows on demand with a small
+  cache -- the "compute ground distances on-the-fly" idea (i) of the
+  space-efficient GTM* (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+
+#: Mean Earth radius in metres (Sinnott's haversine, as cited in the paper).
+EARTH_RADIUS_M = 6371000.0
+
+
+class GroundMetric:
+    """Base class for point-to-point metrics.
+
+    Subclasses implement :meth:`pairwise`; the convenience wrappers
+    (:meth:`distance`, :meth:`consecutive`) are derived from it.
+    """
+
+    #: Registry key, e.g. ``"haversine"``.
+    name: str = "abstract"
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """All-pairs distances: ``(n, d) x (m, d) -> (n, m)``."""
+        raise NotImplementedError
+
+    def rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Aligned distances: ``(n, d) x (n, d) -> (n,)``."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise TrajectoryError(
+                f"rowwise() needs equal shapes; got {a.shape} and {b.shape}"
+            )
+        return self._rowwise(a, b)
+
+    def _rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def distance(self, p, q) -> float:
+        """Distance between two single points."""
+        a = np.atleast_2d(np.asarray(p, dtype=np.float64))
+        b = np.atleast_2d(np.asarray(q, dtype=np.float64))
+        return float(self.pairwise(a, b)[0, 0])
+
+    def bind(self, b: np.ndarray):
+        """Return ``f(a) -> (len(a), len(b))`` with ``b`` preprocessed.
+
+        Row-on-demand oracles call the metric once per row; binding the
+        fixed point set avoids re-deriving its trigonometric terms on
+        every call.  The default binding just closes over ``b``.
+        """
+        b = np.asarray(b, dtype=np.float64)
+
+        def kernel(a: np.ndarray) -> np.ndarray:
+            return self.pairwise(a, b)
+
+        return kernel
+
+    def consecutive(self, pts: np.ndarray) -> np.ndarray:
+        """Distances between consecutive rows of ``pts`` (length n-1)."""
+        if pts.shape[0] < 2:
+            return np.zeros(0)
+        return self._rowwise(pts[:-1], pts[1:])
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class EuclideanMetric(GroundMetric):
+    """Planar Euclidean distance on the first ``d`` coordinates."""
+
+    name = "euclidean"
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        diff = a[:, None, :] - b[None, :, :]
+        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+    def _rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        diff = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class HaversineMetric(GroundMetric):
+    """Great-circle distance in metres between (lat, lon) degree pairs.
+
+    Implements the paper's Section 3 formula:
+    ``2 R asin sqrt(sin^2(dphi/2) + cos phi_i cos phi_j sin^2(dlambda/2))``.
+    Coordinates beyond the first two columns are ignored.
+    """
+
+    name = "haversine"
+
+    def __init__(self, radius: float = EARTH_RADIUS_M) -> None:
+        if radius <= 0:
+            raise TrajectoryError("earth radius must be positive")
+        self.radius = float(radius)
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        lat_a, lon_a = self._rad(a)
+        lat_b, lon_b = self._rad(b)
+        dphi = lat_b[None, :] - lat_a[:, None]
+        dlmb = lon_b[None, :] - lon_a[:, None]
+        h = (
+            np.sin(dphi / 2.0) ** 2
+            + np.cos(lat_a)[:, None] * np.cos(lat_b)[None, :] * np.sin(dlmb / 2.0) ** 2
+        )
+        return 2.0 * self.radius * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+    def _rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        lat_a, lon_a = self._rad(a)
+        lat_b, lon_b = self._rad(b)
+        h = (
+            np.sin((lat_b - lat_a) / 2.0) ** 2
+            + np.cos(lat_a) * np.cos(lat_b) * np.sin((lon_b - lon_a) / 2.0) ** 2
+        )
+        return 2.0 * self.radius * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+    def bind(self, b: np.ndarray):
+        lat_b, lon_b = self._rad(np.asarray(b, dtype=np.float64))
+        cos_b = np.cos(lat_b)
+        radius = self.radius
+
+        def kernel(a: np.ndarray) -> np.ndarray:
+            lat_a, lon_a = self._rad(a)
+            dphi = lat_b[None, :] - lat_a[:, None]
+            dlmb = lon_b[None, :] - lon_a[:, None]
+            h = (
+                np.sin(dphi / 2.0) ** 2
+                + np.cos(lat_a)[:, None] * cos_b[None, :] * np.sin(dlmb / 2.0) ** 2
+            )
+            return 2.0 * radius * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+        return kernel
+
+    @staticmethod
+    def _rad(pts: np.ndarray):
+        pts = np.asarray(pts, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] < 2:
+            raise TrajectoryError(
+                f"haversine needs (n, >=2) lat/lon arrays; got shape {pts.shape}"
+            )
+        return np.radians(pts[:, 0]), np.radians(pts[:, 1])
+
+
+class ChebyshevMetric(GroundMetric):
+    """L-infinity distance; useful for grid-world tests."""
+
+    name = "chebyshev"
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        return np.abs(a[:, None, :] - b[None, :, :]).max(axis=2)
+
+    def _rowwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b)).max(axis=1)
+
+
+_REGISTRY: Dict[str, GroundMetric] = {}
+
+
+def register_metric(metric: GroundMetric) -> None:
+    """Add a metric instance to the global registry (by its ``name``)."""
+    _REGISTRY[metric.name] = metric
+
+
+def get_metric(metric: Union[str, GroundMetric, None], crs: Optional[str] = None) -> GroundMetric:
+    """Resolve a metric by name, instance, or trajectory crs.
+
+    ``None`` selects the natural metric for ``crs``: haversine for
+    ``"latlon"`` and Euclidean otherwise.
+    """
+    if isinstance(metric, GroundMetric):
+        return metric
+    if metric is None:
+        metric = "haversine" if crs == "latlon" else "euclidean"
+    try:
+        return _REGISTRY[metric]
+    except KeyError:
+        raise TrajectoryError(
+            f"unknown ground metric {metric!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+register_metric(EuclideanMetric())
+register_metric(HaversineMetric())
+register_metric(ChebyshevMetric())
+
+
+def ground_matrix(points: np.ndarray, metric: Union[str, GroundMetric] = "euclidean") -> np.ndarray:
+    """The paper's precomputed all-pairs matrix ``dG[i][j]`` for one trajectory."""
+    m = get_metric(metric)
+    return m.pairwise(points, points)
+
+
+def cross_ground_matrix(
+    a: np.ndarray, b: np.ndarray, metric: Union[str, GroundMetric] = "euclidean"
+) -> np.ndarray:
+    """All-pairs ground distances between two different trajectories."""
+    m = get_metric(metric)
+    return m.pairwise(a, b)
+
+
+class LazyGroundMatrix:
+    """Row-on-demand ground distance matrix with a bounded row cache.
+
+    Exposes the subset of the ndarray interface the DP kernels and bound
+    precomputations need (``shape``, ``row(i)``, ``block(rows, cols)``,
+    ``value(i, j)``) while storing at most ``cache_rows`` rows, so the
+    space requirement stays ``O(cache_rows * m)`` instead of ``O(n m)``.
+    This realises idea (i) of GTM* (Section 5.5).
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: Optional[np.ndarray] = None,
+        metric: Union[str, GroundMetric] = "euclidean",
+        cache_rows: int = 64,
+    ) -> None:
+        if cache_rows < 1:
+            raise TrajectoryError("cache_rows must be at least 1")
+        self._a = np.asarray(a, dtype=np.float64)
+        self._b = self._a if b is None else np.asarray(b, dtype=np.float64)
+        self._metric = get_metric(metric)
+        self._row_kernel = self._metric.bind(self._b)
+        self._cache: Dict[int, np.ndarray] = {}
+        self._order: list = []
+        self._cache_rows = int(cache_rows)
+        self.rows_computed = 0  # instrumentation
+
+    @property
+    def shape(self):
+        return (self._a.shape[0], self._b.shape[0])
+
+    @property
+    def points_a(self) -> np.ndarray:
+        """First point set (rows axis)."""
+        return self._a
+
+    @property
+    def points_b(self) -> np.ndarray:
+        """Second point set (columns axis); is ``points_a`` in self mode."""
+        return self._b
+
+    @property
+    def metric(self) -> GroundMetric:
+        """The ground metric used for on-the-fly rows."""
+        return self._metric
+
+    @property
+    def cache_rows(self) -> int:
+        """Maximum number of cached rows."""
+        return self._cache_rows
+
+    def row(self, i: int) -> np.ndarray:
+        """Full row ``dG[i, :]``, cached LRU-style."""
+        cached = self._cache.get(i)
+        if cached is not None:
+            return cached
+        row = self._row_kernel(self._a[i : i + 1])[0]
+        self._cache[i] = row
+        self._order.append(i)
+        self.rows_computed += 1
+        if len(self._order) > self._cache_rows:
+            evict = self._order.pop(0)
+            self._cache.pop(evict, None)
+        return row
+
+    def block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        """Dense block ``dG[r0:r1, c0:c1]`` computed directly (not cached)."""
+        return self._metric.pairwise(self._a[r0:r1], self._b[c0:c1])
+
+    def value(self, i: int, j: int) -> float:
+        """Single entry ``dG[i, j]``; uses the row cache when warm."""
+        cached = self._cache.get(i)
+        if cached is not None:
+            return float(cached[j])
+        return self._metric.distance(self._a[i], self._b[j])
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyGroundMatrix(shape={self.shape}, metric={self._metric.name!r}, "
+            f"cache_rows={self._cache_rows})"
+        )
+
+
+class DenseGroundMatrix:
+    """Adapter giving a dense ndarray the :class:`LazyGroundMatrix` interface.
+
+    Lets the DP kernels and bound builders treat precomputed and
+    on-the-fly ground distances uniformly.
+    """
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise TrajectoryError("ground matrix must be 2-D")
+        if validate and not np.isfinite(matrix).all():
+            # NaN/inf entries would silently poison the pruning bounds.
+            raise TrajectoryError("ground matrix contains NaN or inf entries")
+        self._m = matrix
+
+    @property
+    def shape(self):
+        return self._m.shape
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying dense matrix."""
+        return self._m
+
+    def row(self, i: int) -> np.ndarray:
+        return self._m[i]
+
+    def block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:
+        return self._m[r0:r1, c0:c1]
+
+    def value(self, i: int, j: int) -> float:
+        return float(self._m[i, j])
+
+    def __repr__(self) -> str:
+        return f"DenseGroundMatrix(shape={self.shape})"

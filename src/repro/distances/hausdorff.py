@@ -1,0 +1,49 @@
+"""Hausdorff distances between point sets.
+
+The directed Hausdorff distance ``h(P -> Q) = max_p min_q d(p, q)`` is a
+useful companion to the discrete Frechet distance: every coupling pairs
+each point of ``P`` with some point of ``Q``, so **both directed
+Hausdorff distances lower-bound the DFD**.  The similarity-join
+extension (:mod:`repro.extensions.join`) exploits this as a cheap
+filter.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .ground import GroundMetric, cross_ground_matrix
+
+
+def directed_hausdorff_matrix(dmat: np.ndarray) -> float:
+    """``max over rows of (min over columns)`` of a distance matrix."""
+    dmat = np.asarray(dmat, dtype=np.float64)
+    if dmat.ndim != 2 or 0 in dmat.shape:
+        raise TrajectoryError(f"distance matrix must be 2-D non-empty; got {dmat.shape}")
+    return float(dmat.min(axis=1).max())
+
+
+def hausdorff_matrix(dmat: np.ndarray) -> float:
+    """Symmetric Hausdorff distance from a distance matrix."""
+    return max(directed_hausdorff_matrix(dmat), directed_hausdorff_matrix(dmat.T))
+
+
+def directed_hausdorff(
+    p: np.ndarray, q: np.ndarray, metric: Union[str, GroundMetric] = "euclidean"
+) -> float:
+    """Directed Hausdorff distance ``h(p -> q)``."""
+    p = getattr(p, "points", p)
+    q = getattr(q, "points", q)
+    return directed_hausdorff_matrix(cross_ground_matrix(p, q, metric))
+
+
+def hausdorff(
+    p: np.ndarray, q: np.ndarray, metric: Union[str, GroundMetric] = "euclidean"
+) -> float:
+    """Symmetric Hausdorff distance between two point sets."""
+    p = getattr(p, "points", p)
+    q = getattr(q, "points", q)
+    return hausdorff_matrix(cross_ground_matrix(p, q, metric))

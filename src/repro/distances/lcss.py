@@ -1,0 +1,70 @@
+"""Longest Common Subsequence similarity for trajectories (LCSS).
+
+Two points "match" when their ground distance is below ``eps`` (and,
+optionally, their indices differ by at most ``delta``).  The LCSS length
+is the longest chain of matches preserved in order in both sequences
+(Vlachos et al., ICDE 2002).  LCSS tolerates local time shifting but --
+being a count of matched samples -- is still sensitive to sampling rate,
+as Table 1 of the paper records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .ground import GroundMetric, cross_ground_matrix
+
+
+def lcss_length_matrix(dmat: np.ndarray, eps: float, delta: Optional[int] = None) -> int:
+    """Length of the LCSS given the ground distance matrix."""
+    dmat = np.asarray(dmat, dtype=np.float64)
+    if dmat.ndim != 2 or 0 in dmat.shape:
+        raise TrajectoryError(f"distance matrix must be 2-D non-empty; got {dmat.shape}")
+    if eps < 0:
+        raise TrajectoryError("eps must be non-negative")
+    if delta is not None and delta < 0:
+        raise TrajectoryError("delta must be non-negative")
+    n, m = dmat.shape
+    match = dmat <= eps
+    if delta is not None:
+        ii = np.arange(n)[:, None]
+        jj = np.arange(m)[None, :]
+        match = match & (np.abs(ii - jj) <= delta)
+    prev = np.zeros(m + 1, dtype=np.int64)
+    for i in range(n):
+        cur = np.zeros(m + 1, dtype=np.int64)
+        row = match[i]
+        for j in range(1, m + 1):
+            if row[j - 1]:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = cur[j - 1] if cur[j - 1] >= prev[j] else prev[j]
+        prev = cur
+    return int(prev[m])
+
+
+def lcss_similarity_matrix(dmat: np.ndarray, eps: float, delta: Optional[int] = None) -> float:
+    """Normalised LCSS similarity in ``[0, 1]``: ``LCSS / min(n, m)``."""
+    n, m = dmat.shape
+    return lcss_length_matrix(dmat, eps, delta) / float(min(n, m))
+
+
+def lcss_distance_matrix(dmat: np.ndarray, eps: float, delta: Optional[int] = None) -> float:
+    """LCSS distance ``1 - similarity`` in ``[0, 1]``."""
+    return 1.0 - lcss_similarity_matrix(dmat, eps, delta)
+
+
+def lcss(
+    p: np.ndarray,
+    q: np.ndarray,
+    eps: float,
+    metric: Union[str, GroundMetric] = "euclidean",
+    delta: Optional[int] = None,
+) -> float:
+    """LCSS distance between two point sequences (see module docstring)."""
+    p = getattr(p, "points", p)
+    q = getattr(q, "points", q)
+    return lcss_distance_matrix(cross_ground_matrix(p, q, metric), eps, delta)

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Keeping a small, explicit hierarchy lets callers distinguish user errors
+(bad trajectories, infeasible queries) from internal invariant violations
+without matching on message strings.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class TrajectoryError(ReproError, ValueError):
+    """Raised when trajectory data is malformed.
+
+    Examples: non-finite coordinates, timestamps that are not strictly
+    ascending, or a point array with the wrong dimensionality.
+    """
+
+
+class InfeasibleQueryError(ReproError, ValueError):
+    """Raised when a motif query cannot have any valid answer.
+
+    The single-trajectory motif problem requires two non-overlapping
+    subtrajectories, each spanning more than ``min_length`` steps, so a
+    trajectory must contain at least ``2 * min_length + 4`` points.  The
+    cross-trajectory variant needs ``min_length + 2`` points per input.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised for unknown dataset names or invalid generator parameters."""

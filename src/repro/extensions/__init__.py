@@ -1,0 +1,26 @@
+"""Extensions from the paper's future-work section.
+
+* :func:`discover_top_k_motifs` -- top-k motif discovery;
+* :func:`discover_motif_approximate` -- certified (1+eps)-approximate
+  motif via the best-first early stop;
+* :func:`similarity_join` -- DFD join with a lower-bound filter cascade;
+* :func:`cluster_subtrajectories` -- DFD subtrajectory clustering.
+"""
+
+from .approximate import ApproximateResult, discover_motif_approximate
+from .clustering import WindowCluster, cluster_subtrajectories
+from .join import JoinStats, similarity_join
+from .streaming import StreamingMotif
+from .topk import RankedMotif, discover_top_k_motifs
+
+__all__ = [
+    "ApproximateResult",
+    "JoinStats",
+    "RankedMotif",
+    "StreamingMotif",
+    "WindowCluster",
+    "cluster_subtrajectories",
+    "discover_motif_approximate",
+    "discover_top_k_motifs",
+    "similarity_join",
+]

@@ -1,0 +1,66 @@
+"""Approximate motif discovery (the paper's future-work direction).
+
+The conclusion of the paper names "approximate solutions that trade
+exactness for shorter running times" as a promising direction.  The
+best-first structure of BTM makes a principled version almost free:
+stop as soon as ``(1 + eps) * LB >= bsf`` for the next subset in bound
+order.  Every unexpanded subset then satisfies
+``dF >= LB >= bsf / (1 + eps)``, so the reported pair is within a
+``(1 + eps)`` factor of the optimum -- a certified approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.motif import MotifResult, discover_motif
+from ..distances.ground import GroundMetric
+from ..trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class ApproximateResult:
+    """Motif answer with its approximation certificate."""
+
+    result: MotifResult
+    epsilon: float
+
+    @property
+    def distance(self) -> float:
+        """The reported (achieved) motif distance."""
+        return self.result.distance
+
+    @property
+    def optimum_lower_bound(self) -> float:
+        """Certified lower bound on the true motif distance."""
+        return self.result.distance / (1.0 + self.epsilon)
+
+
+def discover_motif_approximate(
+    trajectory: Union[Trajectory, np.ndarray],
+    second: Optional[Union[Trajectory, np.ndarray]] = None,
+    *,
+    min_length: int,
+    epsilon: float = 0.1,
+    metric: Union[str, GroundMetric, None] = None,
+    timeout: Optional[float] = None,
+) -> ApproximateResult:
+    """(1+eps)-approximate motif via the BTM early stop.
+
+    ``epsilon = 0`` degenerates to the exact search.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    result = discover_motif(
+        trajectory,
+        second,
+        min_length=min_length,
+        algorithm="btm",
+        metric=metric,
+        approx_factor=1.0 + epsilon,
+        timeout=timeout,
+    )
+    return ApproximateResult(result, epsilon)

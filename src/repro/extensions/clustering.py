@@ -1,0 +1,108 @@
+"""Subtrajectory clustering under the discrete Frechet distance.
+
+The second future-work direction of the paper's conclusion.  Fixed-
+length sliding windows of a trajectory are clustered by DFD: two
+windows are neighbours when their DFD is at most ``theta`` (decided
+with the same filter cascade as the similarity join), and clusters are
+the connected components of the neighbour graph, optionally restricted
+to components with a minimum population (a lightweight DBSCAN flavour).
+
+Overlapping windows are trivially similar, so windows whose index
+ranges overlap are never considered neighbours -- the same non-overlap
+rule Problem 1 imposes on the motif.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+import numpy as np
+
+from ..distances.frechet import dfd_decision
+from ..distances.ground import GroundMetric, get_metric
+from ..distances.hausdorff import directed_hausdorff_matrix
+from ..errors import ReproError
+from ..trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class WindowCluster:
+    """One cluster: the member windows' start indices."""
+
+    members: tuple
+    window_length: int
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def cluster_subtrajectories(
+    trajectory: Union[Trajectory, np.ndarray],
+    *,
+    window_length: int,
+    theta: float,
+    stride: int = 1,
+    min_cluster_size: int = 2,
+    metric: Union[str, GroundMetric, None] = None,
+) -> List[WindowCluster]:
+    """Cluster sliding windows by DFD-connectivity at threshold theta.
+
+    Returns clusters (largest first) with at least ``min_cluster_size``
+    members.
+    """
+    if window_length < 2:
+        raise ReproError("window_length must be at least 2")
+    if stride < 1:
+        raise ReproError("stride must be at least 1")
+    if theta < 0:
+        raise ReproError("theta must be non-negative")
+    traj = trajectory if isinstance(trajectory, Trajectory) else Trajectory(
+        np.asarray(trajectory, dtype=np.float64)
+    )
+    m = get_metric(metric, crs=traj.crs)
+    starts = list(range(0, traj.n - window_length + 1, stride))
+    windows = [traj.points[s : s + window_length] for s in starts]
+    uf = _UnionFind(len(starts))
+    for a in range(len(starts)):
+        for b in range(a + 1, len(starts)):
+            if starts[b] < starts[a] + window_length:
+                continue  # overlapping windows are not neighbours
+            p, q = windows[a], windows[b]
+            if m.distance(p[0], q[0]) > theta or m.distance(p[-1], q[-1]) > theta:
+                continue
+            dmat = m.pairwise(p, q)
+            h = max(
+                directed_hausdorff_matrix(dmat),
+                directed_hausdorff_matrix(dmat.T),
+            )
+            if h > theta:
+                continue
+            if dfd_decision(dmat, theta):
+                uf.union(a, b)
+    groups = {}
+    for k, s in enumerate(starts):
+        groups.setdefault(uf.find(k), []).append(s)
+    clusters = [
+        WindowCluster(tuple(sorted(members)), window_length)
+        for members in groups.values()
+        if len(members) >= min_cluster_size
+    ]
+    clusters.sort(key=len, reverse=True)
+    return clusters

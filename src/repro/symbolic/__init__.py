@@ -1,0 +1,13 @@
+"""Symbolic motif baseline (paper Figure 4): encoding + substring matching."""
+
+from .symbols import ALPHABET, STRAIGHT_THRESHOLD, fragment_headings, symbolize
+from .matching import longest_repeated_substring, symbolic_motif
+
+__all__ = [
+    "ALPHABET",
+    "STRAIGHT_THRESHOLD",
+    "fragment_headings",
+    "longest_repeated_substring",
+    "symbolic_motif",
+    "symbolize",
+]

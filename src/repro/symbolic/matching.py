@@ -1,0 +1,88 @@
+"""Substring motif matching over symbolised trajectories.
+
+Completes the symbolic pipeline of Figure 4: after
+:func:`repro.symbolic.symbols.symbolize` turns a trajectory into a
+string, the motif is the longest pair of non-overlapping identical
+substrings -- found here with binary search over the length combined
+with Rabin-Karp rolling hashes (O(n log n) expected).
+
+The exactness caveat demonstrated by ``tests/test_symbolic.py`` and the
+Figure 4 benchmark: identical strings do **not** imply spatial
+proximity, so the symbolic motif can pair geographically distant
+subtrajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+_BASE = 257
+_MOD = (1 << 61) - 1
+
+
+def longest_repeated_substring(text: str) -> Optional[Tuple[int, int, int]]:
+    """Longest non-overlapping repeated substring.
+
+    Returns ``(start_a, start_b, length)`` with
+    ``start_a + length <= start_b`` (non-overlap), or ``None`` when no
+    repetition of length >= 1 exists.  Binary search on the length; for
+    each length a rolling-hash pass records first occurrences and finds
+    a later, non-overlapping match (hash hits are verified to rule out
+    collisions).
+    """
+    n = len(text)
+    if n < 2:
+        return None
+    lo, hi = 1, n // 2
+    best: Optional[Tuple[int, int, int]] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        found = _find_pair(text, mid)
+        if found is not None:
+            best = (found[0], found[1], mid)
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    return best
+
+
+def _find_pair(text: str, length: int) -> Optional[Tuple[int, int]]:
+    """First non-overlapping pair of equal substrings of ``length``."""
+    n = len(text)
+    if length == 0 or length > n // 2:
+        return None if length else (0, 0)
+    power = pow(_BASE, length - 1, _MOD)
+    value = 0
+    for ch in text[:length]:
+        value = (value * _BASE + ord(ch)) % _MOD
+    seen: Dict[int, List[int]] = {value: [0]}
+    for start in range(1, n - length + 1):
+        value = (
+            (value - ord(text[start - 1]) * power) * _BASE + ord(text[start + length - 1])
+        ) % _MOD
+        for other in seen.get(value, ()):  # verify (collisions possible)
+            if other + length <= start and text[other : other + length] == text[
+                start : start + length
+            ]:
+                return (other, start)
+        seen.setdefault(value, []).append(start)
+    return None
+
+
+def symbolic_motif(
+    text: str, fragment_length: int
+) -> Optional[Tuple[Tuple[int, int], Tuple[int, int], int]]:
+    """Map the repeated-substring motif back to point index ranges.
+
+    Returns ``((i, ie), (j, je), symbol_length)`` in trajectory point
+    indices (fragment ``k`` covers points ``k*(L-1) .. (k+1)*(L-1)`` for
+    fragment length ``L``), or ``None`` when the string has no repeat.
+    """
+    found = longest_repeated_substring(text)
+    if found is None:
+        return None
+    a, b, length = found
+    step = fragment_length - 1
+    first = (a * step, (a + length) * step)
+    second = (b * step, (b + length) * step)
+    return first, second, length

@@ -1,0 +1,88 @@
+"""Symbolic movement-pattern encoding (paper Figure 4).
+
+The symbolic motif-discovery approach from related work partitions a
+trajectory into fragments and maps each fragment to a symbol from a
+pre-defined movement alphabet:
+
+====== =========================
+symbol movement pattern
+====== =========================
+``V``  vertical long straight
+``H``  horizontal long straight
+``L``  left turn
+``R``  right turn
+====== =========================
+
+Motifs are then found by substring matching.  The paper dismisses the
+approach because the encoding is *translation- and scale-invariant by
+construction*: two trajectories in different cities can map to the same
+string (its Figure 4 shows two Uber tracks, one in Beijing and one in
+Shenzhen, both encoding to ``"RVLH"``).  We implement it faithfully so
+that failure mode can be demonstrated and benchmarked.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from ..trajectory import Trajectory
+
+#: The movement-pattern alphabet of Figure 4(a).
+ALPHABET = ("V", "H", "L", "R")
+
+#: Heading change (radians) below which a fragment counts as straight.
+STRAIGHT_THRESHOLD = np.pi / 8.0
+
+
+def fragment_headings(traj: Trajectory, fragment_length: int) -> np.ndarray:
+    """Mean heading (radians) of each ``fragment_length``-point fragment."""
+    if fragment_length < 2:
+        raise TrajectoryError("fragment_length must be at least 2")
+    pts = traj.points[:, :2]
+    n_frag = (traj.n - 1) // (fragment_length - 1)
+    if n_frag == 0:
+        raise TrajectoryError(
+            f"trajectory too short ({traj.n}) for fragments of {fragment_length}"
+        )
+    headings = np.empty(n_frag)
+    step = fragment_length - 1
+    for k in range(n_frag):
+        a = pts[k * step]
+        b = pts[min((k + 1) * step, traj.n - 1)]
+        headings[k] = np.arctan2(b[1] - a[1], b[0] - a[0])
+    return headings
+
+
+def symbolize(traj: Trajectory, fragment_length: int = 8) -> str:
+    """Encode a trajectory as a string over ``{V, H, L, R}``.
+
+    The first fragment is classified by absolute heading (vertical vs
+    horizontal dominant axis); every subsequent fragment by its heading
+    change relative to the previous one: straight fragments re-classify
+    by dominant axis, larger changes become ``L`` (counter-clockwise)
+    or ``R`` (clockwise).
+    """
+    headings = fragment_headings(traj, fragment_length)
+    symbols: List[str] = [_axis_symbol(headings[0])]
+    for k in range(1, headings.shape[0]):
+        delta = _wrap(headings[k] - headings[k - 1])
+        if abs(delta) <= STRAIGHT_THRESHOLD:
+            symbols.append(_axis_symbol(headings[k]))
+        elif delta > 0:
+            symbols.append("L")
+        else:
+            symbols.append("R")
+    return "".join(symbols)
+
+
+def _axis_symbol(heading: float) -> str:
+    """``V`` when the fragment is more vertical than horizontal."""
+    return "V" if abs(np.sin(heading)) >= abs(np.cos(heading)) else "H"
+
+
+def _wrap(angle: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    return float(np.arctan2(np.sin(angle), np.cos(angle)))

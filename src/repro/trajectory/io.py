@@ -1,0 +1,181 @@
+"""Trajectory readers and writers.
+
+Supports three formats:
+
+* **PLT** -- the GeoLife distribution format: six header lines followed
+  by ``lat,lon,0,altitude,days,date,time`` records.  Timestamps are
+  decoded from the fractional-days field.
+* **CSV** -- a simple ``t,x,y[,z...]`` table with an optional header.
+* **JSON** -- a dictionary with ``points``, ``timestamps``, ``crs``.
+
+All readers return :class:`~repro.trajectory.Trajectory` objects; all
+writers round-trip losslessly through their matching reader (modulo
+floating point text formatting).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .trajectory import CRS_LATLON, CRS_PLANE, Trajectory
+
+PathLike = Union[str, Path]
+
+_PLT_HEADER = [
+    "Geolife trajectory",
+    "WGS 84",
+    "Altitude is in Feet",
+    "Reserved 3",
+    "0,2,255,My Track,0,0,2,8421376",
+    "0",
+]
+
+#: Days between the PLT epoch (1899-12-30) and the Unix epoch.
+_PLT_EPOCH_DAYS = 25569.0
+_SECONDS_PER_DAY = 86400.0
+
+
+def read_plt(path: PathLike, crs: str = CRS_LATLON) -> Trajectory:
+    """Read one GeoLife PLT file into a trajectory.
+
+    The PLT record layout is ``lat, lon, 0, altitude_feet, days, date,
+    time``; the ``days`` field (fractional days since 1899-12-30) is the
+    authoritative timestamp and is converted to Unix seconds.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if len(lines) <= 6:
+        raise TrajectoryError(f"{path}: PLT file has no data records")
+    lat, lon, ts = [], [], []
+    for lineno, line in enumerate(lines[6:], start=7):
+        line = line.strip()
+        if not line:
+            continue
+        fields = line.split(",")
+        if len(fields) < 5:
+            raise TrajectoryError(f"{path}:{lineno}: malformed PLT record {line!r}")
+        lat.append(float(fields[0]))
+        lon.append(float(fields[1]))
+        ts.append((float(fields[4]) - _PLT_EPOCH_DAYS) * _SECONDS_PER_DAY)
+    stamps = np.asarray(ts)
+    # Guard against duplicate timestamps from second-resolution logs.
+    stamps = _dedupe_ascending(stamps)
+    return Trajectory(
+        np.column_stack([lat, lon]), stamps, crs=crs, trajectory_id=path.stem
+    )
+
+
+def write_plt(traj: Trajectory, path: PathLike) -> None:
+    """Write a lat/lon trajectory in GeoLife PLT format."""
+    if traj.crs != CRS_LATLON:
+        raise TrajectoryError("PLT format requires a latlon trajectory")
+    path = Path(path)
+    rows: List[str] = list(_PLT_HEADER)
+    for (lat, lon), t in zip(traj.points[:, :2], traj.timestamps):
+        days = t / _SECONDS_PER_DAY + _PLT_EPOCH_DAYS
+        rows.append(f"{lat:.6f},{lon:.6f},0,0,{days:.10f},,")
+    path.write_text("\n".join(rows) + "\n")
+
+
+def read_csv(
+    path: PathLike,
+    crs: str = CRS_PLANE,
+    has_header: Optional[bool] = None,
+) -> Trajectory:
+    """Read a ``t,x,y[,...]`` CSV file.
+
+    ``has_header=None`` auto-detects a header by checking whether the
+    first row parses as numbers.
+    """
+    path = Path(path)
+    with path.open(newline="") as fh:
+        rows = [row for row in csv.reader(fh) if row]
+    if not rows:
+        raise TrajectoryError(f"{path}: empty CSV file")
+    if has_header is None:
+        has_header = not _is_numeric_row(rows[0])
+    if has_header:
+        rows = rows[1:]
+    if not rows:
+        raise TrajectoryError(f"{path}: CSV file contains only a header")
+    data = np.asarray([[float(v) for v in row] for row in rows])
+    if data.shape[1] < 3:
+        raise TrajectoryError(f"{path}: expected at least 3 columns (t, x, y)")
+    return Trajectory(data[:, 1:], data[:, 0], crs=crs, trajectory_id=path.stem)
+
+
+def write_csv(traj: Trajectory, path: PathLike, header: bool = True) -> None:
+    """Write a trajectory as ``t,x,y[,...]`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        if header:
+            coords = ["x", "y", "z", "w"][: traj.dimensions]
+            writer.writerow(["t"] + coords)
+        for t, pt in zip(traj.timestamps, traj.points):
+            writer.writerow([repr(float(t))] + [repr(float(c)) for c in pt])
+
+
+def read_json(path: PathLike) -> Trajectory:
+    """Read a trajectory from the package JSON layout."""
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    try:
+        return Trajectory(
+            np.asarray(doc["points"], dtype=np.float64),
+            np.asarray(doc["timestamps"], dtype=np.float64),
+            crs=doc.get("crs", CRS_PLANE),
+            trajectory_id=doc.get("id"),
+        )
+    except KeyError as exc:
+        raise TrajectoryError(f"{path}: missing JSON key {exc}") from exc
+
+
+def write_json(traj: Trajectory, path: PathLike) -> None:
+    """Write a trajectory to the package JSON layout."""
+    doc = {
+        "crs": traj.crs,
+        "id": traj.trajectory_id,
+        "points": traj.points.tolist(),
+        "timestamps": traj.timestamps.tolist(),
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_directory(directory: PathLike, pattern: str = "*.plt") -> List[Trajectory]:
+    """Load every matching trajectory file in a directory, sorted by name."""
+    directory = Path(directory)
+    readers = {".plt": read_plt, ".csv": read_csv, ".json": read_json}
+    out: List[Trajectory] = []
+    for path in sorted(directory.glob(pattern)):
+        reader = readers.get(path.suffix.lower())
+        if reader is None:
+            raise TrajectoryError(f"{path}: unsupported trajectory format")
+        out.append(reader(path))
+    return out
+
+
+def _is_numeric_row(row: List[str]) -> bool:
+    try:
+        for value in row:
+            float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def _dedupe_ascending(stamps: np.ndarray) -> np.ndarray:
+    """Nudge equal consecutive timestamps so the sequence is ascending."""
+    if stamps.shape[0] < 2:
+        return stamps
+    out = stamps.copy()
+    for k in range(1, out.shape[0]):
+        if out[k] <= out[k - 1]:
+            out[k] = np.nextafter(out[k - 1], np.inf)
+    return out

@@ -1,0 +1,221 @@
+"""Trajectory transformations used by experiments and dataset simulators.
+
+These operations reproduce the preprocessing steps described in the
+paper's evaluation: concatenating raw trajectories into longer ones
+(Section 6.1), creating non-uniformly sampled variants (Figure 3),
+injecting GPS noise and dropped samples (GeoLife-like data), and basic
+geometric utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TrajectoryError
+from .trajectory import Trajectory
+
+
+def concatenate(trajectories: Sequence[Trajectory], time_gap: float = 1.0) -> Trajectory:
+    """Concatenate trajectories end to end, shifting timestamps.
+
+    The paper builds long evaluation trajectories by concatenating raw
+    trajectories of a dataset.  Later trajectories are shifted in time so
+    that the combined timestamp sequence stays strictly ascending, with
+    ``time_gap`` seconds between the last sample of one trajectory and
+    the first sample of the next.
+    """
+    trajs = list(trajectories)
+    if not trajs:
+        raise TrajectoryError("cannot concatenate an empty list of trajectories")
+    if time_gap <= 0:
+        raise TrajectoryError("time_gap must be positive")
+    crs = trajs[0].crs
+    dims = trajs[0].dimensions
+    for t in trajs:
+        if t.crs != crs:
+            raise TrajectoryError("cannot concatenate trajectories with mixed crs")
+        if t.dimensions != dims:
+            raise TrajectoryError("cannot concatenate trajectories with mixed dims")
+    points: List[np.ndarray] = []
+    stamps: List[np.ndarray] = []
+    offset = 0.0
+    for t in trajs:
+        ts = t.timestamps - t.timestamps[0] + offset
+        points.append(t.points)
+        stamps.append(ts)
+        offset = ts[-1] + time_gap
+    return Trajectory(
+        np.vstack(points), np.concatenate(stamps), crs=crs,
+        trajectory_id=trajs[0].trajectory_id,
+    )
+
+
+def resample_uniform(traj: Trajectory, period: float) -> Trajectory:
+    """Resample by linear interpolation onto a uniform time grid.
+
+    Produces samples at ``t0, t0 + period, ...`` up to the original end
+    time.  Useful to build the uniformly sampled trajectories of the
+    Figure 3 comparison.
+    """
+    if period <= 0:
+        raise TrajectoryError("period must be positive")
+    t0, t1 = traj.timestamps[0], traj.timestamps[-1]
+    grid = np.arange(t0, t1 + period * 1e-9, period)
+    if grid.shape[0] < 2:
+        grid = np.array([t0, t1])
+    cols = [
+        np.interp(grid, traj.timestamps, traj.points[:, k])
+        for k in range(traj.dimensions)
+    ]
+    return Trajectory(
+        np.column_stack(cols), grid, crs=traj.crs, trajectory_id=traj.trajectory_id
+    )
+
+
+def drop_samples(
+    traj: Trajectory,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+    keep_endpoints: bool = True,
+) -> Trajectory:
+    """Randomly remove a fraction of samples (missing-sample simulation).
+
+    Real GPS data such as GeoLife exhibits missing samples; dropping
+    points from a uniform trajectory yields the non-uniformly sampled
+    variants used throughout the paper's motivation (Figure 3, ``S_c``).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise TrajectoryError("fraction must be in [0, 1)")
+    rng = np.random.default_rng() if rng is None else rng
+    n = traj.n
+    keep = rng.random(n) >= fraction
+    if keep_endpoints:
+        keep[0] = True
+        keep[-1] = True
+    if keep.sum() < 2:
+        keep[:2] = True
+    idx = np.flatnonzero(keep)
+    return Trajectory(
+        traj.points[idx].copy(),
+        traj.timestamps[idx].copy(),
+        crs=traj.crs,
+        trajectory_id=traj.trajectory_id,
+    )
+
+
+def add_gaussian_noise(
+    traj: Trajectory, sigma: float, rng: Optional[np.random.Generator] = None
+) -> Trajectory:
+    """Add i.i.d. Gaussian noise to every coordinate (GPS jitter).
+
+    ``sigma`` is expressed in coordinate units: metres for planar data,
+    degrees for lat/lon data (roughly ``1e-5`` degrees per metre).
+    """
+    if sigma < 0:
+        raise TrajectoryError("sigma must be non-negative")
+    rng = np.random.default_rng() if rng is None else rng
+    noisy = traj.points + rng.normal(0.0, sigma, size=traj.points.shape)
+    return Trajectory(
+        noisy, traj.timestamps.copy(), crs=traj.crs, trajectory_id=traj.trajectory_id
+    )
+
+
+def translate(traj: Trajectory, offset: Sequence[float]) -> Trajectory:
+    """Shift every point by a constant offset vector."""
+    off = np.asarray(offset, dtype=np.float64)
+    if off.shape != (traj.dimensions,):
+        raise TrajectoryError(
+            f"offset must have {traj.dimensions} components; got shape {off.shape}"
+        )
+    return Trajectory(
+        traj.points + off,
+        traj.timestamps.copy(),
+        crs=traj.crs,
+        trajectory_id=traj.trajectory_id,
+    )
+
+
+def scale(traj: Trajectory, factor: float, origin: Optional[Sequence[float]] = None) -> Trajectory:
+    """Scale planar coordinates about ``origin`` (default: centroid)."""
+    if traj.crs != "plane":
+        raise TrajectoryError("scale() is only meaningful for planar trajectories")
+    if factor <= 0:
+        raise TrajectoryError("factor must be positive")
+    base = (
+        traj.points.mean(axis=0)
+        if origin is None
+        else np.asarray(origin, dtype=np.float64)
+    )
+    return Trajectory(
+        (traj.points - base) * factor + base,
+        traj.timestamps.copy(),
+        crs=traj.crs,
+        trajectory_id=traj.trajectory_id,
+    )
+
+
+def path_length(traj: Trajectory) -> float:
+    """Total length of the polyline through consecutive points.
+
+    Uses the ground metric implied by ``traj.crs`` (haversine for
+    lat/lon, Euclidean for planar data).
+    """
+    from ..distances.ground import get_metric
+
+    metric = get_metric("haversine" if traj.crs == "latlon" else "euclidean")
+    return float(metric.consecutive(traj.points).sum())
+
+
+def sliding_windows(traj: Trajectory, length: int, step: int = 1) -> Iterable[Trajectory]:
+    """Yield fixed-length windows ``S[k .. k+length-1]`` with stride ``step``."""
+    if length < 2:
+        raise TrajectoryError("window length must be at least 2")
+    if step < 1:
+        raise TrajectoryError("step must be at least 1")
+    for k in range(0, traj.n - length + 1, step):
+        yield traj[k : k + length]
+
+
+def douglas_peucker(traj: Trajectory, epsilon: float) -> Trajectory:
+    """Simplify with the Douglas-Peucker algorithm (planar geometry).
+
+    Keeps the endpoints and every point whose perpendicular deviation
+    from the simplified polyline exceeds ``epsilon`` coordinate units.
+    For lat/lon trajectories the deviation is computed on raw degree
+    coordinates, which is adequate for the small extents used here.
+    """
+    if epsilon < 0:
+        raise TrajectoryError("epsilon must be non-negative")
+    pts = traj.points[:, :2]
+    n = traj.n
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    # Iterative stack-based formulation to avoid recursion limits.
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        seg = pts[lo : hi + 1]
+        a, b = seg[0], seg[-1]
+        ab = b - a
+        denom = float(np.hypot(ab[0], ab[1]))
+        if denom == 0.0:
+            dist = np.hypot(seg[:, 0] - a[0], seg[:, 1] - a[1])
+        else:
+            rel = seg - a
+            dist = np.abs(ab[0] * rel[:, 1] - ab[1] * rel[:, 0]) / denom
+        k = int(np.argmax(dist))
+        if dist[k] > epsilon:
+            keep[lo + k] = True
+            stack.append((lo, lo + k))
+            stack.append((lo + k, hi))
+    idx = np.flatnonzero(keep)
+    return Trajectory(
+        traj.points[idx].copy(),
+        traj.timestamps[idx].copy(),
+        crs=traj.crs,
+        trajectory_id=traj.trajectory_id,
+    )

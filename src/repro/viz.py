@@ -1,0 +1,187 @@
+"""Terminal (ASCII) visualisation of trajectories, motifs and matrices.
+
+The reproduction runs in environments without plotting libraries, so
+this module renders the paper's key visuals as text:
+
+* :func:`render_trajectory` -- a braille-free dot plot of a trajectory,
+  with optional highlighted index ranges (the motif pair of Figure 1);
+* :func:`render_motif` -- the discovered pair overlaid on the track;
+* :func:`render_matrix` -- a shaded heatmap of a (ground-distance)
+  matrix like Figure 5, optionally with a path overlay like Figure 6;
+* :func:`render_series` -- log-scale line chart of benchmark series
+  (the textual analogue of Figures 13-21).
+
+Everything returns plain strings; nothing writes to stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ReproError
+from .trajectory import Trajectory
+
+#: Shade ramp for heatmaps, light to dark.
+_SHADES = " .:-=+*#%@"
+
+
+def _scale_to_grid(points: np.ndarray, width: int, height: int):
+    """Map 2-D points onto integer grid coordinates, preserving aspect."""
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = np.where(hi - lo <= 0, 1.0, hi - lo)
+    xs = ((points[:, 0] - lo[0]) / span[0] * (width - 1)).astype(int)
+    ys = ((points[:, 1] - lo[1]) / span[1] * (height - 1)).astype(int)
+    return xs, np.clip(height - 1 - ys, 0, height - 1)
+
+
+def render_trajectory(
+    trajectory: Trajectory,
+    width: int = 72,
+    height: int = 24,
+    highlights: Optional[Dict[str, Tuple[int, int]]] = None,
+) -> str:
+    """Dot-plot a trajectory; ``highlights`` maps a 1-char marker to an
+    inclusive index range drawn over the base track.
+
+    >>> from repro.datasets import make_trajectory
+    >>> art = render_trajectory(make_trajectory("figure_eight", 100))
+    >>> len(art.splitlines()) >= 3
+    True
+    """
+    if width < 8 or height < 4:
+        raise ReproError("canvas must be at least 8x4")
+    pts = np.asarray(trajectory.points[:, :2], dtype=float)
+    # Lat/lon data plots with longitude as x.
+    if trajectory.crs == "latlon":
+        pts = pts[:, ::-1]
+    xs, ys = _scale_to_grid(pts, width, height)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        grid[y][x] = "."
+    for marker, (start, end) in (highlights or {}).items():
+        if not 0 <= start <= end < trajectory.n:
+            raise ReproError(f"highlight range [{start}, {end}] out of bounds")
+        for x, y in zip(xs[start : end + 1], ys[start : end + 1]):
+            grid[y][x] = marker[0]
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_motif(result, width: int = 72, height: int = 24) -> str:
+    """Render a :class:`~repro.core.motif.MotifResult` over its track.
+
+    Self-mode only (both subtrajectories share a parent): the first
+    occurrence is drawn with ``A``, the second with ``B``.
+    """
+    first, second = result.first, result.second
+    if first.parent is not second.parent:
+        raise ReproError("render_motif needs a single-trajectory motif")
+    art = render_trajectory(
+        first.parent,
+        width=width,
+        height=height,
+        highlights={"A": (first.start, first.end),
+                    "B": (second.start, second.end)},
+    )
+    caption = (
+        f"A = S[{first.start}..{first.end}]   "
+        f"B = S[{second.start}..{second.end}]   "
+        f"DFD = {result.distance:.4g}"
+    )
+    return art + "\n" + caption
+
+
+def render_matrix(
+    matrix: np.ndarray,
+    max_size: int = 48,
+    path: Optional[Sequence[Tuple[int, int]]] = None,
+) -> str:
+    """Shaded heatmap of a matrix (downsampled to ``max_size`` per axis).
+
+    With ``path`` (a list of ``(i, j)`` cells, e.g. from
+    :func:`repro.distances.frechet_path`) the optimal coupling is
+    overlaid with ``o`` marks -- the Figure 6 illustration.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or 0 in matrix.shape:
+        raise ReproError("matrix must be 2-D and non-empty")
+    n, m = matrix.shape
+    step_r = max(1, int(np.ceil(n / max_size)))
+    step_c = max(1, int(np.ceil(m / max_size)))
+    lo, hi = float(matrix.min()), float(matrix.max())
+    span = hi - lo if hi > lo else 1.0
+    rows = []
+    marks = set()
+    if path is not None:
+        marks = {(i // step_r, j // step_c) for i, j in path}
+    for r0 in range(0, n, step_r):
+        row = []
+        for c0 in range(0, m, step_c):
+            if (r0 // step_r, c0 // step_c) in marks:
+                row.append("o")
+                continue
+            block = matrix[r0 : r0 + step_r, c0 : c0 + step_c]
+            level = (float(block.mean()) - lo) / span
+            row.append(_SHADES[min(int(level * (len(_SHADES) - 1)),
+                                   len(_SHADES) - 1)])
+        rows.append("".join(row))
+    legend = f"[{lo:.3g} '{_SHADES[0]}' .. {hi:.3g} '{_SHADES[-1]}']"
+    return "\n".join(rows) + "\n" + legend
+
+
+def render_series(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+) -> str:
+    """Line chart of one or more y-series over shared x values.
+
+    ``None`` entries (e.g. timed-out runs) are skipped.  The y-axis is
+    logarithmic by default, matching the paper's response-time figures.
+    """
+    if not series:
+        raise ReproError("at least one series is required")
+    pts = []
+    for values in series.values():
+        if len(values) != len(x_values):
+            raise ReproError("every series needs one value per x")
+        pts.extend(v for v in values if v is not None)
+    if not pts:
+        raise ReproError("all series are empty")
+    finite = [v for v in pts if v > 0] if log_y else pts
+    if log_y and not finite:
+        log_y = False
+        finite = pts
+
+    def transform(v: float) -> float:
+        return float(np.log10(v)) if log_y else float(v)
+
+    lo = min(transform(v) for v in finite)
+    hi = max(transform(v) for v in finite)
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*@$"
+    for k, (name, values) in enumerate(series.items()):
+        mark = markers[k % len(markers)]
+        for idx, v in enumerate(values):
+            if v is None or (log_y and v <= 0):
+                continue
+            x = int(idx / max(len(x_values) - 1, 1) * (width - 1))
+            y = int((transform(v) - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = mark
+    lines = [title]
+    axis = "log10" if log_y else "linear"
+    lines.append(f"y: {axis} [{min(finite):.3g} .. {max(finite):.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(" x: " + " .. ".join(str(x) for x in (x_values[0], x_values[-1])))
+    legend = "   ".join(
+        f"{markers[k % len(markers)]}={name}" for k, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Algorithm agreement: BruteDP == BTM == GTM == GTM* on random data.
+
+This is the master exactness suite.  BruteDP is itself validated
+against a fully independent O(n^4) enumeration on tiny inputs, and all
+other algorithms (in every variant) must match BruteDP on seeded random
+walks, in both search modes, under both ground metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BTM,
+    BruteDP,
+    GTM,
+    GTMStar,
+    MotifTimeout,
+    SearchStats,
+    cross_space,
+    self_space,
+)
+from repro.distances import dfd_matrix
+from repro.distances.ground import (
+    DenseGroundMatrix,
+    LazyGroundMatrix,
+    cross_ground_matrix,
+    ground_matrix,
+)
+
+from conftest import random_walk_points, walk_matrix
+
+
+def naive_motif(dmat, space):
+    """Fully independent O(n^4) reference (no shared DP, no pruning)."""
+    best, arg = np.inf, None
+    n_rows, n_cols = dmat.shape
+    for i in range(n_rows):
+        for ie in range(i + 1, n_rows):
+            for j in range(n_cols):
+                for je in range(j + 1, n_cols):
+                    if not space.is_valid_candidate(i, ie, j, je):
+                        continue
+                    d = dfd_matrix(dmat[i : ie + 1, j : je + 1])
+                    if d < best:
+                        best, arg = d, (i, ie, j, je)
+    return best, arg
+
+
+class TestBruteAgainstNaive:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_self_mode(self, seed):
+        n, xi = 13, 2
+        dmat = walk_matrix(n, seed)
+        space = self_space(n, xi)
+        want, _ = naive_motif(dmat, space)
+        got, arg = BruteDP().search(DenseGroundMatrix(dmat), space)
+        assert got == pytest.approx(want)
+        assert space.is_valid_candidate(*arg)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cross_mode(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        a = rng.normal(size=(11, 2)).cumsum(axis=0)
+        b = rng.normal(size=(13, 2)).cumsum(axis=0)
+        dmat = cross_ground_matrix(a, b)
+        space = cross_space(11, 13, 2)
+        want, _ = naive_motif(dmat, space)
+        got, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        assert got == pytest.approx(want)
+
+    def test_timeout_raises(self):
+        dmat = walk_matrix(60, 0)
+        space = self_space(60, 2)
+        with pytest.raises(MotifTimeout):
+            BruteDP(timeout=0.0).search(DenseGroundMatrix(dmat), space)
+
+
+def algorithms_under_test():
+    return [
+        BTM(),
+        BTM(variant="tight"),
+        BTM(use_end_kill=False),
+        BTM(use_cross=False, use_band=False),
+        BTM(use_cell=False),
+        GTM(tau=8),
+        GTM(tau=4, use_gub=False),
+        GTM(tau=16, min_tau=4),
+        GTMStar(tau=8),
+        GTMStar(tau=4, use_gub=False),
+    ]
+
+
+def run_algo(algo, points_a, points_b, space):
+    if isinstance(algo, GTMStar):
+        oracle = LazyGroundMatrix(points_a, points_b, metric="euclidean")
+    else:
+        dmat = (
+            ground_matrix(points_a)
+            if points_b is None
+            else cross_ground_matrix(points_a, points_b)
+        )
+        oracle = DenseGroundMatrix(dmat)
+    return algo.search(oracle, space, SearchStats())
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_self_mode_sweep(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(28, 60))
+        xi = int(rng.integers(2, 6))
+        pts = random_walk_points(n, seed + 100)
+        space = self_space(n, xi)
+        dmat = ground_matrix(pts)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        for algo in algorithms_under_test():
+            got, arg = run_algo(algo, pts, None, space)
+            assert got == pytest.approx(want), type(algo).__name__
+            assert space.is_valid_candidate(*arg)
+            check = dfd_matrix(dmat[arg[0] : arg[1] + 1, arg[2] : arg[3] + 1])
+            assert check == pytest.approx(got)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cross_mode_sweep(self, seed):
+        rng = np.random.default_rng(seed + 30)
+        n, m = int(rng.integers(20, 40)), int(rng.integers(20, 40))
+        xi = int(rng.integers(2, 4))
+        a = random_walk_points(n, seed + 200)
+        b = random_walk_points(m, seed + 300)
+        space = cross_space(n, m, xi)
+        dmat = cross_ground_matrix(a, b)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        for algo in algorithms_under_test():
+            got, arg = run_algo(algo, a, b, space)
+            assert got == pytest.approx(want), type(algo).__name__
+            assert space.is_valid_candidate(*arg)
+
+    def test_haversine_metric_agreement(self):
+        rng = np.random.default_rng(77)
+        pts = np.column_stack(
+            [39.9 + rng.normal(0, 0.01, 40).cumsum() * 0.1,
+             116.4 + rng.normal(0, 0.01, 40).cumsum() * 0.1]
+        )
+        space = self_space(40, 3)
+        dmat = ground_matrix(pts, "haversine")
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        got_btm, _ = BTM().search(DenseGroundMatrix(dmat), space)
+        lazy = LazyGroundMatrix(pts, metric="haversine")
+        got_star, _ = GTMStar(tau=4).search(lazy, space)
+        assert got_btm == pytest.approx(want)
+        assert got_star == pytest.approx(want)
+
+
+class TestAdversarialInputs:
+    def test_all_points_identical(self):
+        """Every distance zero: motif distance must be exactly 0 and a
+        valid pair must still be reported (witness-rule stress)."""
+        pts = np.zeros((30, 2))
+        space = self_space(30, 3)
+        dmat = ground_matrix(pts)
+        for algo in [BruteDP(), BTM(), GTM(tau=4), GTMStar(tau=4)]:
+            oracle = (
+                LazyGroundMatrix(pts, metric="euclidean")
+                if isinstance(algo, GTMStar)
+                else DenseGroundMatrix(dmat)
+            )
+            got, arg = algo.search(oracle, space)
+            assert got == 0.0
+            assert space.is_valid_candidate(*arg)
+
+    def test_all_distances_equal(self):
+        """Constant off-diagonal distances: GUB == GLB == motif
+        everywhere; exercises the unwitnessed-bsf equality path."""
+        n = 24
+        dmat = np.full((n, n), 5.0)
+        np.fill_diagonal(dmat, 0.0)
+        space = self_space(n, 2)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        assert want == 5.0
+        for algo in [BTM(), GTM(tau=4), GTM(tau=8, use_gub=True)]:
+            got, arg = algo.search(DenseGroundMatrix(dmat), space)
+            assert got == 5.0
+            assert space.is_valid_candidate(*arg)
+
+    def test_two_far_clusters(self):
+        """Motif must pair subtrajectories within one cluster."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 0.1, size=(20, 2))
+        b = rng.normal(0, 0.1, size=(20, 2)) + 1000.0
+        pts = np.vstack([a, b])
+        space = self_space(40, 3)
+        dmat = ground_matrix(pts)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        got, arg = GTM(tau=4).search(DenseGroundMatrix(dmat), space)
+        assert got == pytest.approx(want)
+        i, ie, j, je = arg
+        # Both subtrajectories live in the same cluster.
+        assert (ie < 20 and je < 20) or (i >= 20 and j >= 20)
+
+    def test_monotone_line(self):
+        """A straight constant-speed line: nearest valid windows win."""
+        pts = np.column_stack([np.arange(30.0), np.zeros(30)])
+        space = self_space(30, 3)
+        dmat = ground_matrix(pts)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        got, _ = BTM().search(DenseGroundMatrix(dmat), space)
+        assert got == pytest.approx(want)
+
+    def test_gtm_non_halving_tau_chain(self):
+        """Regression (hypothesis seed 1): n=24 drives the default GTM
+        through the group-size chain 12 -> 6 -> 3 -> 2, whose last step
+        is not an exact halving.  GTM must stay exact."""
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(24, 2)).cumsum(axis=0)
+        space = self_space(24, 4)
+        dmat = ground_matrix(pts)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        got, _ = GTM(tau=12).search(DenseGroundMatrix(dmat), space)
+        assert got == pytest.approx(want)
+
+    def test_minimal_feasible_space(self):
+        """n = 2 xi + 4: exactly one subset, one candidate."""
+        xi = 3
+        n = 2 * xi + 4
+        pts = random_walk_points(n, 9)
+        space = self_space(n, xi)
+        dmat = ground_matrix(pts)
+        want = dfd_matrix(dmat[0 : xi + 2, xi + 2 : n])
+        for algo in [BruteDP(), BTM(), GTM(tau=2), GTMStar(tau=2)]:
+            oracle = (
+                LazyGroundMatrix(pts, metric="euclidean")
+                if isinstance(algo, GTMStar)
+                else DenseGroundMatrix(dmat)
+            )
+            got, arg = algo.search(oracle, space)
+            assert got == pytest.approx(want)
+            assert arg == (0, xi + 1, xi + 2, n - 1)
+
+
+class TestApproximateFactor:
+    @pytest.mark.parametrize("eps", [0.0, 0.25, 1.0])
+    def test_guarantee_holds(self, eps):
+        pts = random_walk_points(50, 13)
+        space = self_space(50, 3)
+        dmat = ground_matrix(pts)
+        exact, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        got, arg = BTM(approx_factor=1.0 + eps).search(DenseGroundMatrix(dmat), space)
+        assert got <= (1.0 + eps) * exact + 1e-9
+        assert got >= exact - 1e-9
+        assert space.is_valid_candidate(*arg)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            BTM(approx_factor=0.5)
+
+
+class TestConstructorValidation:
+    def test_btm_variant(self):
+        with pytest.raises(ValueError):
+            BTM(variant="loose")
+
+    def test_gtm_tau(self):
+        with pytest.raises(ValueError):
+            GTM(tau=1)
+        with pytest.raises(ValueError):
+            GTM(tau=8, min_tau=1)
+        with pytest.raises(ValueError):
+            GTMStar(tau=0)
+
+    def test_gtm_requires_dense(self):
+        pts = random_walk_points(30, 1)
+        lazy = LazyGroundMatrix(pts, metric="euclidean")
+        with pytest.raises(ValueError):
+            GTM().search(lazy, self_space(30, 2))
+
+    def test_tight_requires_dense(self):
+        pts = random_walk_points(30, 1)
+        lazy = LazyGroundMatrix(pts, metric="euclidean")
+        with pytest.raises(ValueError):
+            BTM(variant="tight").search(lazy, self_space(30, 2))

@@ -1,0 +1,177 @@
+"""Tests for the benchmark harness and the experiment shape claims."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    SCALES,
+    Table,
+    default_xi,
+    pair_for,
+    run_motif,
+    trajectory_for,
+)
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    fig03_dtw_vs_dfd,
+    fig04_symbolic,
+    sampling_testbed,
+    table1_measures,
+)
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", None)
+        text = t.render()
+        assert "demo" in text and "2.5" in text and "-" in text
+
+    def test_row_length_validation(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_accessor(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_json_round_trip(self, tmp_path):
+        t = Table("demo", ["a"], notes=["n1"])
+        t.add_row(1.5)
+        path = tmp_path / "out" / "t.json"
+        t.save_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["title"] == "demo"
+        assert doc["rows"] == [[1.5]]
+        assert doc["notes"] == ["n1"]
+
+    def test_formatting_special_values(self):
+        t = Table("demo", ["v"])
+        t.add_row(float("nan"))
+        t.add_row(12345.678)
+        t.add_row(0.0000001)
+        text = t.render()
+        assert "-" in text and "1.23e+04" in text and "1e-07" in text
+
+    def test_charts_from_series_table(self):
+        t = Table("demo", ["dataset", "n", "btm", "gtm"])
+        t.add_row("geo", 100, 0.5, 0.2)
+        t.add_row("geo", 200, 2.0, 0.8)
+        t.add_row("truck", 100, 0.7, None)
+        t.add_row("truck", 200, 2.4, 1.1)
+        art = t.charts()
+        assert "demo -- geo" in art and "demo -- truck" in art
+        assert "o=btm" in art and "x=gtm" in art
+
+    def test_charts_empty_for_non_series_table(self):
+        t = Table("demo", ["pair", "ED"])
+        t.add_row("a", 1.0)
+        assert t.charts() == ""
+
+
+class TestHarness:
+    def test_default_xi_ratio(self):
+        assert default_xi(5000) == 100  # the paper's setting
+        assert default_xi(100) == 4     # floor
+
+    def test_trajectory_cache(self):
+        a = trajectory_for("geolife", 120, 0)
+        b = trajectory_for("geolife", 120, 0)
+        assert a is b  # lru cache hit
+
+    def test_pair_cache_distinct(self):
+        a, b = pair_for("truck", 100, 0)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_run_motif_record(self):
+        rec = run_motif("btm", "geolife", 120, seed=0)
+        assert rec.algorithm == "btm"
+        assert rec.seconds is not None and rec.seconds > 0
+        assert rec.distance is not None and rec.distance >= 0
+        assert not rec.timed_out
+        assert rec.space_mb > 0
+
+    def test_run_motif_timeout(self):
+        rec = run_motif("brute", "geolife", 200, timeout=0.0)
+        assert rec.timed_out
+        assert rec.seconds is None
+
+    def test_run_motif_cross(self):
+        rec = run_motif("btm", "truck", 100, cross=True)
+        assert rec.distance is not None
+
+    def test_scales_defined(self):
+        assert {"smoke", "quick", "full"} <= set(SCALES)
+
+
+class TestExperimentShapes:
+    """The reproduction's headline claims, asserted at smoke scale."""
+
+    def test_registry_complete(self):
+        for fig in ("table1", "fig2", "fig3", "fig4", "fig13", "fig15",
+                    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21"):
+            assert fig in EXPERIMENTS
+
+    def test_sampling_testbed_structure(self):
+        s_a, s_b, s_c, s_d = sampling_testbed(n=100, seed=0)
+        assert s_a.n == 100 and s_b.n == 100
+        assert s_c.n > 2 * s_a.n  # oversampled
+        assert s_d.n == s_a.n + 30
+
+    def test_fig3_rankings(self):
+        table = fig03_dtw_vs_dfd(seed=0)
+        by_measure = {row[0]: row for row in table.rows}
+        assert by_measure["DTW"][3] == "no"   # DTW misranks
+        assert by_measure["DFD"][3] == "yes"  # DFD ranks correctly
+
+    def test_table1_dfd_tolerates_both(self):
+        table = table1_measures(seed=0)
+        rows = {row[0]: row for row in table.rows}
+        assert rows["DFD"][1] == "yes" and rows["DFD"][2] == "yes"
+        assert rows["ED"][1] == "no"
+        assert rows["DTW"][1] == "no"
+
+    def test_fig4_strings_equal_but_far(self):
+        table = fig04_symbolic(seed=0)
+        translated = table.rows[1]
+        assert translated[2] == "yes"          # identical strings
+        assert translated[3] > 100.0           # > 100 km apart
+
+    def test_relaxed_dominates_tight_runtime(self):
+        # Figure 13's claim at one point: same data, both variants.
+        tight = run_motif("btm", "geolife", 140, seed=0, variant="tight")
+        relaxed = run_motif("btm", "geolife", 140, seed=0, variant="relaxed")
+        assert relaxed.distance == pytest.approx(tight.distance)
+        assert relaxed.seconds < tight.seconds
+        # Tight bounds prune at least as well.
+        assert tight.stats.pruning_ratio >= relaxed.stats.pruning_ratio - 1e-9
+
+    def test_fig18_ordering(self):
+        # BruteDP must be slowest; the bounded methods agree on the answer.
+        brute = run_motif("brute", "geolife", 130, seed=0)
+        btm = run_motif("btm", "geolife", 130, seed=0)
+        gtm = run_motif("gtm", "geolife", 130, seed=0, tau=16)
+        star = run_motif("gtm_star", "geolife", 130, seed=0, tau=16)
+        assert btm.distance == pytest.approx(brute.distance)
+        assert gtm.distance == pytest.approx(brute.distance)
+        assert star.distance == pytest.approx(brute.distance)
+        assert brute.seconds > btm.seconds
+        assert brute.seconds > gtm.seconds
+
+    def test_fig19_gtm_star_uses_less_space(self):
+        gtm = run_motif("gtm", "baboon", 400, seed=0)
+        star = run_motif("gtm_star", "baboon", 400, seed=0)
+        assert star.space_mb < gtm.space_mb
+
+    def test_pruning_ratio_is_high(self):
+        # The paper reports > 92% of candidates pruned collectively.
+        rec = run_motif("btm", "geolife", 200, seed=0)
+        assert rec.stats.pruning_ratio > 0.92

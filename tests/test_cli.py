@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trajectory import Trajectory, write_csv
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestInfoAndDatasets:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "EDBT 2017" in out
+        assert "gtm" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "geolife" in out and "baboon" in out
+
+
+class TestDiscover:
+    def test_synthetic_dataset(self, capsys):
+        rc = main([
+            "discover", "--dataset", "random_walk", "--n", "80",
+            "--min-length", "4", "--algorithm", "btm", "--stats",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "motif:" in out
+        assert "Frechet distance" in out
+        assert "pruned" in out  # --stats line
+
+    def test_cross_pair(self, capsys):
+        rc = main([
+            "discover", "--dataset", "random_walk", "--n", "60",
+            "--min-length", "3", "--cross", "--algorithm", "btm",
+        ])
+        assert rc == 0
+        assert "T[" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        traj = Trajectory(rng.normal(size=(60, 2)).cumsum(axis=0))
+        path = tmp_path / "walk.csv"
+        write_csv(traj, path)
+        rc = main([
+            "discover", "--input", str(path), "--min-length", "3",
+            "--algorithm", "gtm", "--tau", "4",
+        ])
+        assert rc == 0
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(SystemExit):
+            main(["discover", "--min-length", "3"])
+        with pytest.raises(SystemExit):
+            main([
+                "discover", "--dataset", "random_walk", "--input", "x.csv",
+                "--min-length", "3",
+            ])
+
+    def test_unsupported_format(self, tmp_path):
+        path = tmp_path / "x.gpx"
+        path.write_text("<gpx/>")
+        with pytest.raises(SystemExit):
+            main(["discover", "--input", str(path), "--min-length", "3"])
+
+
+class TestExtensionsCli:
+    def test_topk(self, capsys):
+        rc = main([
+            "topk", "--dataset", "random_walk", "--n", "60",
+            "--min-length", "3", "--k", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("#") == 3
+        assert "DFD" in out
+
+    def test_cluster(self, capsys):
+        rc = main([
+            "cluster", "--dataset", "figure_eight", "--n", "200",
+            "--window", "16", "--theta", "0.5", "--stride", "8",
+        ])
+        assert rc == 0
+        assert "cluster 0" in capsys.readouterr().out
+
+    def test_cluster_none_found(self, capsys):
+        rc = main([
+            "cluster", "--dataset", "random_walk", "--n", "100",
+            "--window", "16", "--theta", "0.0001", "--stride", "8",
+        ])
+        assert rc == 0
+        assert "no clusters" in capsys.readouterr().out
+
+    def test_plot_flag(self, capsys):
+        rc = main([
+            "discover", "--dataset", "figure_eight", "--n", "150",
+            "--min-length", "6", "--plot",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "B" in out
+
+
+class TestBench:
+    def test_single_experiment(self, capsys):
+        rc = main(["bench", "fig3", "--scale", "smoke"])
+        assert rc == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_chart_flag(self, capsys):
+        rc = main(["bench", "fig19", "--scale", "smoke", "--chart"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "log10" in out  # chart rendered
+        assert "o=btm" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        rc = main([
+            "bench", "fig4", "--scale", "smoke", "--output", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "fig4.json").exists()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])

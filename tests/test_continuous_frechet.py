@@ -1,0 +1,161 @@
+"""Tests for the continuous Frechet distance (Alt-Godau free space)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distances import discrete_frechet
+from repro.distances.continuous_frechet import (
+    _free_interval,
+    continuous_frechet,
+    continuous_frechet_decision,
+)
+from repro.errors import TrajectoryError
+
+curves = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 8), st.just(2)),
+    elements=st.floats(-10, 10, allow_nan=False),
+)
+
+
+def line(n, y=0.0):
+    return np.column_stack([np.linspace(0, 10, n), np.full(n, y)])
+
+
+class TestFreeInterval:
+    def test_full_containment(self):
+        assert _free_interval(
+            np.array([0.0, 0.0]), np.array([-1.0, 0.0]), np.array([1.0, 0.0]), 2.0
+        ) == (0.0, 1.0)
+
+    def test_no_intersection(self):
+        assert _free_interval(
+            np.array([0.0, 5.0]), np.array([-1.0, 0.0]), np.array([1.0, 0.0]), 1.0
+        ) is None
+
+    def test_partial(self):
+        lo, hi = _free_interval(
+            np.array([0.0, 0.0]), np.array([-2.0, 0.0]), np.array([2.0, 0.0]), 1.0
+        )
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(0.75)
+
+    def test_degenerate_segment(self):
+        p = np.array([0.0, 0.0])
+        s = np.array([1.0, 0.0])
+        assert _free_interval(p, s, s, 2.0) == (0.0, 1.0)
+        assert _free_interval(p, s, s, 0.5) is None
+
+
+class TestDecision:
+    def test_identical_curves(self):
+        p = line(5)
+        assert continuous_frechet_decision(p, p, 0.0)
+
+    def test_parallel_lines(self):
+        p, q = line(5), line(7, y=3.0)
+        assert continuous_frechet_decision(p, q, 3.0)
+        assert not continuous_frechet_decision(p, q, 2.9)
+
+    def test_endpoints_gate(self):
+        p = line(4)
+        q = p + np.array([0.0, 0.1])
+        q[-1] += np.array([0.0, 5.0])
+        assert not continuous_frechet_decision(p, q, 1.0)
+
+    def test_single_points(self):
+        assert continuous_frechet_decision([[0, 0]], [[3, 4]], 5.0)
+        assert not continuous_frechet_decision([[0, 0]], [[3, 4]], 4.9)
+
+    def test_point_vs_segment(self):
+        point = [[0.0, 0.0]]
+        seg = [[-1.0, 1.0], [1.0, 1.0]]
+        assert continuous_frechet_decision(point, seg, 1.5)
+        assert not continuous_frechet_decision(point, seg, 0.9)
+
+    def test_backtracking_required(self):
+        # Q makes a far excursion P cannot follow cheaply.
+        p = np.array([[0.0, 0.0], [10.0, 0.0]])
+        q = np.array([[0.0, 0.0], [5.0, 7.0], [10.0, 0.0]])
+        assert not continuous_frechet_decision(p, q, 6.9)
+        assert continuous_frechet_decision(p, q, 7.0)
+
+    def test_monotone_in_eps(self):
+        rng = np.random.default_rng(0)
+        p = rng.normal(size=(6, 2)).cumsum(axis=0)
+        q = rng.normal(size=(7, 2)).cumsum(axis=0)
+        answers = [
+            continuous_frechet_decision(p, q, eps)
+            for eps in np.linspace(0, 15, 40)
+        ]
+        assert answers == sorted(answers)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(TrajectoryError):
+            continuous_frechet_decision(line(3), line(3), -1.0)
+
+
+class TestValue:
+    def test_parallel_lines_exact(self):
+        assert continuous_frechet(line(5), line(9, y=3.0), tol=1e-9) == (
+            pytest.approx(3.0, abs=1e-6)
+        )
+
+    def test_reparameterisation_invariance(self):
+        """Densifying a polyline does not change the continuous
+        distance -- the key property the discrete version lacks."""
+        p = line(3)
+        dense = line(40)
+        assert continuous_frechet(p, dense, tol=1e-9) == pytest.approx(0.0, abs=1e-6)
+        # The discrete distance, by contrast, is forced to match
+        # vertices and grows with the density mismatch.
+        assert discrete_frechet(p, dense) > 1.0
+
+    @given(curves, curves)
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_discrete(self, p, q):
+        fd = continuous_frechet(p, q, tol=1e-6)
+        dfd = discrete_frechet(p, q)
+        assert fd <= dfd + 1e-5
+
+    @given(curves, curves)
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bounded_by_endpoints(self, p, q):
+        fd = continuous_frechet(p, q, tol=1e-6)
+        lower = max(
+            np.linalg.norm(p[0] - q[0]), np.linalg.norm(p[-1] - q[-1])
+        )
+        assert fd >= lower - 1e-6
+
+    @given(curves, curves)
+    @settings(max_examples=20, deadline=None)
+    def test_decision_consistent_with_value(self, p, q):
+        fd = continuous_frechet(p, q, tol=1e-7)
+        assert continuous_frechet_decision(p, q, fd + 1e-6)
+        lower = max(
+            np.linalg.norm(p[0] - q[0]), np.linalg.norm(p[-1] - q[-1])
+        )
+        if fd - 1e-4 > lower:
+            assert not continuous_frechet_decision(p, q, fd - 1e-4)
+
+    @given(curves)
+    @settings(max_examples=20, deadline=None)
+    def test_identity(self, p):
+        assert continuous_frechet(p, p, tol=1e-9) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        p = rng.normal(size=(6, 2)).cumsum(axis=0)
+        q = rng.normal(size=(5, 2)).cumsum(axis=0)
+        assert continuous_frechet(p, q, tol=1e-8) == pytest.approx(
+            continuous_frechet(q, p, tol=1e-8), abs=1e-6
+        )
+
+    def test_tol_validation(self):
+        with pytest.raises(TrajectoryError):
+            continuous_frechet(line(3), line(3), tol=0.0)

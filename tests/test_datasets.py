@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    dataset_names,
+    get_dataset,
+    local_xy_to_latlon,
+    make_trajectory,
+    meters_to_degrees,
+    nonuniform_variant,
+)
+from repro.datasets.synthetic import PlantedMotifWalk
+from repro.errors import DatasetError
+
+ALL = ("geolife", "truck", "baboon", "random_walk", "planted", "figure_eight")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(ALL) <= set(dataset_names())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_dataset("mars-rover")
+
+    def test_make_trajectory(self):
+        t = make_trajectory("random_walk", 50, seed=3)
+        assert t.n == 50
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestGeneratorContract:
+    def test_exact_length(self, name):
+        for n in (50, 137, 300):
+            assert get_dataset(name, seed=1).generate(n).n == n
+
+    def test_deterministic_per_seed(self, name):
+        a = get_dataset(name, seed=7).generate(80)
+        b = get_dataset(name, seed=7).generate(80)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_seeds_differ(self, name):
+        a = get_dataset(name, seed=1).generate(80)
+        b = get_dataset(name, seed=2).generate(80)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_timestamps_strictly_ascending(self, name):
+        t = get_dataset(name, seed=3).generate(120)
+        assert (np.diff(t.timestamps) > 0).all()
+
+    def test_pair_generation(self, name):
+        a, b = get_dataset(name, seed=5).generate_pair(60)
+        assert a.n == b.n == 60
+        assert not np.array_equal(a.points, b.points)
+
+    def test_too_small_rejected(self, name):
+        with pytest.raises(DatasetError):
+            get_dataset(name).generate(1)
+
+
+class TestDatasetCharacteristics:
+    def test_geolife_varying_sampling(self):
+        t = get_dataset("geolife", seed=0).generate(500)
+        periods = np.diff(t.timestamps)
+        # GeoLife-like logs mix sampling periods over a wide range.
+        assert periods.max() / periods.min() > 10
+
+    def test_baboon_uniform_1hz(self):
+        t = get_dataset("baboon", seed=0).generate(300)
+        assert np.allclose(np.diff(t.timestamps), 1.0)
+
+    def test_truck_near_constant_period(self):
+        t = get_dataset("truck", seed=0).generate(300)
+        periods = np.diff(t.timestamps)
+        assert periods.std() / periods.mean() < 0.2
+
+    def test_latlon_ranges(self):
+        for name, lat in (("geolife", 39.9), ("truck", 37.98), ("baboon", 0.29)):
+            t = get_dataset(name, seed=1).generate(200)
+            assert t.crs == "latlon"
+            assert abs(t.points[:, 0].mean() - lat) < 1.0
+
+    def test_figure_eight_revisits(self):
+        t = get_dataset("figure_eight", seed=0).generate(200)
+        # Two laps pass close to the same places: small motif distance.
+        from repro import discover_motif
+
+        r = discover_motif(t, min_length=8, algorithm="gtm")
+        assert r.distance < 1.0
+
+
+class TestPlantedMotif:
+    def test_planted_segment_is_discovered(self):
+        gen = PlantedMotifWalk(seed=11)
+        n = 160
+        traj = gen.generate(n)
+        src, dst, m = gen.planted_indices(n)
+        from repro import discover_motif
+
+        xi = m - 2
+        result = discover_motif(traj, min_length=xi, algorithm="gtm")
+        # The motif must overlap the planted pair on both sides.
+        i, ie, j, je = result.indices
+        assert not (ie < src or i > src + m), (result.indices, (src, dst, m))
+        assert not (je < dst or j > dst + m)
+        # And its distance is within the planted noise scale.
+        assert result.distance < 10 * gen.motif_noise + 1e-6
+
+    def test_planted_indices_consistent(self):
+        gen = PlantedMotifWalk(seed=1)
+        src, dst, m = gen.planted_indices(100)
+        assert src + m <= dst
+        assert dst + m <= 100
+
+
+class TestHelpers:
+    def test_meters_to_degrees_roundtrip(self):
+        dlat, dlon = meters_to_degrees(111_320.0, 111_320.0, 0.0)
+        assert dlat == pytest.approx(1.0)
+        assert dlon == pytest.approx(1.0)
+
+    def test_local_xy_to_latlon(self):
+        xy = np.array([[0.0, 0.0], [0.0, 111_320.0]])
+        ll = local_xy_to_latlon(xy, 10.0, 20.0)
+        assert ll[0, 0] == pytest.approx(10.0)
+        assert ll[1, 0] == pytest.approx(11.0)
+
+    def test_nonuniform_variant(self):
+        t = make_trajectory("random_walk", 100, seed=1)
+        thin = nonuniform_variant(t, keep_fraction=0.5, seed=2)
+        assert 2 <= thin.n < 100
+        assert (np.diff(thin.timestamps) > 0).all()
+
+    def test_nonuniform_variant_validation(self):
+        t = make_trajectory("random_walk", 50, seed=1)
+        with pytest.raises(DatasetError):
+            nonuniform_variant(t, keep_fraction=0.0)

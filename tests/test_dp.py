@@ -1,0 +1,156 @@
+"""Tests for the subset-expansion DP kernels (scalar and wavefront)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundTables
+from repro.core.dp import (
+    SCALAR_AREA_LIMIT,
+    expand_subset,
+    expand_subset_scalar,
+    expand_subset_wavefront,
+)
+from repro.core.problem import cross_space, self_space
+from repro.core.stats import SearchStats
+from repro.distances import dfd_matrix
+from repro.distances.ground import DenseGroundMatrix, LazyGroundMatrix
+
+from conftest import random_walk_points, walk_matrix
+
+
+def brute_subset(dmat, space, i, j):
+    """Reference: min DFD + argmin over all valid candidates in CS_{i,j}."""
+    xi = space.xi
+    best, arg = np.inf, None
+    for ie in range(i + xi + 1, space.ie_limit(i, j) + 1):
+        for je in range(j + xi + 1, space.je_limit(i, j) + 1):
+            d = dfd_matrix(dmat[i : ie + 1, j : je + 1])
+            if d < best:
+                best, arg = d, (i, ie, j, je)
+    return best, arg
+
+
+@pytest.mark.parametrize("mode", ["self", "cross"])
+@pytest.mark.parametrize("seed", range(4))
+def test_kernels_match_brute_reference(mode, seed):
+    n, xi = 16, 2
+    dmat = walk_matrix(n, seed)
+    space = self_space(n, xi) if mode == "self" else cross_space(n, n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    tables = BoundTables.build(space, oracle)
+    for i, j in space.start_pairs():
+        want, want_arg = brute_subset(dmat, space, i, j)
+        got_s, arg_s = expand_subset_scalar(
+            oracle, space, i, j, np.inf, None,
+            cmin=tables.cmin, rmin=tables.rmin, prune=True,
+        )
+        got_w, arg_w = expand_subset_wavefront(
+            dmat, space, i, j, np.inf, None,
+            cmin=tables.cmin, rmin=tables.rmin, prune=True,
+        )
+        assert got_s == pytest.approx(want)
+        assert got_w == pytest.approx(want)
+        assert dfd_matrix(dmat[arg_s[0] : arg_s[1] + 1, arg_s[2] : arg_s[3] + 1]) == (
+            pytest.approx(want)
+        )
+        assert dfd_matrix(dmat[arg_w[0] : arg_w[1] + 1, arg_w[2] : arg_w[3] + 1]) == (
+            pytest.approx(want)
+        )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_pruning_never_loses_better_candidates(seed):
+    """With a finite bsf, the kernel must still find anything below it."""
+    n, xi = 18, 2
+    dmat = walk_matrix(n, seed + 10)
+    space = self_space(n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    tables = BoundTables.build(space, oracle)
+    for i, j in list(space.start_pairs())[::3]:
+        want, _ = brute_subset(dmat, space, i, j)
+        for factor in (0.5, 1.0, 1.5):
+            bsf0 = want * factor + 1e-9
+            got, arg = expand_subset_scalar(
+                oracle, space, i, j, bsf0, None,
+                cmin=tables.cmin, rmin=tables.rmin, prune=True,
+            )
+            if want < bsf0:
+                assert got == pytest.approx(want)
+                assert arg is not None
+            else:
+                assert got == bsf0 and arg is None
+
+
+def test_prune_false_is_full_expansion():
+    n, xi = 14, 2
+    dmat = walk_matrix(n, 3)
+    space = self_space(n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    stats = SearchStats()
+    i, j = next(iter(space.start_pairs()))
+    expand_subset(oracle, space, i, j, np.inf, None, prune=False, stats=stats)
+    height = space.ie_limit(i, j) - i  # interior rows
+    width = space.je_limit(i, j) - j + 1
+    assert stats.cells_expanded == height * width
+    assert stats.cells_killed == 0
+
+
+def test_early_termination_reduces_work():
+    n, xi = 30, 2
+    dmat = walk_matrix(n, 4)
+    space = self_space(n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    i, j = next(iter(space.start_pairs()))
+    full = SearchStats()
+    expand_subset_scalar(oracle, space, i, j, np.inf, None, prune=False, stats=full)
+    pruned = SearchStats()
+    expand_subset_scalar(oracle, space, i, j, 1e-8, None, prune=True, stats=pruned)
+    assert pruned.cells_expanded <= full.cells_expanded
+
+
+def test_dispatcher_uses_scalar_for_lazy_oracle():
+    pts = random_walk_points(20, 5)
+    lazy = LazyGroundMatrix(pts, metric="euclidean")
+    dense = DenseGroundMatrix(
+        np.asarray([[np.linalg.norm(a - b) for b in pts] for a in pts])
+    )
+    space = self_space(20, 2)
+    i, j = next(iter(space.start_pairs()))
+    got_l, _ = expand_subset(lazy, space, i, j, np.inf, None)
+    got_d, _ = expand_subset(dense, space, i, j, np.inf, None)
+    assert got_l == pytest.approx(got_d)
+
+
+def test_force_kernel_flags():
+    n, xi = 16, 2
+    dmat = walk_matrix(n, 6)
+    space = self_space(n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    i, j = next(iter(space.start_pairs()))
+    a, _ = expand_subset(oracle, space, i, j, np.inf, None, force_kernel="scalar")
+    b, _ = expand_subset(oracle, space, i, j, np.inf, None, force_kernel="wavefront")
+    assert a == pytest.approx(b)
+
+
+def test_stats_counters_populated():
+    n, xi = 20, 2
+    dmat = walk_matrix(n, 7)
+    space = self_space(n, xi)
+    oracle = DenseGroundMatrix(dmat)
+    tables = BoundTables.build(space, oracle)
+    stats = SearchStats()
+    i, j = next(iter(space.start_pairs()))
+    bsf, best = expand_subset_scalar(
+        oracle, space, i, j, np.inf, None,
+        cmin=tables.cmin, rmin=tables.rmin, prune=True, stats=stats,
+    )
+    assert best is not None
+    assert stats.cells_expanded > 0
+    assert stats.candidates_checked > 0
+    assert stats.bsf_updates >= 1
+
+
+def test_scalar_area_limit_is_positive():
+    assert SCALAR_AREA_LIMIT > 0

@@ -1,0 +1,199 @@
+"""Unit tests for ground metrics and distance-matrix oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distances.ground import (
+    EARTH_RADIUS_M,
+    ChebyshevMetric,
+    DenseGroundMatrix,
+    EuclideanMetric,
+    HaversineMetric,
+    LazyGroundMatrix,
+    cross_ground_matrix,
+    get_metric,
+    ground_matrix,
+    register_metric,
+)
+from repro.errors import TrajectoryError
+
+
+class TestEuclidean:
+    def test_known_distance(self):
+        m = EuclideanMetric()
+        assert m.distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_pairwise_shape_and_values(self):
+        m = EuclideanMetric()
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 1.0], [4.0, 0.0]])
+        d = m.pairwise(a, b)
+        assert d.shape == (2, 3)
+        assert d[0, 0] == pytest.approx(1.0)
+        assert d[1, 2] == pytest.approx(3.0)
+
+    def test_rowwise_matches_pairwise_diagonal(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(8, 2)), rng.normal(size=(8, 2))
+        m = EuclideanMetric()
+        assert np.allclose(m.rowwise(a, b), np.diag(m.pairwise(a, b)))
+
+    def test_rowwise_shape_mismatch(self):
+        with pytest.raises(TrajectoryError):
+            EuclideanMetric().rowwise(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_consecutive(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0], [3.0, 4.0]])
+        assert np.allclose(EuclideanMetric().consecutive(pts), [5.0, 0.0])
+
+    def test_consecutive_single_point(self):
+        assert EuclideanMetric().consecutive(np.zeros((1, 2))).shape == (0,)
+
+
+class TestHaversine:
+    def test_equator_degree(self):
+        # One degree of longitude at the equator ~ 111.2 km.
+        m = HaversineMetric()
+        d = m.distance([0.0, 0.0], [0.0, 1.0])
+        assert d == pytest.approx(2 * np.pi * EARTH_RADIUS_M / 360.0, rel=1e-6)
+
+    def test_antipodal(self):
+        m = HaversineMetric()
+        d = m.distance([0.0, 0.0], [0.0, 180.0])
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_M, rel=1e-6)
+
+    def test_symmetry_and_zero(self):
+        m = HaversineMetric()
+        p, q = [39.9, 116.4], [40.0, 116.5]
+        assert m.distance(p, q) == pytest.approx(m.distance(q, p))
+        assert m.distance(p, p) == 0.0
+
+    def test_matches_local_euclidean_for_small_offsets(self):
+        # 0.001 deg latitude ~ 111.32 m.
+        m = HaversineMetric()
+        d = m.distance([40.0, 116.0], [40.001, 116.0])
+        assert d == pytest.approx(111.19, rel=0.01)
+
+    def test_extra_columns_ignored(self):
+        m = HaversineMetric()
+        a = np.array([[40.0, 116.0, 99.0]])
+        b = np.array([[40.0, 116.0, -5.0]])
+        assert m.pairwise(a, b)[0, 0] == 0.0
+
+    def test_rejects_1d(self):
+        with pytest.raises(TrajectoryError):
+            HaversineMetric().pairwise(np.zeros(4), np.zeros((2, 2)))
+
+    def test_invalid_radius(self):
+        with pytest.raises(TrajectoryError):
+            HaversineMetric(radius=0.0)
+
+
+class TestChebyshev:
+    def test_known(self):
+        assert ChebyshevMetric().distance([0, 0], [3, -7]) == 7.0
+
+    def test_rowwise(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[2.0, -3.0]])
+        assert ChebyshevMetric().rowwise(a, b)[0] == 3.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_metric("euclidean").name == "euclidean"
+        assert get_metric("haversine").name == "haversine"
+
+    def test_lookup_passthrough(self):
+        m = EuclideanMetric()
+        assert get_metric(m) is m
+
+    def test_default_by_crs(self):
+        assert get_metric(None, crs="latlon").name == "haversine"
+        assert get_metric(None, crs="plane").name == "euclidean"
+
+    def test_unknown_metric(self):
+        with pytest.raises(TrajectoryError):
+            get_metric("manhattan-ish")
+
+    def test_register_custom(self):
+        class Custom(EuclideanMetric):
+            name = "custom-test-metric"
+
+        register_metric(Custom())
+        assert get_metric("custom-test-metric").name == "custom-test-metric"
+
+
+class TestMatrices:
+    def test_ground_matrix_symmetric(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(10, 2))
+        d = ground_matrix(pts)
+        assert d.shape == (10, 10)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_cross_matrix_shape(self):
+        rng = np.random.default_rng(2)
+        d = cross_ground_matrix(rng.normal(size=(4, 2)), rng.normal(size=(7, 2)))
+        assert d.shape == (4, 7)
+
+
+class TestDenseOracle:
+    def test_interface(self):
+        mat = np.arange(12.0).reshape(3, 4)
+        o = DenseGroundMatrix(mat)
+        assert o.shape == (3, 4)
+        assert np.array_equal(o.row(1), mat[1])
+        assert np.array_equal(o.block(0, 2, 1, 3), mat[0:2, 1:3])
+        assert o.value(2, 3) == 11.0
+        assert o.array is not None
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(TrajectoryError):
+            DenseGroundMatrix(np.zeros(5))
+
+
+class TestLazyOracle:
+    def test_agrees_with_dense_self(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(12, 2))
+        lazy = LazyGroundMatrix(pts, metric="euclidean")
+        dense = ground_matrix(pts)
+        assert lazy.shape == (12, 12)
+        for i in range(12):
+            assert np.allclose(lazy.row(i), dense[i])
+        assert lazy.value(3, 7) == pytest.approx(dense[3, 7])
+        assert np.allclose(lazy.block(2, 5, 1, 9), dense[2:5, 1:9])
+
+    def test_agrees_with_dense_cross(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.normal(size=(6, 2)), rng.normal(size=(9, 2))
+        lazy = LazyGroundMatrix(a, b, metric="euclidean")
+        dense = cross_ground_matrix(a, b)
+        assert lazy.shape == (6, 9)
+        assert np.allclose(lazy.row(5), dense[5])
+
+    def test_cache_eviction(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(20, 2))
+        lazy = LazyGroundMatrix(pts, metric="euclidean", cache_rows=4)
+        for i in range(20):
+            lazy.row(i)
+        assert lazy.rows_computed == 20
+        lazy.row(19)  # cached
+        assert lazy.rows_computed == 20
+        lazy.row(0)  # evicted -> recomputed
+        assert lazy.rows_computed == 21
+
+    def test_cache_rows_validation(self):
+        with pytest.raises(TrajectoryError):
+            LazyGroundMatrix(np.zeros((3, 2)), cache_rows=0)
+
+    def test_haversine_lazy(self):
+        pts = np.array([[39.9, 116.4], [39.91, 116.41], [39.92, 116.39]])
+        lazy = LazyGroundMatrix(pts, metric="haversine")
+        dense = ground_matrix(pts, "haversine")
+        assert np.allclose(lazy.row(0), dense[0])

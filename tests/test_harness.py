@@ -1,0 +1,72 @@
+"""Tests for the scaled-parameter helpers in the bench harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    DEFAULT_TIMEOUT,
+    XI_RATIO,
+    default_tau,
+    default_xi,
+)
+
+
+class TestScaledDefaults:
+    def test_xi_matches_paper_setting(self):
+        # The paper fixes xi=100 at n=5000.
+        assert default_xi(5000) == 100
+        assert XI_RATIO == pytest.approx(100 / 5000)
+
+    def test_xi_floor(self):
+        assert default_xi(50) == 4
+        assert default_xi(10) == 4
+
+    def test_xi_monotone(self):
+        values = [default_xi(n) for n in range(100, 3000, 100)]
+        assert values == sorted(values)
+
+    def test_tau_keeps_group_count(self):
+        # Group count n/tau stays near the paper's ~128-156.
+        for n in (512, 1024, 2048, 4096):
+            tau = default_tau(n)
+            assert 64 <= n // tau <= 256
+
+    def test_tau_floor(self):
+        assert default_tau(50) == 2
+        assert default_tau(2) == 2
+
+    def test_feasibility_of_scaled_defaults(self):
+        """default_xi must always leave a feasible self-mode query."""
+        from repro.core import self_space
+
+        for n in (100, 240, 480, 1600, 5000):
+            self_space(n, default_xi(n))  # must not raise
+
+    def test_timeout_positive(self):
+        assert DEFAULT_TIMEOUT > 0
+
+
+class TestAveragedRuns:
+    def test_averages_over_seeds(self):
+        from repro.bench import run_motif_averaged
+
+        rec = run_motif_averaged("btm", "random_walk", 100, repeat=3)
+        assert rec.seconds is not None and rec.seconds > 0
+        assert rec.distance is not None
+        assert not rec.timed_out
+
+    def test_all_timed_out(self):
+        from repro.bench import run_motif_averaged
+
+        rec = run_motif_averaged(
+            "brute", "random_walk", 200, repeat=2, timeout=0.0
+        )
+        assert rec.timed_out and rec.seconds is None
+
+    def test_repeat_validation(self):
+        from repro.bench import run_motif_averaged
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_motif_averaged("btm", "random_walk", 100, repeat=0)

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Trajectory, discover_motif
+from repro.datasets import get_dataset, make_trajectory
+from repro.distances import discrete_frechet
+from repro.trajectory import concatenate, write_csv, read_csv
+
+ALGOS = ("brute", "btm", "gtm", "gtm_star")
+
+
+class TestEndToEndDatasets:
+    @pytest.mark.parametrize("dataset", ["geolife", "truck", "baboon"])
+    def test_all_algorithms_agree_on_simulated_data(self, dataset):
+        traj = make_trajectory(dataset, 150, seed=3)
+        xi = 5
+        results = {
+            algo: discover_motif(traj, min_length=xi, algorithm=algo)
+            for algo in ALGOS
+        }
+        reference = results["brute"].distance
+        for algo, result in results.items():
+            assert result.distance == pytest.approx(reference), algo
+            i, ie, j, je = result.indices
+            assert ie - i > xi and je - j > xi and ie < j
+
+    @pytest.mark.parametrize("dataset", ["geolife", "truck", "baboon"])
+    def test_cross_trajectory_agreement(self, dataset):
+        a, b = get_dataset(dataset, seed=4).generate_pair(110)
+        results = [
+            discover_motif(a, b, min_length=4, algorithm=algo).distance
+            for algo in ALGOS
+        ]
+        assert max(results) - min(results) < 1e-9
+
+    def test_motif_respects_timestamps_non_overlap(self):
+        traj = make_trajectory("geolife", 200, seed=5)
+        r = discover_motif(traj, min_length=6)
+        t_first = r.first.time_interval
+        t_second = r.second.time_interval
+        assert t_first[1] < t_second[0]  # intervals do not overlap
+
+
+class TestPipelineRoundTrip:
+    def test_io_then_discover(self, tmp_path):
+        traj = make_trajectory("truck", 140, seed=6)
+        planar = Trajectory(traj.points, traj.timestamps)  # reinterpret
+        path = tmp_path / "t.csv"
+        write_csv(planar, path)
+        loaded = read_csv(path)
+        a = discover_motif(planar, min_length=5, algorithm="btm")
+        b = discover_motif(loaded, min_length=5, algorithm="btm")
+        assert a.indices == b.indices
+        assert a.distance == pytest.approx(b.distance)
+
+    def test_concatenated_trajectories_motif(self):
+        """The paper concatenates raw trajectories to build longer
+        inputs; a trajectory repeated twice must contain a near-zero
+        motif spanning the copies."""
+        base = make_trajectory("random_walk", 40, seed=7)
+        noisy = Trajectory(
+            base.points + np.random.default_rng(8).normal(0, 1e-4, base.points.shape),
+            base.timestamps,
+        )
+        joined = concatenate([base, noisy], time_gap=10.0)
+        r = discover_motif(joined, min_length=10, algorithm="gtm")
+        assert r.distance < 0.01
+        assert r.first.end < 40 <= r.second.start
+
+    def test_result_subtrajectories_reproduce_distance(self):
+        traj = make_trajectory("baboon", 160, seed=9)
+        r = discover_motif(traj, min_length=5, algorithm="gtm_star")
+        direct = discrete_frechet(
+            r.first.points, r.second.points, metric="haversine"
+        )
+        assert direct == pytest.approx(r.distance)
+
+
+class TestPropertyBasedAgreement:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(24, 40),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_algorithms_agree_on_random_walks(self, seed, n, xi):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(n, 2)).cumsum(axis=0)
+        traj = Trajectory(pts)
+        distances = [
+            discover_motif(traj, min_length=xi, algorithm=a).distance
+            for a in ALGOS
+        ]
+        assert max(distances) - min(distances) < 1e-9
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_motif_distance_shrinks_with_smaller_xi(self, seed):
+        """A smaller minimum length can only allow better (or equal)
+        motifs: the candidate set grows monotonically."""
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(36, 2)).cumsum(axis=0)
+        traj = Trajectory(pts)
+        d_small = discover_motif(traj, min_length=2, algorithm="btm").distance
+        d_large = discover_motif(traj, min_length=5, algorithm="btm").distance
+        assert d_small <= d_large + 1e-12

@@ -1,0 +1,137 @@
+"""Tests for the performance fast paths added on top of the baseline
+kernels: bound metric kernels, the lazy wavefront, and the GTM guards.
+
+These paths exist purely for CPython speed; every test here pins them
+to the semantics of the plain implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GTM, GTMStar, BruteDP, self_space
+from repro.core.bounds import BoundTables
+from repro.core.dp import (
+    expand_subset_scalar,
+    expand_subset_wavefront,
+    expand_subset_wavefront_lazy,
+)
+from repro.distances.ground import (
+    DenseGroundMatrix,
+    EuclideanMetric,
+    HaversineMetric,
+    LazyGroundMatrix,
+    ground_matrix,
+)
+
+from conftest import random_walk_points
+
+
+class TestBoundMetricKernels:
+    def test_euclidean_bind_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(7, 2)), rng.normal(size=(9, 2))
+        m = EuclideanMetric()
+        assert np.allclose(m.bind(b)(a), m.pairwise(a, b))
+
+    def test_haversine_bind_matches_pairwise(self):
+        rng = np.random.default_rng(1)
+        a = np.column_stack([40 + rng.random(6), 116 + rng.random(6)])
+        b = np.column_stack([40 + rng.random(8), 116 + rng.random(8)])
+        m = HaversineMetric()
+        assert np.allclose(m.bind(b)(a), m.pairwise(a, b))
+
+    def test_lazy_oracle_rows_use_bound_kernel(self):
+        pts = np.column_stack([40 + np.arange(5) * 0.01, 116 + np.arange(5) * 0.01])
+        lazy = LazyGroundMatrix(pts, metric="haversine")
+        dense = ground_matrix(pts, "haversine")
+        for r in range(5):
+            assert np.allclose(lazy.row(r), dense[r])
+
+
+class TestLazyWavefront:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dense_wavefront(self, seed):
+        n, xi = 30, 3
+        pts = random_walk_points(n, seed)
+        dmat = ground_matrix(pts)
+        space = self_space(n, xi)
+        lazy = LazyGroundMatrix(pts, metric="euclidean", cache_rows=8)
+        tables = BoundTables.build(space, DenseGroundMatrix(dmat))
+        for i, j in list(space.start_pairs())[::5]:
+            for bsf0 in (np.inf, 1.0):
+                a, arg_a = expand_subset_wavefront(
+                    dmat, space, i, j, bsf0, None,
+                    cmin=tables.cmin, rmin=tables.rmin,
+                )
+                b, arg_b = expand_subset_wavefront_lazy(
+                    lazy, space, i, j, bsf0, None,
+                    cmin=tables.cmin, rmin=tables.rmin,
+                )
+                assert a == pytest.approx(b)
+                assert arg_a == arg_b
+
+    def test_matches_scalar_without_pruning(self):
+        n, xi = 24, 2
+        pts = random_walk_points(n, 9)
+        space = self_space(n, xi)
+        lazy = LazyGroundMatrix(pts, metric="euclidean")
+        dense = DenseGroundMatrix(ground_matrix(pts))
+        i, j = next(iter(space.start_pairs()))
+        a, _ = expand_subset_scalar(dense, space, i, j, np.inf, None, prune=False)
+        b, _ = expand_subset_wavefront_lazy(lazy, space, i, j, np.inf, None,
+                                            prune=False)
+        assert a == pytest.approx(b)
+
+
+class TestGtmGuards:
+    @pytest.mark.parametrize("max_groups", [0, 4, 1000])
+    def test_dfd_bound_guard_preserves_exactness(self, max_groups):
+        pts = random_walk_points(40, 11)
+        space = self_space(40, 3)
+        dmat = ground_matrix(pts)
+        oracle = DenseGroundMatrix(dmat)
+        want, _ = BruteDP().search(oracle, space)
+        got, _ = GTM(tau=8, dfd_bound_max_groups=max_groups).search(oracle, space)
+        assert got == pytest.approx(want)
+
+    def test_gtm_star_cache_rows_parameter(self):
+        pts = random_walk_points(36, 12)
+        space = self_space(36, 3)
+        dmat = ground_matrix(pts)
+        want, _ = BruteDP().search(DenseGroundMatrix(dmat), space)
+        algo = GTMStar(tau=4, cache_rows=2)
+        got, _ = algo.search(LazyGroundMatrix(pts, metric="euclidean",
+                                              cache_rows=2), space)
+        assert got == pytest.approx(want)
+
+    def test_gtm_star_cache_rows_validation(self):
+        with pytest.raises(ValueError):
+            GTMStar(cache_rows=0)
+
+
+class TestDispatcherRouting:
+    def test_lazy_oracle_uses_lazy_wavefront(self):
+        """The dispatcher must not require `.array` on lazy oracles."""
+        from repro.core.dp import expand_subset
+
+        pts = random_walk_points(80, 13)
+        space = self_space(80, 3)
+        lazy = LazyGroundMatrix(pts, metric="euclidean")
+        dense = DenseGroundMatrix(ground_matrix(pts))
+        i, j = next(iter(space.start_pairs()))
+        a, _ = expand_subset(lazy, space, i, j, np.inf, None)
+        b, _ = expand_subset(dense, space, i, j, np.inf, None)
+        assert a == pytest.approx(b)
+
+    def test_non_contiguous_matrix_view(self):
+        """The strided diagonal trick must honour arbitrary strides."""
+        pts = random_walk_points(40, 14)
+        big = ground_matrix(pts)
+        view = big[::1, ::1][5:35, 5:35]  # offset view, same buffer
+        space = self_space(30, 3)
+        a, _ = expand_subset_wavefront(view, space, 0, 12, np.inf, None)
+        dense = np.ascontiguousarray(view)
+        b, _ = expand_subset_wavefront(dense, space, 0, 12, np.inf, None)
+        assert a == pytest.approx(b)

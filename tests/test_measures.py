@@ -1,0 +1,223 @@
+"""Unit and property tests for DTW, LCSS, EDR, lock-step ED, Hausdorff."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.distances import (
+    directed_hausdorff,
+    directed_hausdorff_matrix,
+    discrete_frechet,
+    dtw,
+    dtw_matrix,
+    edr,
+    edr_matrix,
+    hausdorff,
+    lcss,
+    lcss_length_matrix,
+    lcss_similarity_matrix,
+    lockstep_distance,
+)
+from repro.errors import TrajectoryError
+
+point_seqs = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 10), st.just(2)),
+    elements=st.floats(-20.0, 20.0, allow_nan=False),
+)
+
+
+def line(n, y=0.0):
+    return np.column_stack([np.arange(n, dtype=float), np.full(n, y)])
+
+
+class TestDtw:
+    def test_identical_is_zero(self):
+        p = line(6)
+        assert dtw(p, p) == 0.0
+
+    def test_parallel_lines_lockstep(self):
+        p, q = line(5), line(5, y=2.0)
+        assert dtw(p, q) == pytest.approx(10.0)  # 5 matches x distance 2
+
+    def test_known_small_case(self):
+        # d matrix [[1, 2], [3, 1]]: path (0,0)->(1,1) diagonal = 2.
+        d = np.array([[1.0, 2.0], [3.0, 1.0]])
+        assert dtw_matrix(d) == pytest.approx(2.0)
+
+    def test_window_equals_unconstrained_when_wide(self):
+        rng = np.random.default_rng(0)
+        d = rng.random((8, 8))
+        assert dtw_matrix(d, window=8) == pytest.approx(dtw_matrix(d))
+
+    def test_window_restricts(self):
+        # Forcing the diagonal can only increase the cost.
+        rng = np.random.default_rng(1)
+        d = rng.random((10, 10))
+        assert dtw_matrix(d, window=0) >= dtw_matrix(d) - 1e-12
+
+    def test_window_zero_is_lockstep_sum(self):
+        rng = np.random.default_rng(2)
+        d = rng.random((6, 6))
+        assert dtw_matrix(d, window=0) == pytest.approx(np.trace(d))
+
+    def test_window_cannot_align_lengths(self):
+        with pytest.raises(TrajectoryError):
+            dtw_matrix(np.ones((3, 8)), window=2)
+
+    def test_negative_window(self):
+        with pytest.raises(TrajectoryError):
+            dtw_matrix(np.ones((3, 3)), window=-1)
+
+    def test_oversampling_inflates_dtw_not_dfd(self):
+        # The Figure 3 phenomenon in miniature.
+        rng = np.random.default_rng(3)
+        p = line(30)
+        dup = np.repeat(p, 5, axis=0) + rng.normal(0, 0.3, size=(150, 2))
+        assert dtw(p, dup) > 5 * dtw(p, p + 0.05)
+        assert discrete_frechet(p, dup) < 2.0
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, p, q):
+        assert dtw(p, q) == pytest.approx(dtw(q, p))
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_dfd_lower_bounds_dtw_over_length(self, p, q):
+        # max matched distance <= sum of matched distances.
+        assert discrete_frechet(p, q) <= dtw(p, q) + 1e-9
+
+
+class TestLcss:
+    def test_identical_full_match(self):
+        p = line(8)
+        assert lcss_length_matrix(np.zeros((8, 8)), eps=0.1) == 8
+        assert lcss(p, p, eps=0.1) == 0.0
+
+    def test_disjoint_no_match(self):
+        p, q = line(5), line(5, y=10.0)
+        assert lcss(p, q, eps=1.0) == 1.0
+
+    def test_half_match(self):
+        d = np.full((4, 4), 9.0)
+        np.fill_diagonal(d[:2, :2], 0.0)
+        assert lcss_length_matrix(d, eps=0.5) == 2
+        assert lcss_similarity_matrix(d, eps=0.5) == pytest.approx(0.5)
+
+    def test_delta_window(self):
+        # Matches allowed only within |i - j| <= delta.
+        d = np.full((4, 4), 9.0)
+        d[0, 3] = 0.0
+        assert lcss_length_matrix(d, eps=0.5) == 1
+        assert lcss_length_matrix(d, eps=0.5, delta=1) == 0
+
+    def test_subsequence_order_preserved(self):
+        # Crossing matches cannot both count.
+        d = np.full((2, 2), 9.0)
+        d[0, 1] = 0.0
+        d[1, 0] = 0.0
+        assert lcss_length_matrix(d, eps=0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(TrajectoryError):
+            lcss_length_matrix(np.ones((2, 2)), eps=-1.0)
+        with pytest.raises(TrajectoryError):
+            lcss_length_matrix(np.ones((2, 2)), eps=1.0, delta=-2)
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=25, deadline=None)
+    def test_distance_in_unit_interval(self, p, q):
+        assert 0.0 <= lcss(p, q, eps=5.0) <= 1.0
+
+
+class TestEdr:
+    def test_identical_zero_edits(self):
+        p = line(6)
+        assert edr(p, p, eps=0.1) == 0
+
+    def test_all_different_is_max_length(self):
+        p, q = line(4), line(6, y=50.0)
+        assert edr(p, q, eps=1.0) == 6  # 4 substitutions + 2 inserts
+
+    def test_single_insert(self):
+        p = line(5)
+        q = np.vstack([p, [[5.0, 0.0]]])
+        assert edr(p, q, eps=0.1) == 1
+
+    def test_matches_levenshtein_semantics(self):
+        # "kitten" -> "sitting" = 3 edits, encoded as 1-D points.
+        def encode(word):
+            return np.column_stack(
+                [[float(ord(c)) for c in word], np.zeros(len(word))]
+            )
+
+        assert edr(encode("kitten"), encode("sitting"), eps=0.5) == 3
+
+    def test_validation(self):
+        with pytest.raises(TrajectoryError):
+            edr_matrix(np.ones((2, 2)), eps=-0.5)
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry(self, p, q):
+        assert edr(p, q, eps=2.0) == edr(q, p, eps=2.0)
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=25, deadline=None)
+    def test_bounded_by_max_length(self, p, q):
+        assert 0 <= edr(p, q, eps=2.0) <= max(len(p), len(q))
+
+
+class TestLockstep:
+    def test_aggregates(self):
+        p, q = line(4), line(4, y=3.0)
+        assert lockstep_distance(p, q, aggregate="mean") == pytest.approx(3.0)
+        assert lockstep_distance(p, q, aggregate="sum") == pytest.approx(12.0)
+        assert lockstep_distance(p, q, aggregate="max") == pytest.approx(3.0)
+        assert lockstep_distance(p, q, aggregate="rms") == pytest.approx(3.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TrajectoryError):
+            lockstep_distance(line(4), line(5))
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(TrajectoryError):
+            lockstep_distance(line(4), line(4), aggregate="median")
+
+    def test_max_aggregate_upper_bounds_dfd(self):
+        rng = np.random.default_rng(4)
+        p = rng.normal(size=(12, 2))
+        q = rng.normal(size=(12, 2))
+        # The identity coupling is one valid coupling.
+        assert discrete_frechet(p, q) <= lockstep_distance(p, q, aggregate="max") + 1e-9
+
+
+class TestHausdorff:
+    def test_directed_asymmetry(self):
+        p = line(3)
+        q = np.vstack([p, [[0.0, 10.0]]])
+        assert directed_hausdorff(p, q) == pytest.approx(0.0)
+        assert directed_hausdorff(q, p) == pytest.approx(10.0)
+
+    def test_symmetric_is_max_of_directed(self):
+        rng = np.random.default_rng(5)
+        p, q = rng.normal(size=(8, 2)), rng.normal(size=(11, 2))
+        assert hausdorff(p, q) == pytest.approx(
+            max(directed_hausdorff(p, q), directed_hausdorff(q, p))
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            directed_hausdorff_matrix(np.empty((0, 2)))
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_hausdorff_lower_bounds_dfd(self, p, q):
+        # Every point participates in a DFD coupling, so both directed
+        # Hausdorff distances bound the DFD from below (join filter 3).
+        assert hausdorff(p, q) <= discrete_frechet(p, q) + 1e-9

@@ -1,0 +1,142 @@
+"""Tests for the public discover_motif facade and MotifResult."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    InfeasibleQueryError,
+    ReproError,
+    Trajectory,
+    discover_motif,
+    max_feasible_min_length,
+    search_space_for,
+)
+from repro.core import BTM
+
+from conftest import random_walk, random_walk_points
+
+
+class TestDiscoverMotif:
+    @pytest.mark.parametrize("algorithm", ["brute", "btm", "gtm", "gtm_star"])
+    def test_algorithms_agree_via_facade(self, algorithm):
+        traj = random_walk(45, 3)
+        result = discover_motif(traj, min_length=3, algorithm=algorithm)
+        reference = discover_motif(traj, min_length=3, algorithm="brute")
+        assert result.distance == pytest.approx(reference.distance)
+
+    def test_result_structure(self):
+        traj = random_walk(40, 4)
+        r = discover_motif(traj, min_length=3)
+        i, ie, j, je = r.indices
+        assert 0 <= i < ie < j < je <= traj.n - 1
+        assert ie - i > 3 and je - j > 3
+        assert r.first.parent is traj
+        assert r.second.parent is traj
+        assert not r.first.overlaps(r.second)
+        assert r.stats.time_total > 0
+        assert "MotifResult" in repr(r)
+
+    def test_accepts_raw_arrays(self):
+        pts = random_walk_points(40, 5)
+        r = discover_motif(pts, min_length=3)
+        assert r.distance >= 0
+
+    def test_cross_mode(self):
+        a, b = random_walk(30, 6), random_walk(35, 7)
+        r = discover_motif(a, b, min_length=3)
+        assert r.first.parent is a
+        assert r.second.parent is b
+        rb = discover_motif(a, b, min_length=3, algorithm="brute")
+        assert r.distance == pytest.approx(rb.distance)
+
+    def test_motif_distance_matches_subtrajectories(self):
+        from repro.distances import discrete_frechet
+
+        traj = random_walk(42, 8)
+        r = discover_motif(traj, min_length=4)
+        direct = discrete_frechet(r.first.points, r.second.points)
+        assert direct == pytest.approx(r.distance)
+
+    def test_latlon_uses_haversine_by_default(self):
+        rng = np.random.default_rng(1)
+        pts = np.column_stack(
+            [39.9 + rng.normal(0, 1e-3, 30).cumsum(),
+             116.4 + rng.normal(0, 1e-3, 30).cumsum()]
+        )
+        traj = Trajectory(pts, crs="latlon")
+        r = discover_motif(traj, min_length=3)
+        r_euclid = discover_motif(traj, min_length=3, metric="euclidean")
+        # Haversine distances are in metres, Euclidean in degrees.
+        assert r.distance > r_euclid.distance * 1000
+
+    def test_algorithm_options_forwarded(self):
+        traj = random_walk(40, 9)
+        r = discover_motif(traj, min_length=3, algorithm="gtm", tau=4)
+        assert r.distance >= 0
+
+    def test_algorithm_instance_accepted(self):
+        traj = random_walk(40, 10)
+        r = discover_motif(traj, min_length=3, algorithm=BTM(variant="tight"))
+        assert r.distance >= 0
+
+    def test_instance_plus_options_rejected(self):
+        traj = random_walk(40, 10)
+        with pytest.raises(ReproError):
+            discover_motif(traj, min_length=3, algorithm=BTM(), tau=4)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ReproError):
+            discover_motif(random_walk(40, 11), min_length=3, algorithm="magic")
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleQueryError):
+            discover_motif(random_walk(10, 12), min_length=5)
+
+    def test_gtm_star_alias(self):
+        traj = random_walk(36, 13)
+        a = discover_motif(traj, min_length=3, algorithm="gtm_star")
+        b = discover_motif(traj, min_length=3, algorithm="gtm*")
+        assert a.distance == pytest.approx(b.distance)
+
+
+class TestHelpers:
+    def test_search_space_for(self):
+        space = search_space_for(random_walk(30, 1), min_length=4)
+        assert space.mode == "self"
+        assert space.n_rows == 30
+        cross = search_space_for(
+            random_walk(30, 1), random_walk(20, 2), min_length=4
+        )
+        assert cross.mode == "cross"
+        assert cross.n_cols == 20
+
+    def test_max_feasible_min_length_self(self):
+        for n in (10, 11, 25, 100):
+            xi = max_feasible_min_length(n)
+            assert xi >= 1
+            search_space_for(random_walk(n, 0), min_length=xi)
+            with pytest.raises(InfeasibleQueryError):
+                search_space_for(random_walk(n, 0), min_length=xi + 1)
+
+    def test_max_feasible_min_length_cross(self):
+        n = 12
+        xi = max_feasible_min_length(n, cross=True)
+        search_space_for(
+            random_walk(n, 0), random_walk(n, 1), min_length=xi
+        )
+        with pytest.raises(InfeasibleQueryError):
+            search_space_for(
+                random_walk(n, 0), random_walk(n, 1), min_length=xi + 1
+            )
+
+    def test_stats_fields_filled(self):
+        r = discover_motif(random_walk(50, 14), min_length=3, algorithm="btm")
+        s = r.stats
+        assert s.subsets_total > 0
+        assert s.subsets_expanded >= 1
+        assert 0 <= s.pruning_ratio <= 1
+        assert abs(sum(s.breakdown().values()) - 1.0) < 1e-9
+        assert s.space_bytes > 0
+        assert "btm" in s.summary()

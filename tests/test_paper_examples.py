@@ -1,0 +1,139 @@
+"""Golden tests: every worked numeric example in the paper's Sections 4-5.
+
+The Figure 5 matrix fixture was decoded from the paper text; these tests
+pin the decode and, more importantly, pin our implementations of the
+DFD recurrence, every lower bound, and the grouping machinery to the
+paper's own arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bounds import TightBounds
+from repro.core.grouping import GroupLevel, group_dfd_bounds
+from repro.core.problem import self_space
+from repro.distances import dfd_matrix, dfd_matrix_recursive
+
+
+def sub_dfd(mat, i, ie, j, je):
+    return dfd_matrix(mat[i : ie + 1, j : je + 1])
+
+
+class TestFigure5Decode:
+    def test_matrix_is_symmetric_zero_diagonal(self, fig5_matrix):
+        assert np.array_equal(fig5_matrix, fig5_matrix.T)
+        assert np.array_equal(np.diag(fig5_matrix), np.zeros(12))
+
+    def test_figure6_block(self, fig5_matrix):
+        # Figure 6(a): the relevant part of dG for S_{0,3} vs S_{6,9};
+        # rows are i = 0..3, columns are j = 6..9.
+        expected = np.array(
+            [
+                [1, 1, 3, 2],
+                [2, 3, 1, 2],
+                [3, 2, 1, 4],
+                [2, 3, 2, 1],
+            ]
+        )
+        assert np.array_equal(fig5_matrix[0:4, 6:10], expected)
+
+
+class TestSection41Examples:
+    """Non-monotonicity example (Lemma 1) and Figure 6."""
+
+    def test_dfd_values_of_lemma1(self, fig5_matrix):
+        assert sub_dfd(fig5_matrix, 0, 2, 6, 9) == 4
+        assert sub_dfd(fig5_matrix, 0, 3, 6, 9) == 1
+        assert sub_dfd(fig5_matrix, 0, 4, 6, 9) == 7
+
+    def test_non_monotonicity(self, fig5_matrix):
+        # S_{0,2} subset of S_{0,3} subset of S_{0,4}: the DFD first
+        # decreases (4 -> 1) then increases (1 -> 7): not monotone.
+        d1 = sub_dfd(fig5_matrix, 0, 2, 6, 9)
+        d2 = sub_dfd(fig5_matrix, 0, 3, 6, 9)
+        d3 = sub_dfd(fig5_matrix, 0, 4, 6, 9)
+        assert d2 < d1 and d2 < d3
+
+    def test_recursive_oracle_agrees(self, fig5_matrix):
+        assert dfd_matrix_recursive(fig5_matrix[0:4, 6:10]) == 1
+
+
+class TestSection42Examples:
+    """Cell, cross and band bound examples."""
+
+    def test_lb_cell_5_9(self, fig5_matrix):
+        # LBcell(5, 9) = dG(5, 9) = 6; exact DFD of (S_{5,6}, S_{9,11}) is 7.
+        assert fig5_matrix[5, 9] == 6
+        assert sub_dfd(fig5_matrix, 5, 6, 9, 11) == 7
+
+    def test_start_cross_4_8(self, fig5_matrix):
+        space = self_space(12, 1)
+        tight = TightBounds(space, fig5_matrix)
+        assert tight.row(4, 8) == 6
+        assert tight.col(4, 8) == 6
+        assert tight.start_cross(4, 8) == 6
+
+    def test_end_cross_3_9(self, fig5_matrix):
+        # Example under Eq. 9: xi=2, end-cell (3, 9) -> bound 7.
+        space = self_space(12, 2)
+        tight = TightBounds(space, fig5_matrix)
+        assert tight.row(3, 9) == 6
+        assert tight.col(3, 9) == 7
+        assert tight.end_cross(3, 9) == 7
+
+    def test_row_band_1_6(self, fig5_matrix):
+        # Figure 8(a): xi=4 -> per-row minima 2, 1, 1, 6 -> band 6.
+        space = self_space(12, 4)
+        tight = TightBounds(space, fig5_matrix)
+        assert tight.row(1, 6) == 2
+        assert tight.row(1, 7) == 1
+        assert tight.row(1, 8) == 1
+        assert tight.row(1, 9) == 6
+        assert tight.band_row(1, 6) == 6
+
+    def test_col_band_1_8(self, fig5_matrix):
+        # Figure 8(b): xi=4 -> per-column minima 1, 1, 5, 6 -> band 6.
+        space = self_space(12, 4)
+        tight = TightBounds(space, fig5_matrix)
+        assert tight.col(1, 8) == 1
+        assert tight.col(2, 8) == 1
+        assert tight.col(3, 8) == 5
+        assert tight.col(4, 8) == 6
+        assert tight.band_col(1, 8) == 6
+
+
+class TestSection51Examples:
+    """Grouping: Figure 10's dmin/dmax between groups g2 and g5."""
+
+    def test_group_min_max_g2_g5(self, fig5_matrix):
+        level = GroupLevel.from_matrix(fig5_matrix, tau=2, mode="self")
+        assert level.n_row_groups == 6
+        assert level.gmin[2, 5] == 6
+        assert level.gmax[2, 5] == 9
+
+    def test_group_extents(self, fig5_matrix):
+        level = GroupLevel.from_matrix(fig5_matrix, tau=2, mode="self")
+        assert list(level.row_starts) == [0, 2, 4, 6, 8, 10]
+        assert list(level.row_ends) == [1, 3, 5, 7, 9, 11]
+
+    def test_group_dfd_bounds_bracket_exact(self, fig5_matrix):
+        """Lemma 3 on the Figure 5 data: dFmin <= dF <= dFmax.
+
+        (Figure 12's printed numbers come from a different example
+        matrix, so the property -- not the figure's values -- is
+        checked here, exhaustively over valid candidates.)
+        """
+        space = self_space(12, 2)
+        level = GroupLevel.from_matrix(fig5_matrix, tau=2, mode="self")
+        glb, gub = group_dfd_bounds(level, space, 0, 3, bsf=np.inf, early_stop=False)
+        # Candidates with i in g0={0,1}, j in g3={6,7}.
+        exact = []
+        for i in (0, 1):
+            for j in (6, 7):
+                for ie in range(i + 3, j):
+                    for je in range(j + 3, 12):
+                        exact.append(sub_dfd(fig5_matrix, i, ie, j, je))
+        assert exact, "the group pair must contain candidates"
+        assert glb <= min(exact)
+        assert gub >= min(exact)

@@ -1,0 +1,141 @@
+"""Unit tests for the search-space geometry (index ranges, feasibility)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import SearchSpace, cross_space, self_space
+from repro.errors import InfeasibleQueryError
+
+
+class TestFeasibility:
+    def test_minimum_self_size(self):
+        # Need n >= 2 xi + 4: xi=3 -> n >= 10.
+        self_space(10, 3)
+        with pytest.raises(InfeasibleQueryError):
+            self_space(9, 3)
+
+    def test_minimum_cross_size(self):
+        cross_space(5, 5, 3)
+        with pytest.raises(InfeasibleQueryError):
+            cross_space(4, 5, 3)
+        with pytest.raises(InfeasibleQueryError):
+            cross_space(5, 4, 3)
+
+    def test_xi_validation(self):
+        with pytest.raises(InfeasibleQueryError):
+            self_space(100, 0)
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            SearchSpace("diagonal", 10, 10, 2)
+
+    def test_self_requires_square(self):
+        with pytest.raises(ValueError):
+            SearchSpace("self", 10, 12, 2)
+
+
+class TestStartPairs:
+    @pytest.mark.parametrize("n,xi", [(10, 3), (20, 3), (25, 6), (12, 2)])
+    def test_every_self_pair_has_a_candidate(self, n, xi):
+        space = self_space(n, xi)
+        pairs = list(space.start_pairs())
+        assert pairs, "feasible space must have start pairs"
+        for i, j in pairs:
+            ie = i + xi + 1
+            je = j + xi + 1
+            assert space.is_valid_candidate(i, ie, j, je), (i, ie, j, je)
+
+    @pytest.mark.parametrize("n,m,xi", [(8, 12, 2), (15, 9, 4)])
+    def test_every_cross_pair_has_a_candidate(self, n, m, xi):
+        space = cross_space(n, m, xi)
+        for i, j in space.start_pairs():
+            assert space.is_valid_candidate(i, i + xi + 1, j, j + xi + 1)
+
+    def test_no_valid_pair_outside_enumeration(self):
+        # Every valid candidate's (i, j) must appear in start_pairs.
+        n, xi = 14, 2
+        space = self_space(n, xi)
+        enumerated = set(space.start_pairs())
+        for i in range(n):
+            for j in range(n):
+                has_candidate = any(
+                    space.is_valid_candidate(i, ie, j, je)
+                    for ie in range(i + 1, n)
+                    for je in range(j + 1, n)
+                )
+                assert has_candidate == ((i, j) in enumerated), (i, j)
+
+    def test_count_matches_enumeration(self):
+        for n, xi in [(12, 2), (20, 4), (30, 5)]:
+            space = self_space(n, xi)
+            assert space.count_start_pairs() == len(list(space.start_pairs()))
+
+    def test_minimal_space_single_pair(self):
+        space = self_space(10, 3)
+        assert list(space.start_pairs()) == [(0, 5)]
+
+
+class TestCandidateValidity:
+    def test_self_constraints(self):
+        space = self_space(20, 3)
+        assert space.is_valid_candidate(0, 4, 5, 9)
+        assert not space.is_valid_candidate(0, 3, 5, 9)  # too short
+        assert not space.is_valid_candidate(0, 4, 5, 8)  # second too short
+        assert not space.is_valid_candidate(0, 5, 5, 9)  # overlap (ie == j)
+        assert not space.is_valid_candidate(5, 9, 0, 4)  # wrong order
+        assert not space.is_valid_candidate(0, 4, 15, 20)  # je out of range
+
+    def test_cross_allows_any_positions(self):
+        space = cross_space(10, 10, 3)
+        assert space.is_valid_candidate(5, 9, 0, 4)  # order-free
+        assert space.is_valid_candidate(0, 4, 0, 4)  # overlap-free by mode
+
+
+class TestLimits:
+    def test_ie_limit_self_stops_before_j(self):
+        space = self_space(20, 3)
+        assert space.ie_limit(0, 7) == 6
+
+    def test_ie_limit_cross_full(self):
+        space = cross_space(20, 15, 3)
+        assert space.ie_limit(0, 7) == 19
+
+    def test_je_limit(self):
+        assert self_space(20, 3).je_limit(0, 7) == 19
+        assert cross_space(20, 15, 3).je_limit(0, 7) == 14
+
+    def test_total_candidates_estimate_positive(self):
+        assert self_space(15, 2).total_candidates_estimate() > 0
+
+
+class TestBoundRanges:
+    def test_row_range_self_excludes_j(self):
+        space = self_space(20, 3)
+        lo, hi = space.row_bound_range(2, 9)
+        assert (lo, hi) == (2, 8)
+
+    def test_row_range_cross_full(self):
+        space = cross_space(20, 15, 3)
+        assert space.row_bound_range(2, 9) == (2, 19)
+
+    def test_col_range(self):
+        assert self_space(20, 3).col_bound_range(2, 9) == (9, 19)
+
+    def test_rmin_cmin_ranges_are_supersets(self):
+        # Lemma 2 requirement: relaxation ranges contain the tight ones
+        # for every feasible subset.
+        space = self_space(24, 3)
+        for i, j in space.start_pairs():
+            r_lo, r_hi = space.row_bound_range(i, j)
+            rm_lo, rm_hi = space.rmin_range(j)
+            assert rm_lo <= r_lo and rm_hi >= r_hi
+            c_lo, c_hi = space.col_bound_range(i, j)
+            cm_lo, cm_hi = space.cmin_range(i)
+            assert cm_lo <= c_lo and cm_hi >= c_hi
+
+    def test_cmin_excludes_diagonal_self(self):
+        space = self_space(24, 3)
+        for i in range(space.i_max + 1):
+            lo, _hi = space.cmin_range(i)
+            assert lo > i + 1  # never reads dG(i+1, i+1) = 0

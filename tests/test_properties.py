@@ -1,0 +1,167 @@
+"""Cross-cutting hypothesis invariants for the whole library.
+
+These are the mathematical identities a DFD motif library must satisfy
+regardless of implementation strategy; several of them caught real bugs
+during development (see docs/algorithms.md §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import Trajectory, discover_motif
+from repro.distances import (
+    discrete_frechet,
+    dfd_matrix,
+    dtw,
+    hausdorff,
+    lockstep_distance,
+)
+from repro.errors import TrajectoryError
+from repro.distances.ground import DenseGroundMatrix
+
+point_seqs = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(2, 12), st.just(2)),
+    elements=st.floats(-25.0, 25.0, allow_nan=False),
+)
+
+walk_seeds = st.integers(0, 100_000)
+
+
+def walk(seed: int, n: int = 32) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 2)).cumsum(axis=0)
+
+
+class TestDfdInvariances:
+    @given(point_seqs, point_seqs, st.floats(0.1, 10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_equivariance(self, p, q, factor):
+        base = discrete_frechet(p, q)
+        scaled = discrete_frechet(p * factor, q * factor)
+        assert scaled == pytest.approx(base * factor, rel=1e-9, abs=1e-9)
+
+    @given(point_seqs, point_seqs,
+           st.floats(-100, 100), st.floats(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_translation_invariance(self, p, q, tx, ty):
+        t = np.array([tx, ty])
+        assert discrete_frechet(p + t, q + t) == pytest.approx(
+            discrete_frechet(p, q), abs=1e-9
+        )
+
+    @given(point_seqs, st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicating_a_point_changes_nothing(self, p, pos):
+        """Couplings may pause, so repeating a vertex is free for DFD
+        (unlike DTW, which pays for every extra sample)."""
+        pos = pos % p.shape[0]
+        dup = np.insert(p, pos, p[pos], axis=0)
+        assert discrete_frechet(p, dup) == pytest.approx(0.0, abs=1e-12)
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_reversal_symmetry(self, p, q):
+        """Reversing both curves preserves the DFD (paths reverse)."""
+        assert discrete_frechet(p[::-1], q[::-1]) == pytest.approx(
+            discrete_frechet(p, q), abs=1e-9
+        )
+
+    @given(point_seqs, point_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_sandwich(self, p, q):
+        """Hausdorff <= DFD <= lock-step max (for equal lengths)."""
+        d = discrete_frechet(p, q)
+        assert hausdorff(p, q) <= d + 1e-9
+        if p.shape == q.shape:
+            assert d <= lockstep_distance(p, q, aggregate="max") + 1e-9
+
+    @given(point_seqs)
+    @settings(max_examples=20, deadline=None)
+    def test_dtw_zero_iff_dfd_zero(self, p):
+        assert dtw(p, p) == 0.0
+        assert discrete_frechet(p, p) == 0.0
+
+
+class TestMotifInvariances:
+    @given(walk_seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_motif_translation_invariance(self, seed):
+        pts = walk(seed)
+        a = discover_motif(Trajectory(pts), min_length=3, algorithm="btm")
+        b = discover_motif(
+            Trajectory(pts + 1000.0), min_length=3, algorithm="btm"
+        )
+        assert a.indices == b.indices
+        assert a.distance == pytest.approx(b.distance, rel=1e-9, abs=1e-9)
+
+    @given(walk_seeds, st.floats(0.5, 4.0))
+    @settings(max_examples=12, deadline=None)
+    def test_motif_scale_equivariance(self, seed, factor):
+        pts = walk(seed)
+        a = discover_motif(Trajectory(pts), min_length=3, algorithm="btm")
+        b = discover_motif(Trajectory(pts * factor), min_length=3,
+                           algorithm="btm")
+        assert b.distance == pytest.approx(a.distance * factor, rel=1e-9)
+
+    @given(walk_seeds, st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=12, deadline=None)
+    def test_gtm_tau_invariance(self, seed, tau):
+        """The answer never depends on the grouping granularity."""
+        pts = walk(seed, n=40)
+        base = discover_motif(Trajectory(pts), min_length=3, algorithm="btm")
+        gtm = discover_motif(
+            Trajectory(pts), min_length=3, algorithm="gtm", tau=tau
+        )
+        assert gtm.distance == pytest.approx(base.distance, abs=1e-9)
+
+    @given(walk_seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_motif_distance_bounded_by_any_candidate(self, seed):
+        """The motif beats a spot-check candidate pair."""
+        pts = walk(seed, n=36)
+        traj = Trajectory(pts)
+        result = discover_motif(traj, min_length=3, algorithm="btm")
+        spot = discrete_frechet(pts[0:5], pts[10:16])
+        assert result.distance <= spot + 1e-9
+
+    @given(walk_seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_self_motif_upper_bounds_planted_revisit(self, seed):
+        """Planting an exact revisit caps the motif distance at ~0."""
+        pts = walk(seed, n=40)
+        pts[30:36] = pts[5:11]
+        result = discover_motif(Trajectory(pts), min_length=4,
+                                algorithm="gtm", tau=4)
+        assert result.distance <= 1e-9
+
+
+class TestValidationProperties:
+    def test_dense_oracle_rejects_nan(self):
+        m = np.zeros((4, 4))
+        m[1, 2] = np.nan
+        with pytest.raises(TrajectoryError):
+            DenseGroundMatrix(m)
+
+    def test_dense_oracle_rejects_inf(self):
+        m = np.zeros((4, 4))
+        m[3, 0] = np.inf
+        with pytest.raises(TrajectoryError):
+            DenseGroundMatrix(m)
+
+    def test_validation_can_be_disabled(self):
+        m = np.zeros((4, 4))
+        m[1, 2] = np.inf
+        assert DenseGroundMatrix(m, validate=False).value(1, 2) == np.inf
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 6),
+                                                        st.integers(1, 6)),
+                      elements=st.floats(0, 100, allow_nan=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_dfd_value_always_in_matrix(self, m):
+        assert dfd_matrix(m) in m

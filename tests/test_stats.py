@@ -1,0 +1,74 @@
+"""Tests for SearchStats counters and the phase timer."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.stats import PhaseTimer, SearchStats
+
+
+class TestSearchStats:
+    def test_defaults(self):
+        s = SearchStats()
+        assert s.subsets_pruned == 0
+        assert s.pruning_ratio == 0.0
+        assert s.space_mb() == 0.0
+
+    def test_pruning_ratio(self):
+        s = SearchStats(subsets_total=100, pruned_by_cell=80, pruned_by_cross=10)
+        assert s.subsets_pruned == 90
+        assert s.pruning_ratio == 0.9
+
+    def test_breakdown_fractions(self):
+        s = SearchStats(
+            subsets_total=10,
+            pruned_by_cell=5,
+            pruned_by_cross=2,
+            pruned_by_band=1,
+            subsets_expanded=2,
+        )
+        b = s.breakdown()
+        assert b == {"LBcell": 0.5, "LBcross": 0.2, "LBband": 0.1, "DFD": 0.2}
+        assert sum(b.values()) == 1.0
+
+    def test_space_mb(self):
+        s = SearchStats(space_bytes=2 * 1024 * 1024)
+        assert s.space_mb() == 2.0
+
+    def test_merge(self):
+        a = SearchStats(subsets_total=5, pruned_by_cell=3, cells_expanded=10,
+                        space_bytes=100)
+        b = SearchStats(subsets_total=7, pruned_by_cell=4, cells_expanded=20,
+                        space_bytes=50)
+        a.merge_group_stats(b)
+        assert a.subsets_total == 12
+        assert a.pruned_by_cell == 7
+        assert a.cells_expanded == 30
+        assert a.space_bytes == 100  # max, not sum
+
+    def test_summary_contains_key_fields(self):
+        s = SearchStats(algorithm="btm", n_rows=10, n_cols=10, xi=2,
+                        subsets_total=4, subsets_expanded=1)
+        text = s.summary()
+        assert "btm" in text and "xi=2" in text
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        s = SearchStats()
+        with PhaseTimer(s, "time_dp"):
+            time.sleep(0.01)
+        first = s.time_dp
+        assert first >= 0.009
+        with PhaseTimer(s, "time_dp"):
+            time.sleep(0.01)
+        assert s.time_dp > first
+
+    def test_accumulates_on_exception(self):
+        s = SearchStats()
+        try:
+            with PhaseTimer(s, "time_bounds"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert s.time_bounds > 0

@@ -1,0 +1,104 @@
+"""Tests for exact sliding-window motif maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, discover_motif
+from repro.errors import InfeasibleQueryError, ReproError
+from repro.extensions import StreamingMotif
+
+from conftest import random_walk_points
+
+
+class TestLifecycle:
+    def test_not_ready_before_minimum(self):
+        stream = StreamingMotif(window=30, min_length=3)
+        pts = random_walk_points(9, 1)
+        for pt in pts:
+            assert stream.append(pt) is None
+        assert not stream.ready
+
+    def test_ready_at_minimum(self):
+        stream = StreamingMotif(window=30, min_length=3)
+        result = stream.extend(random_walk_points(10, 2))
+        assert stream.ready
+        assert result is not None
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(InfeasibleQueryError):
+            StreamingMotif(window=9, min_length=3)
+
+    def test_dimension_change_rejected(self):
+        stream = StreamingMotif(window=30, min_length=3)
+        stream.append([0.0, 0.0])
+        with pytest.raises(ReproError):
+            stream.append([0.0, 0.0, 0.0])
+
+    def test_buffer_capped_at_window(self):
+        stream = StreamingMotif(window=20, min_length=3)
+        stream.extend(random_walk_points(50, 3))
+        assert stream.size == 20
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_from_scratch_every_step(self, seed):
+        """The streaming answer equals an independent discovery on the
+        current window contents after every single append."""
+        window, xi = 24, 3
+        stream = StreamingMotif(window=window, min_length=xi)
+        pts = random_walk_points(45, seed + 10)
+        buffered = []
+        for pt in pts:
+            buffered.append(pt)
+            buffered = buffered[-window:]
+            got = stream.append(pt)
+            if got is None:
+                continue
+            fresh = discover_motif(
+                Trajectory(np.vstack(buffered)), min_length=xi,
+                algorithm="btm",
+            )
+            assert got.distance == pytest.approx(fresh.distance), len(buffered)
+
+    def test_planted_revisit_detected_on_arrival(self):
+        """The motif drops to ~0 the moment a revisit completes."""
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(40, 2)).cumsum(axis=0)
+        revisit = base[5:15] + rng.normal(0, 1e-6, size=(10, 2))
+        stream = StreamingMotif(window=60, min_length=6)
+        stream.extend(base)
+        before = stream.last_result.distance
+        result = stream.extend(revisit)
+        assert result.distance < 1e-4 < before
+
+    def test_eviction_forgets_old_motif(self):
+        """Once the planted pair slides out of the window the motif
+        distance grows back."""
+        rng = np.random.default_rng(8)
+        base = rng.normal(size=(30, 2)).cumsum(axis=0)
+        revisit = base[5:15]
+        tail = base[-1] + rng.normal(size=(80, 2)).cumsum(axis=0) * 3.0
+        stream = StreamingMotif(window=50, min_length=6)
+        stream.extend(base)
+        small = stream.extend(revisit).distance
+        assert small < 1e-9
+        after = stream.extend(tail).distance
+        assert after > small
+
+    def test_warm_seed_reduces_work(self):
+        """With a stable window, warm seeding expands fewer subsets
+        than fresh searches would."""
+        pts = random_walk_points(80, 9)
+        stream = StreamingMotif(window=40, min_length=4)
+        stream.extend(pts[:40])
+        first_total = stream.subsets_expanded_total
+        stream.extend(pts[40:44])
+        incremental = stream.subsets_expanded_total - first_total
+        # Fresh per-step cost for comparison.
+        fresh = discover_motif(
+            Trajectory(pts[4:44]), min_length=4, algorithm="btm"
+        ).stats.subsets_expanded
+        assert incremental / 4 <= fresh * 2  # typically far smaller

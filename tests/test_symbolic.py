@@ -1,0 +1,144 @@
+"""Tests for the symbolic baseline (Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.symbolic import (
+    ALPHABET,
+    fragment_headings,
+    longest_repeated_substring,
+    symbolic_motif,
+    symbolize,
+)
+from repro.trajectory import Trajectory, translate
+from repro.datasets import make_trajectory
+
+
+def path_from_moves(moves, step=10.0):
+    """Build a trajectory from unit moves ('N', 'E', 'S', 'W')."""
+    deltas = {"N": (0, 1), "E": (1, 0), "S": (0, -1), "W": (-1, 0)}
+    pts = [(0.0, 0.0)]
+    for mv in moves:
+        dx, dy = deltas[mv]
+        for _ in range(4):
+            x, y = pts[-1]
+            pts.append((x + dx * step, y + dy * step))
+    return Trajectory(np.asarray(pts))
+
+
+class TestSymbolize:
+    def test_alphabet_only(self):
+        t = make_trajectory("truck", 300, seed=1)
+        s = symbolize(t, fragment_length=8)
+        assert set(s) <= set(ALPHABET)
+        assert len(s) == (t.n - 1) // 7
+
+    def test_vertical_and_horizontal(self):
+        north = path_from_moves("NNNN")
+        east = path_from_moves("EEEE")
+        assert set(symbolize(north, fragment_length=5)) == {"V"}
+        assert set(symbolize(east, fragment_length=5)) == {"H"}
+
+    def test_left_turn_detected(self):
+        # East then north: a counter-clockwise (left) turn.
+        t = path_from_moves("EENN")
+        s = symbolize(t, fragment_length=5)
+        assert "L" in s
+
+    def test_right_turn_detected(self):
+        t = path_from_moves("EESS")
+        s = symbolize(t, fragment_length=5)
+        assert "R" in s
+
+    def test_translation_invariance_failure_mode(self):
+        """The Figure 4 phenomenon: same string, different city."""
+        t = make_trajectory("truck", 250, seed=3)
+        far = translate(t, (17.0, 17.0))
+        assert symbolize(t, 8) == symbolize(far, 8)
+
+    def test_too_short_rejected(self):
+        t = path_from_moves("E")
+        with pytest.raises(TrajectoryError):
+            symbolize(t, fragment_length=50)
+
+    def test_fragment_length_validation(self):
+        with pytest.raises(TrajectoryError):
+            symbolize(path_from_moves("EE"), fragment_length=1)
+
+    def test_headings_shape(self):
+        t = path_from_moves("EENN")
+        h = fragment_headings(t, 5)
+        assert h.shape == (4,)
+        assert h[0] == pytest.approx(0.0)
+        assert h[-1] == pytest.approx(np.pi / 2)
+
+
+def naive_lrs(text):
+    """O(n^3) reference for the longest repeated non-overlapping substring."""
+    n = len(text)
+    best = None
+    for length in range(n // 2, 0, -1):
+        for a in range(n - 2 * length + 1):
+            for b in range(a + length, n - length + 1):
+                if text[a : a + length] == text[b : b + length]:
+                    return (a, b, length)
+    return best
+
+
+class TestLongestRepeatedSubstring:
+    @pytest.mark.parametrize(
+        "text,expected_length",
+        [
+            ("abcabc", 3),
+            ("aaaa", 2),
+            ("abab", 2),
+            ("abcdef", 0),
+            ("xyxyxyxy", 4),
+            ("a", 0),
+            ("", 0),
+        ],
+    )
+    def test_known_lengths(self, text, expected_length):
+        got = longest_repeated_substring(text)
+        if expected_length == 0:
+            assert got is None
+        else:
+            a, b, length = got
+            assert length == expected_length
+            assert text[a : a + length] == text[b : b + length]
+            assert a + length <= b
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_naive_on_random_strings(self, seed):
+        rng = np.random.default_rng(seed)
+        text = "".join(rng.choice(list("VHLR"), size=rng.integers(2, 40)))
+        got = longest_repeated_substring(text)
+        want = naive_lrs(text)
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[2] == want[2]  # same (maximal) length
+            a, b, length = got
+            assert text[a : a + length] == text[b : b + length]
+            assert a + length <= b
+
+
+class TestSymbolicMotif:
+    def test_maps_back_to_point_indices(self):
+        t = make_trajectory("figure_eight", 300, seed=0)
+        frag = 8
+        s = symbolize(t, frag)
+        found = symbolic_motif(s, frag)
+        assert found is not None
+        (i0, i1), (j0, j1), length = found
+        assert length >= 1
+        assert i1 - i0 == j1 - j0 == length * (frag - 1)
+        assert i1 <= j0  # non-overlapping in point space
+        assert j1 <= t.n
+
+    def test_none_when_no_repeat(self):
+        assert symbolic_motif("VHLR", 8) is None

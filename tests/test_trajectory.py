@@ -1,0 +1,199 @@
+"""Unit tests for the Trajectory / Subtrajectory data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectory import Subtrajectory, Trajectory
+
+
+def make(n=10, d=2, crs="plane"):
+    pts = np.arange(n * d, dtype=float).reshape(n, d)
+    return Trajectory(pts, crs=crs)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = make(5)
+        assert t.n == len(t) == 5
+        assert t.dimensions == 2
+        assert t.crs == "plane"
+
+    def test_default_timestamps(self):
+        t = make(4)
+        assert np.array_equal(t.timestamps, [0, 1, 2, 3])
+
+    def test_custom_timestamps(self):
+        t = Trajectory([[0, 0], [1, 1]], [10.0, 20.5])
+        assert t.duration == 10.5
+
+    def test_three_dimensional_points(self):
+        t = Trajectory(np.zeros((3, 3)) + np.arange(3)[:, None])
+        assert t.dimensions == 3
+
+    def test_points_are_read_only(self):
+        t = make(3)
+        with pytest.raises(ValueError):
+            t.points[0, 0] = 99.0
+
+    def test_timestamps_read_only(self):
+        t = make(3)
+        with pytest.raises(ValueError):
+            t.timestamps[0] = -1.0
+
+    def test_id_carried(self):
+        t = Trajectory([[0, 0], [1, 1]], trajectory_id="abc")
+        assert t.trajectory_id == "abc"
+        assert "abc" in repr(t)
+
+    def test_with_id(self):
+        t = make(3).with_id("renamed")
+        assert t.trajectory_id == "renamed"
+
+    def test_with_timestamps(self):
+        t = make(3).with_timestamps([5.0, 6.0, 9.0])
+        assert t.duration == 4.0
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(np.empty((0, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(np.arange(4.0))
+
+    def test_rejects_single_coordinate(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory(np.zeros((4, 1)))
+
+    def test_rejects_nan(self):
+        pts = np.zeros((3, 2))
+        pts[1, 0] = np.nan
+        with pytest.raises(TrajectoryError):
+            Trajectory(pts)
+
+    def test_rejects_inf(self):
+        pts = np.zeros((3, 2))
+        pts[2, 1] = np.inf
+        with pytest.raises(TrajectoryError):
+            Trajectory(pts)
+
+    def test_rejects_descending_timestamps(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([[0, 0], [1, 1]], [2.0, 1.0])
+
+    def test_rejects_duplicate_timestamps(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([[0, 0], [1, 1]], [1.0, 1.0])
+
+    def test_rejects_wrong_timestamp_length(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([[0, 0], [1, 1]], [0.0, 1.0, 2.0])
+
+    def test_rejects_unknown_crs(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([[0, 0], [1, 1]], crs="mars")
+
+    def test_rejects_nan_timestamps(self):
+        with pytest.raises(TrajectoryError):
+            Trajectory([[0, 0], [1, 1]], [0.0, np.nan])
+
+
+class TestIndexing:
+    def test_point_access(self):
+        t = make(5)
+        assert np.array_equal(t[2], [4.0, 5.0])
+
+    def test_slice_returns_trajectory(self):
+        t = make(10)
+        s = t[2:6]
+        assert isinstance(s, Trajectory)
+        assert s.n == 4
+        assert np.array_equal(s.points[0], t.points[2])
+        assert np.array_equal(s.timestamps, t.timestamps[2:6])
+
+    def test_slice_step_rejected(self):
+        with pytest.raises(TrajectoryError):
+            make(10)[0:8:2]
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(TrajectoryError):
+            make(10)[5:5]
+
+    def test_iteration(self):
+        assert len(list(make(7))) == 7
+
+    def test_equality_and_hash(self):
+        a, b = make(5), make(5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != make(6)
+        assert a != Trajectory(make(5).points, crs="latlon")
+
+    def test_equality_other_type(self):
+        assert make(3) != "not a trajectory"
+
+
+class TestSubtrajectory:
+    def test_view_basics(self, small_walk):
+        v = small_walk.subtrajectory(3, 9)
+        assert v.start == 3 and v.end == 9
+        assert v.n == len(v) == 7
+        assert np.array_equal(v.points, small_walk.points[3:10])
+        assert v.crs == small_walk.crs
+
+    def test_time_interval(self, small_walk):
+        v = small_walk.subtrajectory(0, 5)
+        assert v.time_interval == (0.0, 5.0)
+        assert v.duration == 5.0
+
+    def test_invalid_ranges(self, small_walk):
+        n = small_walk.n
+        for start, end in [(-1, 3), (3, 3), (5, 2), (0, n)]:
+            with pytest.raises(TrajectoryError):
+                small_walk.subtrajectory(start, end)
+
+    def test_to_trajectory(self, small_walk):
+        v = small_walk.subtrajectory(2, 8)
+        t = v.to_trajectory()
+        assert isinstance(t, Trajectory)
+        assert t.n == 7
+        assert np.array_equal(t.points, v.points)
+
+    def test_overlap_detection(self, small_walk):
+        a = small_walk.subtrajectory(0, 5)
+        b = small_walk.subtrajectory(5, 9)
+        c = small_walk.subtrajectory(6, 9)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert b.overlaps(c)
+
+    def test_overlap_different_parent(self, small_walk, medium_walk):
+        a = small_walk.subtrajectory(0, 5)
+        b = medium_walk.subtrajectory(0, 5)
+        assert not a.overlaps(b)
+
+    def test_containment(self, small_walk):
+        outer = small_walk.subtrajectory(2, 10)
+        inner = small_walk.subtrajectory(3, 9)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_equality(self, small_walk):
+        assert small_walk.subtrajectory(1, 4) == small_walk.subtrajectory(1, 4)
+        assert small_walk.subtrajectory(1, 4) != small_walk.subtrajectory(1, 5)
+        assert hash(small_walk.subtrajectory(1, 4)) == hash(
+            small_walk.subtrajectory(1, 4)
+        )
+
+    def test_repr(self, small_walk):
+        assert "[3..9]" in repr(small_walk.subtrajectory(3, 9))
+
+    def test_direct_constructor_validates(self, small_walk):
+        with pytest.raises(TrajectoryError):
+            Subtrajectory(small_walk, 5, 5)

@@ -1,0 +1,154 @@
+"""Unit tests for trajectory readers/writers (PLT, CSV, JSON)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectory import (
+    Trajectory,
+    load_directory,
+    read_csv,
+    read_json,
+    read_plt,
+    write_csv,
+    write_json,
+    write_plt,
+)
+
+
+@pytest.fixture
+def latlon_traj():
+    rng = np.random.default_rng(0)
+    pts = np.column_stack(
+        [39.9 + rng.random(20) * 0.01, 116.4 + rng.random(20) * 0.01]
+    )
+    return Trajectory(pts, np.arange(20) * 5.0, crs="latlon", trajectory_id="t0")
+
+
+@pytest.fixture
+def plane_traj():
+    rng = np.random.default_rng(1)
+    return Trajectory(rng.normal(size=(15, 2)), np.arange(15.0), trajectory_id="p0")
+
+
+class TestPlt:
+    def test_round_trip(self, latlon_traj, tmp_path):
+        path = tmp_path / "track.plt"
+        write_plt(latlon_traj, path)
+        back = read_plt(path)
+        assert back.n == latlon_traj.n
+        assert np.allclose(back.points, latlon_traj.points, atol=1e-6)
+        assert np.allclose(back.timestamps, latlon_traj.timestamps, atol=1e-3)
+        assert back.crs == "latlon"
+        assert back.trajectory_id == "track"
+
+    def test_write_requires_latlon(self, plane_traj, tmp_path):
+        with pytest.raises(TrajectoryError):
+            write_plt(plane_traj, tmp_path / "x.plt")
+
+    def test_read_rejects_headers_only(self, tmp_path):
+        path = tmp_path / "empty.plt"
+        path.write_text("\n".join(["h"] * 6) + "\n")
+        with pytest.raises(TrajectoryError):
+            read_plt(path)
+
+    def test_read_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.plt"
+        path.write_text("\n".join(["h"] * 6 + ["1.0,2.0"]) + "\n")
+        with pytest.raises(TrajectoryError):
+            read_plt(path)
+
+    def test_duplicate_second_timestamps_are_nudged(self, tmp_path):
+        path = tmp_path / "dup.plt"
+        day = 25569.0
+        rows = ["h"] * 6 + [
+            f"39.9,116.4,0,0,{day:.10f},,",
+            f"39.9,116.5,0,0,{day:.10f},,",  # identical timestamp
+        ]
+        path.write_text("\n".join(rows) + "\n")
+        traj = read_plt(path)
+        assert traj.n == 2
+        assert traj.timestamps[1] > traj.timestamps[0]
+
+
+class TestCsv:
+    def test_round_trip_with_header(self, plane_traj, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(plane_traj, path)
+        back = read_csv(path)
+        assert np.allclose(back.points, plane_traj.points)
+        assert np.allclose(back.timestamps, plane_traj.timestamps)
+
+    def test_round_trip_without_header(self, plane_traj, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(plane_traj, path, header=False)
+        back = read_csv(path)  # auto-detect: no header
+        assert back.n == plane_traj.n
+
+    def test_header_autodetect_explicit(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("t,x,y\n0,1,2\n1,3,4\n")
+        assert read_csv(path).n == 2
+        assert read_csv(path, has_header=True).n == 2
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(TrajectoryError):
+            read_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("t,x,y\n")
+        with pytest.raises(TrajectoryError):
+            read_csv(path)
+
+    def test_too_few_columns_rejected(self, tmp_path):
+        path = tmp_path / "c.csv"
+        path.write_text("0,1\n1,2\n")
+        with pytest.raises(TrajectoryError):
+            read_csv(path)
+
+    def test_three_dimensional_round_trip(self, tmp_path):
+        traj = Trajectory(np.arange(12.0).reshape(4, 3), np.arange(4.0))
+        path = tmp_path / "t3.csv"
+        write_csv(traj, path)
+        back = read_csv(path)
+        assert back.dimensions == 3
+        assert np.allclose(back.points, traj.points)
+
+
+class TestJson:
+    def test_round_trip(self, latlon_traj, tmp_path):
+        path = tmp_path / "t.json"
+        write_json(latlon_traj, path)
+        back = read_json(path)
+        assert back == latlon_traj
+        assert back.trajectory_id == latlon_traj.trajectory_id
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"points": [[0,0],[1,1]]}')
+        with pytest.raises(TrajectoryError):
+            read_json(path)
+
+
+class TestLoadDirectory:
+    def test_loads_sorted(self, latlon_traj, tmp_path):
+        write_plt(latlon_traj.with_id("b"), tmp_path / "b.plt")
+        write_plt(latlon_traj.with_id("a"), tmp_path / "a.plt")
+        out = load_directory(tmp_path)
+        assert [t.trajectory_id for t in out] == ["a", "b"]
+
+    def test_pattern_filtering(self, latlon_traj, plane_traj, tmp_path):
+        write_plt(latlon_traj, tmp_path / "x.plt")
+        write_csv(plane_traj, tmp_path / "y.csv")
+        assert len(load_directory(tmp_path, "*.plt")) == 1
+        assert len(load_directory(tmp_path, "*.csv")) == 1
+
+    def test_unknown_format_rejected(self, tmp_path):
+        (tmp_path / "z.xyz").write_text("nope")
+        with pytest.raises(TrajectoryError):
+            load_directory(tmp_path, "*.xyz")

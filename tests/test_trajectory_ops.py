@@ -1,0 +1,198 @@
+"""Unit tests for trajectory transformations (repro.trajectory.ops)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrajectoryError
+from repro.trajectory import (
+    Trajectory,
+    add_gaussian_noise,
+    concatenate,
+    douglas_peucker,
+    drop_samples,
+    path_length,
+    resample_uniform,
+    scale,
+    sliding_windows,
+    translate,
+)
+
+
+def line(n=10, dt=1.0):
+    pts = np.column_stack([np.arange(n, dtype=float), np.zeros(n)])
+    return Trajectory(pts, np.arange(n) * dt)
+
+
+class TestConcatenate:
+    def test_lengths_and_order(self):
+        a, b = line(5), line(7)
+        c = concatenate([a, b], time_gap=2.0)
+        assert c.n == 12
+        assert np.array_equal(c.points[:5], a.points)
+        assert np.array_equal(c.points[5:], b.points)
+
+    def test_timestamps_ascending_with_gap(self):
+        c = concatenate([line(3), line(3)], time_gap=5.0)
+        assert (np.diff(c.timestamps) > 0).all()
+        assert c.timestamps[3] - c.timestamps[2] == 5.0
+
+    def test_single_input(self):
+        c = concatenate([line(4)])
+        assert c.n == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrajectoryError):
+            concatenate([])
+
+    def test_mixed_crs_rejected(self):
+        a = line(3)
+        b = Trajectory(a.points, a.timestamps, crs="latlon")
+        with pytest.raises(TrajectoryError):
+            concatenate([a, b])
+
+    def test_nonpositive_gap_rejected(self):
+        with pytest.raises(TrajectoryError):
+            concatenate([line(3), line(3)], time_gap=0.0)
+
+    def test_mixed_dims_rejected(self):
+        a = line(3)
+        b = Trajectory(np.zeros((3, 3)) + np.arange(3)[:, None])
+        with pytest.raises(TrajectoryError):
+            concatenate([a, b])
+
+
+class TestResample:
+    def test_uniform_grid(self):
+        t = line(10, dt=2.0)
+        r = resample_uniform(t, period=1.0)
+        assert np.allclose(np.diff(r.timestamps), 1.0)
+        # Linear motion: interpolation is exact.
+        assert np.allclose(r.points[:, 0], r.timestamps / 2.0)
+
+    def test_downsample(self):
+        r = resample_uniform(line(10), period=3.0)
+        assert r.n == 4  # t = 0, 3, 6, 9
+
+    def test_invalid_period(self):
+        with pytest.raises(TrajectoryError):
+            resample_uniform(line(5), period=0.0)
+
+
+class TestDropSamples:
+    def test_keeps_endpoints(self):
+        t = line(100)
+        d = drop_samples(t, 0.5, rng=np.random.default_rng(0))
+        assert np.array_equal(d.points[0], t.points[0])
+        assert np.array_equal(d.points[-1], t.points[-1])
+        assert d.n < t.n
+
+    def test_zero_fraction_is_identity(self):
+        t = line(20)
+        d = drop_samples(t, 0.0, rng=np.random.default_rng(0))
+        assert d.n == t.n
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TrajectoryError):
+            drop_samples(line(5), 1.0)
+
+    def test_timestamps_stay_ascending(self):
+        d = drop_samples(line(200), 0.7, rng=np.random.default_rng(3))
+        assert (np.diff(d.timestamps) > 0).all()
+
+
+class TestNoiseAndAffine:
+    def test_noise_changes_points_not_times(self):
+        t = line(30)
+        noisy = add_gaussian_noise(t, 0.5, rng=np.random.default_rng(1))
+        assert not np.array_equal(noisy.points, t.points)
+        assert np.array_equal(noisy.timestamps, t.timestamps)
+
+    def test_zero_sigma_identity(self):
+        t = line(5)
+        assert np.array_equal(add_gaussian_noise(t, 0.0).points, t.points)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(TrajectoryError):
+            add_gaussian_noise(line(5), -1.0)
+
+    def test_translate(self):
+        t = translate(line(4), (2.0, -1.0))
+        assert np.array_equal(t.points[0], [2.0, -1.0])
+
+    def test_translate_wrong_shape(self):
+        with pytest.raises(TrajectoryError):
+            translate(line(4), (1.0, 2.0, 3.0))
+
+    def test_scale_about_centroid(self):
+        t = line(5)
+        s = scale(t, 2.0)
+        assert np.allclose(s.points.mean(axis=0), t.points.mean(axis=0))
+        assert np.allclose(s.points[-1] - s.points[0], 2 * (t.points[-1] - t.points[0]))
+
+    def test_scale_requires_plane(self):
+        t = Trajectory(line(5).points, crs="latlon")
+        with pytest.raises(TrajectoryError):
+            scale(t, 2.0)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(TrajectoryError):
+            scale(line(5), 0.0)
+
+
+class TestPathLength:
+    def test_straight_line(self):
+        assert path_length(line(11)) == pytest.approx(10.0)
+
+    def test_latlon_uses_haversine(self):
+        pts = np.array([[0.0, 0.0], [0.0, 1.0]])  # 1 degree longitude at equator
+        t = Trajectory(pts, crs="latlon")
+        assert path_length(t) == pytest.approx(111_195, rel=0.01)
+
+
+class TestSlidingWindows:
+    def test_count_and_shape(self):
+        wins = list(sliding_windows(line(10), length=4, step=2))
+        assert len(wins) == 4
+        assert all(w.n == 4 for w in wins)
+
+    def test_stride_one(self):
+        assert len(list(sliding_windows(line(10), length=3))) == 8
+
+    def test_invalid_args(self):
+        with pytest.raises(TrajectoryError):
+            list(sliding_windows(line(10), length=1))
+        with pytest.raises(TrajectoryError):
+            list(sliding_windows(line(10), length=3, step=0))
+
+
+class TestDouglasPeucker:
+    def test_straight_line_collapses(self):
+        simplified = douglas_peucker(line(50), epsilon=0.01)
+        assert simplified.n == 2
+
+    def test_zigzag_preserved(self):
+        n = 21
+        pts = np.column_stack([np.arange(n, dtype=float), np.zeros(n)])
+        pts[1::2, 1] = 5.0  # tall zigzag
+        t = Trajectory(pts)
+        simplified = douglas_peucker(t, epsilon=1.0)
+        assert simplified.n == n  # every vertex deviates > epsilon
+
+    def test_endpoints_kept(self):
+        t = line(30)
+        s = douglas_peucker(t, epsilon=100.0)
+        assert np.array_equal(s.points[0], t.points[0])
+        assert np.array_equal(s.points[-1], t.points[-1])
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(TrajectoryError):
+            douglas_peucker(line(5), -0.5)
+
+    def test_epsilon_monotone(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(60, 2)).cumsum(axis=0)
+        t = Trajectory(pts)
+        sizes = [douglas_peucker(t, eps).n for eps in (0.1, 0.5, 2.0, 8.0)]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,123 @@
+"""Tests for the ASCII visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import discover_motif
+from repro.datasets import make_trajectory
+from repro.distances import frechet_path, ground_matrix
+from repro.errors import ReproError
+from repro.viz import render_matrix, render_motif, render_series, render_trajectory
+
+from conftest import random_walk
+
+
+class TestRenderTrajectory:
+    def test_dimensions(self):
+        art = render_trajectory(random_walk(100, 1), width=40, height=12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_contains_track_dots(self):
+        art = render_trajectory(random_walk(100, 2))
+        assert "." in art
+
+    def test_highlights_drawn(self):
+        art = render_trajectory(
+            random_walk(100, 3), highlights={"A": (0, 20), "B": (50, 70)}
+        )
+        assert "A" in art and "B" in art
+
+    def test_highlight_bounds_checked(self):
+        with pytest.raises(ReproError):
+            render_trajectory(random_walk(50, 4), highlights={"A": (40, 60)})
+
+    def test_canvas_validation(self):
+        with pytest.raises(ReproError):
+            render_trajectory(random_walk(50, 5), width=4, height=2)
+
+    def test_latlon_swaps_axes(self):
+        t = make_trajectory("geolife", 100, seed=1)
+        art = render_trajectory(t)
+        assert len(art.splitlines()) == 24
+
+    def test_degenerate_single_location(self):
+        from repro.trajectory import Trajectory
+
+        t = Trajectory(np.zeros((10, 2)) + 5.0)
+        art = render_trajectory(t)
+        assert "." in art
+
+
+class TestRenderMotif:
+    def test_motif_overlay(self):
+        traj = random_walk(120, 6)
+        result = discover_motif(traj, min_length=5)
+        art = render_motif(result)
+        assert "A" in art and "B" in art
+        assert "DFD" in art
+
+    def test_cross_mode_rejected(self):
+        a, b = random_walk(40, 7), random_walk(40, 8)
+        result = discover_motif(a, b, min_length=3)
+        with pytest.raises(ReproError):
+            render_motif(result)
+
+
+class TestRenderMatrix:
+    def test_small_matrix_full_resolution(self, fig5_matrix):
+        art = render_matrix(fig5_matrix)
+        rows = art.splitlines()
+        assert len(rows) == 13  # 12 rows + legend
+        assert all(len(r) == 12 for r in rows[:-1])
+
+    def test_downsampling(self):
+        rng = np.random.default_rng(0)
+        art = render_matrix(rng.random((200, 200)), max_size=40)
+        assert len(art.splitlines()[0]) <= 50
+
+    def test_path_overlay(self):
+        d = ground_matrix(random_walk(20, 9).points)
+        _, path = frechet_path(d)
+        art = render_matrix(d, path=path)
+        assert "o" in art
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_matrix(np.zeros(5))
+
+    def test_constant_matrix(self):
+        art = render_matrix(np.ones((5, 5)))
+        assert art  # no division by zero
+
+
+class TestRenderSeries:
+    def test_basic_chart(self):
+        art = render_series(
+            "demo", [100, 200, 400],
+            {"btm": [0.1, 0.5, 2.0], "gtm": [0.05, 0.1, 0.4]},
+        )
+        assert "demo" in art
+        assert "o=btm" in art and "x=gtm" in art
+        assert "log10" in art
+
+    def test_none_values_skipped(self):
+        art = render_series(
+            "demo", [1, 2, 3], {"brute": [1.0, None, None]}
+        )
+        assert "brute" in art
+
+    def test_linear_scale(self):
+        art = render_series("demo", [1, 2], {"a": [1.0, 2.0]}, log_y=False)
+        assert "linear" in art
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_series("demo", [1, 2], {})
+        with pytest.raises(ReproError):
+            render_series("demo", [1, 2], {"a": [1.0]})
+        with pytest.raises(ReproError):
+            render_series("demo", [1], {"a": [None]})
