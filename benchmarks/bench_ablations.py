@@ -13,7 +13,7 @@ from repro.core.dp import expand_subset_scalar, expand_subset_wavefront
 from repro.core.problem import self_space
 from repro.distances.ground import DenseGroundMatrix, ground_matrix
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 NS = SCALES[bench_scale()]
 

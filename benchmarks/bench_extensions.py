@@ -17,7 +17,7 @@ from repro.extensions import (
 )
 from repro.trajectory import sliding_windows
 
-from conftest import bench_scale
+from repro.bench import bench_scale
 
 N = SCALES[bench_scale()][-1]
 XI = default_xi(N)

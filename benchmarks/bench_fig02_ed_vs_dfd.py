@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import fig02_ed_vs_dfd
 
-from conftest import save_table
+from repro.bench import save_table
 
 
 def test_fig02_ed_vs_dfd(benchmark, scale):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import fig03_dtw_vs_dfd
 
-from conftest import save_table
+from repro.bench import save_table
 
 
 def test_fig03_dtw_vs_dfd(benchmark):

@@ -7,7 +7,7 @@ from repro.bench.experiments import fig04_symbolic
 from repro.datasets import make_trajectory
 from repro.symbolic import symbolize
 
-from conftest import save_table
+from repro.bench import save_table
 
 TRUCK = make_trajectory("truck", 200, seed=0)
 

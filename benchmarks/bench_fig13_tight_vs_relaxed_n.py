@@ -12,7 +12,7 @@ import pytest
 from repro.bench import SCALES, run_motif
 from repro.bench.experiments import fig13_tight_vs_relaxed_n
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 NS = SCALES[bench_scale()]
 

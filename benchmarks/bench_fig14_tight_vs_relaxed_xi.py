@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import fig14_tight_vs_relaxed_xi
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 
 def test_fig14_shape(benchmark):

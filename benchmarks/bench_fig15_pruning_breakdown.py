@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import fig15_pruning_breakdown
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 
 def test_fig15_breakdown(benchmark):

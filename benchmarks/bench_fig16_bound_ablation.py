@@ -11,7 +11,7 @@ import pytest
 from repro.bench import SCALES, run_motif
 from repro.bench.experiments import fig16_bound_ablation
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 NS = SCALES[bench_scale()]
 COMBOS = {

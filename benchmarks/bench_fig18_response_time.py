@@ -13,7 +13,7 @@ import pytest
 from repro.bench import SCALES, run_motif
 from repro.bench.experiments import DATASETS, fig18_response_time
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 NS = SCALES[bench_scale()]
 ALGOS = ("brute", "btm", "gtm", "gtm_star")

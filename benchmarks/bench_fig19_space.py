@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.bench import SCALES, run_motif
 from repro.bench.experiments import fig19_space
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 NS = SCALES[bench_scale()]
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.bench.experiments import fig20_min_length
 
-from conftest import bench_scale, save_table
+from repro.bench import bench_scale, save_table
 
 
 def test_fig20_shape(benchmark):

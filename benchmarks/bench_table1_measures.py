@@ -12,7 +12,7 @@ import pytest
 from repro.bench.experiments import sampling_testbed, table1_measures
 from repro.distances import discrete_frechet, dtw, edr, lcss, lockstep_distance
 
-from conftest import save_table
+from repro.bench import save_table
 
 S_A, S_B, _, _ = sampling_testbed(n=200, seed=0)
 

@@ -4,29 +4,32 @@ Every paper table/figure has one ``bench_*`` file here.  Benchmarks run
 at the ``smoke`` scale by default so the whole suite finishes in
 minutes; set ``REPRO_BENCH_SCALE=quick`` (or ``full``) for the larger
 sweeps reported in EXPERIMENTS.md.  Result tables are also written as
-JSON to ``benchmarks/results/`` for archival.
+JSON to ``benchmarks/results/`` (override with ``REPRO_BENCH_RESULTS``)
+for archival.
+
+The helpers themselves (``bench_scale``, ``save_table``) live in
+:mod:`repro.bench.harness`; importing them from ``conftest`` used to
+shadow ``tests/conftest.py`` and break collection of the test suite.
 """
 
 from __future__ import annotations
 
-import os
+import sys
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+# Allow running `pytest benchmarks` from a source checkout without an
+# installed package (the tier-1 pytest config only adds src/ for tests/).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
+from repro.bench import bench_scale, results_dir, save_table  # noqa: E402,F401
 
-def bench_scale() -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+RESULTS_DIR = results_dir()
 
 
 @pytest.fixture(scope="session")
 def scale() -> str:
     return bench_scale()
-
-
-def save_table(table) -> None:
-    """Archive an experiment table next to the benchmark outputs."""
-    name = table.title.split(":")[0].strip().lower().replace(" ", "_")
-    table.save_json(RESULTS_DIR / f"{name}.json")

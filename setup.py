@@ -1,8 +1,10 @@
 """Setup shim.
 
-Metadata lives in ``setup.cfg``.  A ``setup.py`` is kept so that
-``pip install -e .`` works in offline environments without the
-``wheel`` package (pip falls back to the legacy develop install).
+Metadata lives in ``setup.cfg`` (declarative setuptools config; the
+packages are found under ``src/``).  A ``setup.py`` is kept so that
+``python setup.py develop`` works in offline environments without the
+``wheel`` package (``pip install -e .`` needs ``wheel`` for its PEP 660
+editable build; both paths read the same setup.cfg metadata).
 """
 
 from setuptools import setup

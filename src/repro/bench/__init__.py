@@ -4,11 +4,15 @@ from .harness import (
     DEFAULT_TIMEOUT,
     SCALES,
     RunRecord,
+    bench_scale,
+    bench_workers,
     default_tau,
     default_xi,
     pair_for,
+    results_dir,
     run_motif,
     run_motif_averaged,
+    save_table,
     timed,
     trajectory_for,
 )
@@ -22,11 +26,15 @@ __all__ = [
     "RunRecord",
     "SCALES",
     "Table",
+    "bench_scale",
+    "bench_workers",
     "default_tau",
     "default_xi",
     "pair_for",
+    "results_dir",
     "run_motif",
     "run_motif_averaged",
+    "save_table",
     "timed",
     "trajectory_for",
 ]

@@ -9,12 +9,14 @@ pruning ratios, space growth), which transfer across implementations.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
-from ..core import MotifTimeout, SearchStats, discover_motif
+from ..core import MotifTimeout, SearchStats
 from ..core.motif import MotifResult
 from ..datasets import get_dataset
 from ..trajectory import Trajectory
@@ -34,6 +36,41 @@ SCALES: Dict[str, Tuple[int, ...]] = {
 DEFAULT_TIMEOUT = 120.0
 
 
+def bench_scale() -> str:
+    """The benchmark scale preset, from ``REPRO_BENCH_SCALE`` (smoke)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def bench_workers() -> int:
+    """Worker count for engine-backed runs, from ``REPRO_BENCH_WORKERS``."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def results_dir() -> Path:
+    """Directory for archived benchmark tables.
+
+    ``REPRO_BENCH_RESULTS`` wins; otherwise a source checkout's
+    ``benchmarks/results`` (anchored at the repo root, so the target
+    does not wander with the CWD), falling back to a CWD-relative path
+    for installed packages.
+    """
+    override = os.environ.get("REPRO_BENCH_RESULTS")
+    if override:
+        return Path(override)
+    repo_root = Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "results"
+    return Path("benchmarks/results")
+
+
+def save_table(table, directory: Optional[Path] = None) -> Path:
+    """Archive an experiment table as JSON next to the benchmark outputs."""
+    name = table.title.split(":")[0].strip().lower().replace(" ", "_")
+    out = (results_dir() if directory is None else Path(directory)) / f"{name}.json"
+    table.save_json(out)
+    return out
+
+
 def default_xi(n: int) -> int:
     """The scaled minimum motif length for a trajectory of length n."""
     return max(4, int(n * XI_RATIO))
@@ -47,6 +84,31 @@ def default_tau(n: int) -> int:
     pruning power at our smaller n.
     """
     return max(2, n // 128)
+
+
+_HARNESS_ENGINE = None
+
+
+def harness_engine():
+    """The engine all timed harness runs go through.
+
+    Caches are disabled so every cell pays its full precompute cost --
+    the per-figure comparisons stay faithful to the paper's setting.
+    ``REPRO_BENCH_WORKERS`` > 1 switches every cell to the partitioned
+    parallel path (off by default: the figures compare algorithms, not
+    the engine).
+    """
+    global _HARNESS_ENGINE
+    if _HARNESS_ENGINE is None:
+        from ..engine import MotifEngine
+
+        _HARNESS_ENGINE = MotifEngine(
+            workers=bench_workers(),
+            oracle_cache_size=0,
+            tables_cache_size=0,
+            result_cache_size=0,
+        )
+    return _HARNESS_ENGINE
 
 
 @lru_cache(maxsize=64)
@@ -104,7 +166,7 @@ def run_motif(
         options.setdefault("tau", default_tau(n))
     start = time.perf_counter()
     try:
-        result: MotifResult = discover_motif(
+        result: MotifResult = harness_engine().discover(
             first, second, min_length=xi, algorithm=algorithm, **options
         )
     except MotifTimeout:

@@ -20,9 +20,25 @@ from typing import List, Optional
 
 from . import __version__
 from .bench import EXPERIMENTS, SCALES
-from .core import discover_motif
 from .datasets import dataset_names, get_dataset
+from .engine import MotifEngine, default_engine
 from .trajectory import read_csv, read_json, read_plt
+
+
+def _engine_for(args: argparse.Namespace) -> MotifEngine:
+    """The engine backing one CLI invocation.
+
+    ``--workers N`` builds a dedicated parallel engine; the default
+    shares the process-wide serial engine (and its caches).
+    """
+    workers = getattr(args, "workers", 1)
+    if workers is None:
+        workers = 1
+    if workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if workers > 1:
+        return MotifEngine(workers=workers)
+    return default_engine()
 
 
 def _load_input(path: str):
@@ -50,7 +66,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         options["tau"] = args.tau
     if args.timeout is not None:
         options["timeout"] = args.timeout
-    result = discover_motif(
+    result = _engine_for(args).discover(
         traj, second, min_length=args.min_length,
         algorithm=args.algorithm, **options,
     )
@@ -81,13 +97,11 @@ def _cmd_discover(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
-    from .extensions import discover_top_k_motifs
-
     if args.input:
         traj = _load_input(args.input)
     else:
         traj = get_dataset(args.dataset or "geolife", seed=args.seed).generate(args.n)
-    ranked = discover_top_k_motifs(traj, min_length=args.min_length, k=args.k)
+    ranked = _engine_for(args).top_k(traj, min_length=args.min_length, k=args.k)
     for motif in ranked:
         i, ie, j, je = motif.indices
         print(f"#{motif.rank}: S[{i}..{ie}] ~ S[{j}..{je}]  "
@@ -154,7 +168,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} -- motif discovery with discrete Frechet distance")
     print("reproduction of Tang, Yiu, Mouratidis, Wang (EDBT 2017)")
-    print(f"algorithms: brute_dp, btm, gtm, gtm_star")
+    print(f"algorithms: brute_dp, btm, gtm, gtm_star (engine: --workers N)")
     print(f"datasets:   {', '.join(dataset_names())}")
     print(f"experiments: {', '.join(EXPERIMENTS)}")
     return 0
@@ -181,6 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["brute", "btm", "gtm", "gtm_star"])
     p.add_argument("--tau", type=int, help="group size for gtm/gtm_star")
     p.add_argument("--timeout", type=float, help="wall-clock budget (seconds)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="partition the search across N worker processes")
     p.add_argument("--stats", action="store_true", help="print search statistics")
     p.add_argument("--plot", action="store_true",
                    help="render the motif as ASCII art")
@@ -193,6 +209,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--min-length", type=int, required=True)
     p.add_argument("--k", type=int, default=5)
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker processes (the top-k search itself "
+                        "currently runs serially; see ROADMAP)")
     p.set_defaults(func=_cmd_topk)
 
     p = sub.add_parser("cluster", help="DFD subtrajectory clustering")

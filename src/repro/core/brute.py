@@ -12,6 +12,8 @@ from __future__ import annotations
 import time
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..errors import ReproError
 from .dp import Best, expand_subset
 from .problem import SearchSpace
@@ -35,15 +37,27 @@ class BruteDP:
         self.timeout = timeout
 
     def search(
-        self, oracle, space: SearchSpace, stats: Optional[SearchStats] = None
+        self,
+        oracle,
+        space: SearchSpace,
+        stats: Optional[SearchStats] = None,
+        bsf0: float = float("inf"),
+        best0: Best = None,
     ) -> Tuple[float, Best]:
-        """Return ``(distance, (i, ie, j, je))`` of the motif."""
+        """Return ``(distance, (i, ie, j, je))`` of the motif.
+
+        ``bsf0`` / ``best0`` seed the scan with an external threshold.
+        An unwitnessed seed (``best0 is None``) is nudged one ulp up so
+        a candidate exactly equal to it is still recorded as witness.
+        """
         stats = stats if stats is not None else SearchStats()
         stats.algorithm = self.name
         start_time = time.perf_counter()
         deadline = None if self.timeout is None else start_time + self.timeout
-        bsf = float("inf")
-        best: Best = None
+        bsf = float(bsf0)
+        if best0 is None and bsf != float("inf"):
+            bsf = float(np.nextafter(bsf, np.inf))
+        best: Best = best0
         n_subsets = 0
         for i, j in space.start_pairs():
             bsf, best = expand_subset(

@@ -156,9 +156,21 @@ class BTM:
         self.timeout = timeout
 
     def search(
-        self, oracle, space: SearchSpace, stats: Optional[SearchStats] = None
+        self,
+        oracle,
+        space: SearchSpace,
+        stats: Optional[SearchStats] = None,
+        bsf0: float = float("inf"),
+        best0: Best = None,
     ) -> Tuple[float, Best]:
-        """Return ``(distance, (i, ie, j, je))`` of the motif."""
+        """Return ``(distance, (i, ie, j, je))`` of the motif.
+
+        ``bsf0`` / ``best0`` seed the best-first loop with an external
+        threshold: a witnessed pair (streaming warm starts) or an
+        unwitnessed bound (the engine's witness-resolution pass).  A
+        correct unwitnessed seed never changes the answer -- only the
+        amount of work (see the witness rule in the module docstring).
+        """
         stats = stats if stats is not None else SearchStats()
         stats.algorithm = f"{self.name}[{self.variant}]"
         started_at = time.perf_counter()
@@ -180,6 +192,7 @@ class BTM:
                 )
         bsf, best = run_best_first(
             oracle, space, bounds, tables, stats,
+            bsf=float(bsf0), best=best0,
             use_kills=self.use_end_kill,
             approx_factor=self.approx_factor,
             timeout=self.timeout,

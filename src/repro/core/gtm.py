@@ -87,9 +87,19 @@ class GTM:
 
     # ------------------------------------------------------------------
     def search(
-        self, oracle, space: SearchSpace, stats: Optional[SearchStats] = None
+        self,
+        oracle,
+        space: SearchSpace,
+        stats: Optional[SearchStats] = None,
+        bsf0: float = float("inf"),
+        best0: Best = None,
     ) -> Tuple[float, Best]:
-        """Return ``(distance, (i, ie, j, je))`` of the motif."""
+        """Return ``(distance, (i, ie, j, je))`` of the motif.
+
+        ``bsf0`` / ``best0`` seed the search with an external threshold
+        (see :meth:`repro.core.btm.BTM.search`); a correct seed only
+        reduces work, never changes the answer.
+        """
         if not hasattr(oracle, "array"):
             raise ValueError("GTM requires a dense ground matrix (see GTMStar)")
         stats = stats if stats is not None else SearchStats()
@@ -98,8 +108,8 @@ class GTM:
         deadline = None if self.timeout is None else started_at + self.timeout
         dmat = oracle.array
 
-        bsf = float("inf")
-        best: Best = None
+        bsf = float(bsf0)
+        best: Best = best0
         tau = min(self.tau, max(self.min_tau, space.n_rows // 2))
         pairs: Optional[List[Tuple[int, int]]] = None
         survivors: List[Tuple[int, int]] = []

@@ -72,12 +72,20 @@ class GTMStar:
         self.timeout = timeout
 
     def search(
-        self, oracle, space: SearchSpace, stats: Optional[SearchStats] = None
+        self,
+        oracle,
+        space: SearchSpace,
+        stats: Optional[SearchStats] = None,
+        bsf0: float = float("inf"),
+        best0: Best = None,
     ) -> Tuple[float, Best]:
         """Return ``(distance, (i, ie, j, je))`` of the motif.
 
         ``oracle`` should be a :class:`LazyGroundMatrix`; a dense oracle
-        also works (the space benefit is then forfeited).
+        also works (the space benefit is then forfeited).  ``bsf0`` /
+        ``best0`` seed the search with an external threshold (see
+        :meth:`repro.core.btm.BTM.search`); a correct seed only reduces
+        work, never changes the answer.
         """
         stats = stats if stats is not None else SearchStats()
         stats.algorithm = self.name
@@ -91,9 +99,9 @@ class GTMStar:
             tables_g = GroupBoundTables.build(level, space.xi)
             lbs = pattern_bounds_for_pairs(level, tables_g, pairs)
             order = np.argsort(lbs, kind="stable")
-            bsf = float("inf")
-            best: Best = None
-            witnessed = False
+            bsf = float(bsf0)
+            best: Best = best0
+            witnessed = best0 is not None
             survivors: List[Tuple[int, int]] = []
             stats.group_pairs_considered += len(pairs)
             for count, k in enumerate(order):

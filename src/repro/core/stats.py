@@ -41,6 +41,12 @@ class SearchStats:
     #: Times the best-so-far improved.
     bsf_updates: int = 0
 
+    #: Engine chunk-scan work (parallel distance phase).  Kept separate
+    #: from the serial counters above so the witness-resolution pass
+    #: does not double-count the subset space in the paper figures.
+    scan_subsets_expanded: int = 0
+    scan_cells_expanded: int = 0
+
     #: Group-level counters (GTM / GTM*): per-level survivor counts.
     group_levels: Dict[int, int] = field(default_factory=dict)
     group_pairs_considered: int = 0

@@ -1,0 +1,25 @@
+"""Batched, cached, parallel motif discovery (the engine layer).
+
+:class:`MotifEngine` is the production facade over the serial paper
+algorithms in :mod:`repro.core`: it caches ground oracles and results
+by content fingerprint, partitions single queries' candidate start
+pairs across a process pool with best-so-far sharing, and fans corpus
+batches out one query per worker -- while returning answers
+byte-identical to the serial algorithms (see ``tests/test_engine.py``).
+"""
+
+from .cache import LRUCache, fingerprint_array, fingerprint_points
+from .engine import MatrixMotifResult, MotifEngine, default_engine
+from .partition import deal_indices, plan_chunks, slice_bounds
+
+__all__ = [
+    "LRUCache",
+    "MatrixMotifResult",
+    "MotifEngine",
+    "deal_indices",
+    "default_engine",
+    "fingerprint_array",
+    "fingerprint_points",
+    "plan_chunks",
+    "slice_bounds",
+]

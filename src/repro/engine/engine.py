@@ -1,0 +1,707 @@
+"""The :class:`MotifEngine` facade: cached, batched, parallel discovery.
+
+The serial algorithms in :mod:`repro.core` answer one query on one
+trajectory.  Production workloads look different: the same trajectories
+are queried repeatedly (serving), many trajectories are queried at once
+(corpus analytics), and multi-core hosts sit idle while a single
+best-first loop runs.  The engine closes that gap with three layers:
+
+1. **Caching** -- ground matrices, lazy oracles, bound tables and whole
+   results are cached by content fingerprint (:mod:`repro.engine.cache`),
+   so repeated discover/top-k/join calls stop recomputing ``dG``.
+2. **Partitioned search** -- for one query with ``workers > 1``, the
+   candidate start pairs are dealt round-robin from the bound-sorted
+   order into chunks (:mod:`repro.engine.partition`) and scanned across
+   a process pool with best-so-far sharing (:mod:`repro.engine.worker`).
+   The scan establishes the exact motif distance ``d*``; a serial
+   *witness-resolution* re-run seeded with ``d*`` (maximal pruning, so
+   it expands only the irreducible ``lb <= d*`` frontier) then returns
+   the serial algorithm's exact witness -- identical indices and
+   distance, even under ties.  Parity is enforced by
+   ``tests/test_engine.py``.
+3. **Batched APIs** -- :meth:`MotifEngine.discover_many` runs whole
+   queries in parallel workers (embarrassingly parallel, each worker
+   executing the unmodified serial code) and deduplicates identical
+   queries within a batch.
+
+The engine is exact by construction: every answer either comes from the
+serial algorithm directly or from a resolution pass of that same serial
+algorithm seeded with a proven threshold.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.bounds import BoundTables, relaxed_subset_bounds
+from ..core.brute import MotifTimeout
+from ..core.gtm_star import GTMStar
+from ..core.motif import MotifResult, _as_trajectory, _make_algorithm
+from ..core.problem import SearchSpace, cross_space, self_space
+from ..core.stats import PhaseTimer, SearchStats
+from ..distances.ground import (
+    DenseGroundMatrix,
+    GroundMetric,
+    LazyGroundMatrix,
+    get_metric,
+)
+from ..errors import ReproError
+from ..trajectory import Trajectory
+from .cache import LRUCache, fingerprint_array, fingerprint_points, metric_key
+from .partition import plan_chunks
+from . import worker as _worker
+
+
+class MatrixMotifResult(NamedTuple):
+    """Answer of a matrix-level query (no trajectory views to build)."""
+
+    distance: float
+    indices: Tuple[int, int, int, int]
+    stats: SearchStats
+
+
+def _fork_context():
+    import multiprocessing as mp
+
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+class MotifEngine:
+    """Batched, cached, parallel motif discovery facade.
+
+    Parameters
+    ----------
+    workers:
+        Default worker count.  ``1`` runs everything serially in
+        process; ``> 1`` partitions single queries across a process
+        pool and fans corpus batches out one query per worker.
+    algorithm:
+        Default algorithm (name or instance) when a call does not pick
+        one; ``"gtm_star"`` mirrors the paper's recommendation for
+        large inputs.
+    oracle_cache_size / tables_cache_size / result_cache_size:
+        LRU capacities (entries) of the ground-oracle, bound-table and
+        result caches; ``0`` disables the respective cache.
+    chunks_per_worker:
+        Chunks dealt per worker for partitioned single-query search.
+        More chunks mean more best-so-far synchronisation points at
+        slightly more scheduling overhead.
+    executor:
+        ``"process"`` (default) uses a fork-context process pool;
+        ``"inline"`` runs chunk tasks sequentially in-process, which
+        exercises the exact same partition/resolution machinery
+        deterministically (used by tests and as the automatic fallback
+        where fork is unavailable).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        algorithm: Union[str, object] = "gtm_star",
+        *,
+        oracle_cache_size: int = 64,
+        tables_cache_size: int = 64,
+        result_cache_size: int = 256,
+        chunks_per_worker: int = 3,
+        executor: str = "process",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be at least 1")
+        if executor not in ("process", "inline"):
+            raise ValueError("executor must be 'process' or 'inline'")
+        self.workers = int(workers)
+        self.algorithm = algorithm
+        self.chunks_per_worker = int(chunks_per_worker)
+        self.executor = executor
+        self._oracles = LRUCache(oracle_cache_size)
+        self._tables = LRUCache(tables_cache_size)
+        self._results = LRUCache(result_cache_size)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._shared_bsf = None
+        # The shared best-so-far Value is engine-wide; serialise the
+        # chunked-scan sections so two threads sharing one engine
+        # cannot cross-contaminate each other's thresholds.
+        self._scan_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        trajectory: Union[Trajectory, np.ndarray],
+        second: Optional[Union[Trajectory, np.ndarray]] = None,
+        *,
+        min_length: int,
+        algorithm: Union[str, object, None] = None,
+        metric: Union[str, GroundMetric, None] = None,
+        workers: Optional[int] = None,
+        seed: Optional[Tuple[float, Optional[Tuple[int, int, int, int]]]] = None,
+        cacheable: bool = True,
+        **algorithm_options,
+    ) -> MotifResult:
+        """Discover the motif of one trajectory (or a cross pair).
+
+        Identical in semantics to :func:`repro.core.discover_motif`;
+        adds oracle/result caching, ``workers`` (partitioned search)
+        and ``seed`` (an external ``(bsf, best)`` warm start, e.g. from
+        streaming maintenance -- forces the serial path).
+        """
+        traj_a = _as_trajectory(trajectory)
+        traj_b = None if second is None else _as_trajectory(second)
+        resolved_metric = get_metric(metric, crs=traj_a.crs)
+        workers = self.workers if workers is None else max(1, int(workers))
+        algorithm = self.algorithm if algorithm is None else algorithm
+
+        result_key = None
+        if cacheable and seed is None and isinstance(algorithm, str):
+            result_key = (
+                "discover",
+                fingerprint_points(traj_a),
+                None if traj_b is None else fingerprint_points(traj_b),
+                metric_key(resolved_metric),
+                int(min_length),
+                algorithm.lower(),
+                tuple(sorted(algorithm_options.items())),
+            )
+            cached = self._results.get(result_key)
+            if cached is not None:
+                return cached
+
+        if traj_b is None:
+            space = self_space(traj_a.n, min_length)
+        else:
+            space = cross_space(traj_a.n, traj_b.n, min_length)
+
+        distance, best, stats = self._search(
+            space,
+            algorithm,
+            algorithm_options,
+            traj_a=traj_a,
+            traj_b=traj_b,
+            metric=resolved_metric,
+            workers=workers,
+            seed=seed,
+        )
+        i, ie, j, je = best
+        result = MotifResult(
+            traj_a.subtrajectory(i, ie),
+            (traj_a if traj_b is None else traj_b).subtrajectory(j, je),
+            float(distance),
+            stats,
+        )
+        if result_key is not None:
+            self._results.put(result_key, result)
+        return result
+
+    def discover_matrix(
+        self,
+        matrix: np.ndarray,
+        *,
+        min_length: int,
+        algorithm: Union[str, object, None] = None,
+        workers: Optional[int] = None,
+        mode: str = "self",
+        **algorithm_options,
+    ) -> MatrixMotifResult:
+        """Search a precomputed ground matrix (paper-style ``dG``).
+
+        Used for parity testing against hand-decoded matrices (the
+        paper's Figure 5) and for workloads that own their distance
+        computation.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        workers = self.workers if workers is None else max(1, int(workers))
+        algorithm = self.algorithm if algorithm is None else algorithm
+        n_rows, n_cols = matrix.shape
+        if mode == "self":
+            space = self_space(n_rows, min_length)
+            if n_rows != n_cols:
+                raise ReproError("self-mode matrix must be square")
+        else:
+            space = cross_space(n_rows, n_cols, min_length)
+        distance, best, stats = self._search(
+            space,
+            algorithm,
+            algorithm_options,
+            matrix=matrix,
+            workers=workers,
+        )
+        return MatrixMotifResult(float(distance), best, stats)
+
+    def discover_many(
+        self,
+        items: Sequence,
+        *,
+        min_length: int,
+        algorithm: Union[str, object, None] = None,
+        metric: Union[str, GroundMetric, None] = None,
+        workers: Optional[int] = None,
+        dedupe: bool = True,
+        **algorithm_options,
+    ) -> List[MotifResult]:
+        """Discover motifs for a corpus of queries, in order.
+
+        Each item is a trajectory (self mode) or an ``(a, b)`` pair
+        (cross mode).  With ``workers > 1`` whole queries run in
+        parallel worker processes, each executing the unmodified serial
+        algorithm -- results are byte-identical to a serial loop.
+        Identical queries within the batch are searched once
+        (``dedupe``), and the result cache is consulted per query.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        algorithm = self.algorithm if algorithm is None else algorithm
+        parsed = [self._parse_item(item) for item in items]
+
+        # Resolve each query to its result-cache key (content
+        # fingerprints), shared with discover() so a batch both
+        # consults and warms the serving cache.
+        keys: List[Optional[tuple]] = []
+        for traj_a, traj_b in parsed:
+            if dedupe and isinstance(algorithm, str):
+                resolved = get_metric(metric, crs=traj_a.crs)
+                keys.append((
+                    "discover",
+                    fingerprint_points(traj_a),
+                    None if traj_b is None else fingerprint_points(traj_b),
+                    metric_key(resolved),
+                    int(min_length),
+                    algorithm.lower(),
+                    tuple(sorted(algorithm_options.items())),
+                ))
+            else:
+                keys.append(None)
+
+        results: List[Optional[MotifResult]] = [None] * len(parsed)
+        first_of: dict = {}
+        duplicates: List[Tuple[int, int]] = []  # (index, canonical index)
+        pending: List[int] = []
+        for idx, key in enumerate(keys):
+            if key is not None:
+                cached = self._results.get(key)
+                if cached is not None:
+                    results[idx] = cached
+                    continue
+                if key in first_of:
+                    duplicates.append((idx, first_of[key]))
+                    continue
+                first_of[key] = idx
+            pending.append(idx)
+
+        run_parallel = (
+            workers > 1
+            and self.executor == "process"
+            and len(pending) > 1
+            and _fork_context() is not None
+        )
+        if run_parallel:
+            tasks = [
+                _worker.QueryTask(
+                    trajectory=parsed[idx][0],
+                    second=parsed[idx][1],
+                    min_length=int(min_length),
+                    algorithm=algorithm,
+                    metric=metric,
+                    options=tuple(sorted(algorithm_options.items())),
+                )
+                for idx in pending
+            ]
+            with self._scan_lock:  # pool use is engine-wide exclusive
+                pool = self._get_pool(workers)
+                for idx, result in zip(
+                    pending, pool.map(_worker.run_query, tasks)
+                ):
+                    results[idx] = result
+                    if keys[idx] is not None:
+                        self._results.put(keys[idx], result)
+        else:
+            for idx in pending:
+                traj_a, traj_b = parsed[idx]
+                results[idx] = self.discover(
+                    traj_a,
+                    traj_b,
+                    min_length=min_length,
+                    algorithm=algorithm,
+                    metric=metric,
+                    workers=workers,
+                    **algorithm_options,
+                )
+        for idx, canonical in duplicates:
+            results[idx] = results[canonical]
+        return results  # type: ignore[return-value]
+
+    def top_k(
+        self,
+        trajectory: Union[Trajectory, np.ndarray],
+        second: Optional[Union[Trajectory, np.ndarray]] = None,
+        *,
+        min_length: int,
+        k: int = 5,
+        metric: Union[str, GroundMetric, None] = None,
+    ):
+        """Top-k subset-distinct motifs through the shared oracle cache."""
+        from ..extensions.topk import top_k_from_oracle
+
+        traj_a = _as_trajectory(trajectory)
+        traj_b = None if second is None else _as_trajectory(second)
+        resolved = get_metric(metric, crs=traj_a.crs)
+        key = (
+            "topk",
+            fingerprint_points(traj_a),
+            None if traj_b is None else fingerprint_points(traj_b),
+            metric_key(resolved),
+            int(min_length),
+            int(k),
+        )
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        space = (
+            self_space(traj_a.n, min_length)
+            if traj_b is None
+            else cross_space(traj_a.n, traj_b.n, min_length)
+        )
+        oracle, _ = self._dense_oracle(traj_a, traj_b, resolved)
+        stats = SearchStats(algorithm="topk", mode=space.mode, xi=space.xi)
+        ranked = top_k_from_oracle(traj_a, traj_b, space, oracle, k, stats)
+        self._results.put(key, ranked)
+        return ranked
+
+    def join(
+        self,
+        left: Sequence,
+        right: Sequence,
+        theta: float,
+        metric: Union[str, GroundMetric] = "euclidean",
+        workers: Optional[int] = None,
+    ):
+        """DFD similarity join, chunking the left collection over workers."""
+        from ..extensions.join import merge_join_stats, similarity_join
+
+        workers = self.workers if workers is None else max(1, int(workers))
+        n_chunks = min(workers, len(left)) if len(left) else 1
+        if (
+            workers == 1
+            or n_chunks < 2
+            or self.executor != "process"
+            or _fork_context() is None
+        ):
+            return similarity_join(left, right, theta, metric)
+        splits = np.array_split(np.arange(len(left)), n_chunks)
+        tasks = [
+            _worker.JoinTask(
+                left=[left[i] for i in part],
+                right=right,
+                theta=theta,
+                metric=metric,
+                offset=int(part[0]),
+            )
+            for part in splits
+            if len(part)
+        ]
+        matches: List[Tuple[int, int]] = []
+        chunk_stats = []
+        with self._scan_lock:  # pool use is engine-wide exclusive
+            pool = self._get_pool(workers)
+            for part_matches, part_stats in pool.map(_worker.join_chunk, tasks):
+                matches.extend(part_matches)
+                chunk_stats.append(part_stats)
+        return matches, merge_join_stats(chunk_stats)
+
+    def cluster(self, trajectory, **kwargs):
+        """Subtrajectory clustering (delegates to the extension)."""
+        from ..extensions.clustering import cluster_subtrajectories
+
+        return cluster_subtrajectories(trajectory, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Hit/miss/size accounting of the three engine caches."""
+        return {
+            "oracle": self._oracles.info(),
+            "tables": self._tables.info(),
+            "results": self._results.info(),
+        }
+
+    def clear_caches(self) -> None:
+        self._oracles.clear()
+        self._tables.clear()
+        self._results.clear()
+
+    def close(self) -> None:
+        """Shut the worker pool down (caches stay usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "MotifEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Search orchestration
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        space: SearchSpace,
+        algorithm,
+        options: dict,
+        *,
+        traj_a: Optional[Trajectory] = None,
+        traj_b: Optional[Trajectory] = None,
+        metric: Optional[GroundMetric] = None,
+        matrix: Optional[np.ndarray] = None,
+        workers: int = 1,
+        seed: Optional[tuple] = None,
+    ):
+        """Common core of discover()/discover_matrix().
+
+        Returns ``(distance, best, stats)``.  The parallel path runs
+        the chunked distance scan, then always defers to the seeded
+        serial algorithm for the witness (exactness + parity).
+        """
+        algo = _make_algorithm(algorithm, **options)
+        stats = SearchStats(
+            mode=space.mode, n_rows=space.n_rows, n_cols=space.n_cols, xi=space.xi
+        )
+        started = time.perf_counter()
+        # The chunked scan proves an *exact* threshold; seeding an
+        # approximate search with it would change its semantics, so
+        # approximate variants stay on the serial path.
+        parallel = (
+            workers > 1
+            and seed is None
+            and float(getattr(algo, "approx_factor", 1.0)) == 1.0
+        )
+
+        d_star = math.inf
+        if parallel:
+            dense, okey = (
+                self._dense_oracle(traj_a, traj_b, metric)
+                if matrix is None
+                else self._matrix_oracle(matrix)
+            )
+            d_star = self._chunked_distance(
+                dense, okey, space, algo, stats, workers, started
+            )
+            # `timeout` is one whole-query budget: the chunks shared an
+            # absolute deadline anchored at `started`; hand the
+            # resolution pass only what remains (a shallow copy keeps a
+            # caller-owned algorithm instance untouched).
+            budget = getattr(algo, "timeout", None)
+            if budget is not None:
+                remaining = float(budget) - (time.perf_counter() - started)
+                if remaining <= 0:
+                    raise MotifTimeout(
+                        f"engine search exceeded {budget:.1f}s "
+                        "during the chunk scan"
+                    )
+                algo = copy.copy(algo)
+                algo.timeout = remaining
+
+        with PhaseTimer(stats, "time_precompute"):
+            oracle = self._serial_oracle(algo, traj_a, traj_b, metric, matrix)
+        bsf0, best0 = (math.inf, None) if seed is None else seed
+        if d_star < bsf0:
+            bsf0, best0 = d_star, None
+        distance, best = algo.search(oracle, space, stats, bsf0=bsf0, best0=best0)
+        stats.time_total = time.perf_counter() - started
+        if best is None:
+            raise ReproError(
+                "search finished without a witness pair; this indicates a bug"
+            )
+        if parallel:
+            stats.algorithm = f"engine[{stats.algorithm} x{workers}]"
+        return float(distance), best, stats
+
+    def _chunked_distance(
+        self,
+        dense: DenseGroundMatrix,
+        okey,
+        space: SearchSpace,
+        algo,
+        stats,
+        workers,
+        started_at: float,
+    ) -> float:
+        """Exact motif distance via the partitioned chunk scan.
+
+        Every chunk shares one absolute deadline (``started_at`` +
+        the algorithm's timeout), so a timed-out query never exceeds
+        its budget chunk-by-chunk.  The scan's work is recorded in the
+        dedicated ``scan_*`` stats fields; the serial counters stay
+        reserved for the resolution pass so the paper-figure
+        accounting is not double-counted.
+        """
+        tables = self._bound_tables(okey, space, dense)
+        bounds = relaxed_subset_bounds(space, dense, tables)
+        chunks = plan_chunks(bounds, workers * self.chunks_per_worker)
+        timeout = getattr(algo, "timeout", None)
+        tasks = [
+            _worker.ChunkTask(
+                matrix=dense.array,
+                space=space,
+                bounds=chunk,
+                cmin=tables.cmin,
+                rmin=tables.rmin,
+                timeout=timeout,
+                started_at=started_at,
+            )
+            for chunk in chunks
+        ]
+        results = self._run_chunks(tasks, workers)
+        d_star = math.inf
+        for res in results:
+            d_star = min(d_star, res.bsf)
+            stats.scan_subsets_expanded += res.subsets_expanded
+            stats.scan_cells_expanded += res.cells_expanded
+        return d_star
+
+    def _run_chunks(self, tasks, workers) -> List[_worker.ChunkResult]:
+        """Execute chunk tasks on the pool, inline on fallback.
+
+        Inline execution still threads the best-so-far between chunks
+        (sequentially), so it exercises identical pruning semantics.
+        """
+        ctx = _fork_context()
+        if self.executor == "process" and ctx is not None:
+            try:
+                with self._scan_lock:
+                    pool = self._get_pool(workers)
+                    with self._shared_bsf.get_lock():
+                        self._shared_bsf.value = math.inf
+                    return list(pool.map(_worker.scan_chunk, tasks))
+            except OSError:  # pragma: no cover - fork/pipe failure
+                self.close()
+        best_so_far = math.inf
+        out = []
+        for task in tasks:
+            res = _worker.scan_chunk(
+                _worker.ChunkTask(
+                    matrix=task.matrix,
+                    space=task.space,
+                    bounds=task.bounds,
+                    cmin=task.cmin,
+                    rmin=task.rmin,
+                    timeout=task.timeout,
+                    started_at=task.started_at,
+                    seed_bsf=best_so_far,
+                )
+            )
+            best_so_far = min(best_so_far, res.bsf)
+            out.append(res)
+        return out
+
+    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
+        ctx = _fork_context()
+        if ctx is None:
+            raise ReproError("process executor requires a fork-capable platform")
+        if self._pool is not None and self._pool_workers != workers:
+            self.close()
+        if self._pool is None:
+            self._shared_bsf = ctx.Value("d", math.inf)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker.init_worker,
+                initargs=(self._shared_bsf,),
+            )
+            self._pool_workers = workers
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Oracles and tables
+    # ------------------------------------------------------------------
+    def _dense_oracle(self, traj_a, traj_b, metric):
+        """Cached dense ground matrix for a trajectory (pair)."""
+        fp_a = fingerprint_points(traj_a)
+        fp_b = None if traj_b is None else fingerprint_points(traj_b)
+        key = ("dense", fp_a, fp_b, metric_key(metric))
+
+        def build():
+            points_b = traj_a.points if traj_b is None else traj_b.points
+            return DenseGroundMatrix(metric.pairwise(traj_a.points, points_b))
+
+        return self._oracles.get_or_build(key, build), key
+
+    def _matrix_oracle(self, matrix: np.ndarray):
+        key = ("matrix", fingerprint_array(matrix))
+        return self._oracles.get_or_build(
+            key, lambda: DenseGroundMatrix(matrix)
+        ), key
+
+    def _lazy_oracle(self, traj_a, traj_b, metric, cache_rows: int):
+        key = (
+            "lazy",
+            fingerprint_points(traj_a),
+            None if traj_b is None else fingerprint_points(traj_b),
+            metric_key(metric),
+            int(cache_rows),
+        )
+
+        def build():
+            return LazyGroundMatrix(
+                traj_a.points,
+                None if traj_b is None else traj_b.points,
+                metric=metric,
+                cache_rows=cache_rows,
+            )
+
+        return self._oracles.get_or_build(key, build)
+
+    def _serial_oracle(self, algo, traj_a, traj_b, metric, matrix):
+        """The oracle the plain serial path would build (parity).
+
+        Mirrors :func:`repro.core.motif._build_oracle`: GTM* gets the
+        lazy row oracle, everything else the dense matrix.
+        """
+        if matrix is not None:
+            oracle, _ = self._matrix_oracle(matrix)
+            return oracle
+        if isinstance(algo, GTMStar):
+            return self._lazy_oracle(traj_a, traj_b, metric, algo.cache_rows)
+        oracle, _ = self._dense_oracle(traj_a, traj_b, metric)
+        return oracle
+
+    def _bound_tables(self, okey, space: SearchSpace, dense) -> BoundTables:
+        key = ("tables", okey, space.mode, space.xi)
+        return self._tables.get_or_build(
+            key, lambda: BoundTables.build(space, dense)
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse_item(item):
+        """One discover_many item -> (traj_a, traj_b or None)."""
+        if isinstance(item, tuple) and len(item) == 2:
+            return _as_trajectory(item[0]), _as_trajectory(item[1])
+        return _as_trajectory(item), None
+
+
+#: Process-wide shared engine (lazy); used by the CLI and extensions.
+_DEFAULT_ENGINE: Optional[MotifEngine] = None
+
+
+def default_engine() -> MotifEngine:
+    """The process-wide shared :class:`MotifEngine` (workers=1)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = MotifEngine()
+    return _DEFAULT_ENGINE

@@ -1,0 +1,60 @@
+"""Partitioning of one query's candidate start-pair space into chunks.
+
+The subtrajectory-clustering literature (Gudmundsson & Wong 2021; Ost
+et al. 2025) observes that motif/cluster workloads are embarrassingly
+parallel over candidate start pairs.  The catch for *best-first* search
+is load balance: the combined lower bounds concentrate the interesting
+subsets at the front of the sorted order, so naively splitting the
+sorted array into contiguous blocks gives one worker all the real work
+and the rest early exits.
+
+:func:`plan_chunks` therefore deals the bound-sorted subsets
+round-robin ("card dealing"), so every chunk holds an equal share of
+the promising candidates and reaches a near-optimal best-so-far
+quickly -- which it then publishes to the other workers through the
+shared threshold (see :mod:`repro.engine.worker`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.bounds import SubsetBounds
+
+
+def deal_indices(order: np.ndarray, n_chunks: int) -> List[np.ndarray]:
+    """Deal positions of ``order`` round-robin into ``n_chunks`` hands.
+
+    Every returned array is a strided slice ``order[k::n_chunks]``; the
+    union over chunks is exactly ``order`` (each subset appears in
+    exactly one chunk).
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be at least 1")
+    n_chunks = min(n_chunks, max(1, len(order)))
+    return [order[k::n_chunks] for k in range(n_chunks)]
+
+
+def slice_bounds(bounds: SubsetBounds, idx: np.ndarray) -> SubsetBounds:
+    """A :class:`SubsetBounds` view restricted to the given positions."""
+    return SubsetBounds(
+        i_idx=bounds.i_idx[idx],
+        j_idx=bounds.j_idx[idx],
+        lb_cell=bounds.lb_cell[idx],
+        lb_cross=bounds.lb_cross[idx],
+        lb_band=bounds.lb_band[idx],
+        combined=bounds.combined[idx],
+    )
+
+
+def plan_chunks(bounds: SubsetBounds, n_chunks: int) -> List[SubsetBounds]:
+    """Split one query's subset bounds into balanced best-first chunks.
+
+    Chunks are dealt from the ascending combined-bound order, so each
+    chunk's internal best-first loop starts with some of the globally
+    most promising subsets.
+    """
+    order = bounds.order()
+    return [slice_bounds(bounds, idx) for idx in deal_indices(order, n_chunks)]

@@ -1,0 +1,176 @@
+"""Process-pool task functions for the :class:`~repro.engine.MotifEngine`.
+
+Everything here is module-level and operates on plain picklable
+payloads, because these functions execute inside ``concurrent.futures``
+worker processes.  Three task shapes exist:
+
+* :func:`scan_chunk` -- best-first scan over one chunk of a single
+  query's candidate subsets (intra-query parallelism).  Workers share a
+  best-so-far threshold through a ``multiprocessing.Value`` installed
+  by :func:`init_worker`: each chunk starts from the tightest published
+  threshold and publishes its own result, so later chunks prune against
+  earlier chunks' discoveries.
+* :func:`run_query` -- one complete serial motif discovery
+  (inter-query parallelism for corpus workloads); byte-identical to
+  calling :func:`repro.core.motif.discover_motif` locally.
+* :func:`join_chunk` -- one slice of a DFD similarity join's left
+  collection.
+
+The chunk scan only establishes the exact motif *distance*; the
+engine's witness-resolution pass (see :mod:`repro.engine.engine`)
+re-derives the serial algorithm's exact witness pair from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bounds import SubsetBounds
+from ..core.btm import run_best_first
+from ..core.dp import Best
+from ..core.motif import discover_motif
+from ..core.problem import SearchSpace
+from ..core.stats import SearchStats
+from ..distances.ground import DenseGroundMatrix
+
+#: Shared best-so-far threshold; installed per worker by init_worker().
+_SHARED_BSF = None
+
+
+def init_worker(shared_bsf) -> None:
+    """Pool initializer: adopt the engine's shared threshold value."""
+    global _SHARED_BSF
+    _SHARED_BSF = shared_bsf
+
+
+def read_shared_bsf() -> float:
+    """Tightest threshold any worker has published so far (inf if none)."""
+    if _SHARED_BSF is None:
+        return math.inf
+    with _SHARED_BSF.get_lock():
+        return float(_SHARED_BSF.value)
+
+
+def publish_bsf(value: float) -> None:
+    """Publish a threshold if it improves on the shared one."""
+    if _SHARED_BSF is None or not math.isfinite(value):
+        return
+    with _SHARED_BSF.get_lock():
+        if value < _SHARED_BSF.value:
+            _SHARED_BSF.value = value
+
+
+class KillTables(NamedTuple):
+    """The slice of :class:`BoundTables` the best-first loop reads."""
+
+    cmin: Optional[np.ndarray]
+    rmin: Optional[np.ndarray]
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One chunk of a single query's candidate-subset space."""
+
+    matrix: np.ndarray
+    space: SearchSpace
+    bounds: SubsetBounds
+    cmin: Optional[np.ndarray]
+    rmin: Optional[np.ndarray]
+    timeout: Optional[float]
+    #: perf_counter() in the parent when the query started; with
+    #: `timeout` it forms one absolute deadline shared by all chunks
+    #: (CLOCK_MONOTONIC is system-wide on the platforms with fork).
+    started_at: Optional[float] = None
+    seed_bsf: float = math.inf
+
+
+class ChunkResult(NamedTuple):
+    """Outcome of one chunk scan."""
+
+    bsf: float
+    best: Best
+    subsets_total: int
+    subsets_expanded: int
+    cells_expanded: int
+    candidates_checked: int
+
+
+def scan_chunk(task: ChunkTask) -> ChunkResult:
+    """Best-first scan of one chunk, seeded with the shared threshold.
+
+    The injected threshold is *unwitnessed* (we hold no concrete pair),
+    so the loop keeps candidates that merely equal it -- the returned
+    ``bsf`` is exactly ``min(injected, best candidate in this chunk)``,
+    which makes the min over all chunk results the exact motif
+    distance.
+    """
+    oracle = DenseGroundMatrix(task.matrix, validate=False)
+    stats = SearchStats()
+    seed = min(task.seed_bsf, read_shared_bsf())
+    bsf, best = run_best_first(
+        oracle,
+        task.space,
+        task.bounds,
+        KillTables(task.cmin, task.rmin),
+        stats,
+        bsf=seed,
+        best=None,
+        timeout=task.timeout,
+        started_at=task.started_at,
+    )
+    publish_bsf(bsf)
+    return ChunkResult(
+        bsf=float(bsf),
+        best=best,
+        subsets_total=stats.subsets_total,
+        subsets_expanded=stats.subsets_expanded,
+        cells_expanded=stats.cells_expanded,
+        candidates_checked=stats.candidates_checked,
+    )
+
+
+@dataclass(frozen=True)
+class QueryTask:
+    """One complete discovery query (corpus parallelism)."""
+
+    trajectory: object
+    second: Optional[object]
+    min_length: int
+    algorithm: object
+    metric: Optional[object]
+    options: tuple  # sorted (key, value) pairs
+
+
+def run_query(task: QueryTask):
+    """Execute one serial discovery; identical to a local call."""
+    return discover_motif(
+        task.trajectory,
+        task.second,
+        min_length=task.min_length,
+        algorithm=task.algorithm,
+        metric=task.metric,
+        **dict(task.options),
+    )
+
+
+@dataclass(frozen=True)
+class JoinTask:
+    """One contiguous slice of a similarity join's left collection."""
+
+    left: Sequence
+    right: Sequence
+    theta: float
+    metric: object
+    offset: int  # absolute index of left[0] in the full collection
+
+
+def join_chunk(task: JoinTask) -> Tuple[List[Tuple[int, int]], object]:
+    """Join one left-slice against the full right collection."""
+    from ..extensions.join import similarity_join
+
+    matches, stats = similarity_join(task.left, task.right, task.theta, task.metric)
+    return [(a + task.offset, b) for a, b in matches], stats

@@ -52,6 +52,24 @@ class JoinStats:
         return self.pruned_endpoint + self.pruned_bbox + self.pruned_hausdorff
 
 
+def merge_join_stats(parts: Sequence[JoinStats]) -> JoinStats:
+    """Fold per-chunk join statistics into one (engine-parallel joins).
+
+    The filter cascade is per-pair, so every counter is additive across
+    a partition of the pair grid.
+    """
+    total = JoinStats()
+    for part in parts:
+        total.pairs_total += part.pairs_total
+        total.pruned_endpoint += part.pruned_endpoint
+        total.pruned_bbox += part.pruned_bbox
+        total.pruned_hausdorff += part.pruned_hausdorff
+        total.decisions += part.decisions
+        total.matches += part.matches
+        total.details.update(part.details)
+    return total
+
+
 def similarity_join(
     left: Sequence[Union[Trajectory, np.ndarray]],
     right: Sequence[Union[Trajectory, np.ndarray]],

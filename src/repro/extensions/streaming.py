@@ -13,6 +13,9 @@ arrive.  This module implements the exact warm-start strategy:
 
 The answer is exact at every step (validated against from-scratch
 discovery in the tests); the warm seed only changes the work done.
+The search itself runs through :class:`repro.engine.MotifEngine`
+(seeded BTM with relaxed bounds), so streaming shares one code path
+with the batched workloads.
 """
 
 from __future__ import annotations
@@ -21,12 +24,9 @@ from typing import Optional, Union
 
 import numpy as np
 
-from ..core.bounds import BoundTables, relaxed_subset_bounds
-from ..core.btm import run_best_first
 from ..core.motif import MotifResult
-from ..core.problem import self_space
-from ..core.stats import SearchStats
-from ..distances.ground import DenseGroundMatrix, GroundMetric, get_metric
+from ..distances.frechet import dfd_matrix
+from ..distances.ground import GroundMetric, get_metric
 from ..errors import InfeasibleQueryError, ReproError
 from ..trajectory import Trajectory
 
@@ -42,6 +42,11 @@ class StreamingMotif:
         The paper's ``xi``.
     metric:
         Ground metric (name or instance); Euclidean by default.
+    engine:
+        Optional :class:`repro.engine.MotifEngine` to search through; a
+        private single-worker engine with caching disabled is created
+        by default (window contents change on every append, so
+        cross-call caching cannot help a single stream).
 
     Usage::
 
@@ -55,6 +60,7 @@ class StreamingMotif:
         window: int,
         min_length: int,
         metric: Union[str, GroundMetric, None] = "euclidean",
+        engine=None,
     ) -> None:
         if window < 2 * min_length + 4:
             raise InfeasibleQueryError(
@@ -64,11 +70,29 @@ class StreamingMotif:
         self.window = int(window)
         self.min_length = int(min_length)
         self.metric = get_metric(metric)
+        self._engine = engine
         self._points: list = []
         self._dropped = 0  # absolute index of points[0]
         self._last: Optional[MotifResult] = None
         #: Cumulative expansion counter (for effectiveness reporting).
         self.subsets_expanded_total = 0
+
+    @property
+    def engine(self):
+        """The engine executing the per-append searches (lazy)."""
+        if self._engine is None:
+            from ..engine import MotifEngine
+
+            # Window contents change on every append, so content-keyed
+            # caches can never hit for a single stream -- disable them
+            # rather than pin the last windows' matrices in memory.
+            self._engine = MotifEngine(
+                workers=1,
+                oracle_cache_size=0,
+                tables_cache_size=0,
+                result_cache_size=0,
+            )
+        return self._engine
 
     @property
     def size(self) -> int:
@@ -114,33 +138,22 @@ class StreamingMotif:
     # ------------------------------------------------------------------
     def _search(self) -> MotifResult:
         pts = np.vstack(self._points)
-        n = pts.shape[0]
-        space = self_space(n, self.min_length)
-        stats = SearchStats(algorithm="streaming", mode="self",
-                            n_rows=n, n_cols=n, xi=self.min_length)
-        oracle = DenseGroundMatrix(self.metric.pairwise(pts, pts),
-                                   validate=False)
-        tables = BoundTables.build(space, oracle)
-        bounds = relaxed_subset_bounds(space, oracle, tables)
-        bsf, best = self._warm_seed(oracle, n)
-        bsf, best = run_best_first(
-            oracle, space, bounds, tables, stats, bsf=bsf, best=best,
+        result = self.engine.discover(
+            Trajectory(pts),
+            min_length=self.min_length,
+            algorithm="btm",
+            metric=self.metric,
+            seed=self._warm_seed(pts),
+            cacheable=False,
         )
-        self.subsets_expanded_total += stats.subsets_expanded
-        traj = Trajectory(pts)
-        i, ie, j, je = best
-        return MotifResult(
-            traj.subtrajectory(i, ie),
-            traj.subtrajectory(j, je),
-            float(bsf),
-            stats,
-        )
+        self.subsets_expanded_total += result.stats.subsets_expanded
+        return result
 
-    def _warm_seed(self, oracle, n: int):
+    def _warm_seed(self, pts: np.ndarray):
         """Previous answer as a witnessed starting candidate, if its
         index range survived the eviction (shifted by one per drop)."""
         if self._last is None:
-            return float("inf"), None
+            return None
         prev = self._last
         shift = 1 if len(self._points) == self.window and self._dropped else 0
         # Window indices move left by `shift` relative to the previous
@@ -150,10 +163,10 @@ class StreamingMotif:
         j = prev.second.start - shift
         je = prev.second.end - shift
         if i < 0:
-            return float("inf"), None
+            return None
         # Distances are unchanged (same points, shifted); recompute the
         # exact value defensively in case of float drift.
-        from ..distances.frechet import dfd_matrix
-
-        value = dfd_matrix(oracle.block(i, ie + 1, j, je + 1))
+        value = dfd_matrix(
+            self.metric.pairwise(pts[i : ie + 1], pts[j : je + 1])
+        )
         return float(value), (i, ie, j, je)

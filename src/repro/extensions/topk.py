@@ -7,6 +7,11 @@ shifted by one index, which is useless).  The bounding machinery
 carries over: a subset whose lower bound reaches the current k-th best
 distance cannot contribute, so the best-first loop simply prunes
 against the heap maximum instead of the single ``bsf``.
+
+:func:`top_k_from_oracle` is the oracle-level core; it is shared with
+:meth:`repro.engine.MotifEngine.top_k`, which supplies a cached ground
+matrix so repeated top-k calls on a serving corpus skip the O(n^2)
+precompute.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import numpy as np
 from ..core.bounds import BoundTables, relaxed_subset_bounds
 from ..core.dp import expand_subset
 from ..core.motif import _as_trajectory, _build_oracle  # shared plumbing
-from ..core.problem import cross_space, self_space
+from ..core.problem import SearchSpace, cross_space, self_space
 from ..core.stats import PhaseTimer, SearchStats
 from ..distances.ground import GroundMetric, get_metric
 from ..trajectory import Subtrajectory, Trajectory
@@ -45,34 +50,20 @@ class RankedMotif:
         )
 
 
-def discover_top_k_motifs(
-    trajectory: Union[Trajectory, np.ndarray],
-    second: Optional[Union[Trajectory, np.ndarray]] = None,
-    *,
-    min_length: int,
-    k: int = 5,
-    metric: Union[str, GroundMetric, None] = None,
+def top_k_from_oracle(
+    traj_a: Trajectory,
+    traj_b: Optional[Trajectory],
+    space: SearchSpace,
+    oracle,
+    k: int,
+    stats: SearchStats,
 ) -> List[RankedMotif]:
-    """Return the ``k`` best subset-distinct motif pairs, ascending.
+    """The heap-pruned best-first loop over a prebuilt ground oracle.
 
     Exact: every subset whose bound beats the k-th best is expanded.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    traj_a = _as_trajectory(trajectory)
-    traj_b = None if second is None else _as_trajectory(second)
-    space = (
-        self_space(traj_a.n, min_length)
-        if traj_b is None
-        else cross_space(traj_a.n, traj_b.n, min_length)
-    )
-    stats = SearchStats(algorithm="topk", mode=space.mode, xi=space.xi)
-    resolved = get_metric(metric, crs=traj_a.crs)
-
-    class _DenseAlgo:  # oracle builder expects an algorithm instance
-        pass
-
-    oracle = _build_oracle(_DenseAlgo(), traj_a, traj_b, resolved, stats)
     with PhaseTimer(stats, "time_bounds"):
         tables = BoundTables.build(space, oracle)
         bounds = relaxed_subset_bounds(space, oracle, tables)
@@ -109,3 +100,34 @@ def discover_top_k_motifs(
             )
         )
     return out
+
+
+def discover_top_k_motifs(
+    trajectory: Union[Trajectory, np.ndarray],
+    second: Optional[Union[Trajectory, np.ndarray]] = None,
+    *,
+    min_length: int,
+    k: int = 5,
+    metric: Union[str, GroundMetric, None] = None,
+) -> List[RankedMotif]:
+    """Return the ``k`` best subset-distinct motif pairs, ascending.
+
+    One-shot convenience wrapper; batched callers should prefer
+    :meth:`repro.engine.MotifEngine.top_k`, which caches the ground
+    oracle across calls.
+    """
+    traj_a = _as_trajectory(trajectory)
+    traj_b = None if second is None else _as_trajectory(second)
+    space = (
+        self_space(traj_a.n, min_length)
+        if traj_b is None
+        else cross_space(traj_a.n, traj_b.n, min_length)
+    )
+    stats = SearchStats(algorithm="topk", mode=space.mode, xi=space.xi)
+    resolved = get_metric(metric, crs=traj_a.crs)
+
+    class _DenseAlgo:  # oracle builder expects an algorithm instance
+        pass
+
+    oracle = _build_oracle(_DenseAlgo(), traj_a, traj_b, resolved, stats)
+    return top_k_from_oracle(traj_a, traj_b, space, oracle, k, stats)

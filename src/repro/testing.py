@@ -1,0 +1,64 @@
+"""Shared test/benchmark data builders.
+
+These helpers used to live in ``tests/conftest.py`` and were imported
+with ``from conftest import ...`` -- which silently resolved to
+``benchmarks/conftest.py`` whenever both directories were on
+``sys.path``, breaking collection of the whole suite.  They are now an
+importable library module so both the test suite and the benchmarks can
+share them without any path tricks.
+
+``build_fig5_matrix`` is the 12-point ground distance matrix decoded
+from the paper's Figure 5 (lower triangle listed from row j=11 down to
+j=1).  Its correctness is established by ``tests/test_paper_examples.py``,
+which checks it against every numeric example the paper derives from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distances.ground import ground_matrix
+from .trajectory import Trajectory
+
+#: Lower triangle of the paper's Figure 5 matrix, keyed by row j.
+_FIG5_ROWS = {
+    11: [8, 7, 6, 5, 9, 7, 7, 3, 3, 2, 9],
+    10: [5, 6, 7, 6, 8, 6, 6, 6, 8, 1],
+    9: [2, 2, 4, 1, 7, 6, 8, 7, 7],
+    8: [3, 1, 1, 2, 5, 7, 3, 4],
+    7: [1, 3, 2, 3, 6, 5, 6],
+    6: [1, 2, 3, 2, 5, 9],
+    5: [3, 4, 5, 6, 4],
+    4: [3, 5, 3, 2],
+    3: [2, 1, 5],
+    2: [2, 3],
+    1: [1],
+}
+
+
+def build_fig5_matrix() -> np.ndarray:
+    """The symmetric 12x12 ground distance matrix of Figure 5."""
+    n = 12
+    mat = np.zeros((n, n))
+    for j, values in _FIG5_ROWS.items():
+        for i, v in enumerate(values):
+            mat[i, j] = v
+            mat[j, i] = v
+    return mat
+
+
+def random_walk_points(n: int, seed: int, dims: int = 2) -> np.ndarray:
+    """Deterministic planar random walk used across test modules."""
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(size=(n, dims))
+    steps[0] = 0.0
+    return steps.cumsum(axis=0)
+
+
+def random_walk(n: int, seed: int) -> Trajectory:
+    return Trajectory(random_walk_points(n, seed))
+
+
+def walk_matrix(n: int, seed: int) -> np.ndarray:
+    """Euclidean self-distance matrix of a random walk."""
+    return ground_matrix(random_walk_points(n, seed), "euclidean")

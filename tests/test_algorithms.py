@@ -29,7 +29,7 @@ from repro.distances.ground import (
     ground_matrix,
 )
 
-from conftest import random_walk_points, walk_matrix
+from repro.testing import random_walk_points, walk_matrix
 
 
 def naive_motif(dmat, space):

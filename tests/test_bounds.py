@@ -26,7 +26,7 @@ from repro.core.problem import cross_space, self_space
 from repro.distances import dfd_matrix
 from repro.distances.ground import DenseGroundMatrix
 
-from conftest import walk_matrix
+from repro.testing import walk_matrix
 
 
 def exact_subset_min(dmat, space, i, j):

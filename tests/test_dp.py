@@ -17,7 +17,7 @@ from repro.core.stats import SearchStats
 from repro.distances import dfd_matrix
 from repro.distances.ground import DenseGroundMatrix, LazyGroundMatrix
 
-from conftest import random_walk_points, walk_matrix
+from repro.testing import random_walk_points, walk_matrix
 
 
 def brute_subset(dmat, space, i, j):

@@ -16,7 +16,7 @@ from repro.extensions import (
 from repro.datasets import make_trajectory
 from repro.errors import ReproError
 
-from conftest import random_walk
+from repro.testing import random_walk
 
 
 class TestTopK:

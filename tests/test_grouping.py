@@ -18,7 +18,7 @@ from repro.core.problem import cross_space, self_space
 from repro.distances import dfd_matrix
 from repro.distances.ground import EuclideanMetric, cross_ground_matrix, ground_matrix
 
-from conftest import random_walk_points, walk_matrix
+from repro.testing import random_walk_points, walk_matrix
 
 
 def naive_block_minmax(dmat, tau, u, v, mode):

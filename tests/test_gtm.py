@@ -8,7 +8,7 @@ import pytest
 from repro.core import BTM, GTM, GTMStar, BruteDP, MotifTimeout, SearchStats, self_space
 from repro.distances.ground import DenseGroundMatrix, LazyGroundMatrix, ground_matrix
 
-from conftest import random_walk_points
+from repro.testing import random_walk_points
 
 
 def setup_case(n=60, xi=4, seed=21):

@@ -25,7 +25,7 @@ from repro.distances.ground import (
     ground_matrix,
 )
 
-from conftest import random_walk_points
+from repro.testing import random_walk_points
 
 
 class TestBoundMetricKernels:

@@ -15,7 +15,7 @@ from repro import (
 )
 from repro.core import BTM
 
-from conftest import random_walk, random_walk_points
+from repro.testing import random_walk, random_walk_points
 
 
 class TestDiscoverMotif:

@@ -9,7 +9,7 @@ from repro import Trajectory, discover_motif
 from repro.errors import InfeasibleQueryError, ReproError
 from repro.extensions import StreamingMotif
 
-from conftest import random_walk_points
+from repro.testing import random_walk_points
 
 
 class TestLifecycle:

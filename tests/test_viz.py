@@ -11,7 +11,7 @@ from repro.distances import frechet_path, ground_matrix
 from repro.errors import ReproError
 from repro.viz import render_matrix, render_motif, render_series, render_trajectory
 
-from conftest import random_walk
+from repro.testing import random_walk
 
 
 class TestRenderTrajectory:
