@@ -2,12 +2,14 @@
 
 The scaling experiment this reproduction adds on top of the paper: a
 serving-style query stream (each corpus trajectory queried repeatedly)
-answered by a serial ``discover`` loop vs ``MotifEngine.discover_many``
-with 1 and 2+ workers, plus a cold unique-corpus sweep isolating the
-partitioned chunk-scan path.  Shape under test: the batched engine
-answers the stream at least 1.5x faster than the serial loop at >= 2
-workers (batch dedup + oracle/result caching; worker processes add
-multi-core speedup on top), while returning identical motifs.
+answered by a serial loop vs the :class:`MotifEngine`, across four
+workloads -- batched discover, cold unique-corpus discover (isolating
+the partitioned chunk scan), a top-k stream (parallel chunk-merge
+top-k), and a similarity-join stream (sharded tile grid).  Shapes under
+test: the batched engine answers the discover stream >= 1.5x faster
+and the top-k stream >= 1.3x faster than the serial loops at >= 2
+workers, while returning identical answers and pickling zero dense
+``dG`` bytes through the pool pipe (everything rides shared memory).
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ import pytest
 from repro.bench import bench_scale, save_table
 from repro.bench.experiments import engine_scaling
 
-from repro.engine import MotifEngine
+from repro.engine import MotifEngine, shared_memory_available
 from repro.bench import default_tau, default_xi, trajectory_for
 
 WORKERS = (1, 2)
@@ -32,12 +34,13 @@ def test_engine_scaling(benchmark):
     )
     save_table(table)
     speedups = {
-        row[2]: row[5]
+        (row[0], row[2]): row[5]
         for row in table.rows
-        if row[0] == "batched stream" and row[1] == "engine"
+        if row[1] == "engine"
     }
-    # The acceptance floor this PR establishes; future PRs should beat it.
-    assert speedups[max(WORKERS)] >= 1.5, table.render()
+    # Acceptance floors; future PRs should beat them.
+    assert speedups[("batched stream", max(WORKERS))] >= 1.5, table.render()
+    assert speedups[("topk stream", max(WORKERS))] >= 1.3, table.render()
 
 
 def test_engine_answers_match_serial(benchmark):
@@ -57,3 +60,36 @@ def test_engine_answers_match_serial(benchmark):
 
     cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
     assert cold.distance == warm.distance and cold.indices == warm.indices
+
+
+@pytest.mark.skipif(
+    not shared_memory_available(), reason="needs POSIX shared memory"
+)
+def test_parallel_paths_pickle_no_dense_matrices(benchmark):
+    """Warm-worker acceptance: every pool task carries dG by reference."""
+    benchmark.group = "engine: transfer accounting"
+    n = 120
+    traj = trajectory_for("geolife", n, 0)
+    xi = default_xi(n)
+
+    def run():
+        with MotifEngine(workers=max(WORKERS)) as eng:
+            eng.top_k(traj, min_length=xi, k=3)
+            eng.discover(traj, min_length=xi, algorithm="btm",
+                         cacheable=False)
+            chunk_info = eng.transfer_info()
+            # A repeated-trajectory batch rides the warm path end to end.
+            eng.discover_many(
+                [traj, trajectory_for("truck", n, 0), traj],
+                min_length=xi, algorithm="btm", dedupe=False,
+            )
+            return chunk_info, eng.transfer_info()
+
+    chunk_info, info = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every chunk-scan task carried dG by reference...
+    assert chunk_info["pool_tasks"] > 0, chunk_info
+    assert chunk_info["shm_task_refs"] == chunk_info["pool_tasks"], chunk_info
+    # ...and nothing, batch queries included, pickled a dense matrix.
+    assert info["dense_bytes_pickled"] == 0, info
+    assert info["shm_task_refs"] > chunk_info["shm_task_refs"], info
+    assert info["shm_segments"] >= 1 and info["shm_bytes"] > 0, info

@@ -424,6 +424,15 @@ def engine_scaling(
       caching disabled, isolating the partitioned chunk-scan path.  On
       a single-core host this hovers around 1x (the scan is pure
       overhead there); it grows with available cores.
+    * **topk stream** -- the serving stream answered by top-k queries:
+      the serial loop pays the full bound-and-scan per request, the
+      engine's chunk-merge top-k answers repeats from the shared
+      oracle/result caches (acceptance floor: >= 1.3x at 2 workers,
+      with zero dense-``dG`` pickling -- see
+      ``benchmarks/bench_engine_scaling.py``).
+    * **join stream** -- repeated similarity joins of the corpus
+      against a shifted copy, serial cascade vs the engine's sharded
+      tile grid with result caching.
     """
     from ..engine import MotifEngine
 
@@ -472,6 +481,52 @@ def engine_scaling(
         _, t = timed(unique_cold)
         table.add_row("unique corpus", "engine", w, len(corpus), t,
                       t_unique / max(t, 1e-9))
+
+    # Top-k serving stream: repeated requests, parallel chunk-merge scan.
+    from ..extensions.topk import discover_top_k_motifs
+
+    k = 3
+
+    def serial_topk(queries):
+        for traj in queries:
+            discover_top_k_motifs(traj, min_length=xi, k=k)
+
+    _, t_topk = timed(serial_topk, stream)
+    table.add_row("topk stream", "serial loop", 1, len(stream), t_topk, 1.0)
+    for w in workers:
+        def topk_stream():
+            with MotifEngine(workers=w) as eng:
+                for traj in stream:
+                    eng.top_k(traj, min_length=xi, k=k)
+
+        _, t = timed(topk_stream)
+        table.add_row("topk stream", "engine", w, len(stream), t,
+                      t_topk / max(t, 1e-9))
+
+    # Similarity-join stream: corpus against a shifted copy, repeated.
+    from ..extensions.join import similarity_join
+
+    left = corpus
+    right = [
+        translate(traj, [0.5] * traj.dimensions) for traj in corpus
+    ]
+    theta = float(np.median(np.abs(left[0].points))) or 1.0
+
+    def serial_join():
+        for _ in range(repeats):
+            similarity_join(left, right, theta)
+
+    _, t_join = timed(serial_join)
+    table.add_row("join stream", "serial loop", 1, repeats, t_join, 1.0)
+    for w in workers:
+        def join_stream():
+            with MotifEngine(workers=w) as eng:
+                for _ in range(repeats):
+                    eng.join(left, right, theta)
+
+        _, t = timed(join_stream)
+        table.add_row("join stream", "engine", w, repeats, t,
+                      t_join / max(t, 1e-9))
     table.add_note(
         "batched-stream speedup: batch dedup + oracle/result caching "
         "(+ worker processes on multi-core hosts); answers are identical "

@@ -4,6 +4,8 @@ Subcommands::
 
     repro-motif discover --dataset geolife --n 500 --min-length 10
     repro-motif discover --input track.csv --algorithm btm --min-length 20
+    repro-motif topk --dataset geolife --min-length 10 --k 5 --workers 4
+    repro-motif join --dataset truck --count 12 --theta 25 --workers 4
     repro-motif bench fig18 --scale quick
     repro-motif datasets
     repro-motif info
@@ -14,6 +16,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -25,11 +28,13 @@ from .engine import MotifEngine, default_engine
 from .trajectory import read_csv, read_json, read_plt
 
 
-def _engine_for(args: argparse.Namespace) -> MotifEngine:
-    """The engine backing one CLI invocation.
+def _engine_for(args: argparse.Namespace):
+    """Context manager yielding the engine backing one CLI invocation.
 
-    ``--workers N`` builds a dedicated parallel engine; the default
-    shares the process-wide serial engine (and its caches).
+    ``--workers N`` builds a dedicated parallel engine that is closed
+    (pool shut down, shared-memory segments unlinked) when the command
+    finishes; the default shares the process-wide serial engine (and
+    its caches), which is left running.
     """
     workers = getattr(args, "workers", 1)
     if workers is None:
@@ -37,8 +42,8 @@ def _engine_for(args: argparse.Namespace) -> MotifEngine:
     if workers < 1:
         raise SystemExit("--workers must be at least 1")
     if workers > 1:
-        return MotifEngine(workers=workers)
-    return default_engine()
+        return MotifEngine(workers=workers)  # context manager: closes itself
+    return contextlib.nullcontext(default_engine())
 
 
 def _load_input(path: str):
@@ -66,10 +71,11 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         options["tau"] = args.tau
     if args.timeout is not None:
         options["timeout"] = args.timeout
-    result = _engine_for(args).discover(
-        traj, second, min_length=args.min_length,
-        algorithm=args.algorithm, **options,
-    )
+    with _engine_for(args) as engine:
+        result = engine.discover(
+            traj, second, min_length=args.min_length,
+            algorithm=args.algorithm, **options,
+        )
     i, ie, j, je = result.indices
     print(f"motif: S[{i}..{ie}]  ~  {'T' if second is not None else 'S'}[{j}..{je}]")
     print(f"discrete Frechet distance: {result.distance:.6g}")
@@ -101,11 +107,42 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         traj = _load_input(args.input)
     else:
         traj = get_dataset(args.dataset or "geolife", seed=args.seed).generate(args.n)
-    ranked = _engine_for(args).top_k(traj, min_length=args.min_length, k=args.k)
+    with _engine_for(args) as engine:
+        ranked = engine.top_k(traj, min_length=args.min_length, k=args.k)
     for motif in ranked:
         i, ie, j, je = motif.indices
         print(f"#{motif.rank}: S[{i}..{ie}] ~ S[{j}..{je}]  "
               f"DFD = {motif.distance:.6g}")
+    return 0
+
+
+def _collection_for_join(paths, dataset, count, n, seed_base):
+    if paths:
+        return [_load_input(p) for p in paths]
+    return [
+        get_dataset(dataset or "geolife", seed=seed_base + i).generate(n)
+        for i in range(count)
+    ]
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    if bool(args.left) != bool(args.right):
+        raise SystemExit("provide both --left and --right (or neither, for synthetic)")
+    left = _collection_for_join(args.left, args.dataset, args.count, args.n, args.seed)
+    right = _collection_for_join(
+        args.right, args.dataset, args.count, args.n, args.seed + 1000
+    )
+    with _engine_for(args) as engine:
+        matches, stats = engine.join(
+            left, right, theta=args.theta, workers=getattr(args, "workers", 1)
+        )
+    print(f"{len(matches)} matching pair(s) at theta={args.theta:g} "
+          f"({stats.pairs_total} pairs examined)")
+    for a, b in matches:
+        print(f"  left[{a}] ~ right[{b}]")
+    if args.stats:
+        print(f"pruned: endpoint={stats.pruned_endpoint} bbox={stats.pruned_bbox} "
+              f"hausdorff={stats.pruned_hausdorff}; exact decisions={stats.decisions}")
     return 0
 
 
@@ -210,9 +247,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-length", type=int, required=True)
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--workers", type=int, default=1,
-                   help="engine worker processes (the top-k search itself "
-                        "currently runs serially; see ROADMAP)")
+                   help="partition the top-k scan across N worker processes")
     p.set_defaults(func=_cmd_topk)
+
+    p = sub.add_parser("join", help="DFD similarity join between two collections")
+    p.add_argument("--left", nargs="+",
+                   help="left trajectory files (.plt/.csv/.json)")
+    p.add_argument("--right", nargs="+",
+                   help="right trajectory files (.plt/.csv/.json)")
+    p.add_argument("--dataset", choices=dataset_names(),
+                   help="synthetic dataset when no files are given")
+    p.add_argument("--count", type=int, default=8,
+                   help="synthetic trajectories per side")
+    p.add_argument("--n", type=int, default=120,
+                   help="synthetic trajectory length")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--theta", type=float, required=True, help="DFD threshold")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the pair grid across N worker processes")
+    p.add_argument("--stats", action="store_true",
+                   help="print filter-cascade statistics")
+    p.set_defaults(func=_cmd_join)
 
     p = sub.add_parser("cluster", help="DFD subtrajectory clustering")
     p.add_argument("--input", help="trajectory file (.plt/.csv/.json)")

@@ -25,7 +25,7 @@ the processing loop breaks on ``lb > bsf`` when unwitnessed and on
 from __future__ import annotations
 
 import time
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +59,8 @@ def run_best_first(
     use_cell: bool = True,
     use_cross: bool = True,
     use_band: bool = True,
+    bsf_sync: Optional[Callable[[float], float]] = None,
+    bsf_sync_every: int = 64,
 ) -> Tuple[float, Best]:
     """Process candidate subsets in ascending bound order (Alg. 2 L5-13).
 
@@ -66,6 +68,14 @@ def run_best_first(
     ``None`` with a finite ``bsf`` marks an unwitnessed bound (see
     module docstring).  ``approx_factor >= 1`` enables the
     (1+eps)-approximate early stop of the extensions module.
+
+    ``bsf_sync`` is the engine's in-chunk best-so-far exchange: every
+    ``bsf_sync_every`` processed subsets it is called with the current
+    ``bsf`` (publishing it to sibling chunk scans) and returns the
+    tightest globally known threshold.  An adopted external threshold
+    is *unwitnessed* -- we hold no concrete pair for it -- so ``best``
+    is dropped and the tie-keeping break rule applies, exactly as for
+    a chunk's seed threshold.  Serial callers leave it ``None``.
     """
     if approx_factor < 1.0:
         raise ValueError("approx_factor must be >= 1")
@@ -79,6 +89,12 @@ def run_best_first(
     witnessed = best is not None
     dp_started = time.perf_counter()
     for count, k in enumerate(order):
+        if bsf_sync is not None and count % bsf_sync_every == 0:
+            shared = bsf_sync(bsf)
+            if shared < bsf:
+                bsf = shared
+                best = None
+                witnessed = False
         lb = bounds.combined[k] * approx_factor
         if lb > bsf or (witnessed and lb >= bsf):
             break

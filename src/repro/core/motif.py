@@ -116,6 +116,7 @@ def discover_motif(
     min_length: int,
     algorithm: Union[str, object] = "gtm",
     metric: Union[str, GroundMetric, None] = None,
+    oracle: Optional[object] = None,
     **algorithm_options,
 ) -> MotifResult:
     """Discover the motif of one trajectory or between two trajectories.
@@ -136,6 +137,12 @@ def discover_motif(
     metric:
         Ground metric name/instance; defaults to haversine for lat/lon
         trajectories and Euclidean for planar ones.
+    oracle:
+        Optional prebuilt ground oracle over the same trajectories
+        (advanced): the search runs on it directly instead of building
+        one, e.g. the engine's warm workers pass an attached
+        shared-memory matrix.  The caller is responsible for the
+        oracle matching the trajectories and metric.
     algorithm_options:
         Forwarded to the algorithm constructor (e.g. ``tau=16``,
         ``variant="tight"``, ``timeout=60.0``).
@@ -159,7 +166,8 @@ def discover_motif(
         mode=space.mode, n_rows=space.n_rows, n_cols=space.n_cols, xi=space.xi
     )
     start_time = time.perf_counter()
-    oracle = _build_oracle(algo, traj_a, traj_b, resolved_metric, stats)
+    if oracle is None:
+        oracle = _build_oracle(algo, traj_a, traj_b, resolved_metric, stats)
     distance, best = algo.search(oracle, space, stats)
     stats.time_total = time.perf_counter() - start_time
     if best is None:
@@ -175,13 +183,16 @@ def discover_motif(
 def _build_oracle(algo, traj_a, traj_b, metric, stats):
     """Dense matrix for matrix-based algorithms, lazy rows for GTM*."""
     with PhaseTimer(stats, "time_precompute"):
+        stats.ground_builds += 1
         if isinstance(algo, GTMStar):
+            stats.oracle_source = "lazy"
             return LazyGroundMatrix(
                 traj_a.points,
                 None if traj_b is None else traj_b.points,
                 metric=metric,
                 cache_rows=algo.cache_rows,
             )
+        stats.oracle_source = "dense"
         points_b = traj_a.points if traj_b is None else traj_b.points
         return DenseGroundMatrix(metric.pairwise(traj_a.points, points_b))
 

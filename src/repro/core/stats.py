@@ -47,6 +47,14 @@ class SearchStats:
     scan_subsets_expanded: int = 0
     scan_cells_expanded: int = 0
 
+    #: How many times a ground oracle was *built* from trajectory points
+    #: for this search (0 when it came from a cache or shared memory).
+    ground_builds: int = 0
+    #: Where the ground oracle came from: "dense" / "lazy" (built from
+    #: points), "shared_memory" (attached to a parent-published dG
+    #: segment), or "" when the search ran on a caller-supplied oracle.
+    oracle_source: str = ""
+
     #: Group-level counters (GTM / GTM*): per-level survivor counts.
     group_levels: Dict[int, int] = field(default_factory=dict)
     group_pairs_considered: int = 0

@@ -3,23 +3,32 @@
 :class:`MotifEngine` is the production facade over the serial paper
 algorithms in :mod:`repro.core`: it caches ground oracles and results
 by content fingerprint, partitions single queries' candidate start
-pairs across a process pool with best-so-far sharing, and fans corpus
-batches out one query per worker -- while returning answers
-byte-identical to the serial algorithms (see ``tests/test_engine.py``).
+pairs across a process pool with best-so-far sharing, fans corpus
+batches out one query per worker, scans top-k chunks against a shared
+k-th-best threshold, and shards similarity joins over a tile grid --
+with dense ground matrices riding named shared-memory segments
+(:mod:`repro.engine.shm`) instead of the pool pipe, and answers
+byte-identical to the serial algorithms (see ``tests/test_engine.py``
+and ``tests/test_parity_randomized.py``).
 """
 
 from .cache import LRUCache, fingerprint_array, fingerprint_points
 from .engine import MatrixMotifResult, MotifEngine, default_engine
-from .partition import deal_indices, plan_chunks, slice_bounds
+from .partition import deal_indices, plan_chunks, plan_tiles, slice_bounds
+from .shm import SharedMatrixRef, SharedMatrixStore, shared_memory_available
 
 __all__ = [
     "LRUCache",
     "MatrixMotifResult",
     "MotifEngine",
+    "SharedMatrixRef",
+    "SharedMatrixStore",
     "deal_indices",
     "default_engine",
     "fingerprint_array",
     "fingerprint_points",
     "plan_chunks",
+    "plan_tiles",
+    "shared_memory_available",
     "slice_bounds",
 ]

@@ -23,18 +23,33 @@ best-first loop runs.  The engine closes that gap with three layers:
    queries in parallel workers (embarrassingly parallel, each worker
    executing the unmodified serial code) and deduplicates identical
    queries within a batch.
+4. **Warm shared-memory workers** -- dense ground matrices are
+   published once into named shared-memory segments
+   (:mod:`repro.engine.shm`) and every task carries a tiny
+   by-reference handle, so no chunk pickles the O(n^2) ``dG`` through
+   the pool pipe and corpus workers stop recomputing ``dG`` for
+   repeated trajectories.  :meth:`transfer_info` exposes the
+   accounting; :meth:`close` unlinks the segments.
+5. **Parallel corpus workloads** -- :meth:`MotifEngine.top_k` scans
+   bound-ordered chunks against a shared k-th-best threshold and
+   merges per-chunk heaps into the exact serial ranking, and
+   :meth:`MotifEngine.join` shards the pair grid of *both* collections
+   into tiles with the filter cascade applied per tile.
 
 The engine is exact by construction: every answer either comes from the
-serial algorithm directly or from a resolution pass of that same serial
-algorithm seeded with a proven threshold.
+serial algorithm directly, from a resolution pass of that same serial
+algorithm seeded with a proven threshold, or (top-k/join) from an
+order-independent merge of exhaustive per-partition answers.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 import math
 import threading
 import time
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
@@ -55,7 +70,8 @@ from ..distances.ground import (
 from ..errors import ReproError
 from ..trajectory import Trajectory
 from .cache import LRUCache, fingerprint_array, fingerprint_points, metric_key
-from .partition import plan_chunks
+from .partition import plan_chunks, plan_tiles
+from .shm import SharedMatrixStore, shared_memory_available
 from . import worker as _worker
 
 
@@ -99,9 +115,19 @@ class MotifEngine:
     executor:
         ``"process"`` (default) uses a fork-context process pool;
         ``"inline"`` runs chunk tasks sequentially in-process, which
-        exercises the exact same partition/resolution machinery
+        exercises the exact same partition/merge machinery
         deterministically (used by tests and as the automatic fallback
         where fork is unavailable).
+    shared_memory:
+        Publish dense ground matrices to named shared-memory segments
+        so pool tasks carry by-reference handles instead of pickled
+        matrices and corpus workers attach instead of recomputing
+        ``dG``.  Automatically off where unsupported; results are
+        identical either way.
+    bsf_sync_every:
+        Cadence (in processed subsets) at which a chunk scan re-reads
+        and republishes the shared best-so-far *inside* its best-first
+        loop, so late chunks prune against early discoveries mid-scan.
     """
 
     def __init__(
@@ -114,6 +140,8 @@ class MotifEngine:
         result_cache_size: int = 256,
         chunks_per_worker: int = 3,
         executor: str = "process",
+        shared_memory: bool = True,
+        bsf_sync_every: int = 64,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -121,13 +149,25 @@ class MotifEngine:
             raise ValueError("chunks_per_worker must be at least 1")
         if executor not in ("process", "inline"):
             raise ValueError("executor must be 'process' or 'inline'")
+        if bsf_sync_every < 1:
+            raise ValueError("bsf_sync_every must be at least 1")
         self.workers = int(workers)
         self.algorithm = algorithm
         self.chunks_per_worker = int(chunks_per_worker)
         self.executor = executor
+        self.shared_memory = bool(shared_memory)
+        self.bsf_sync_every = int(bsf_sync_every)
         self._oracles = LRUCache(oracle_cache_size)
         self._tables = LRUCache(tables_cache_size)
         self._results = LRUCache(result_cache_size)
+        self._shm = SharedMatrixStore(capacity=max(4, oracle_cache_size))
+        self._transfer = {
+            "pool_tasks": 0,
+            "dense_bytes_pickled": 0,
+            "shm_segments": 0,
+            "shm_bytes": 0,
+            "shm_task_refs": 0,
+        }
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
         self._shared_bsf = None
@@ -307,25 +347,31 @@ class MotifEngine:
             and _fork_context() is not None
         )
         if run_parallel:
-            tasks = [
-                _worker.QueryTask(
-                    trajectory=parsed[idx][0],
-                    second=parsed[idx][1],
-                    min_length=int(min_length),
-                    algorithm=algorithm,
-                    metric=metric,
-                    options=tuple(sorted(algorithm_options.items())),
-                )
-                for idx in pending
-            ]
             with self._scan_lock:  # pool use is engine-wide exclusive
+                warm_refs = self._warm_refs_for(
+                    pending, parsed, metric, algorithm, algorithm_options
+                )
+                tasks = [
+                    _worker.QueryTask(
+                        trajectory=parsed[idx][0],
+                        second=parsed[idx][1],
+                        min_length=int(min_length),
+                        algorithm=algorithm,
+                        metric=metric,
+                        options=tuple(sorted(algorithm_options.items())),
+                        matrix_ref=ref,
+                    )
+                    for idx, ref in zip(pending, warm_refs)
+                ]
                 pool = self._get_pool(workers)
+                self._count_transfer(tasks)
                 for idx, result in zip(
                     pending, pool.map(_worker.run_query, tasks)
                 ):
                     results[idx] = result
                     if keys[idx] is not None:
                         self._results.put(keys[idx], result)
+                self._shm.trim()
         else:
             for idx in pending:
                 traj_a, traj_b = parsed[idx]
@@ -350,13 +396,25 @@ class MotifEngine:
         min_length: int,
         k: int = 5,
         metric: Union[str, GroundMetric, None] = None,
+        workers: Optional[int] = None,
     ):
-        """Top-k subset-distinct motifs through the shared oracle cache."""
-        from ..extensions.topk import top_k_from_oracle
+        """Top-k subset-distinct motifs through the shared oracle cache.
 
+        With ``workers > 1`` the bound-ordered candidate subsets are
+        dealt into chunks scanned against a shared k-th-best threshold;
+        the per-chunk heaps merge into the exact serial ranking (the
+        answer is canonical under the ``(distance, indices)`` order, so
+        the merge needs no resolution pass).  Answers are identical for
+        every worker count -- the result cache is workers-independent.
+        """
+        from ..extensions.topk import entries_to_ranked, scan_topk_entries
+
+        if k < 1:
+            raise ValueError("k must be at least 1")
         traj_a = _as_trajectory(trajectory)
         traj_b = None if second is None else _as_trajectory(second)
         resolved = get_metric(metric, crs=traj_a.crs)
+        workers = self.workers if workers is None else max(1, int(workers))
         key = (
             "topk",
             fingerprint_points(traj_a),
@@ -367,17 +425,29 @@ class MotifEngine:
         )
         cached = self._results.get(key)
         if cached is not None:
-            return cached
+            return list(cached)  # copy: a caller-mutated list must not poison the cache
         space = (
             self_space(traj_a.n, min_length)
             if traj_b is None
             else cross_space(traj_a.n, traj_b.n, min_length)
         )
-        oracle, _ = self._dense_oracle(traj_a, traj_b, resolved)
+        oracle, okey = self._dense_oracle(traj_a, traj_b, resolved)
         stats = SearchStats(algorithm="topk", mode=space.mode, xi=space.xi)
-        ranked = top_k_from_oracle(traj_a, traj_b, space, oracle, k, stats)
+        tables = self._bound_tables(okey, space, oracle)
+        with PhaseTimer(stats, "time_bounds"):
+            bounds = relaxed_subset_bounds(space, oracle, tables)
+        if workers > 1:
+            entries = self._chunked_topk(
+                oracle, okey, space, bounds, tables, k, stats, workers
+            )
+            stats.algorithm = f"engine[topk x{workers}]"
+        else:
+            entries = scan_topk_entries(
+                oracle, space, bounds, tables.cmin, tables.rmin, k, stats
+            )
+        ranked = entries_to_ranked(traj_a, traj_b, entries)
         self._results.put(key, ranked)
-        return ranked
+        return list(ranked)
 
     def join(
         self,
@@ -387,38 +457,78 @@ class MotifEngine:
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
     ):
-        """DFD similarity join, chunking the left collection over workers."""
+        """DFD similarity join, sharding the pair grid into tiles.
+
+        Both collections are sliced, so even a single left trajectory
+        against a large right collection parallelises; each tile runs
+        the full filter cascade on its pair block.  Matches are
+        re-sorted to the serial (left-major) order and the per-tile
+        filter statistics fold additively, so the answer is identical
+        to :func:`repro.extensions.join.similarity_join`.  Results are
+        cached by content fingerprint (workers-independent).
+        """
         from ..extensions.join import merge_join_stats, similarity_join
 
         workers = self.workers if workers is None else max(1, int(workers))
-        n_chunks = min(workers, len(left)) if len(left) else 1
-        if (
-            workers == 1
-            or n_chunks < 2
-            or self.executor != "process"
-            or _fork_context() is None
-        ):
-            return similarity_join(left, right, theta, metric)
-        splits = np.array_split(np.arange(len(left)), n_chunks)
+        resolved = get_metric(metric)
+        key = (
+            "join",
+            tuple(fingerprint_points(t) for t in left),
+            tuple(fingerprint_points(t) for t in right),
+            metric_key(resolved),
+            float(theta),
+        )
+        def as_answer(out):
+            # Copies: a caller mutating the matches list or stats must
+            # not poison the cached canonical answer.
+            matches, stats = out
+            return list(matches), copy.deepcopy(stats)
+
+        cached = self._results.get(key)
+        if cached is not None:
+            return as_answer(cached)
+        # Tiling pays off on the pool, and (deterministically, for the
+        # parity tests) on the inline executor; a fork-less "process"
+        # platform would just repeat per-tile setup serially.
+        can_shard = workers > 1 and (
+            self.executor == "inline" or _fork_context() is not None
+        )
+        tiles = (
+            plan_tiles(len(left), len(right), workers * self.chunks_per_worker)
+            if can_shard
+            else []
+        )
+        if len(tiles) < 2:
+            out = similarity_join(left, right, theta, metric)
+            self._results.put(key, out)
+            return as_answer(out)
         tasks = [
             _worker.JoinTask(
-                left=[left[i] for i in part],
-                right=right,
+                left=[left[i] for i in left_idx],
+                right=[right[i] for i in right_idx],
                 theta=theta,
                 metric=metric,
-                offset=int(part[0]),
+                left_offset=int(left_idx[0]),
+                right_offset=int(right_idx[0]),
             )
-            for part in splits
-            if len(part)
+            for left_idx, right_idx in tiles
         ]
+        if self.executor == "process" and _fork_context() is not None:
+            with self._scan_lock:  # pool use is engine-wide exclusive
+                pool = self._get_pool(workers)
+                self._count_transfer(tasks)
+                parts = list(pool.map(_worker.join_tile, tasks))
+        else:
+            parts = [_worker.join_tile(task) for task in tasks]
         matches: List[Tuple[int, int]] = []
-        chunk_stats = []
-        with self._scan_lock:  # pool use is engine-wide exclusive
-            pool = self._get_pool(workers)
-            for part_matches, part_stats in pool.map(_worker.join_chunk, tasks):
-                matches.extend(part_matches)
-                chunk_stats.append(part_stats)
-        return matches, merge_join_stats(chunk_stats)
+        tile_stats = []
+        for part_matches, part_stats in parts:
+            matches.extend(part_matches)
+            tile_stats.append(part_stats)
+        matches.sort()  # serial order: left-major, then right
+        out = (matches, merge_join_stats(tile_stats))
+        self._results.put(key, out)
+        return as_answer(out)
 
     def cluster(self, trajectory, **kwargs):
         """Subtrajectory clustering (delegates to the extension)."""
@@ -437,13 +547,32 @@ class MotifEngine:
             "results": self._results.info(),
         }
 
+    def transfer_info(self) -> dict:
+        """Pool-transfer accounting: what crossed the pipe vs shared memory.
+
+        ``dense_bytes_pickled`` counts dense ``dG`` bytes serialised
+        into pool tasks (0 whenever shared memory served the scan);
+        ``shm_segments`` / ``shm_bytes`` count published segments and
+        ``shm_task_refs`` the tasks that carried a by-reference matrix.
+        """
+        info = dict(self._transfer)
+        info["shm_live_segments"] = len(self._shm)
+        return info
+
     def clear_caches(self) -> None:
         self._oracles.clear()
         self._tables.clear()
         self._results.clear()
 
     def close(self) -> None:
-        """Shut the worker pool down (caches stay usable)."""
+        """Shut the pool down and unlink shared segments (caches stay)."""
+        self._close_pool()
+        self._shm.close()
+
+    def _close_pool(self) -> None:
+        """Tear down the pool only; published segments stay attachable
+        (pool resizes and fallbacks must not unlink matrices that
+        already-built tasks reference)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -554,19 +683,28 @@ class MotifEngine:
         bounds = relaxed_subset_bounds(space, dense, tables)
         chunks = plan_chunks(bounds, workers * self.chunks_per_worker)
         timeout = getattr(algo, "timeout", None)
-        tasks = [
-            _worker.ChunkTask(
-                matrix=dense.array,
-                space=space,
-                bounds=chunk,
-                cmin=tables.cmin,
-                rmin=tables.rmin,
-                timeout=timeout,
-                started_at=started_at,
-            )
-            for chunk in chunks
-        ]
-        results = self._run_chunks(tasks, workers)
+        # The whole publish -> scan -> trim sequence holds the scan
+        # lock: segments published for this scan must stay attachable
+        # until its pool map completes, and a concurrent scan on a
+        # shared engine could otherwise evict them.
+        with self._scan_lock:
+            ref = self._share_scan_matrix(okey, dense)
+            tasks = [
+                _worker.ChunkTask(
+                    matrix=None if ref is not None else dense.array,
+                    matrix_ref=ref,
+                    space=space,
+                    bounds=chunk,
+                    cmin=tables.cmin,
+                    rmin=tables.rmin,
+                    timeout=timeout,
+                    started_at=started_at,
+                    sync_every=self.bsf_sync_every,
+                )
+                for chunk in chunks
+            ]
+            results = self._run_chunks(tasks, workers)
+            self._shm.trim()
         d_star = math.inf
         for res in results:
             d_star = min(d_star, res.bsf)
@@ -574,47 +712,104 @@ class MotifEngine:
             stats.scan_cells_expanded += res.cells_expanded
         return d_star
 
-    def _run_chunks(self, tasks, workers) -> List[_worker.ChunkResult]:
-        """Execute chunk tasks on the pool, inline on fallback.
+    def _dispatch_chunks(self, tasks, workers, pool_fn, inline_fn):
+        """Run chunk tasks on the pool, inline on fallback.
 
-        Inline execution still threads the best-so-far between chunks
-        (sequentially), so it exercises identical pruning semantics.
+        Caller holds ``_scan_lock``.  The pool path resets the shared
+        threshold, accounts the transfer, and falls back to
+        ``inline_fn`` on fork/pipe failure -- the one copy of this
+        protocol for both the discover and the top-k scans.
         """
         ctx = _fork_context()
         if self.executor == "process" and ctx is not None:
             try:
-                with self._scan_lock:
-                    pool = self._get_pool(workers)
-                    with self._shared_bsf.get_lock():
-                        self._shared_bsf.value = math.inf
-                    return list(pool.map(_worker.scan_chunk, tasks))
+                pool = self._get_pool(workers)
+                with self._shared_bsf.get_lock():
+                    self._shared_bsf.value = math.inf
+                out = list(pool.map(pool_fn, tasks))
+                # Counted only after a successful map, so an inline
+                # fallback never reports pipe traffic that didn't happen.
+                self._count_transfer(tasks)
+                return out
             except OSError:  # pragma: no cover - fork/pipe failure
-                self.close()
-        best_so_far = math.inf
-        out = []
-        for task in tasks:
-            res = _worker.scan_chunk(
-                _worker.ChunkTask(
-                    matrix=task.matrix,
-                    space=task.space,
-                    bounds=task.bounds,
-                    cmin=task.cmin,
-                    rmin=task.rmin,
-                    timeout=task.timeout,
-                    started_at=task.started_at,
-                    seed_bsf=best_so_far,
+                self._close_pool()
+        return inline_fn(tasks)
+
+    def _run_chunks(self, tasks, workers) -> List[_worker.ChunkResult]:
+        """Execute discover chunk tasks (caller holds ``_scan_lock``).
+
+        Inline execution still threads the best-so-far between chunks
+        (sequentially), so it exercises identical pruning semantics.
+        """
+
+        def inline(tasks):
+            best_so_far = math.inf
+            out = []
+            for task in tasks:
+                res = _worker.scan_chunk(
+                    dataclasses.replace(task, seed_bsf=best_so_far)
                 )
+                best_so_far = min(best_so_far, res.bsf)
+                out.append(res)
+            return out
+
+        return self._dispatch_chunks(tasks, workers, _worker.scan_chunk, inline)
+
+    def _chunked_topk(
+        self, dense, okey, space, bounds, tables, k, stats, workers
+    ):
+        """Exact top-k entries via the partitioned chunk scan + merge."""
+        from ..extensions.topk import merge_topk_entries
+
+        chunks = plan_chunks(bounds, workers * self.chunks_per_worker)
+        with self._scan_lock:  # see _chunked_distance on lock extent
+            ref = self._share_scan_matrix(okey, dense)
+            tasks = [
+                _worker.TopKChunkTask(
+                    matrix=None if ref is not None else dense.array,
+                    matrix_ref=ref,
+                    space=space,
+                    bounds=chunk,
+                    cmin=tables.cmin,
+                    rmin=tables.rmin,
+                    k=int(k),
+                    sync_every=self.bsf_sync_every,
+                )
+                for chunk in chunks
+            ]
+            def inline(tasks):
+                # Thread the k-th-best between chunks the way the
+                # shared value does across processes.
+                out = []
+                kth_carry = math.inf
+                for task in tasks:
+                    res = _worker.topk_chunk(
+                        dataclasses.replace(task, seed_kth=kth_carry)
+                    )
+                    if len(res.entries) == task.k:
+                        kth_carry = min(kth_carry, res.entries[-1][0])
+                    out.append(res)
+                return out
+
+            results = self._dispatch_chunks(
+                tasks, workers, _worker.topk_chunk, inline
             )
-            best_so_far = min(best_so_far, res.bsf)
-            out.append(res)
-        return out
+            self._shm.trim()
+        # Unlike discover there is no serial resolution pass re-counting
+        # the space, so the chunk counters fold into the same fields the
+        # serial scan uses -- stats are worker-count independent.
+        for res in results:
+            stats.subsets_total += res.subsets_total
+            stats.subsets_expanded += res.subsets_expanded
+            stats.cells_expanded += res.cells_expanded
+        return merge_topk_entries([res.entries for res in results], k)
 
     def _get_pool(self, workers: int) -> ProcessPoolExecutor:
         ctx = _fork_context()
         if ctx is None:
             raise ReproError("process executor requires a fork-capable platform")
         if self._pool is not None and self._pool_workers != workers:
-            self.close()
+            self._close_pool()
         if self._pool is None:
             self._shared_bsf = ctx.Value("d", math.inf)
             self._pool = ProcessPoolExecutor(
@@ -646,6 +841,99 @@ class MotifEngine:
         return self._oracles.get_or_build(
             key, lambda: DenseGroundMatrix(matrix)
         ), key
+
+    # ------------------------------------------------------------------
+    # Shared-memory transfer plumbing
+    # ------------------------------------------------------------------
+    def _use_shared_memory(self) -> bool:
+        return (
+            self.shared_memory
+            and self.executor == "process"
+            and shared_memory_available()
+            and _fork_context() is not None
+        )
+
+    def _share_dense(self, okey, dense):
+        """Publish a dense oracle's matrix; None when shipping inline."""
+        if not self._use_shared_memory():
+            return None
+        ref, created = self._shm.publish(okey, dense.array)
+        if created:
+            self._transfer["shm_segments"] += 1
+            self._transfer["shm_bytes"] += dense.array.nbytes
+        return ref
+
+    def _share_scan_matrix(self, okey, dense):
+        """One chunked scan's matrix: its own batch, then publish.
+
+        Caller holds ``_scan_lock`` -- the batch boundary plus the
+        publish must be atomic with the scan that consumes the ref.
+        """
+        self._shm.begin_batch()
+        return self._share_dense(okey, dense)
+
+    def _warm_refs_for(self, pending, parsed, metric, algorithm, options):
+        """Shared ``dG`` handles for a batch of corpus queries.
+
+        A query rides the warm path only when that is genuinely
+        cheaper than letting its worker build the oracle itself:
+
+        * its dense oracle is *already* in the parent's cache (the
+          serving case -- prior discover/top-k/join calls paid for
+          it), or
+        * the same trajectory (pair) appears more than once among the
+          pending queries, so one parent-side build amortises across
+          workers -- but never for lazy-oracle algorithms (GTM*),
+          whose O(n)-space contract a forced dense O(n^2) build would
+          break.
+
+        Cold unique queries return ``None`` and keep the old behavior
+        (each worker computes its own ``dG`` concurrently), so a cold
+        corpus sweep is never serialised behind the parent.
+        """
+        if not self._use_shared_memory():
+            return [None] * len(pending)
+        probe = algorithm
+        if isinstance(algorithm, str):
+            probe = _make_algorithm(algorithm, **options)
+        lazy = isinstance(probe, GTMStar)
+        keys = []
+        for idx in pending:
+            traj_a, traj_b = parsed[idx]
+            resolved = get_metric(metric, crs=traj_a.crs)
+            keys.append((
+                "dense",
+                fingerprint_points(traj_a),
+                None if traj_b is None else fingerprint_points(traj_b),
+                metric_key(resolved),
+            ))
+        counts = Counter(keys)
+        self._shm.begin_batch()
+        refs = []
+        built: dict = {}
+        for idx, key in zip(pending, keys):
+            dense = self._oracles.get(key) or built.get(key)
+            if dense is None:
+                if lazy or counts[key] < 2:
+                    refs.append(None)
+                    continue
+                traj_a, traj_b = parsed[idx]
+                resolved = get_metric(metric, crs=traj_a.crs)
+                dense, key = self._dense_oracle(traj_a, traj_b, resolved)
+                built[key] = dense
+            refs.append(self._share_dense(key, dense))
+        return refs
+
+    def _count_transfer(self, tasks) -> None:
+        """Account what each pool-bound task ships through the pipe."""
+        for task in tasks:
+            self._transfer["pool_tasks"] += 1
+            if getattr(task, "matrix_ref", None) is not None:
+                self._transfer["shm_task_refs"] += 1
+            else:
+                matrix = getattr(task, "matrix", None)
+                if matrix is not None:
+                    self._transfer["dense_bytes_pickled"] += int(matrix.nbytes)
 
     def _lazy_oracle(self, traj_a, traj_b, metric, cache_rows: int):
         key = (

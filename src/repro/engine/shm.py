@@ -1,0 +1,211 @@
+"""Shared-memory publication of dense ground matrices (worker warm state).
+
+The partitioned chunk scan and the corpus-parallel batch APIs both need
+the same O(n^2) payload in every worker: the dense ground matrix ``dG``.
+Before this module existed each :class:`~repro.engine.worker.ChunkTask`
+carried the full matrix through the pool pipe (``workers x
+chunks_per_worker`` pickled copies per query) and ``discover_many``
+workers recomputed ``dG`` from the trajectory points per process.
+
+:class:`SharedMatrixStore` removes both costs: the parent process
+publishes each dense matrix once into a named
+``multiprocessing.shared_memory`` segment keyed by the engine's content
+fingerprint, and tasks carry only a tiny :class:`SharedMatrixRef`
+(name, shape, dtype).  Workers attach by name on first use and keep the
+mapping in a per-process LRU, so a warm worker serves repeated
+trajectories with zero ``dG`` recomputation and zero dense pickling.
+
+Lifecycle rules (the subtle part):
+
+* Only the process that created a segment may unlink it.  Worker
+  processes are forked from the parent and therefore inherit the store
+  object; every destructive method checks ``os.getpid()`` against the
+  creating pid so a dying worker can never tear down segments the
+  parent still serves from.
+* Attaching registers the name with ``resource_tracker`` again
+  (Python < 3.13 has no ``track=False``).  That is harmless -- and
+  must NOT be "fixed" by unregistering: the engine's pool workers are
+  *forked*, so they share the parent's tracker process, registration
+  is set-idempotent, and an attach-side unregister would strip the
+  parent's own registration (the tracker then KeyErrors when the
+  parent finally unlinks).
+* ``SharedMatrixStore.close()`` unlinks everything; the engine calls it
+  from :meth:`MotifEngine.close` after the pool has shut down, which is
+  what the leak test in ``tests/test_engine_warm.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from collections import OrderedDict
+from typing import Hashable, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - always present on CPython >= 3.8
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover
+    _shm_mod = None
+
+
+def shared_memory_available() -> bool:
+    """True when named shared-memory segments are usable on this host."""
+    return _shm_mod is not None and os.name == "posix"
+
+
+class SharedMatrixRef(NamedTuple):
+    """A picklable by-reference handle to one published dense matrix."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedMatrixStore:
+    """Parent-side registry of published dense-matrix segments.
+
+    Bounded: a publish that would exceed ``capacity`` first evicts
+    least-recently-used segments from *earlier* batches, and refuses
+    (returns no ref) if the current batch alone fills the store --
+    refs handed out during one batch must stay attachable until its
+    pool map completes, so same-batch entries are never evicted.
+    Callers mark batch boundaries with :meth:`begin_batch` and treat a
+    refused/failed publish as "ship it the cold way".
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        #: key -> (segment, ref, epoch of last touch)
+        self._segments: "OrderedDict[Hashable, tuple]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._owner_pid = os.getpid()
+        self._epoch = 0
+        self.created = 0
+        self.bytes_shared = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def refs(self):
+        """The live refs (for tests and introspection)."""
+        with self._lock:
+            return [entry[1] for entry in self._segments.values()]
+
+    def begin_batch(self) -> None:
+        """Mark a batch boundary: prior entries become evictable."""
+        with self._lock:
+            self._epoch += 1
+
+    def publish(self, key: Hashable, array: np.ndarray):
+        """Share ``array`` under ``key``; returns ``(ref, created)``.
+
+        An already-published key returns its existing ref without any
+        copying (the repeated-trajectory warm path).  Returns
+        ``(None, False)`` when the store is full of current-batch
+        segments or the kernel refuses the allocation (ENOSPC) -- the
+        caller falls back to inline transfer.
+        """
+        if not shared_memory_available():
+            return None, False
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is not None:
+                self._segments.move_to_end(key)
+                self._segments[key] = (entry[0], entry[1], self._epoch)
+                return entry[1], False
+            while len(self._segments) >= self.capacity:
+                stale_key = next(iter(self._segments))
+                if self._segments[stale_key][2] >= self._epoch:
+                    return None, False  # full of same-batch segments
+                segment, _, _ = self._segments.pop(stale_key)
+                self._destroy(segment)
+            array = np.ascontiguousarray(array)
+            name = f"repro-{os.getpid()}-{secrets.token_hex(6)}"
+            try:
+                segment = _shm_mod.SharedMemory(
+                    name=name, create=True, size=max(1, array.nbytes)
+                )
+            except OSError:  # pragma: no cover - /dev/shm exhausted
+                return None, False
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+            del view  # release the exported buffer before any close()
+            ref = SharedMatrixRef(segment.name, tuple(array.shape), str(array.dtype))
+            self._segments[key] = (segment, ref, self._epoch)
+            self.created += 1
+            self.bytes_shared += array.nbytes
+            return ref, True
+
+    def trim(self, capacity: Optional[int] = None) -> None:
+        """Unlink least-recently-used segments beyond ``capacity``."""
+        if os.getpid() != self._owner_pid:
+            return
+        cap = self.capacity if capacity is None else max(0, int(capacity))
+        with self._lock:
+            while len(self._segments) > cap:
+                _, (segment, _ref, _epoch) = self._segments.popitem(last=False)
+                self._destroy(segment)
+
+    def close(self) -> None:
+        """Unlink every published segment (owner process only)."""
+        self.trim(0)
+
+    @staticmethod
+    def _destroy(segment) -> None:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view still exported
+            return
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment cache
+# ----------------------------------------------------------------------
+#: name -> (segment, ndarray); per-process, LRU-bounded.
+_ATTACHED: "OrderedDict[str, tuple]" = OrderedDict()
+_ATTACH_LIMIT = 8
+
+#: Per-process counters (observable in tests that run attach in-process).
+ATTACH_STATS = {"attaches": 0, "reuses": 0}
+
+
+def attach_matrix(ref: SharedMatrixRef) -> np.ndarray:
+    """The ndarray behind ``ref``, attached (and cached) by name.
+
+    The returned array is a zero-copy view of the shared segment; the
+    caller must treat it as read-only.  Repeated calls for the same
+    segment reuse the existing mapping, which is what makes a warm
+    worker's repeated-trajectory queries free of ``dG`` transfer.
+    """
+    entry = _ATTACHED.get(ref.name)
+    if entry is not None:
+        _ATTACHED.move_to_end(ref.name)
+        ATTACH_STATS["reuses"] += 1
+        return entry[1]
+    segment = _shm_mod.SharedMemory(name=ref.name)
+    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+    _ATTACHED[ref.name] = (segment, array)
+    ATTACH_STATS["attaches"] += 1
+    while len(_ATTACHED) > _ATTACH_LIMIT:
+        _, (old_segment, old_array) = _ATTACHED.popitem(last=False)
+        del old_array
+        try:
+            old_segment.close()
+        except BufferError:  # pragma: no cover - view still referenced
+            pass
+    return array

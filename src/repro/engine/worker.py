@@ -2,23 +2,34 @@
 
 Everything here is module-level and operates on plain picklable
 payloads, because these functions execute inside ``concurrent.futures``
-worker processes.  Three task shapes exist:
+worker processes.  Four task shapes exist:
 
 * :func:`scan_chunk` -- best-first scan over one chunk of a single
   query's candidate subsets (intra-query parallelism).  Workers share a
   best-so-far threshold through a ``multiprocessing.Value`` installed
   by :func:`init_worker`: each chunk starts from the tightest published
-  threshold and publishes its own result, so later chunks prune against
-  earlier chunks' discoveries.
+  threshold, re-reads it every ``sync_every`` expanded subsets *inside*
+  the best-first loop, and publishes its own improvements -- so late
+  chunks prune against early discoveries mid-scan, not just at chunk
+  boundaries.
+* :func:`topk_chunk` -- the top-k analogue: a canonical heap-pruned
+  scan of one chunk sharing the global k-th-best distance through the
+  same value; the engine merges the per-chunk heaps into the exact
+  serial ranking.
 * :func:`run_query` -- one complete serial motif discovery
-  (inter-query parallelism for corpus workloads); byte-identical to
-  calling :func:`repro.core.motif.discover_motif` locally.
-* :func:`join_chunk` -- one slice of a DFD similarity join's left
-  collection.
+  (inter-query parallelism for corpus workloads).  When the parent
+  published the query's dense ground matrix to shared memory
+  (:mod:`repro.engine.shm`), the worker attaches to it by fingerprint
+  instead of recomputing ``dG`` -- the warm-worker path.
+* :func:`join_tile` -- one tile of a sharded DFD similarity join
+  (both collections sliced).
 
-The chunk scan only establishes the exact motif *distance*; the
-engine's witness-resolution pass (see :mod:`repro.engine.engine`)
-re-derives the serial algorithm's exact witness pair from it.
+Dense matrices travel to chunk tasks by :class:`SharedMatrixRef`
+whenever shared memory is available, so no task pickles the O(n^2)
+``dG`` through the pool pipe.  The chunk scan only establishes the
+exact motif *distance*; the engine's witness-resolution pass (see
+:mod:`repro.engine.engine`) re-derives the serial algorithm's exact
+witness pair from it.
 """
 
 from __future__ import annotations
@@ -32,12 +43,17 @@ import numpy as np
 from ..core.bounds import SubsetBounds
 from ..core.btm import run_best_first
 from ..core.dp import Best
-from ..core.motif import discover_motif
+from ..core.motif import MotifResult, discover_motif
 from ..core.problem import SearchSpace
 from ..core.stats import SearchStats
 from ..distances.ground import DenseGroundMatrix
+from ..errors import ReproError
+from .shm import SharedMatrixRef, attach_matrix
 
 #: Shared best-so-far threshold; installed per worker by init_worker().
+#: The engine resets it to +inf before every chunked scan, so within one
+#: scan it holds the tightest published value of whatever that scan
+#: shares (motif distance for discover, k-th best distance for top-k).
 _SHARED_BSF = None
 
 
@@ -64,6 +80,17 @@ def publish_bsf(value: float) -> None:
             _SHARED_BSF.value = value
 
 
+def sync_bsf(value: float) -> float:
+    """Publish ``value`` and return the tightest globally known threshold.
+
+    This is the in-loop exchange handed to
+    :func:`repro.core.btm.run_best_first` and
+    :func:`repro.extensions.topk.scan_topk_entries`.
+    """
+    publish_bsf(value)
+    return read_shared_bsf()
+
+
 class KillTables(NamedTuple):
     """The slice of :class:`BoundTables` the best-first loop reads."""
 
@@ -71,21 +98,36 @@ class KillTables(NamedTuple):
     rmin: Optional[np.ndarray]
 
 
+def _resolve_matrix(matrix: Optional[np.ndarray], ref: Optional[SharedMatrixRef]):
+    """The task's dense matrix: inline payload or shared-memory attach."""
+    if matrix is not None:
+        return matrix
+    if ref is None:
+        raise ReproError("task carries neither a matrix nor a matrix_ref")
+    return attach_matrix(ref)
+
+
 @dataclass(frozen=True)
 class ChunkTask:
     """One chunk of a single query's candidate-subset space."""
 
-    matrix: np.ndarray
     space: SearchSpace
     bounds: SubsetBounds
     cmin: Optional[np.ndarray]
     rmin: Optional[np.ndarray]
     timeout: Optional[float]
+    #: Exactly one of these identifies the dense ground matrix: the
+    #: array itself (inline executor / shared memory unavailable) or a
+    #: by-reference shared-memory handle.
+    matrix: Optional[np.ndarray] = None
+    matrix_ref: Optional[SharedMatrixRef] = None
     #: perf_counter() in the parent when the query started; with
     #: `timeout` it forms one absolute deadline shared by all chunks
     #: (CLOCK_MONOTONIC is system-wide on the platforms with fork).
     started_at: Optional[float] = None
     seed_bsf: float = math.inf
+    #: Cadence (in processed subsets) of the in-loop threshold exchange.
+    sync_every: int = 64
 
 
 class ChunkResult(NamedTuple):
@@ -106,9 +148,13 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
     so the loop keeps candidates that merely equal it -- the returned
     ``bsf`` is exactly ``min(injected, best candidate in this chunk)``,
     which makes the min over all chunk results the exact motif
-    distance.
+    distance.  Mid-scan the loop re-reads the shared value every
+    ``sync_every`` subsets, so a late chunk prunes against an early
+    chunk's discovery without waiting for its own chunk boundary.
     """
-    oracle = DenseGroundMatrix(task.matrix, validate=False)
+    oracle = DenseGroundMatrix(
+        _resolve_matrix(task.matrix, task.matrix_ref), validate=False
+    )
     stats = SearchStats()
     seed = min(task.seed_bsf, read_shared_bsf())
     bsf, best = run_best_first(
@@ -121,6 +167,8 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
         best=None,
         timeout=task.timeout,
         started_at=task.started_at,
+        bsf_sync=sync_bsf,
+        bsf_sync_every=task.sync_every,
     )
     publish_bsf(bsf)
     return ChunkResult(
@@ -134,6 +182,66 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
 
 
 @dataclass(frozen=True)
+class TopKChunkTask:
+    """One chunk of a top-k query's candidate-subset space."""
+
+    space: SearchSpace
+    bounds: SubsetBounds
+    cmin: Optional[np.ndarray]
+    rmin: Optional[np.ndarray]
+    k: int
+    matrix: Optional[np.ndarray] = None
+    matrix_ref: Optional[SharedMatrixRef] = None
+    seed_kth: float = math.inf
+    sync_every: int = 64
+
+
+class TopKChunkResult(NamedTuple):
+    """Outcome of one top-k chunk scan."""
+
+    entries: List[Tuple[float, Tuple[int, int, int, int]]]
+    subsets_total: int
+    subsets_expanded: int
+    cells_expanded: int
+
+
+def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
+    """Canonical top-k scan of one chunk against the shared k-th best.
+
+    A chunk's local k-th best distance is a valid upper bound on the
+    global k-th best (the k-th smallest of a superset is no larger), so
+    publishing it through the shared value only tightens the other
+    chunks' cuts.  Every candidate of the global answer is among its
+    own chunk's k best, so the engine's merge of the returned entry
+    lists is exact.
+    """
+    from ..extensions.topk import scan_topk_entries
+
+    oracle = DenseGroundMatrix(
+        _resolve_matrix(task.matrix, task.matrix_ref), validate=False
+    )
+    stats = SearchStats()
+    entries = scan_topk_entries(
+        oracle,
+        task.space,
+        task.bounds,
+        task.cmin,
+        task.rmin,
+        task.k,
+        stats,
+        kth0=min(task.seed_kth, read_shared_bsf()),
+        sync=sync_bsf,
+        sync_every=task.sync_every,
+    )
+    return TopKChunkResult(
+        entries=entries,
+        subsets_total=stats.subsets_total,
+        subsets_expanded=stats.subsets_expanded,
+        cells_expanded=stats.cells_expanded,
+    )
+
+
+@dataclass(frozen=True)
 class QueryTask:
     """One complete discovery query (corpus parallelism)."""
 
@@ -143,34 +251,62 @@ class QueryTask:
     algorithm: object
     metric: Optional[object]
     options: tuple  # sorted (key, value) pairs
+    #: Parent-published dense ground matrix for this query's pair of
+    #: trajectories; when present the worker attaches instead of
+    #: recomputing ``dG`` (the warm-worker path).
+    matrix_ref: Optional[SharedMatrixRef] = None
 
 
-def run_query(task: QueryTask):
-    """Execute one serial discovery; identical to a local call."""
-    return discover_motif(
+def run_query(task: QueryTask) -> MotifResult:
+    """Execute one serial discovery; identical answer to a local call.
+
+    Cold path: plain :func:`discover_motif` (the worker builds its own
+    oracle).  Warm path (``matrix_ref`` set): attach the parent's
+    shared ``dG`` segment and hand it to the same :func:`discover_motif`
+    as a prebuilt oracle -- ``stats.ground_builds`` stays 0 and
+    ``stats.oracle_source`` records ``"shared_memory"``, which is what
+    the warm-state tests assert.  The oracle values are identical
+    either way, so the answer is too.
+    """
+    oracle = None
+    if task.matrix_ref is not None:
+        oracle = DenseGroundMatrix(
+            attach_matrix(task.matrix_ref), validate=False
+        )
+    result = discover_motif(
         task.trajectory,
         task.second,
         min_length=task.min_length,
         algorithm=task.algorithm,
         metric=task.metric,
+        oracle=oracle,
         **dict(task.options),
     )
+    if oracle is not None:
+        result.stats.oracle_source = "shared_memory"
+    return result
 
 
 @dataclass(frozen=True)
 class JoinTask:
-    """One contiguous slice of a similarity join's left collection."""
+    """One tile of a similarity join's left x right pair grid."""
 
     left: Sequence
     right: Sequence
     theta: float
     metric: object
-    offset: int  # absolute index of left[0] in the full collection
+    left_offset: int  # absolute index of left[0] in the full collection
+    right_offset: int  # absolute index of right[0] in the full collection
 
 
-def join_chunk(task: JoinTask) -> Tuple[List[Tuple[int, int]], object]:
-    """Join one left-slice against the full right collection."""
+def join_tile(task: JoinTask):
+    """Join one (left slice, right slice) tile; absolute-index matches."""
     from ..extensions.join import similarity_join
 
-    matches, stats = similarity_join(task.left, task.right, task.theta, task.metric)
-    return [(a + task.offset, b) for a, b in matches], stats
+    return similarity_join(
+        task.left,
+        task.right,
+        task.theta,
+        task.metric,
+        offsets=(task.left_offset, task.right_offset),
+    )

@@ -75,13 +75,19 @@ def similarity_join(
     right: Sequence[Union[Trajectory, np.ndarray]],
     theta: float,
     metric: Union[str, GroundMetric] = "euclidean",
+    offsets: Tuple[int, int] = (0, 0),
 ) -> Tuple[List[Tuple[int, int]], JoinStats]:
     """All pairs ``(a, b)`` with ``DFD(left[a], right[b]) <= theta``.
 
     Returns the matching index pairs and the filter statistics.
+    ``offsets`` shifts the reported indices -- a tile of a sharded join
+    (see :meth:`repro.engine.MotifEngine.join`) passes the absolute
+    positions of its first left/right trajectory so per-tile matches
+    land directly in collection coordinates.
     """
     if theta < 0:
         raise ValueError("theta must be non-negative")
+    off_a, off_b = (int(offsets[0]), int(offsets[1]))
     m = get_metric(metric)
     lpts = [np.asarray(getattr(t, "points", t), dtype=np.float64) for t in left]
     rpts = [np.asarray(getattr(t, "points", t), dtype=np.float64) for t in right]
@@ -114,7 +120,7 @@ def similarity_join(
             stats.decisions += 1
             if dfd_decision(dmat, theta):
                 stats.matches += 1
-                matches.append((a, b))
+                matches.append((a + off_a, b + off_b))
     return matches, stats
 
 

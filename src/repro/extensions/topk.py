@@ -4,31 +4,46 @@ A natural generalisation of Problem 1: report the ``k`` best candidate
 pairs, at most one per candidate subset ``CS_{i,j}`` (without the
 per-subset restriction the answer is k near-duplicates of the motif
 shifted by one index, which is useless).  The bounding machinery
-carries over: a subset whose lower bound reaches the current k-th best
+carries over: a subset whose lower bound exceeds the current k-th best
 distance cannot contribute, so the best-first loop simply prunes
 against the heap maximum instead of the single ``bsf``.
 
-:func:`top_k_from_oracle` is the oracle-level core; it is shared with
-:meth:`repro.engine.MotifEngine.top_k`, which supplies a cached ground
-matrix so repeated top-k calls on a serving corpus skip the O(n^2)
-precompute.
+Canonical answer
+----------------
+The answer is defined *canonically* so serial and partitioned-parallel
+scans agree byte-for-byte even under distance ties: each subset
+contributes its deterministic best candidate (the kernels report the
+first scan-order cell attaining the subset minimum, independent of the
+pruning threshold), and the top-k is the ``k`` smallest entries under
+the total order ``(distance, (i, ie, j, je))``.  Retention by that key
+is order-independent, which is what lets the engine merge per-chunk
+heaps into the exact serial ranking without a resolution pass (see
+``MotifEngine.top_k``).
+
+:func:`scan_topk_entries` is the oracle-level core shared by the
+serial wrapper and the engine's chunk workers; the engine additionally
+supplies a cached ground matrix so repeated top-k calls on a serving
+corpus skip the O(n^2) precompute.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.bounds import BoundTables, relaxed_subset_bounds
+from ..core.bounds import BoundTables, SubsetBounds, relaxed_subset_bounds
 from ..core.dp import expand_subset
 from ..core.motif import _as_trajectory, _build_oracle  # shared plumbing
 from ..core.problem import SearchSpace, cross_space, self_space
 from ..core.stats import PhaseTimer, SearchStats
 from ..distances.ground import GroundMetric, get_metric
 from ..trajectory import Subtrajectory, Trajectory
+
+#: One answer entry before trajectory views are built.
+TopKEntry = Tuple[float, Tuple[int, int, int, int]]
 
 
 @dataclass(frozen=True)
@@ -50,6 +65,93 @@ class RankedMotif:
         )
 
 
+def scan_topk_entries(
+    oracle,
+    space: SearchSpace,
+    bounds: SubsetBounds,
+    cmin: Optional[np.ndarray],
+    rmin: Optional[np.ndarray],
+    k: int,
+    stats: SearchStats,
+    *,
+    kth0: float = float("inf"),
+    sync: Optional[Callable[[float], float]] = None,
+    sync_every: int = 64,
+) -> List[TopKEntry]:
+    """Heap-pruned best-first scan; returns ascending ``(dist, cand)``.
+
+    Exact: every subset whose bound is at or below the k-th best
+    distance is expanded, with the expansion threshold nudged one ulp
+    above the cut so tied candidates are still recorded.  ``kth0``
+    seeds the cut with an externally proven k-th-best bound and
+    ``sync`` (called every ``sync_every`` subsets with the local k-th
+    best) exchanges thresholds with sibling chunk scans -- both only
+    tighten pruning; the returned entries are unchanged.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    order = bounds.order()
+    # Max-heap over the (distance, candidate) total order via negation.
+    heap: List[Tuple[float, Tuple[int, int, int, int]]] = []
+    external = float(kth0)
+    expanded = np.zeros(len(bounds), dtype=bool)
+
+    def kth_dist() -> float:
+        return -heap[0][0] if len(heap) == k else float("inf")
+
+    for count, idx in enumerate(order):
+        if sync is not None and count % sync_every == 0:
+            external = min(external, sync(kth_dist()))
+        cut = min(kth_dist(), external)
+        lb = float(bounds.combined[idx])
+        if lb > cut:
+            break
+        i = int(bounds.i_idx[idx])
+        j = int(bounds.j_idx[idx])
+        dist, cand = expand_subset(
+            oracle, space, i, j, float(np.nextafter(cut, np.inf)), None,
+            cmin=cmin, rmin=rmin, prune=True, stats=stats,
+        )
+        expanded[idx] = True
+        if cand is None:
+            continue
+        heapq.heappush(heap, (-float(dist), tuple(-v for v in cand)))
+        if len(heap) > k:
+            heapq.heappop(heap)
+    stats.subsets_total += len(bounds)
+    stats.subsets_expanded += int(expanded.sum())
+    return sorted(
+        (-neg_d, tuple(-v for v in neg_cand)) for neg_d, neg_cand in heap
+    )
+
+
+def merge_topk_entries(
+    parts: Iterable[Sequence[TopKEntry]], k: int
+) -> List[TopKEntry]:
+    """The k smallest ``(dist, cand)`` entries across per-chunk answers.
+
+    Each chunk retains its own k best, and any candidate in the global
+    answer is among its chunk's k best, so the merge is exact.
+    """
+    return heapq.nsmallest(k, (entry for part in parts for entry in part))
+
+
+def entries_to_ranked(
+    traj_a: Trajectory, traj_b: Optional[Trajectory], entries: Sequence[TopKEntry]
+) -> List[RankedMotif]:
+    """Materialise subtrajectory views for an ascending entry list."""
+    parent_b = traj_a if traj_b is None else traj_b
+    return [
+        RankedMotif(
+            rank,
+            traj_a.subtrajectory(i, ie),
+            parent_b.subtrajectory(j, je),
+            float(dist),
+        )
+        for rank, (dist, (i, ie, j, je)) in enumerate(entries, start=1)
+    ]
+
+
 def top_k_from_oracle(
     traj_a: Trajectory,
     traj_b: Optional[Trajectory],
@@ -58,48 +160,14 @@ def top_k_from_oracle(
     k: int,
     stats: SearchStats,
 ) -> List[RankedMotif]:
-    """The heap-pruned best-first loop over a prebuilt ground oracle.
-
-    Exact: every subset whose bound beats the k-th best is expanded.
-    """
-    if k < 1:
-        raise ValueError("k must be at least 1")
+    """Serial top-k over a prebuilt ground oracle (canonical answer)."""
     with PhaseTimer(stats, "time_bounds"):
         tables = BoundTables.build(space, oracle)
         bounds = relaxed_subset_bounds(space, oracle, tables)
-    order = bounds.order()
-
-    # Max-heap of the k best (distance, candidate) via negated distance.
-    heap: List[Tuple[float, Tuple[int, int, int, int]]] = []
-    for idx in order:
-        lb = float(bounds.combined[idx])
-        kth = -heap[0][0] if len(heap) == k else float("inf")
-        if lb >= kth:
-            break
-        i = int(bounds.i_idx[idx])
-        j = int(bounds.j_idx[idx])
-        dist, cand = expand_subset(
-            oracle, space, i, j, kth, None,
-            cmin=tables.cmin, rmin=tables.rmin, prune=True, stats=stats,
-        )
-        if cand is None:
-            continue
-        heapq.heappush(heap, (-dist, cand))
-        if len(heap) > k:
-            heapq.heappop(heap)
-    ranked = sorted(((-negd, cand) for negd, cand in heap), key=lambda t: t[0])
-    out: List[RankedMotif] = []
-    parent_b = traj_a if traj_b is None else traj_b
-    for rank, (dist, (i, ie, j, je)) in enumerate(ranked, start=1):
-        out.append(
-            RankedMotif(
-                rank,
-                traj_a.subtrajectory(i, ie),
-                parent_b.subtrajectory(j, je),
-                float(dist),
-            )
-        )
-    return out
+    entries = scan_topk_entries(
+        oracle, space, bounds, tables.cmin, tables.rmin, k, stats
+    )
+    return entries_to_ranked(traj_a, traj_b, entries)
 
 
 def discover_top_k_motifs(
@@ -114,8 +182,10 @@ def discover_top_k_motifs(
 
     One-shot convenience wrapper; batched callers should prefer
     :meth:`repro.engine.MotifEngine.top_k`, which caches the ground
-    oracle across calls.
+    oracle across calls and can partition the scan over workers.
     """
+    if k < 1:
+        raise ValueError("k must be at least 1")
     traj_a = _as_trajectory(trajectory)
     traj_b = None if second is None else _as_trajectory(second)
     space = (

@@ -288,8 +288,24 @@ class TestTopK:
         traj = random_walk(60, seed=4)
         eng = inline_engine()
         first = eng.top_k(traj, min_length=4, k=2)
+        hits_before = eng.cache_info()["results"]["hits"]
         second = eng.top_k(traj, min_length=4, k=2)
-        assert second is first
+        assert eng.cache_info()["results"]["hits"] == hits_before + 1
+        assert second == first
+
+    def test_caller_mutation_cannot_poison_cached_answers(self):
+        traj = random_walk(60, seed=4)
+        eng = inline_engine()
+        ranked = eng.top_k(traj, min_length=4, k=2)
+        ranked.clear()
+        assert len(eng.top_k(traj, min_length=4, k=2)) == 2
+        left = [random_walk(20, seed=s) for s in (1, 2)]
+        matches, stats = eng.join(left, left, theta=1e9)
+        assert matches
+        matches.clear()
+        stats.matches = -1
+        again, again_stats = eng.join(left, left, theta=1e9)
+        assert again and again_stats.matches == len(again)
 
 
 class TestJoin:
@@ -317,6 +333,21 @@ class TestJoin:
         assert got_stats.pairs_total == ref_stats.pairs_total
         assert got_stats.matches == ref_stats.matches
         assert got_stats.pruned_total == ref_stats.pruned_total
+
+    def test_single_left_trajectory_join_is_sharded(self):
+        """Regression: the old join chunked only the left collection,
+        so a single left trajectory got zero parallelism.  The tile
+        grid slices the right side instead -- and stays exact."""
+        left, right = self._collections()
+        single = left[:1]
+        ref_matches, ref_stats = similarity_join(single, right, theta=5.0)
+        with MotifEngine(workers=3) as eng:
+            got_matches, got_stats = eng.join(single, right, theta=5.0)
+            pool_tasks = eng.transfer_info()["pool_tasks"]
+        assert got_matches == ref_matches
+        assert got_stats.pairs_total == ref_stats.pairs_total
+        assert got_stats.matches == ref_stats.matches
+        assert pool_tasks >= 2  # the right side actually split
 
     def test_merge_join_stats_is_additive(self):
         left, right = self._collections()
