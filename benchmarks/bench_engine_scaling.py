@@ -5,14 +5,28 @@ serving-style query stream (each corpus trajectory queried repeatedly)
 answered by a serial loop vs the :class:`MotifEngine`, across four
 workloads -- batched discover, cold unique-corpus discover (isolating
 the partitioned chunk scan), a top-k stream (parallel chunk-merge
-top-k), and a similarity-join stream (sharded tile grid).  Shapes under
-test: the batched engine answers the discover stream >= 1.5x faster
-and the top-k stream >= 1.3x faster than the serial loops at >= 2
-workers, while returning identical answers and pickling zero dense
-``dG`` bytes through the pool pipe (everything rides shared memory).
+top-k), and a similarity-join stream (sharded tile grid) -- plus a
+large-n single-query discover row comparing the zero-copy lazy bound
+pipeline against the PR 2 transfer shape (eager full argsort plus
+pickled per-chunk bound slices).  Shapes under test: the batched
+engine answers the discover stream >= 1.5x faster and the top-k
+stream >= 1.3x faster than the serial loops at >= 2 workers, the
+zero-copy pipeline beats the PR 2 path >= 1.2x on the single-query
+row, and every pool task carries both ``dG`` *and* its bound arrays
+by reference (zero dense pickling of either).
+
+Each test folds its measurements into ``BENCH_engine_scaling.json`` at
+the repo root -- the machine-readable perf trajectory future PRs diff
+against (CI uploads it as an artifact).
 """
 
 from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +37,34 @@ from repro.engine import MotifEngine, shared_memory_available
 from repro.bench import default_tau, default_xi, trajectory_for
 
 WORKERS = (1, 2)
+
+#: Trajectory length of the single-query discover row, per scale: the
+#: bound pipeline's O(n^2) sort/transfer share only shows at larger n
+#: than the stream workloads use.
+SINGLE_QUERY_N = {"smoke": 480, "quick": 480, "full": 800}
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_engine_scaling.json"
+
+
+def _update_bench_json(section: str, payload) -> None:
+    """Merge one section into the perf-trajectory JSON (read-modify-write,
+    so any subset of the tests refreshes only its own rows)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except (ValueError, OSError):
+            data = {}
+    data["host"] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    data["scale"] = bench_scale()
+    data["updated_unix"] = time.time()
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def test_engine_scaling(benchmark):
@@ -38,9 +80,80 @@ def test_engine_scaling(benchmark):
         for row in table.rows
         if row[1] == "engine"
     }
+    _update_bench_json("workloads", [
+        {"workload": row[0], "path": row[1], "workers": row[2],
+         "queries": row[3], "seconds": row[4], "speedup": row[5]}
+        for row in table.rows
+    ])
     # Acceptance floors; future PRs should beat them.
     assert speedups[("batched stream", max(WORKERS))] >= 1.5, table.render()
     assert speedups[("topk stream", max(WORKERS))] >= 1.3, table.render()
+
+
+def test_single_query_zero_copy_speedup(benchmark):
+    """The PR 3 tentpole row: one large-n discover, zero-copy lazy
+    bound pipeline vs the PR 2 code path (eager full argsort + pickled
+    per-chunk bound slices), same host, same answers."""
+    benchmark.group = "engine: zero-copy bound pipeline"
+    n = SINGLE_QUERY_N.get(bench_scale(), 480)
+    traj = trajectory_for("geolife", n, 0)
+    xi = default_xi(n)
+    repeats = 5
+
+    def measure(legacy: bool):
+        engine_kwargs = dict(shared_bounds=False) if legacy else {}
+        algo_kwargs = dict(eager_order=True) if legacy else {}
+        with MotifEngine(workers=max(WORKERS), **engine_kwargs) as eng:
+            # Warm-up also warms the dG/table caches, so the timed
+            # repeats isolate the bound pipeline (serving behaviour).
+            first = eng.discover(traj, min_length=xi, algorithm="btm",
+                                 cacheable=False, **algo_kwargs)
+            times = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                result = eng.discover(traj, min_length=xi, algorithm="btm",
+                                      cacheable=False, **algo_kwargs)
+                times.append(time.perf_counter() - started)
+            assert (result.distance, result.indices) == (
+                first.distance, first.indices
+            )
+            # Min over repeats: the noise-robust per-query estimate on
+            # a shared host (noise only ever adds time).
+            return min(times), result, eng.transfer_info()
+
+    def run():
+        t_legacy, r_legacy, info_legacy = measure(legacy=True)
+        t_zero, r_zero, info_zero = measure(legacy=False)
+        return t_legacy, r_legacy, info_legacy, t_zero, r_zero, info_zero
+
+    t_legacy, r_legacy, info_legacy, t_zero, r_zero, info_zero = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
+    # Same answer either way -- the pipeline only moves bytes and sorts.
+    assert (r_zero.distance, r_zero.indices) == (
+        r_legacy.distance, r_legacy.indices
+    )
+    speedup = t_legacy / max(t_zero, 1e-9)
+    _update_bench_json("single_query_discover", {
+        "n": n,
+        "xi": xi,
+        "workers": max(WORKERS),
+        "repeats": repeats,
+        "legacy_seconds": t_legacy,
+        "zero_copy_seconds": t_zero,
+        "speedup": speedup,
+        "legacy_transfer": info_legacy,
+        "zero_copy_transfer": info_zero,
+    })
+    if shared_memory_available():
+        # The zero-copy run pickled no bound arrays; the legacy run
+        # shipped O(n^2) of them -- that is the gap under test.
+        assert info_zero["bounds_bytes_pickled"] == 0, info_zero
+        assert info_legacy["bounds_bytes_pickled"] > 0, info_legacy
+        assert speedup >= 1.2, (
+            f"zero-copy pipeline {speedup:.2f}x vs legacy "
+            f"(legacy {t_legacy:.3f}s, zero-copy {t_zero:.3f}s)"
+        )
 
 
 def test_engine_answers_match_serial(benchmark):
@@ -66,7 +179,8 @@ def test_engine_answers_match_serial(benchmark):
     not shared_memory_available(), reason="needs POSIX shared memory"
 )
 def test_parallel_paths_pickle_no_dense_matrices(benchmark):
-    """Warm-worker acceptance: every pool task carries dG by reference."""
+    """Warm-worker acceptance: every pool task carries ``dG`` -- and
+    its bound arrays -- by reference; nothing dense crosses the pipe."""
     benchmark.group = "engine: transfer accounting"
     n = 120
     traj = trajectory_for("geolife", n, 0)
@@ -86,10 +200,16 @@ def test_parallel_paths_pickle_no_dense_matrices(benchmark):
             return chunk_info, eng.transfer_info()
 
     chunk_info, info = benchmark.pedantic(run, rounds=1, iterations=1)
-    # Every chunk-scan task carried dG by reference...
+    _update_bench_json("transfer", info)
+    # Every chunk-scan task carried dG and its bounds by reference...
     assert chunk_info["pool_tasks"] > 0, chunk_info
     assert chunk_info["shm_task_refs"] == chunk_info["pool_tasks"], chunk_info
-    # ...and nothing, batch queries included, pickled a dense matrix.
+    assert chunk_info["shm_bounds_refs"] == chunk_info["pool_tasks"], chunk_info
+    # ...and nothing, batch queries included, pickled a dense payload.
     assert info["dense_bytes_pickled"] == 0, info
+    assert info["bounds_bytes_pickled"] == 0, info
+    assert info["group_level_bytes_pickled"] == 0, info
     assert info["shm_task_refs"] > chunk_info["shm_task_refs"], info
     assert info["shm_segments"] >= 1 and info["shm_bytes"] > 0, info
+    assert info["shm_bounds_segments"] >= 1, info
+    assert info["shm_bounds_bytes"] > 0, info

@@ -34,15 +34,22 @@ def _engine_for(args: argparse.Namespace):
     ``--workers N`` builds a dedicated parallel engine that is closed
     (pool shut down, shared-memory segments unlinked) when the command
     finishes; the default shares the process-wide serial engine (and
-    its caches), which is left running.
+    its caches), which is left running.  ``--no-shared-memory`` forces
+    the legacy pickled-payload transfer path (a debugging/ops knob for
+    hosts with a constrained ``/dev/shm``); answers are identical.
     """
     workers = getattr(args, "workers", 1)
     if workers is None:
         workers = 1
     if workers < 1:
         raise SystemExit("--workers must be at least 1")
-    if workers > 1:
-        return MotifEngine(workers=workers)  # context manager: closes itself
+    no_shm = bool(getattr(args, "no_shared_memory", False))
+    if workers > 1 or no_shm:
+        return MotifEngine(  # context manager: closes itself
+            workers=workers,
+            shared_memory=not no_shm,
+            shared_bounds=not no_shm,
+        )
     return contextlib.nullcontext(default_engine())
 
 
@@ -234,6 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, help="wall-clock budget (seconds)")
     p.add_argument("--workers", type=int, default=1,
                    help="partition the search across N worker processes")
+    p.add_argument("--no-shared-memory", action="store_true",
+                   help="ship dG and bound arrays through the pool pipe "
+                        "instead of shared-memory segments (debug/ops knob)")
     p.add_argument("--stats", action="store_true", help="print search statistics")
     p.add_argument("--plot", action="store_true",
                    help="render the motif as ASCII art")
@@ -248,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=5)
     p.add_argument("--workers", type=int, default=1,
                    help="partition the top-k scan across N worker processes")
+    p.add_argument("--no-shared-memory", action="store_true",
+                   help="ship dG and bound arrays through the pool pipe "
+                        "instead of shared-memory segments (debug/ops knob)")
     p.set_defaults(func=_cmd_topk)
 
     p = sub.add_parser("join", help="DFD similarity join between two collections")

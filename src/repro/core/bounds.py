@@ -40,7 +40,7 @@ extension type and is validated against brute force in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -232,6 +232,52 @@ class SubsetBounds:
         """Subset indices sorted ascending by combined bound (Alg. 2 L4)."""
         return np.argsort(self.combined, kind="stable")
 
+    def order_blocks(self, within: Optional[np.ndarray] = None,
+                     block_size: int = 1024):
+        """Yield the stable ascending order lazily, in sorted blocks.
+
+        The concatenation of the yielded blocks equals :meth:`order`
+        (restricted to ``within`` when given), *including tie order*:
+        ties on ``combined`` resolve by original subset index, exactly
+        as a stable argsort does.  ``within`` must be ascending (the
+        identity range and the engine's strided chunk positions both
+        are), since tie order is inherited from its element order.
+
+        Each block costs one ``np.argpartition`` pass over the not-yet
+        yielded candidates plus a sort of the block itself, so the
+        total ordering cost scales with the number of subsets the
+        best-first loop actually consumes rather than with the full
+        O(n^2) candidate set.  Block sizes double each round, bounding
+        the worst case (everything consumed) at O(N log N) -- the same
+        as the eager sort it replaces.
+        """
+        if block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        combined = self.combined
+        if within is None:
+            remaining = np.arange(combined.shape[0], dtype=np.int64)
+        else:
+            remaining = np.asarray(within, dtype=np.int64)
+        block = int(block_size)
+        while remaining.size:
+            if remaining.size <= block:
+                sel, remaining = remaining, remaining[:0]
+            else:
+                values = combined[remaining]
+                part = np.argpartition(values, block - 1)
+                pivot = values[part[block - 1]]
+                # Everything strictly below the pivot belongs to the
+                # block; pivot-valued ties are admitted lowest-index
+                # first so the block boundary never scrambles ties.
+                select = values < pivot
+                take_eq = block - int(np.count_nonzero(select))
+                eq_positions = np.flatnonzero(values == pivot)
+                select[eq_positions[:take_eq]] = True
+                sel = remaining[select]
+                remaining = remaining[~select]
+            yield sel[np.argsort(combined[sel], kind="stable")]
+            block *= 2
+
 
 def relaxed_subset_bounds(
     space: SearchSpace,
@@ -366,27 +412,38 @@ def attribute_pruning(
     use_cell: bool = True,
     use_cross: bool = True,
     use_band: bool = True,
+    scope: Optional[np.ndarray] = None,
 ) -> Tuple[int, int, int]:
     """Post-hoc Figure-15 attribution of pruned subsets to bound classes.
 
     A subset never expanded was pruned because its combined bound
     reached the final ``bsf``; it is credited to the first enabled class
     (cell, then cross, then band) whose bound alone suffices -- the same
-    cascade order the paper uses in its breakdown.
+    cascade order the paper uses in its breakdown.  ``scope`` restricts
+    the attribution to a subset of positions (the engine's chunk scans
+    own only their dealt share of the candidate space); ``expanded`` is
+    always indexed over the full bound arrays.
     """
-    pruned = ~expanded
+    if scope is None:
+        pruned = ~expanded
+        lb_cell, lb_cross, lb_band = bounds.lb_cell, bounds.lb_cross, bounds.lb_band
+    else:
+        pruned = ~expanded[scope]
+        lb_cell = bounds.lb_cell[scope]
+        lb_cross = bounds.lb_cross[scope]
+        lb_band = bounds.lb_band[scope]
     remaining = pruned.copy()
     by_cell = by_cross = by_band = 0
     if use_cell:
-        hit = remaining & (bounds.lb_cell >= bsf)
+        hit = remaining & (lb_cell >= bsf)
         by_cell = int(hit.sum())
         remaining &= ~hit
     if use_cross:
-        hit = remaining & (bounds.lb_cross >= bsf)
+        hit = remaining & (lb_cross >= bsf)
         by_cross = int(hit.sum())
         remaining &= ~hit
     if use_band:
-        hit = remaining & (bounds.lb_band >= bsf)
+        hit = remaining & (lb_band >= bsf)
         by_band = int(hit.sum())
         remaining &= ~hit
     # Any residue (possible only when bsf was never witnessed) is

@@ -61,6 +61,8 @@ def run_best_first(
     use_band: bool = True,
     bsf_sync: Optional[Callable[[float], float]] = None,
     bsf_sync_every: int = 64,
+    positions: Optional[np.ndarray] = None,
+    eager_order: bool = False,
 ) -> Tuple[float, Best]:
     """Process candidate subsets in ascending bound order (Alg. 2 L5-13).
 
@@ -76,6 +78,15 @@ def run_best_first(
     is *unwitnessed* -- we hold no concrete pair for it -- so ``best``
     is dropped and the tie-keeping break rule applies, exactly as for
     a chunk's seed threshold.  Serial callers leave it ``None``.
+
+    ``positions`` restricts the scan to a subset of the bound arrays
+    (ascending; the engine's chunk scans own a strided share of the
+    shared arrays).  The loop consumes the ascending order lazily via
+    :meth:`SubsetBounds.order_blocks`, so with strong pruning the sort
+    cost scales with the subsets actually expanded; ``eager_order``
+    restores the single up-front stable argsort (the pre-lazy code
+    path, kept for the perf-trajectory benchmark and as a debugging
+    reference -- the expansion order is identical either way).
     """
     if approx_factor < 1.0:
         raise ValueError("approx_factor must be >= 1")
@@ -83,44 +94,64 @@ def run_best_first(
     deadline = None if timeout is None else start_time + timeout
     cmin = tables.cmin if (tables is not None and use_kills) else None
     rmin = tables.rmin if (tables is not None and use_kills) else None
-    with PhaseTimer(stats, "time_sort"):
-        order = bounds.order()
+    if eager_order:
+        with PhaseTimer(stats, "time_sort"):
+            if positions is None:
+                blocks = [bounds.order()]
+            else:
+                scope = np.asarray(positions, dtype=np.int64)
+                blocks = [scope[np.argsort(bounds.combined[scope], kind="stable")]]
+        block_iter = iter(blocks)
+    else:
+        block_iter = bounds.order_blocks(within=positions)
+    n_scope = len(bounds) if positions is None else len(positions)
     expanded = np.zeros(len(bounds), dtype=bool)
     witnessed = best is not None
     dp_started = time.perf_counter()
-    for count, k in enumerate(order):
-        if bsf_sync is not None and count % bsf_sync_every == 0:
-            shared = bsf_sync(bsf)
-            if shared < bsf:
-                bsf = shared
-                best = None
-                witnessed = False
-        lb = bounds.combined[k] * approx_factor
-        if lb > bsf or (witnessed and lb >= bsf):
+    count = 0
+    exhausted = False
+    while not exhausted:
+        sort_started = time.perf_counter()
+        block = next(block_iter, None)
+        stats.time_sort += time.perf_counter() - sort_started
+        if block is None:
             break
-        i = int(bounds.i_idx[k])
-        j = int(bounds.j_idx[k])
-        # An unwitnessed bsf (a group upper bound) may *equal* the true
-        # motif distance; nudge the threshold so an equally-good
-        # candidate is still recorded as the witness pair.
-        threshold = bsf if witnessed else np.nextafter(bsf, np.inf)
-        new_bsf, new_best = expand_subset(
-            oracle, space, i, j, threshold, best, cmin=cmin, rmin=rmin,
-            prune=True, stats=stats,
-        )
-        if new_best is not best:
-            witnessed = True
-            bsf, best = new_bsf, new_best
-        expanded[k] = True
-        if deadline is not None and count % 64 == 0:
-            if time.perf_counter() > deadline:
-                raise MotifTimeout(f"search exceeded {timeout:.1f}s")
+        for k in block:
+            if bsf_sync is not None and count % bsf_sync_every == 0:
+                shared = bsf_sync(bsf)
+                if shared < bsf:
+                    bsf = shared
+                    best = None
+                    witnessed = False
+            lb = bounds.combined[k] * approx_factor
+            if lb > bsf or (witnessed and lb >= bsf):
+                exhausted = True
+                break
+            i = int(bounds.i_idx[k])
+            j = int(bounds.j_idx[k])
+            # An unwitnessed bsf (a group upper bound) may *equal* the
+            # true motif distance; nudge the threshold so an equally-
+            # good candidate is still recorded as the witness pair.
+            threshold = bsf if witnessed else np.nextafter(bsf, np.inf)
+            new_bsf, new_best = expand_subset(
+                oracle, space, i, j, threshold, best, cmin=cmin, rmin=rmin,
+                prune=True, stats=stats,
+            )
+            if new_best is not best:
+                witnessed = True
+                bsf, best = new_bsf, new_best
+            expanded[k] = True
+            if deadline is not None and count % 64 == 0:
+                if time.perf_counter() > deadline:
+                    raise MotifTimeout(f"search exceeded {timeout:.1f}s")
+            count += 1
     stats.time_dp += time.perf_counter() - dp_started
-    stats.subsets_total += len(bounds)
-    stats.subsets_expanded += int(expanded.sum())
+    stats.subsets_total += n_scope
+    stats.subsets_expanded += count
     by_cell, by_cross, by_band = attribute_pruning(
         bounds, expanded, bsf / approx_factor,
         use_cell=use_cell, use_cross=use_cross, use_band=use_band,
+        scope=None if positions is None else np.asarray(positions, dtype=np.int64),
     )
     stats.pruned_by_cell += by_cell
     stats.pruned_by_cross += by_cross
@@ -145,6 +176,11 @@ class BTM:
         ``>= 1``; values above 1 give the (1+eps)-approximate variant.
     timeout:
         Optional wall-clock budget in seconds.
+    eager_order:
+        Sort the full candidate set up front instead of consuming the
+        ascending order lazily (identical expansion order; the lazy
+        scheduler only defers sort cost).  Kept as the perf-trajectory
+        baseline of the pre-lazy code path.
     """
 
     name = "btm"
@@ -158,6 +194,7 @@ class BTM:
         use_end_kill: bool = True,
         approx_factor: float = 1.0,
         timeout: Optional[float] = None,
+        eager_order: bool = False,
     ) -> None:
         if variant not in _VARIANTS:
             raise ValueError(f"variant must be one of {_VARIANTS}")
@@ -170,6 +207,7 @@ class BTM:
         self.use_end_kill = use_end_kill
         self.approx_factor = approx_factor
         self.timeout = timeout
+        self.eager_order = eager_order
 
     def search(
         self,
@@ -216,6 +254,7 @@ class BTM:
             use_cell=self.use_cell,
             use_cross=self.use_cross,
             use_band=self.use_band,
+            eager_order=self.eager_order,
         )
         rows, cols = oracle.shape
         dense = hasattr(oracle, "array")

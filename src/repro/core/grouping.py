@@ -86,16 +86,29 @@ class GroupLevel:
         """Build a level by block-reducing a dense ground matrix."""
         dmat = np.asarray(dmat, dtype=np.float64)
         n, m = dmat.shape
-        if mode == SELF_MODE:
-            ii, jj = np.indices((n, m), sparse=True)
-            upper = ii < jj
-            lo_src = np.where(upper, dmat, _INF)
-            hi_src = np.where(upper, dmat, -_INF)
-        else:
-            lo_src = dmat
-            hi_src = dmat
-        gmin = _block_reduce(lo_src, tau, np.fmin, _INF)
-        gmax = _block_reduce(hi_src, tau, np.fmax, -_INF)
+        g_rows = math.ceil(n / tau)
+        gmin, gmax = reduce_group_rows(dmat, tau, mode, 0, g_rows)
+        row_starts, row_ends = _extents(n, tau)
+        col_starts, col_ends = _extents(m, tau)
+        return cls(tau, mode, row_starts, row_ends, col_starts, col_ends, gmin, gmax)
+
+    @classmethod
+    def from_bands(
+        cls,
+        bands: Sequence[Tuple[np.ndarray, np.ndarray]],
+        n: int,
+        m: int,
+        tau: int,
+        mode: str,
+    ) -> "GroupLevel":
+        """Stitch :func:`reduce_group_rows` bands into a full level.
+
+        The engine's parallel grouping phase shards the block
+        reductions across workers and reassembles here; the result is
+        identical to :meth:`from_matrix` on the same matrix.
+        """
+        gmin = np.vstack([band[0] for band in bands])
+        gmax = np.vstack([band[1] for band in bands])
         row_starts, row_ends = _extents(n, tau)
         col_starts, col_ends = _extents(m, tau)
         return cls(tau, mode, row_starts, row_ends, col_starts, col_ends, gmin, gmax)
@@ -139,6 +152,35 @@ class GroupLevel:
             gmin[u] = np.fmin.reduceat(lo, col_starts, axis=1).min(axis=0)
             gmax[u] = np.fmax.reduceat(hi, col_starts, axis=1).max(axis=0)
         return cls(tau, mode, row_starts, row_ends, col_starts, col_ends, gmin, gmax)
+
+
+def reduce_group_rows(
+    dmat: np.ndarray, tau: int, mode: str, u_start: int, u_end: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Block min/max matrices for group rows ``[u_start, u_end)``.
+
+    The shardable core of :meth:`GroupLevel.from_matrix`: it touches
+    only the matrix rows backing the requested group-row band, with the
+    self-mode strictly-upper mask applied at *global* row indices, so a
+    band decomposition reassembles to exactly the full reduction.
+    """
+    dmat = np.asarray(dmat, dtype=np.float64)
+    n, m = dmat.shape
+    r0 = u_start * tau
+    r1 = min(u_end * tau, n)
+    band = dmat[r0:r1]
+    if mode == SELF_MODE:
+        rows = np.arange(r0, r1)[:, None]
+        cols = np.arange(m)[None, :]
+        upper = rows < cols
+        lo_src = np.where(upper, band, _INF)
+        hi_src = np.where(upper, band, -_INF)
+    else:
+        lo_src = band
+        hi_src = band
+    gmin = _block_reduce(lo_src, tau, np.fmin, _INF)
+    gmax = _block_reduce(hi_src, tau, np.fmax, -_INF)
+    return gmin, gmax
 
 
 def _extents(n: int, tau: int) -> Tuple[np.ndarray, np.ndarray]:

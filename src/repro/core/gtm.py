@@ -67,6 +67,14 @@ class GTM:
 
     name = "gtm"
 
+    #: Optional ``(dmat, tau, mode) -> GroupLevel`` hook.  The engine
+    #: wires its cached (and pool-sharded) level builder through here
+    #: so the seeded witness-resolution pass reuses the levels the
+    #: parallel grouping phase already built instead of re-reducing
+    #: the O(n^2) matrix per level.  ``None`` means
+    #: :meth:`GroupLevel.from_matrix` (the plain serial behaviour).
+    level_builder = None
+
     def __init__(
         self,
         tau: int = 32,
@@ -114,10 +122,11 @@ class GTM:
         pairs: Optional[List[Tuple[int, int]]] = None
         survivors: List[Tuple[int, int]] = []
         level: Optional[GroupLevel] = None
+        build_level = self.level_builder or GroupLevel.from_matrix
         with PhaseTimer(stats, "time_grouping"):
             prev_tau = None
             while tau >= self.min_tau:
-                level = GroupLevel.from_matrix(dmat, tau, space.mode)
+                level = build_level(dmat, tau, space.mode)
                 if pairs is None:
                     pairs = feasible_group_pairs(level, space)
                 else:

@@ -14,6 +14,7 @@ algorithms in :mod:`repro.core` consume ground distances through either
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Union
 
 import numpy as np
@@ -241,8 +242,7 @@ class LazyGroundMatrix:
         self._b = self._a if b is None else np.asarray(b, dtype=np.float64)
         self._metric = get_metric(metric)
         self._row_kernel = self._metric.bind(self._b)
-        self._cache: Dict[int, np.ndarray] = {}
-        self._order: list = []
+        self._cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
         self._cache_rows = int(cache_rows)
         self.rows_computed = 0  # instrumentation
 
@@ -271,17 +271,22 @@ class LazyGroundMatrix:
         return self._cache_rows
 
     def row(self, i: int) -> np.ndarray:
-        """Full row ``dG[i, :]``, cached LRU-style."""
+        """Full row ``dG[i, :]``, cached with true LRU eviction.
+
+        A hit refreshes the row's recency (``move_to_end``) and
+        eviction drops the least-recently-*used* row in O(1) -- the
+        bound builders sweep rows sequentially but the DP kernels
+        revisit hot rows, which a FIFO queue would evict anyway.
+        """
         cached = self._cache.get(i)
         if cached is not None:
+            self._cache.move_to_end(i)
             return cached
         row = self._row_kernel(self._a[i : i + 1])[0]
         self._cache[i] = row
-        self._order.append(i)
         self.rows_computed += 1
-        if len(self._order) > self._cache_rows:
-            evict = self._order.pop(0)
-            self._cache.pop(evict, None)
+        if len(self._cache) > self._cache_rows:
+            self._cache.popitem(last=False)
         return row
 
     def block(self, r0: int, r1: int, c0: int, c1: int) -> np.ndarray:

@@ -14,13 +14,27 @@ and ``tests/test_parity_randomized.py``).
 
 from .cache import LRUCache, fingerprint_array, fingerprint_points
 from .engine import MatrixMotifResult, MotifEngine, default_engine
-from .partition import deal_indices, plan_chunks, plan_tiles, slice_bounds
-from .shm import SharedMatrixRef, SharedMatrixStore, shared_memory_available
+from .partition import (
+    deal_indices,
+    plan_chunks,
+    plan_strides,
+    plan_tiles,
+    slice_bounds,
+)
+from .shm import (
+    SharedArrayRef,
+    SharedArrayStore,
+    SharedMatrixRef,
+    SharedMatrixStore,
+    shared_memory_available,
+)
 
 __all__ = [
     "LRUCache",
     "MatrixMotifResult",
     "MotifEngine",
+    "SharedArrayRef",
+    "SharedArrayStore",
     "SharedMatrixRef",
     "SharedMatrixStore",
     "deal_indices",
@@ -28,6 +42,7 @@ __all__ = [
     "fingerprint_array",
     "fingerprint_points",
     "plan_chunks",
+    "plan_strides",
     "plan_tiles",
     "shared_memory_available",
     "slice_bounds",

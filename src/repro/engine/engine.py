@@ -55,8 +55,21 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.bounds import BoundTables, relaxed_subset_bounds
+from ..core.bounds import (
+    BoundTables,
+    relaxed_subset_bounds,
+    relaxed_subset_bounds_for_pairs,
+)
 from ..core.brute import MotifTimeout
+from ..core.grouping import (
+    GroupBoundTables,
+    GroupLevel,
+    children_pairs,
+    feasible_group_pairs,
+    group_dfd_bounds,
+    pattern_bounds_for_pairs,
+)
+from ..core.gtm import GTM, expand_pairs_to_subsets
 from ..core.gtm_star import GTMStar
 from ..core.motif import MotifResult, _as_trajectory, _make_algorithm
 from ..core.problem import SearchSpace, cross_space, self_space
@@ -70,8 +83,8 @@ from ..distances.ground import (
 from ..errors import ReproError
 from ..trajectory import Trajectory
 from .cache import LRUCache, fingerprint_array, fingerprint_points, metric_key
-from .partition import plan_chunks, plan_tiles
-from .shm import SharedMatrixStore, shared_memory_available
+from .partition import plan_chunks, plan_strides, plan_tiles
+from .shm import SharedArrayStore, shared_memory_available
 from . import worker as _worker
 
 
@@ -124,6 +137,15 @@ class MotifEngine:
         matrices and corpus workers attach instead of recomputing
         ``dG``.  Automatically off where unsupported; results are
         identical either way.
+    shared_bounds:
+        Publish each query's bound tables and the six
+        :class:`~repro.core.bounds.SubsetBounds` arrays to one shared
+        segment, so chunk tasks shrink to two refs plus their
+        ``(start, stride)`` share of the arrays (zero bound-array
+        pickling).  ``False`` restores the pre-zero-copy transfer
+        shape (eagerly sorted, pickled per-chunk slices) -- kept as
+        the no-shared-memory fallback and as the perf-trajectory
+        baseline; answers are identical either way.
     bsf_sync_every:
         Cadence (in processed subsets) at which a chunk scan re-reads
         and republishes the shared best-so-far *inside* its best-first
@@ -141,6 +163,7 @@ class MotifEngine:
         chunks_per_worker: int = 3,
         executor: str = "process",
         shared_memory: bool = True,
+        shared_bounds: bool = True,
         bsf_sync_every: int = 64,
     ) -> None:
         if workers < 1:
@@ -156,17 +179,26 @@ class MotifEngine:
         self.chunks_per_worker = int(chunks_per_worker)
         self.executor = executor
         self.shared_memory = bool(shared_memory)
+        self.shared_bounds = bool(shared_bounds)
         self.bsf_sync_every = int(bsf_sync_every)
         self._oracles = LRUCache(oracle_cache_size)
         self._tables = LRUCache(tables_cache_size)
         self._results = LRUCache(result_cache_size)
-        self._shm = SharedMatrixStore(capacity=max(4, oracle_cache_size))
+        self._shm = SharedArrayStore(capacity=max(4, oracle_cache_size))
         self._transfer = {
             "pool_tasks": 0,
             "dense_bytes_pickled": 0,
+            "bounds_bytes_pickled": 0,
+            "group_level_bytes_pickled": 0,
             "shm_segments": 0,
             "shm_bytes": 0,
             "shm_task_refs": 0,
+            "shm_bounds_segments": 0,
+            "shm_bounds_bytes": 0,
+            "shm_bounds_refs": 0,
+            "shm_level_segments": 0,
+            "shm_level_bytes": 0,
+            "shm_level_refs": 0,
         }
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
@@ -552,8 +584,16 @@ class MotifEngine:
 
         ``dense_bytes_pickled`` counts dense ``dG`` bytes serialised
         into pool tasks (0 whenever shared memory served the scan);
-        ``shm_segments`` / ``shm_bytes`` count published segments and
-        ``shm_task_refs`` the tasks that carried a by-reference matrix.
+        ``shm_segments`` / ``shm_bytes`` count published dense
+        segments and ``shm_task_refs`` the tasks that carried a
+        by-reference matrix.  The bound pipeline is accounted the same
+        way: ``bounds_bytes_pickled`` counts :class:`SubsetBounds`
+        array bytes serialised into chunk tasks (0 whenever the scan
+        rode a shared bound segment), ``shm_bounds_segments`` /
+        ``shm_bounds_bytes`` count published bound segments and
+        ``shm_bounds_refs`` the tasks that carried a bounds ref;
+        ``group_level_bytes_pickled`` / ``shm_level_refs`` do the same
+        for the parallel GTM grouping phase's block min/max matrices.
         """
         info = dict(self._transfer)
         info["shm_live_segments"] = len(self._shm)
@@ -627,9 +667,26 @@ class MotifEngine:
                 if matrix is None
                 else self._matrix_oracle(matrix)
             )
-            d_star = self._chunked_distance(
-                dense, okey, space, algo, stats, workers, started
-            )
+            if isinstance(algo, GTM):
+                # GTM queries run the paper's grouping phase first --
+                # sharded across the pool -- so the chunk scan sees
+                # only the surviving subsets with a proven threshold.
+                d_star = self._grouped_distance(
+                    dense, okey, space, algo, stats, workers, started
+                )
+                # The resolution pass descends the same tau sequence;
+                # hand it the levels this scan just built and cached
+                # so it never re-reduces the O(n^2) matrix (a copy
+                # keeps a caller-owned algorithm instance untouched).
+                algo = copy.copy(algo)
+                algo.level_builder = (
+                    lambda dmat, tau, mode, _okey=okey, _w=workers:
+                        self._group_level(_okey, dmat, tau, mode, _w)
+                )
+            else:
+                d_star = self._chunked_distance(
+                    dense, okey, space, algo, stats, workers, started
+                )
             # `timeout` is one whole-query budget: the chunks shared an
             # absolute deadline anchored at `started`; hand the
             # resolution pass only what remains (a shallow copy keeps a
@@ -681,36 +738,107 @@ class MotifEngine:
         """
         tables = self._bound_tables(okey, space, dense)
         bounds = relaxed_subset_bounds(space, dense, tables)
-        chunks = plan_chunks(bounds, workers * self.chunks_per_worker)
-        timeout = getattr(algo, "timeout", None)
-        # The whole publish -> scan -> trim sequence holds the scan
-        # lock: segments published for this scan must stay attachable
-        # until its pool map completes, and a concurrent scan on a
-        # shared engine could otherwise evict them.
+        return self._scan_bounds(
+            dense, okey, space, bounds, tables,
+            ("bounds", okey, space.mode, space.xi),
+            getattr(algo, "timeout", None), started_at, workers,
+            math.inf, stats,
+            eager_order=bool(getattr(algo, "eager_order", False)),
+        )
+
+    def _scan_bounds(
+        self,
+        dense: DenseGroundMatrix,
+        okey,
+        space: SearchSpace,
+        bounds,
+        tables: BoundTables,
+        bounds_key,
+        timeout: Optional[float],
+        started_at: float,
+        workers: int,
+        seed_bsf: float,
+        stats,
+        eager_order: bool = False,
+    ) -> float:
+        """Scan ``bounds`` across chunks; exact ``min(seed_bsf, best)``.
+
+        The zero-copy transfer shape: the six bound arrays plus
+        ``cmin``/``rmin`` publish once under ``bounds_key`` and every
+        task carries two refs plus its ``(start, stride)`` share.  The
+        whole publish -> scan -> trim sequence holds the scan lock:
+        segments published for this scan must stay attachable until
+        its pool map completes, and a concurrent scan on a shared
+        engine could otherwise evict them.
+        """
+        n_chunks = workers * self.chunks_per_worker
         with self._scan_lock:
-            ref = self._share_scan_matrix(okey, dense)
+            self._shm.begin_batch()
+            ref = self._share_dense(okey, dense)
+            bounds_ref = self._share_bounds(bounds_key, bounds, tables)
             tasks = [
                 _worker.ChunkTask(
                     matrix=None if ref is not None else dense.array,
                     matrix_ref=ref,
                     space=space,
-                    bounds=chunk,
-                    cmin=tables.cmin,
-                    rmin=tables.rmin,
                     timeout=timeout,
                     started_at=started_at,
+                    seed_bsf=seed_bsf,
                     sync_every=self.bsf_sync_every,
+                    **payload,
                 )
-                for chunk in chunks
+                for payload in self._bounds_payloads(
+                    bounds, bounds_ref, tables, n_chunks,
+                    eager_order=eager_order,
+                )
             ]
             results = self._run_chunks(tasks, workers)
             self._shm.trim()
-        d_star = math.inf
+        d_star = seed_bsf
         for res in results:
             d_star = min(d_star, res.bsf)
             stats.scan_subsets_expanded += res.subsets_expanded
             stats.scan_cells_expanded += res.cells_expanded
         return d_star
+
+    def _bounds_payloads(self, bounds, bounds_ref, tables, n_chunks,
+                         legacy_eager: bool = True,
+                         eager_order: bool = False):
+        """Per-task bound payloads: strided refs, or pre-sliced copies.
+
+        With a published segment (or the inline executor, where
+        nothing is pickled) every task references the same full arrays
+        and owns a ``(start, stride)`` share of the positions.  On the
+        cold pool path each task must carry its data through the pipe
+        anyway, so it ships the smaller pre-sorted slice -- the PR 2
+        transfer shape, which (for discover tasks, ``legacy_eager``)
+        also keeps the eager per-chunk argsort so the perf-trajectory
+        benchmark compares like with like.  An explicit
+        ``eager_order`` (a ``BTM(eager_order=True)`` query) forces the
+        up-front sort on every chunk regardless of transfer shape.
+        """
+        if bounds_ref is not None or self.executor == "inline":
+            payloads = [
+                dict(
+                    bounds=None if bounds_ref is not None else bounds,
+                    bounds_ref=bounds_ref,
+                    cmin=None if bounds_ref is not None else tables.cmin,
+                    rmin=None if bounds_ref is not None else tables.rmin,
+                    chunk_start=start,
+                    chunk_stride=stride,
+                )
+                for start, stride in plan_strides(len(bounds), n_chunks)
+            ]
+        else:
+            payloads = [
+                dict(bounds=chunk, cmin=tables.cmin, rmin=tables.rmin)
+                for chunk in plan_chunks(bounds, n_chunks)
+            ]
+            eager_order = eager_order or legacy_eager
+        if eager_order:
+            for payload in payloads:
+                payload["eager_order"] = True
+        return payloads
 
     def _dispatch_chunks(self, tasks, workers, pool_fn, inline_fn):
         """Run chunk tasks on the pool, inline on fallback.
@@ -747,7 +875,9 @@ class MotifEngine:
             out = []
             for task in tasks:
                 res = _worker.scan_chunk(
-                    dataclasses.replace(task, seed_bsf=best_so_far)
+                    dataclasses.replace(
+                        task, seed_bsf=min(task.seed_bsf, best_so_far)
+                    )
                 )
                 best_so_far = min(best_so_far, res.bsf)
                 out.append(res)
@@ -761,21 +891,25 @@ class MotifEngine:
         """Exact top-k entries via the partitioned chunk scan + merge."""
         from ..extensions.topk import merge_topk_entries
 
-        chunks = plan_chunks(bounds, workers * self.chunks_per_worker)
-        with self._scan_lock:  # see _chunked_distance on lock extent
-            ref = self._share_scan_matrix(okey, dense)
+        n_chunks = workers * self.chunks_per_worker
+        with self._scan_lock:  # see _scan_bounds on lock extent
+            self._shm.begin_batch()
+            ref = self._share_dense(okey, dense)
+            bounds_ref = self._share_bounds(
+                ("bounds", okey, space.mode, space.xi), bounds, tables
+            )
             tasks = [
                 _worker.TopKChunkTask(
                     matrix=None if ref is not None else dense.array,
                     matrix_ref=ref,
                     space=space,
-                    bounds=chunk,
-                    cmin=tables.cmin,
-                    rmin=tables.rmin,
                     k=int(k),
                     sync_every=self.bsf_sync_every,
+                    **payload,
                 )
-                for chunk in chunks
+                for payload in self._bounds_payloads(
+                    bounds, bounds_ref, tables, n_chunks, legacy_eager=False
+                )
             ]
             def inline(tasks):
                 # Thread the k-th-best between chunks the way the
@@ -784,7 +918,9 @@ class MotifEngine:
                 kth_carry = math.inf
                 for task in tasks:
                     res = _worker.topk_chunk(
-                        dataclasses.replace(task, seed_kth=kth_carry)
+                        dataclasses.replace(
+                            task, seed_kth=min(task.seed_kth, kth_carry)
+                        )
                     )
                     if len(res.entries) == task.k:
                         kth_carry = min(kth_carry, res.entries[-1][0])
@@ -803,6 +939,266 @@ class MotifEngine:
             stats.subsets_expanded += res.subsets_expanded
             stats.cells_expanded += res.cells_expanded
         return merge_topk_entries([res.entries for res in results], k)
+
+    # ------------------------------------------------------------------
+    # Parallel GTM grouping phase
+    # ------------------------------------------------------------------
+    def _grouped_distance(
+        self,
+        dense: DenseGroundMatrix,
+        okey,
+        space: SearchSpace,
+        algo: GTM,
+        stats,
+        workers: int,
+        started_at: float,
+    ) -> float:
+        """Exact motif distance for GTM queries: grouping, then scan.
+
+        Mirrors :meth:`repro.core.gtm.GTM.search`'s multi-level loop
+        with the two heavy inner kernels sharded across the pool: the
+        block min/max reductions of each :class:`GroupLevel` (reading
+        ``dG`` from shared memory) and the per-pair
+        ``GLB_DFD``/``GUB_DFD`` group DPs (reading the level from its
+        own shared segment).  The surviving point-level subsets then go
+        through the ordinary partitioned chunk scan, seeded with the
+        grouping phase's proven (unwitnessed) threshold, so the
+        returned distance is exactly the motif distance -- the seeded
+        serial resolution pass recovers the witness as usual.
+        """
+        timeout = getattr(algo, "timeout", None)
+        deadline = None if timeout is None else started_at + timeout
+        bsf = math.inf
+        tau = min(algo.tau, max(algo.min_tau, space.n_rows // 2))
+        pairs = None
+        survivors: List[Tuple[int, int]] = []
+        level: Optional[GroupLevel] = None
+        prev_tau = None
+        while tau >= algo.min_tau:
+            level = self._group_level(okey, dense.array, tau, space.mode,
+                                      workers)
+            if pairs is None:
+                pairs = feasible_group_pairs(level, space)
+            else:
+                pairs = children_pairs(pairs, prev_tau, level, space)
+            bsf, survivors = self._replay_group_level(
+                okey, space, algo, level, pairs, bsf, workers, deadline
+            )
+            pairs = survivors
+            if tau == algo.min_tau:
+                break
+            prev_tau = tau
+            tau = max(tau // 2, algo.min_tau)
+        if level is None:  # pragma: no cover - requires min_tau > tau
+            return self._chunked_distance(
+                dense, okey, space, algo, stats, workers, started_at
+            )
+        i_idx, j_idx = expand_pairs_to_subsets(level, space, survivors)
+        tables = self._bound_tables(okey, space, dense)
+        bounds = relaxed_subset_bounds_for_pairs(
+            space, dense, tables, i_idx, j_idx
+        )
+        bounds_key = (
+            "gbounds", okey, space.mode, space.xi,
+            algo.tau, algo.min_tau, algo.use_gub, algo.dfd_bound_max_groups,
+        )
+        return self._scan_bounds(
+            dense, okey, space, bounds, tables, bounds_key,
+            timeout, started_at, workers, bsf, stats,
+        )
+
+    def _group_level(
+        self, okey, dmat: np.ndarray, tau: int, mode: str, workers: int
+    ) -> GroupLevel:
+        """One grouping level, cached by content key.
+
+        The grouping scan and the seeded resolution pass descend the
+        same ``tau`` sequence over the same matrix, so each level is
+        built exactly once per (matrix, tau, mode) -- sharded across
+        the pool where worthwhile -- and served from the tables cache
+        afterwards.
+        """
+        key = ("glevel", okey, tau, mode)
+        return self._tables.get_or_build(
+            key,
+            lambda: self._build_group_level(
+                DenseGroundMatrix(dmat, validate=False), okey, tau, mode,
+                workers,
+            ),
+        )
+
+    def _build_group_level(
+        self, dense: DenseGroundMatrix, okey, tau: int, mode: str,
+        workers: int,
+    ) -> GroupLevel:
+        """One grouping level, with the block reductions sharded.
+
+        Sharding pays a ``(gmin, gmax)`` band transfer back per task,
+        so it engages only where that stays a small fraction of the
+        O(n^2) reduction work it spreads out: coarse-enough groups
+        (``tau >= 4``) and enough group rows to give every worker a
+        real band.  The stitched result is identical to the serial
+        :meth:`GroupLevel.from_matrix`.
+        """
+        n_rows, n_cols = dense.shape
+        g_rows = math.ceil(n_rows / tau)
+        pool_ready = (
+            workers > 1
+            and self.executor == "process"
+            and _fork_context() is not None
+        )
+        if not pool_ready or tau < 4 or g_rows < 2 * workers:
+            return GroupLevel.from_matrix(dense.array, tau, mode)
+        band_edges = np.array_split(np.arange(g_rows), workers)
+        with self._scan_lock:  # pool use is engine-wide exclusive
+            self._shm.begin_batch()
+            ref = self._share_dense(okey, dense)
+            tasks = [
+                _worker.GroupReduceTask(
+                    tau=tau,
+                    mode=mode,
+                    u_start=int(band[0]),
+                    u_end=int(band[-1]) + 1,
+                    matrix=None if ref is not None else dense.array,
+                    matrix_ref=ref,
+                )
+                for band in band_edges
+                if len(band)
+            ]
+            try:
+                pool = self._get_pool(workers)
+                bands = list(pool.map(_worker.group_reduce, tasks))
+                self._count_transfer(tasks)
+            except OSError:  # pragma: no cover - fork/pipe failure
+                self._close_pool()
+                return GroupLevel.from_matrix(dense.array, tau, mode)
+            finally:
+                self._shm.trim()
+        return GroupLevel.from_bands(bands, n_rows, n_cols, tau, mode)
+
+    def _replay_group_level(
+        self, okey, space, algo: GTM, level: GroupLevel,
+        pairs, bsf: float, workers: int, deadline,
+    ):
+        """Steps 3-4 of the grouping framework on one level.
+
+        The per-pair DFD bounds are precomputed in parallel against the
+        level-entry threshold, then the serial decision loop replays
+        against them.  The decisions are identical to computing each
+        bound inline with the evolving threshold: pattern bounds and
+        GUBs are exact, and an early-stopped GLB computed against a
+        weaker threshold is either exact or certified above it -- in
+        both cases the prune comparison lands on the same side (see
+        :class:`repro.engine.worker.GroupDFDTask`).  Thresholds here
+        are always unwitnessed (the engine carries no candidate pair),
+        so the tie-keeping ``lb > bsf`` break rule applies throughout.
+        """
+        tables = GroupBoundTables.build(level, space.xi)
+        lbs = pattern_bounds_for_pairs(level, tables, pairs)
+        order = np.argsort(lbs, kind="stable")
+        use_dfd = level.n_row_groups <= algo.dfd_bound_max_groups
+        dfd = None
+        if use_dfd and len(pairs):
+            candidates = order[lbs[order] <= bsf]
+            dfd = self._parallel_group_dfd(
+                okey, space, level, pairs, candidates, bsf, workers, deadline
+            )
+        survivors: List[Tuple[int, int]] = []
+        for count, k in enumerate(order):
+            if float(lbs[k]) > bsf:
+                break
+            u, v = pairs[k]
+            if not use_dfd:
+                survivors.append((u, v))
+                continue
+            glb, gub = dfd[int(k)]
+            if glb > bsf:
+                continue
+            survivors.append((u, v))
+            if algo.use_gub and gub < bsf:
+                bsf = float(gub)
+            if deadline is not None and count % 64 == 0:
+                if time.perf_counter() > deadline:
+                    raise MotifTimeout(
+                        f"engine GTM grouping exceeded {algo.timeout:.1f}s"
+                    )
+        survivors.sort()
+        return bsf, survivors
+
+    def _parallel_group_dfd(
+        self, okey, space, level: GroupLevel, pairs, candidates,
+        bsf: float, workers: int, deadline: Optional[float] = None,
+    ) -> np.ndarray:
+        """``(len(pairs), 2)`` array of ``(GLB, GUB)``, candidates filled.
+
+        Candidate pairs are dealt round-robin from the pattern-sorted
+        order so every task holds a comparable mix of cheap (early-
+        stopping) and expensive DPs; the level's block matrices ride a
+        shared segment, so a task is a few hundred pair indices.  A
+        timeout-bounded query's absolute ``deadline`` travels with
+        every task (and guards the serial fallbacks), mirroring the
+        chunk scan's budget contract.
+        """
+
+        def serial_fill(out):
+            for count, k in enumerate(candidates):
+                if deadline is not None and count % 16 == 0:
+                    if time.perf_counter() > deadline:
+                        raise MotifTimeout(
+                            "engine GTM grouping exceeded its budget"
+                        )
+                u, v = pairs[int(k)]
+                out[int(k)] = group_dfd_bounds(level, space, u, v, bsf=bsf)
+            return out
+
+        out = np.full((len(pairs), 2), np.nan)
+        n_chunks = min(len(candidates), workers * self.chunks_per_worker)
+        pool_ready = (
+            workers > 1
+            and self.executor == "process"
+            and _fork_context() is not None
+            and len(candidates) >= 4 * workers
+        )
+        if not pool_ready or n_chunks < 2:
+            return serial_fill(out)
+        deals = [candidates[k::n_chunks] for k in range(n_chunks)]
+        with self._scan_lock:  # pool use is engine-wide exclusive
+            self._shm.begin_batch()
+            level_ref = None
+            if self.shared_bounds and self._use_shared_memory():
+                level_ref, created = self._shm.publish(
+                    ("glevel", okey, space.mode, level.tau),
+                    _worker.level_slabs(level),
+                )
+                if created:
+                    self._transfer["shm_level_segments"] += 1
+                    self._transfer["shm_level_bytes"] += level_ref.nbytes
+            tasks = [
+                _worker.GroupDFDTask(
+                    space=space,
+                    us=tuple(int(pairs[int(k)][0]) for k in deal),
+                    vs=tuple(int(pairs[int(k)][1]) for k in deal),
+                    bsf=float(bsf),
+                    level=None if level_ref is not None else level,
+                    level_ref=level_ref,
+                    tau=level.tau,
+                    mode=level.mode,
+                    deadline=deadline,
+                )
+                for deal in deals
+            ]
+            try:
+                pool = self._get_pool(workers)
+                parts = list(pool.map(_worker.group_dfd_chunk, tasks))
+                self._count_transfer(tasks)
+            except OSError:  # pragma: no cover - fork/pipe failure
+                self._close_pool()
+                return serial_fill(out)
+            finally:
+                self._shm.trim()
+        for deal, part in zip(deals, parts):
+            out[np.asarray(deal, dtype=np.int64)] = part
+        return out
 
     def _get_pool(self, workers: int) -> ProcessPoolExecutor:
         ctx = _fork_context()
@@ -863,14 +1259,24 @@ class MotifEngine:
             self._transfer["shm_bytes"] += dense.array.nbytes
         return ref
 
-    def _share_scan_matrix(self, okey, dense):
-        """One chunked scan's matrix: its own batch, then publish.
+    def _share_bounds(self, key, bounds, tables: BoundTables):
+        """Publish one query's bound slabs; ``None`` -> ship cold.
 
-        Caller holds ``_scan_lock`` -- the batch boundary plus the
-        publish must be atomic with the scan that consumes the ref.
+        The segment groups the six :class:`SubsetBounds` arrays with
+        the ``cmin`` / ``rmin`` kill tables, so a chunk task resolves
+        its entire read set from one ref.  Caller holds ``_scan_lock``
+        and has opened the batch -- the publish must stay pinned until
+        the scan's pool map completes.
         """
-        self._shm.begin_batch()
-        return self._share_dense(okey, dense)
+        if not (self.shared_bounds and self._use_shared_memory()):
+            return None
+        ref, created = self._shm.publish(
+            key, _worker.bound_slabs(bounds, tables.cmin, tables.rmin)
+        )
+        if created:
+            self._transfer["shm_bounds_segments"] += 1
+            self._transfer["shm_bounds_bytes"] += ref.nbytes
+        return ref
 
     def _warm_refs_for(self, pending, parsed, metric, algorithm, options):
         """Shared ``dG`` handles for a batch of corpus queries.
@@ -934,6 +1340,23 @@ class MotifEngine:
                 matrix = getattr(task, "matrix", None)
                 if matrix is not None:
                     self._transfer["dense_bytes_pickled"] += int(matrix.nbytes)
+            if getattr(task, "bounds_ref", None) is not None:
+                self._transfer["shm_bounds_refs"] += 1
+            else:
+                bounds = getattr(task, "bounds", None)
+                if bounds is not None:
+                    self._transfer["bounds_bytes_pickled"] += int(sum(
+                        getattr(bounds, field).nbytes
+                        for field in _worker.BOUND_FIELDS
+                    ))
+            if getattr(task, "level_ref", None) is not None:
+                self._transfer["shm_level_refs"] += 1
+            else:
+                level = getattr(task, "level", None)
+                if level is not None:
+                    self._transfer["group_level_bytes_pickled"] += int(
+                        level.gmin.nbytes + level.gmax.nbytes
+                    )
 
     def _lazy_oracle(self, traj_a, traj_b, metric, cache_rows: int):
         key = (

@@ -1,19 +1,27 @@
-"""Shared-memory publication of dense ground matrices (worker warm state).
+"""Shared-memory publication of large numeric arrays (worker warm state).
 
-The partitioned chunk scan and the corpus-parallel batch APIs both need
-the same O(n^2) payload in every worker: the dense ground matrix ``dG``.
-Before this module existed each :class:`~repro.engine.worker.ChunkTask`
-carried the full matrix through the pool pipe (``workers x
-chunks_per_worker`` pickled copies per query) and ``discover_many``
-workers recomputed ``dG`` from the trajectory points per process.
+The partitioned chunk scan and the corpus-parallel batch APIs need the
+same large payloads in every worker: the dense ground matrix ``dG``
+(O(n^2) floats), and -- since the zero-copy bound pipeline -- the
+per-query bound tables and the six :class:`~repro.core.bounds.SubsetBounds`
+arrays (O(n^2) floats in total).  Before this module existed each
+:class:`~repro.engine.worker.ChunkTask` carried those payloads through
+the pool pipe (``workers x chunks_per_worker`` pickled copies per
+query) and ``discover_many`` workers recomputed ``dG`` from the
+trajectory points per process.
 
-:class:`SharedMatrixStore` removes both costs: the parent process
-publishes each dense matrix once into a named
+:class:`SharedArrayStore` removes both costs generically: the parent
+process publishes a *named group of slabs* (float64 / int64 arrays,
+e.g. ``{"dG": ...}`` or the bound-table fields) once into a single
 ``multiprocessing.shared_memory`` segment keyed by the engine's content
-fingerprint, and tasks carry only a tiny :class:`SharedMatrixRef`
-(name, shape, dtype).  Workers attach by name on first use and keep the
-mapping in a per-process LRU, so a warm worker serves repeated
-trajectories with zero ``dG`` recomputation and zero dense pickling.
+fingerprint, and tasks carry only a tiny :class:`SharedArrayRef`
+(segment name plus per-field offset/shape/dtype).  Workers attach by
+name on first use and keep the mapping in a per-process LRU, so a warm
+worker serves repeated trajectories with zero recomputation and zero
+dense pickling.
+
+:class:`SharedMatrixStore` survives as the single-matrix veneer (one
+``"matrix"`` slab per key) used for dense ``dG`` publication.
 
 Lifecycle rules (the subtle part):
 
@@ -29,9 +37,9 @@ Lifecycle rules (the subtle part):
   is set-idempotent, and an attach-side unregister would strip the
   parent's own registration (the tracker then KeyErrors when the
   parent finally unlinks).
-* ``SharedMatrixStore.close()`` unlinks everything; the engine calls it
+* ``SharedArrayStore.close()`` unlinks everything; the engine calls it
   from :meth:`MotifEngine.close` after the pool has shut down, which is
-  what the leak test in ``tests/test_engine_warm.py`` pins down.
+  what the leak tests in ``tests/test_engine_warm.py`` pin down.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ import os
 import secrets
 import threading
 from collections import OrderedDict
-from typing import Hashable, NamedTuple, Optional, Tuple
+from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,22 +57,66 @@ try:  # pragma: no cover - always present on CPython >= 3.8
 except ImportError:  # pragma: no cover
     _shm_mod = None
 
+#: Slab dtypes the store accepts; everything the engine shares is one
+#: of these two, and restricting the set keeps refs trivially picklable.
+_SLAB_DTYPES = ("float64", "int64")
+
+#: Slab offsets are aligned to cache lines so adjacent slabs never
+#: false-share between workers scanning different fields.
+_ALIGN = 64
+
 
 def shared_memory_available() -> bool:
     """True when named shared-memory segments are usable on this host."""
     return _shm_mod is not None and os.name == "posix"
 
 
-class SharedMatrixRef(NamedTuple):
-    """A picklable by-reference handle to one published dense matrix."""
+class SharedArrayRef(NamedTuple):
+    """A picklable by-reference handle to one published slab group.
+
+    ``fields`` maps each named slab to its layout inside the segment:
+    ``(field_name, byte_offset, shape, dtype)``.  The ref is a plain
+    tuple of ints and strings -- a few hundred bytes through the pool
+    pipe regardless of how many megabytes the slabs span.
+    """
 
     name: str
-    shape: Tuple[int, ...]
-    dtype: str
+    fields: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes referenced (excluding alignment padding)."""
+        return sum(
+            int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+            for _, _, shape, dtype in self.fields
+        )
 
 
-class SharedMatrixStore:
-    """Parent-side registry of published dense-matrix segments.
+#: Backward-compatible alias: the dense-``dG`` path publishes a single
+#: ``"matrix"`` slab, so its refs are ordinary :class:`SharedArrayRef`s.
+SharedMatrixRef = SharedArrayRef
+
+
+def _as_slabs(arrays) -> "OrderedDict[str, np.ndarray]":
+    """Normalise a publish payload to an ordered ``{name: contiguous array}``."""
+    if isinstance(arrays, np.ndarray):
+        arrays = {"matrix": arrays}
+    slabs: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for field, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        if str(array.dtype) not in _SLAB_DTYPES:
+            array = np.ascontiguousarray(array, dtype=np.float64)
+        slabs[str(field)] = array
+    return slabs
+
+
+class SharedArrayStore:
+    """Parent-side registry of published shared-memory slab groups.
+
+    One ``publish(key, arrays)`` call packs every array of ``arrays``
+    (a ``{name: ndarray}`` mapping, or a bare ndarray meaning
+    ``{"matrix": ...}``) into a single named segment and returns a
+    :class:`SharedArrayRef` describing the layout.
 
     Bounded: a publish that would exceed ``capacity`` first evicts
     least-recently-used segments from *earlier* batches, and refuses
@@ -101,14 +153,21 @@ class SharedMatrixStore:
         with self._lock:
             self._epoch += 1
 
-    def publish(self, key: Hashable, array: np.ndarray):
-        """Share ``array`` under ``key``; returns ``(ref, created)``.
+    def publish(
+        self,
+        key: Hashable,
+        arrays: Union[np.ndarray, Mapping[str, np.ndarray]],
+    ):
+        """Share ``arrays`` under ``key``; returns ``(ref, created)``.
 
         An already-published key returns its existing ref without any
-        copying (the repeated-trajectory warm path).  Returns
-        ``(None, False)`` when the store is full of current-batch
-        segments or the kernel refuses the allocation (ENOSPC) -- the
-        caller falls back to inline transfer.
+        copying (the repeated-query warm path) -- the caller is
+        responsible for key hygiene: equal keys must mean equal
+        content, which the engine guarantees by deriving keys from
+        content fingerprints.  Returns ``(None, False)`` when the
+        store is full of current-batch segments or the kernel refuses
+        the allocation (ENOSPC) -- the caller falls back to inline
+        transfer.
         """
         if not shared_memory_available():
             return None, False
@@ -124,21 +183,32 @@ class SharedMatrixStore:
                     return None, False  # full of same-batch segments
                 segment, _, _ = self._segments.pop(stale_key)
                 self._destroy(segment)
-            array = np.ascontiguousarray(array)
+            slabs = _as_slabs(arrays)
+            specs = []
+            offset = 0
+            for field, array in slabs.items():
+                specs.append((field, offset, tuple(array.shape), str(array.dtype)))
+                offset += array.nbytes
+                offset += (-offset) % _ALIGN
             name = f"repro-{os.getpid()}-{secrets.token_hex(6)}"
             try:
                 segment = _shm_mod.SharedMemory(
-                    name=name, create=True, size=max(1, array.nbytes)
+                    name=name, create=True, size=max(1, offset)
                 )
             except OSError:  # pragma: no cover - /dev/shm exhausted
                 return None, False
-            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
-            view[...] = array
-            del view  # release the exported buffer before any close()
-            ref = SharedMatrixRef(segment.name, tuple(array.shape), str(array.dtype))
+            payload = 0
+            for (field, start, shape, dtype), array in zip(specs, slabs.values()):
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=start
+                )
+                view[...] = array
+                del view  # release the exported buffer before any close()
+                payload += array.nbytes
+            ref = SharedArrayRef(segment.name, tuple(specs))
             self._segments[key] = (segment, ref, self._epoch)
             self.created += 1
-            self.bytes_shared += array.nbytes
+            self.bytes_shared += payload
             return ref, True
 
     def trim(self, capacity: Optional[int] = None) -> None:
@@ -173,10 +243,18 @@ class SharedMatrixStore:
             pass
 
 
+class SharedMatrixStore(SharedArrayStore):
+    """The single-matrix veneer over :class:`SharedArrayStore`.
+
+    Kept for the dense-``dG`` call sites and their tests; ``publish``
+    accepts a bare ndarray (stored as the ``"matrix"`` slab).
+    """
+
+
 # ----------------------------------------------------------------------
 # Worker-side attachment cache
 # ----------------------------------------------------------------------
-#: name -> (segment, ndarray); per-process, LRU-bounded.
+#: name -> (segment, {field: ndarray}); per-process, LRU-bounded.
 _ATTACHED: "OrderedDict[str, tuple]" = OrderedDict()
 _ATTACH_LIMIT = 8
 
@@ -184,13 +262,13 @@ _ATTACH_LIMIT = 8
 ATTACH_STATS = {"attaches": 0, "reuses": 0}
 
 
-def attach_matrix(ref: SharedMatrixRef) -> np.ndarray:
-    """The ndarray behind ``ref``, attached (and cached) by name.
+def attach_slabs(ref: SharedArrayRef) -> Dict[str, np.ndarray]:
+    """The ``{field: ndarray}`` group behind ``ref``, attached by name.
 
-    The returned array is a zero-copy view of the shared segment; the
-    caller must treat it as read-only.  Repeated calls for the same
+    The returned arrays are zero-copy views of the shared segment; the
+    caller must treat them as read-only.  Repeated calls for the same
     segment reuse the existing mapping, which is what makes a warm
-    worker's repeated-trajectory queries free of ``dG`` transfer.
+    worker's repeated-trajectory queries free of payload transfer.
     """
     entry = _ATTACHED.get(ref.name)
     if entry is not None:
@@ -198,14 +276,24 @@ def attach_matrix(ref: SharedMatrixRef) -> np.ndarray:
         ATTACH_STATS["reuses"] += 1
         return entry[1]
     segment = _shm_mod.SharedMemory(name=ref.name)
-    array = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
-    _ATTACHED[ref.name] = (segment, array)
+    slabs = {
+        field: np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=offset
+        )
+        for field, offset, shape, dtype in ref.fields
+    }
+    _ATTACHED[ref.name] = (segment, slabs)
     ATTACH_STATS["attaches"] += 1
     while len(_ATTACHED) > _ATTACH_LIMIT:
-        _, (old_segment, old_array) = _ATTACHED.popitem(last=False)
-        del old_array
+        _, (old_segment, old_slabs) = _ATTACHED.popitem(last=False)
+        old_slabs.clear()
         try:
             old_segment.close()
         except BufferError:  # pragma: no cover - view still referenced
             pass
-    return array
+    return slabs
+
+
+def attach_matrix(ref: SharedArrayRef) -> np.ndarray:
+    """The single ``"matrix"`` slab behind ``ref`` (dense-``dG`` path)."""
+    return attach_slabs(ref)["matrix"]

@@ -23,10 +23,18 @@ worker processes.  Four task shapes exist:
   instead of recomputing ``dG`` -- the warm-worker path.
 * :func:`join_tile` -- one tile of a sharded DFD similarity join
   (both collections sliced).
+* :func:`group_reduce` / :func:`group_dfd_chunk` -- shards of GTM's
+  grouping phase: a band of block min/max reductions over the shared
+  ``dG``, and a batch of per-pair ``GLB_DFD``/``GUB_DFD`` group DPs
+  over a shared group level.
 
-Dense matrices travel to chunk tasks by :class:`SharedMatrixRef`
-whenever shared memory is available, so no task pickles the O(n^2)
-``dG`` through the pool pipe.  The chunk scan only establishes the
+Dense matrices travel to chunk tasks by :class:`SharedMatrixRef`, and
+the per-query bound tables plus the six
+:class:`~repro.core.bounds.SubsetBounds` arrays by a single
+:class:`SharedArrayRef`, whenever shared memory is available -- so no
+task pickles an O(n^2) payload through the pool pipe: a zero-copy
+chunk task is a handful of ints (its ``(start, stride)`` share of the
+shared arrays) plus two refs.  The chunk scan only establishes the
 exact motif *distance*; the engine's witness-resolution pass (see
 :mod:`repro.engine.engine`) re-derives the serial algorithm's exact
 witness pair from it.
@@ -35,20 +43,23 @@ witness pair from it.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.bounds import SubsetBounds
+from ..core.brute import MotifTimeout
 from ..core.btm import run_best_first
 from ..core.dp import Best
+from ..core.grouping import GroupLevel, group_dfd_bounds, reduce_group_rows
 from ..core.motif import MotifResult, discover_motif
 from ..core.problem import SearchSpace
 from ..core.stats import SearchStats
 from ..distances.ground import DenseGroundMatrix
 from ..errors import ReproError
-from .shm import SharedMatrixRef, attach_matrix
+from .shm import SharedArrayRef, SharedMatrixRef, attach_matrix, attach_slabs
 
 #: Shared best-so-far threshold; installed per worker by init_worker().
 #: The engine resets it to +inf before every chunked scan, so within one
@@ -107,15 +118,60 @@ def _resolve_matrix(matrix: Optional[np.ndarray], ref: Optional[SharedMatrixRef]
     return attach_matrix(ref)
 
 
+#: Field order of the bound-pipeline slabs inside one shared segment.
+BOUND_FIELDS = ("i_idx", "j_idx", "lb_cell", "lb_cross", "lb_band", "combined")
+
+
+def bound_slabs(bounds: SubsetBounds, cmin, rmin) -> dict:
+    """The ``{field: array}`` payload one bound segment publishes."""
+    slabs = {field: getattr(bounds, field) for field in BOUND_FIELDS}
+    slabs["cmin"] = cmin
+    slabs["rmin"] = rmin
+    return slabs
+
+
+def _resolve_bounds(task):
+    """A task's ``(bounds, cmin, rmin, positions)``.
+
+    Zero-copy tasks carry a :class:`SharedArrayRef` to the full bound
+    arrays plus a ``(start, stride)`` share; the worker attaches the
+    slabs (read-only views) and reconstructs its positions from two
+    integers.  Cold tasks carry a pre-sliced :class:`SubsetBounds`
+    (and scan all of it: ``positions`` stays ``None``).
+    """
+    if task.bounds_ref is not None:
+        slabs = attach_slabs(task.bounds_ref)
+        bounds = SubsetBounds(*(slabs[field] for field in BOUND_FIELDS))
+        cmin, rmin = slabs["cmin"], slabs["rmin"]
+    else:
+        if task.bounds is None:
+            raise ReproError("task carries neither bounds nor a bounds_ref")
+        bounds, cmin, rmin = task.bounds, task.cmin, task.rmin
+    positions = None
+    if task.chunk_stride != 1 or task.chunk_start != 0:
+        positions = np.arange(task.chunk_start, len(bounds), task.chunk_stride)
+    return bounds, cmin, rmin, positions
+
+
 @dataclass(frozen=True)
 class ChunkTask:
     """One chunk of a single query's candidate-subset space."""
 
     space: SearchSpace
-    bounds: SubsetBounds
-    cmin: Optional[np.ndarray]
-    rmin: Optional[np.ndarray]
     timeout: Optional[float]
+    #: Exactly one of these identifies the subset bound arrays: a
+    #: pre-sliced copy (inline executor / shared memory unavailable)
+    #: or a by-reference handle to the shared slabs (which then also
+    #: carry ``cmin`` / ``rmin``).
+    bounds: Optional[SubsetBounds] = None
+    bounds_ref: Optional[SharedArrayRef] = None
+    cmin: Optional[np.ndarray] = None
+    rmin: Optional[np.ndarray] = None
+    #: This chunk's share of the bound arrays: positions
+    #: ``chunk_start :: chunk_stride``.  ``(0, 1)`` means "scan all of
+    #: ``bounds``" (the pre-sliced cold path).
+    chunk_start: int = 0
+    chunk_stride: int = 1
     #: Exactly one of these identifies the dense ground matrix: the
     #: array itself (inline executor / shared memory unavailable) or a
     #: by-reference shared-memory handle.
@@ -128,6 +184,8 @@ class ChunkTask:
     seed_bsf: float = math.inf
     #: Cadence (in processed subsets) of the in-loop threshold exchange.
     sync_every: int = 64
+    #: Restore the pre-lazy full argsort (perf-trajectory baseline).
+    eager_order: bool = False
 
 
 class ChunkResult(NamedTuple):
@@ -155,13 +213,14 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
     oracle = DenseGroundMatrix(
         _resolve_matrix(task.matrix, task.matrix_ref), validate=False
     )
+    bounds, cmin, rmin, positions = _resolve_bounds(task)
     stats = SearchStats()
     seed = min(task.seed_bsf, read_shared_bsf())
     bsf, best = run_best_first(
         oracle,
         task.space,
-        task.bounds,
-        KillTables(task.cmin, task.rmin),
+        bounds,
+        KillTables(cmin, rmin),
         stats,
         bsf=seed,
         best=None,
@@ -169,6 +228,8 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
         started_at=task.started_at,
         bsf_sync=sync_bsf,
         bsf_sync_every=task.sync_every,
+        positions=positions,
+        eager_order=task.eager_order,
     )
     publish_bsf(bsf)
     return ChunkResult(
@@ -186,10 +247,13 @@ class TopKChunkTask:
     """One chunk of a top-k query's candidate-subset space."""
 
     space: SearchSpace
-    bounds: SubsetBounds
-    cmin: Optional[np.ndarray]
-    rmin: Optional[np.ndarray]
     k: int
+    bounds: Optional[SubsetBounds] = None
+    bounds_ref: Optional[SharedArrayRef] = None
+    cmin: Optional[np.ndarray] = None
+    rmin: Optional[np.ndarray] = None
+    chunk_start: int = 0
+    chunk_stride: int = 1
     matrix: Optional[np.ndarray] = None
     matrix_ref: Optional[SharedMatrixRef] = None
     seed_kth: float = math.inf
@@ -220,18 +284,20 @@ def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
     oracle = DenseGroundMatrix(
         _resolve_matrix(task.matrix, task.matrix_ref), validate=False
     )
+    bounds, cmin, rmin, positions = _resolve_bounds(task)
     stats = SearchStats()
     entries = scan_topk_entries(
         oracle,
         task.space,
-        task.bounds,
-        task.cmin,
-        task.rmin,
+        bounds,
+        cmin,
+        rmin,
         task.k,
         stats,
         kth0=min(task.seed_kth, read_shared_bsf()),
         sync=sync_bsf,
         sync_every=task.sync_every,
+        positions=positions,
     )
     return TopKChunkResult(
         entries=entries,
@@ -310,3 +376,87 @@ def join_tile(task: JoinTask):
         task.metric,
         offsets=(task.left_offset, task.right_offset),
     )
+
+
+# ----------------------------------------------------------------------
+# Parallel GTM grouping phase
+# ----------------------------------------------------------------------
+#: Field order of the group-level slabs inside one shared segment.
+LEVEL_FIELDS = (
+    "row_starts", "row_ends", "col_starts", "col_ends", "gmin", "gmax"
+)
+
+
+def level_slabs(level: GroupLevel) -> dict:
+    """The ``{field: array}`` payload one group-level segment publishes."""
+    return {field: getattr(level, field) for field in LEVEL_FIELDS}
+
+
+@dataclass(frozen=True)
+class GroupReduceTask:
+    """One band of :meth:`GroupLevel.from_matrix` block reductions.
+
+    The worker reduces group rows ``[u_start, u_end)`` of the shared
+    dense ``dG`` and returns the two small band matrices; the parent
+    stitches the bands into a full level.
+    """
+
+    tau: int
+    mode: str
+    u_start: int
+    u_end: int
+    matrix: Optional[np.ndarray] = None
+    matrix_ref: Optional[SharedMatrixRef] = None
+
+
+def group_reduce(task: GroupReduceTask):
+    """Block min/max matrices for one band of group rows."""
+    dmat = _resolve_matrix(task.matrix, task.matrix_ref)
+    return reduce_group_rows(dmat, task.tau, task.mode, task.u_start, task.u_end)
+
+
+@dataclass(frozen=True)
+class GroupDFDTask:
+    """One batch of per-pair ``GLB_DFD`` / ``GUB_DFD`` group DPs.
+
+    ``bsf`` is the threshold at the start of the level; per the
+    early-stop contract of :func:`repro.core.grouping.group_dfd_bounds`
+    the returned GLB is exact whenever it is at or below that
+    threshold and a certified "> bsf" otherwise, and the GUB is always
+    exact -- which is what lets the engine replay the serial decision
+    loop against precomputed values (see ``MotifEngine``).
+    """
+
+    space: SearchSpace
+    us: Tuple[int, ...]
+    vs: Tuple[int, ...]
+    bsf: float
+    level: Optional[GroupLevel] = None
+    level_ref: Optional[SharedArrayRef] = None
+    tau: int = 0
+    mode: str = ""
+    #: Absolute perf_counter() deadline shared by every task of a
+    #: timeout-bounded query (CLOCK_MONOTONIC is system-wide on the
+    #: platforms with fork), mirroring ChunkTask's budget contract.
+    deadline: Optional[float] = None
+
+
+def group_dfd_chunk(task: GroupDFDTask) -> np.ndarray:
+    """``(len(pairs), 2)`` array of ``(GLB_DFD, GUB_DFD)`` per pair."""
+    level = task.level
+    if level is None:
+        if task.level_ref is None:
+            raise ReproError("task carries neither a level nor a level_ref")
+        slabs = attach_slabs(task.level_ref)
+        level = GroupLevel(
+            task.tau, task.mode,
+            *(slabs[field] for field in LEVEL_FIELDS),
+        )
+    out = np.empty((len(task.us), 2))
+    for pos, (u, v) in enumerate(zip(task.us, task.vs)):
+        if task.deadline is not None and pos % 16 == 0:
+            if time.perf_counter() > task.deadline:
+                raise MotifTimeout("engine GTM grouping exceeded its budget")
+        out[pos] = group_dfd_bounds(level, task.space, int(u), int(v),
+                                    bsf=task.bsf)
+    return out

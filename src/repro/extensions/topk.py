@@ -77,6 +77,7 @@ def scan_topk_entries(
     kth0: float = float("inf"),
     sync: Optional[Callable[[float], float]] = None,
     sync_every: int = 64,
+    positions: Optional[np.ndarray] = None,
 ) -> List[TopKEntry]:
     """Heap-pruned best-first scan; returns ascending ``(dist, cand)``.
 
@@ -86,40 +87,53 @@ def scan_topk_entries(
     seeds the cut with an externally proven k-th-best bound and
     ``sync`` (called every ``sync_every`` subsets with the local k-th
     best) exchanges thresholds with sibling chunk scans -- both only
-    tighten pruning; the returned entries are unchanged.
+    tighten pruning; the returned entries are unchanged.  ``positions``
+    restricts the scan to a strided share of the bound arrays (the
+    engine's zero-copy chunk tasks); the ascending order is consumed
+    lazily via :meth:`SubsetBounds.order_blocks`, so sort cost scales
+    with the subsets actually expanded.
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    order = bounds.order()
     # Max-heap over the (distance, candidate) total order via negation.
     heap: List[Tuple[float, Tuple[int, int, int, int]]] = []
     external = float(kth0)
-    expanded = np.zeros(len(bounds), dtype=bool)
 
     def kth_dist() -> float:
         return -heap[0][0] if len(heap) == k else float("inf")
 
-    for count, idx in enumerate(order):
-        if sync is not None and count % sync_every == 0:
-            external = min(external, sync(kth_dist()))
-        cut = min(kth_dist(), external)
-        lb = float(bounds.combined[idx])
-        if lb > cut:
+    count = 0
+    exhausted = False
+    block_iter = bounds.order_blocks(within=positions)
+    while not exhausted:
+        # Pull the next block only while still consuming -- once the
+        # cut is exhausted, generating another (doubled-size) block
+        # would pay a full selection pass just to discard it.
+        block = next(block_iter, None)
+        if block is None:
             break
-        i = int(bounds.i_idx[idx])
-        j = int(bounds.j_idx[idx])
-        dist, cand = expand_subset(
-            oracle, space, i, j, float(np.nextafter(cut, np.inf)), None,
-            cmin=cmin, rmin=rmin, prune=True, stats=stats,
-        )
-        expanded[idx] = True
-        if cand is None:
-            continue
-        heapq.heappush(heap, (-float(dist), tuple(-v for v in cand)))
-        if len(heap) > k:
-            heapq.heappop(heap)
-    stats.subsets_total += len(bounds)
-    stats.subsets_expanded += int(expanded.sum())
+        for idx in block:
+            if sync is not None and count % sync_every == 0:
+                external = min(external, sync(kth_dist()))
+            cut = min(kth_dist(), external)
+            lb = float(bounds.combined[idx])
+            if lb > cut:
+                exhausted = True
+                break
+            i = int(bounds.i_idx[idx])
+            j = int(bounds.j_idx[idx])
+            dist, cand = expand_subset(
+                oracle, space, i, j, float(np.nextafter(cut, np.inf)), None,
+                cmin=cmin, rmin=rmin, prune=True, stats=stats,
+            )
+            count += 1
+            if cand is None:
+                continue
+            heapq.heappush(heap, (-float(dist), tuple(-v for v in cand)))
+            if len(heap) > k:
+                heapq.heappop(heap)
+    stats.subsets_total += len(bounds) if positions is None else len(positions)
+    stats.subsets_expanded += count
     return sorted(
         (-neg_d, tuple(-v for v in neg_cand)) for neg_d, neg_cand in heap
     )

@@ -15,6 +15,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.core.bounds import (
     BoundTables,
+    SubsetBounds,
     TightBounds,
     attribute_pruning,
     relaxed_subset_bounds,
@@ -198,6 +199,79 @@ class TestSubsetBoundAssembly:
         tables = BoundTables.build(space, oracle)
         bounds = relaxed_subset_bounds(space, oracle, tables)
         assert len(bounds) == 1
+
+
+class TestOrderBlocks:
+    """The lazy scheduler must reproduce the eager stable argsort
+    exactly -- block boundaries included -- or the engine's "identical
+    expansion order" contract breaks under distance ties."""
+
+    @staticmethod
+    def _bounds_from_combined(combined: np.ndarray) -> SubsetBounds:
+        combined = np.asarray(combined, dtype=np.float64)
+        idx = np.arange(combined.shape[0], dtype=np.int64)
+        zeros = np.zeros_like(combined)
+        return SubsetBounds(idx, idx.copy(), zeros, zeros.copy(),
+                            zeros.copy(), combined)
+
+    def _assert_parity(self, bounds: SubsetBounds, block_size: int,
+                       within=None):
+        blocks = list(bounds.order_blocks(within=within,
+                                          block_size=block_size))
+        lazy = (np.concatenate(blocks) if blocks
+                else np.empty(0, dtype=np.int64))
+        if within is None:
+            eager = bounds.order()
+        else:
+            scope = np.asarray(within, dtype=np.int64)
+            eager = scope[np.argsort(bounds.combined[scope], kind="stable")]
+        assert np.array_equal(lazy, eager)
+        # Each yielded block is internally sorted (consumable as-is).
+        for block in blocks:
+            assert (np.diff(bounds.combined[block]) >= 0).all()
+
+    @pytest.mark.parametrize("block_size", [1, 2, 3, 7, 64])
+    def test_tie_heavy_integer_grid_parity(self, block_size):
+        rng = np.random.default_rng(12)
+        combined = rng.integers(0, 4, size=257).astype(np.float64)
+        self._assert_parity(self._bounds_from_combined(combined), block_size)
+
+    def test_all_equal_values_preserve_index_order(self):
+        bounds = self._bounds_from_combined(np.zeros(100))
+        blocks = list(bounds.order_blocks(block_size=7))
+        assert np.array_equal(np.concatenate(blocks), np.arange(100))
+
+    @pytest.mark.parametrize("block_size", [1, 5, 32])
+    def test_strided_within_parity(self, block_size):
+        """The engine's chunk shares: an ascending strided subset."""
+        rng = np.random.default_rng(13)
+        combined = rng.integers(0, 3, size=211).astype(np.float64)
+        bounds = self._bounds_from_combined(combined)
+        for start, stride in ((0, 4), (3, 4), (1, 2)):
+            within = np.arange(start, len(combined), stride)
+            self._assert_parity(bounds, block_size, within=within)
+
+    def test_real_bounds_with_infinities(self):
+        """Relaxed tables carry +inf at undefined edges; the pivot
+        selection must cope with inf-valued ties."""
+        n, xi = 20, 2
+        dmat = np.round(walk_matrix(n, 14) * 2) / 2  # quantise: many ties
+        space = self_space(n, xi)
+        oracle = DenseGroundMatrix(dmat)
+        tables = BoundTables.build(space, oracle)
+        bounds = relaxed_subset_bounds(space, oracle, tables)
+        self._assert_parity(bounds, 8)
+
+    def test_blocks_grow_geometrically(self):
+        bounds = self._bounds_from_combined(np.arange(70.0))
+        sizes = [len(b) for b in bounds.order_blocks(block_size=8)]
+        assert sizes == [8, 16, 32, 14]
+
+    def test_empty_and_validation(self):
+        bounds = self._bounds_from_combined(np.empty(0))
+        assert list(bounds.order_blocks()) == []
+        with pytest.raises(ValueError):
+            list(bounds.order_blocks(block_size=0))
 
 
 class TestHelpers:

@@ -26,12 +26,14 @@ import repro
 from repro.core import MotifTimeout, discover_motif
 from repro.engine import (
     MotifEngine,
+    SharedArrayStore,
     SharedMatrixStore,
+    plan_strides,
     plan_tiles,
     shared_memory_available,
 )
 from repro.engine.engine import _fork_context
-from repro.engine.shm import attach_matrix
+from repro.engine.shm import attach_matrix, attach_slabs
 from repro.testing import random_walk, random_walk_points
 from repro.trajectory import Trajectory
 
@@ -136,6 +138,176 @@ class TestWarmWorkers:
 
 
 # ----------------------------------------------------------------------
+# Generic slab groups (the zero-copy bound pipeline's substrate)
+# ----------------------------------------------------------------------
+@needs_shm
+class TestSharedArrayStore:
+    def test_multi_slab_roundtrip_preserves_dtypes(self):
+        store = SharedArrayStore()
+        slabs = {
+            "i_idx": np.arange(7, dtype=np.int64),
+            "combined": np.linspace(0.0, 1.0, 7),
+            "cmin": np.array([np.inf, 0.5, 2.0]),
+        }
+        ref, created = store.publish("key", slabs)
+        assert created and ref is not None
+        assert {field for field, *_ in ref.fields} == set(slabs)
+        assert ref.nbytes == sum(a.nbytes for a in slabs.values())
+        attached = attach_slabs(ref)
+        for field, expected in slabs.items():
+            assert attached[field].dtype == expected.dtype
+            assert np.array_equal(attached[field], expected)
+        store.close()
+
+    def test_zero_size_slab_is_shareable(self):
+        """An empty search space still publishes (and attaches) fine."""
+        store = SharedArrayStore()
+        ref, created = store.publish(
+            "empty", {"i_idx": np.empty(0, dtype=np.int64), "x": np.ones(2)}
+        )
+        assert created
+        attached = attach_slabs(ref)
+        assert attached["i_idx"].shape == (0,)
+        assert np.array_equal(attached["x"], np.ones(2))
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# Zero-copy bound pipeline
+# ----------------------------------------------------------------------
+@needs_shm
+class TestSharedBounds:
+    def test_chunk_tasks_carry_bounds_by_reference(self):
+        """Every chunk-scan task resolves its bound arrays from a
+        shared segment: zero SubsetBounds bytes through the pipe."""
+        traj = random_walk(70, seed=11)
+        with MotifEngine(workers=2) as eng:
+            eng.discover(traj, min_length=4, algorithm="btm", cacheable=False)
+            eng.top_k(traj, min_length=4, k=3)
+            info = eng.transfer_info()
+        assert info["pool_tasks"] > 0
+        assert info["shm_bounds_refs"] == info["pool_tasks"]
+        assert info["bounds_bytes_pickled"] == 0
+        assert info["shm_bounds_segments"] >= 1
+        assert info["shm_bounds_bytes"] > 0
+
+    def test_bounds_segments_unlinked_on_close(self):
+        """Mirrors the dG lifecycle test: the bound segment dies with
+        the engine -- no shm leak from the bound pipeline."""
+        from multiprocessing import shared_memory
+
+        eng = MotifEngine(workers=2)
+        eng.discover(random_walk(60, seed=12), min_length=4,
+                     algorithm="btm", cacheable=False)
+        names = [ref.name for ref in eng._shm.refs()]
+        # dG and the bound slabs are distinct segments.
+        assert len(names) >= 2, names
+        eng.close()
+        assert len(eng._shm) == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_legacy_transfer_path_still_exact_and_counted(self):
+        """shared_bounds=False restores the PR 2 shape: per-chunk
+        slices through the pipe, counted by the new byte counter."""
+        traj = random_walk(60, seed=13)
+        ref = discover_motif(traj, min_length=4, algorithm="btm")
+        with MotifEngine(workers=2, shared_bounds=False) as eng:
+            got = eng.discover(traj, min_length=4, algorithm="btm",
+                               cacheable=False)
+            info = eng.transfer_info()
+        assert (got.distance, got.indices) == (ref.distance, ref.indices)
+        assert info["bounds_bytes_pickled"] > 0
+        assert info["shm_bounds_refs"] == 0
+        # dG itself still rides shared memory on this configuration.
+        assert info["dense_bytes_pickled"] == 0
+
+    def test_grouped_gtm_pool_path_pickles_no_dense_payloads(self):
+        """The parallel GTM grouping phase: exact answer, and neither
+        dG, bounds, nor group levels pickled into pool tasks."""
+        traj = random_walk(90, seed=14)
+        ref = discover_motif(traj, min_length=4, algorithm="gtm", tau=8)
+        with MotifEngine(workers=2) as eng:
+            got = eng.discover(traj, min_length=4, algorithm="gtm", tau=8,
+                               cacheable=False)
+            info = eng.transfer_info()
+        assert (got.distance, got.indices) == (ref.distance, ref.indices)
+        assert info["dense_bytes_pickled"] == 0
+        assert info["bounds_bytes_pickled"] == 0
+        assert info["group_level_bytes_pickled"] == 0
+        assert info["pool_tasks"] > 0
+
+
+class TestGroupingTaskFunctions:
+    """The sharded grouping kernels equal their serial counterparts --
+    with inline payloads (no shared memory required), which is also
+    the pool path on hosts without POSIX shm."""
+
+    @staticmethod
+    def _level_and_space():
+        from repro.core.grouping import GroupLevel
+        from repro.core.problem import self_space
+        from repro.distances.ground import ground_matrix
+
+        pts = random_walk_points(40, seed=15)
+        dmat = ground_matrix(pts, "euclidean")
+        space = self_space(40, 3)
+        return dmat, GroupLevel.from_matrix(dmat, 8, space.mode), space
+
+    def test_group_reduce_bands_stitch_to_from_matrix(self):
+        from repro.core.grouping import GroupLevel
+        from repro.engine.worker import GroupReduceTask, group_reduce
+
+        dmat, level, space = self._level_and_space()
+        bands = [
+            group_reduce(GroupReduceTask(tau=8, mode=space.mode,
+                                         u_start=u0, u_end=u1, matrix=dmat))
+            for u0, u1 in ((0, 2), (2, 4), (4, 5))
+        ]
+        stitched = GroupLevel.from_bands(bands, 40, 40, 8, space.mode)
+        assert np.array_equal(stitched.gmin, level.gmin)
+        assert np.array_equal(stitched.gmax, level.gmax)
+
+    def test_group_dfd_chunk_matches_serial_bounds(self):
+        from repro.core.grouping import feasible_group_pairs, group_dfd_bounds
+        from repro.engine.worker import GroupDFDTask, group_dfd_chunk
+
+        _, level, space = self._level_and_space()
+        pairs = feasible_group_pairs(level, space)
+        assert pairs
+        us = tuple(u for u, _ in pairs)
+        vs = tuple(v for _, v in pairs)
+        out = group_dfd_chunk(GroupDFDTask(
+            space=space, us=us, vs=vs, bsf=np.inf, level=level,
+        ))
+        for pos, (u, v) in enumerate(pairs):
+            glb, gub = group_dfd_bounds(level, space, u, v, bsf=np.inf)
+            assert out[pos, 0] == glb
+            assert out[pos, 1] == gub
+
+
+class TestPlanStrides:
+    def test_covers_every_position_exactly_once(self):
+        strides = plan_strides(17, 4)
+        seen = sorted(
+            pos
+            for start, stride in strides
+            for pos in range(start, 17, stride)
+        )
+        assert seen == list(range(17))
+
+    def test_more_chunks_than_positions(self):
+        strides = plan_strides(2, 8)
+        assert strides == [(0, 2), (1, 2)]
+
+    def test_empty_and_validation(self):
+        assert plan_strides(0, 4) == [(0, 1)]
+        with pytest.raises(ValueError):
+            plan_strides(5, 0)
+
+
+# ----------------------------------------------------------------------
 # Lifecycle: no leaked segments
 # ----------------------------------------------------------------------
 @needs_shm
@@ -217,6 +389,21 @@ class TestTimeoutHygiene:
                          cacheable=False)
         got = eng.discover(big, min_length=4, algorithm="btm", workers=2,
                            cacheable=False)
+        assert (got.distance, got.indices) == (ref.distance, ref.indices)
+
+    def test_grouped_gtm_respects_timeout(self):
+        """The parallel grouping phase honors the query budget too --
+        a timed-out GTM query raises promptly instead of finishing the
+        group-DFD precompute first."""
+        with MotifEngine(workers=2) as eng:
+            with pytest.raises(MotifTimeout):
+                eng.discover(self._tiny_distance_walk(), min_length=3,
+                             algorithm="gtm", tau=4, timeout=1e-6,
+                             cacheable=False)
+            traj = random_walk(60, seed=10)
+            ref = discover_motif(traj, min_length=4, algorithm="gtm")
+            got = eng.discover(traj, min_length=4, algorithm="gtm",
+                               cacheable=False)
         assert (got.distance, got.indices) == (ref.distance, ref.indices)
 
     def test_pool_survives_repeated_timeouts(self):

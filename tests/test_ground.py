@@ -192,6 +192,38 @@ class TestLazyOracle:
         with pytest.raises(TrajectoryError):
             LazyGroundMatrix(np.zeros((3, 2)), cache_rows=0)
 
+    def test_eviction_is_lru_not_fifo(self):
+        """Regression: the row cache was documented as LRU but evicted
+        FIFO (hits never refreshed recency).  A row re-read just before
+        the cache fills must survive the next eviction; the row that
+        has not been touched since insertion must be the victim."""
+        rng = np.random.default_rng(6)
+        pts = rng.normal(size=(10, 2))
+        lazy = LazyGroundMatrix(pts, metric="euclidean", cache_rows=2)
+        lazy.row(0)
+        lazy.row(1)
+        lazy.row(0)  # hit: row 0 becomes most recent
+        assert lazy.rows_computed == 2
+        lazy.row(2)  # cache full: must evict row 1 (LRU), not row 0
+        assert lazy.rows_computed == 3
+        lazy.row(0)  # still cached under LRU; FIFO would recompute
+        assert lazy.rows_computed == 3
+        lazy.row(1)  # evicted above -> recomputed
+        assert lazy.rows_computed == 4
+
+    def test_value_refreshes_nothing_but_row_hits_do(self):
+        """A chain of hits keeps a hot row alive through many inserts."""
+        rng = np.random.default_rng(7)
+        pts = rng.normal(size=(12, 2))
+        lazy = LazyGroundMatrix(pts, metric="euclidean", cache_rows=3)
+        lazy.row(0)
+        for i in range(1, 9):
+            lazy.row(i)
+            lazy.row(0)  # refresh the hot row between every insert
+        assert lazy.rows_computed == 9
+        lazy.row(0)
+        assert lazy.rows_computed == 9  # survived every eviction round
+
     def test_haversine_lazy(self):
         pts = np.array([[39.9, 116.4], [39.91, 116.41], [39.92, 116.39]])
         lazy = LazyGroundMatrix(pts, metric="haversine")
