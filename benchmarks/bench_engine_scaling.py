@@ -28,6 +28,7 @@ import platform
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.bench import bench_scale, save_table
@@ -35,6 +36,7 @@ from repro.bench.experiments import engine_scaling
 
 from repro.engine import MotifEngine, shared_memory_available
 from repro.bench import default_tau, default_xi, trajectory_for
+from repro.trajectory import Trajectory
 
 WORKERS = (1, 2)
 
@@ -154,6 +156,106 @@ def test_single_query_zero_copy_speedup(benchmark):
             f"zero-copy pipeline {speedup:.2f}x vs legacy "
             f"(legacy {t_legacy:.3f}s, zero-copy {t_zero:.3f}s)"
         )
+
+
+#: Indexed-join corpus shape per scale: clusters of small trajectories
+#: spread over a coarse grid, so most cross-cluster pairs are provably
+#: apart (the index's bread and butter) while within-cluster pairs
+#: still exercise the full cascade.
+INDEXED_JOIN_SHAPE = {
+    "smoke": (32, 2, 50),   # clusters, per cluster, points
+    "quick": (32, 2, 50),
+    "full": (40, 3, 80),
+}
+
+
+def _indexed_join_corpus(clusters: int, per_cluster: int, n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    corpus = []
+    for c in range(clusters):
+        centre = np.array([(c % 6) * 60.0, (c // 6) * 60.0])
+        for _ in range(per_cluster):
+            walk = rng.normal(size=(n, 2)).cumsum(axis=0) * 0.4
+            corpus.append(Trajectory(walk + centre + rng.uniform(-2, 2, 2)))
+    return corpus
+
+
+def test_indexed_join_speedup(benchmark):
+    """The PR 4 tentpole row: the corpus index must prune >= 50% of the
+    pair grid before the cascade's endpoint filter and beat the
+    unindexed tiled join at 2 workers (floor 1.2x), with zero
+    index-array pickling.  Recorded in ``BENCH_engine_scaling.json``."""
+    benchmark.group = "engine: indexed similarity join"
+    clusters, per_cluster, n = INDEXED_JOIN_SHAPE.get(
+        bench_scale(), (6, 6, 60)
+    )
+    corpus = _indexed_join_corpus(clusters, per_cluster, n, seed=0)
+    shifted = [
+        Trajectory(t.points + 0.5) for t in corpus
+    ]
+    theta = 6.0
+    repeats = 3
+    workers = max(WORKERS)
+
+    def measure(use_index: bool):
+        # Result cache off so every repeat pays the real join; the
+        # oracle/index caches stay on (the serving configuration).
+        with MotifEngine(workers=workers, result_cache_size=0) as eng:
+            eng.join(corpus, shifted, theta, index=use_index)  # warm-up
+            times = []
+            for _ in range(repeats):
+                started = time.perf_counter()
+                matches, stats = eng.join(
+                    corpus, shifted, theta, index=use_index
+                )
+                times.append(time.perf_counter() - started)
+            return min(times), matches, stats, eng.transfer_info()
+
+    def run():
+        t_plain, m_plain, s_plain, info_plain = measure(False)
+        t_index, m_index, s_index, info_index = measure(True)
+        return t_plain, m_plain, s_plain, info_plain, \
+            t_index, m_index, s_index, info_index
+
+    (t_plain, m_plain, s_plain, info_plain,
+     t_index, m_index, s_index, info_index) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Identical matches -- the index only removes provably apart pairs.
+    assert m_index == m_plain
+    pruned_fraction = s_index.pruned_index / s_index.pairs_total
+    speedup = t_plain / max(t_index, 1e-9)
+    _update_bench_json("indexed_join", {
+        "clusters": clusters,
+        "per_cluster": per_cluster,
+        "n": n,
+        "theta": theta,
+        "workers": workers,
+        "repeats": repeats,
+        "pairs_total": s_index.pairs_total,
+        "pruned_by_index": s_index.pruned_index,
+        "pruned_fraction": pruned_fraction,
+        "matches": s_index.matches,
+        "unindexed_seconds": t_plain,
+        "indexed_seconds": t_index,
+        "speedup": speedup,
+        "index_details": s_index.details.get("index", {}),
+        "indexed_transfer": info_index,
+    })
+    # Acceptance floors; future PRs should beat them.
+    assert pruned_fraction >= 0.5, (
+        f"index pruned only {pruned_fraction:.1%} of "
+        f"{s_index.pairs_total} pairs"
+    )
+    assert speedup >= 1.2, (
+        f"indexed join {speedup:.2f}x vs unindexed "
+        f"(unindexed {t_plain:.3f}s, indexed {t_index:.3f}s)"
+    )
+    if shared_memory_available():
+        # Candidate pairs and corpus points rode shared segments.
+        assert info_index["index_bytes_pickled"] == 0, info_index
+        assert info_index["shm_index_segments"] >= 1, info_index
+        assert info_index["shm_index_refs"] > 0, info_index
 
 
 def test_engine_answers_match_serial(benchmark):

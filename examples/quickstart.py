@@ -25,7 +25,7 @@ result = discover_motif(trajectory, min_length=20, algorithm="gtm")
 i, ie, j, je = result.indices
 print(f"motif:       S[{i}..{ie}]  ~  S[{j}..{je}]")
 print(f"DFD:         {result.distance:.4f}")
-print(f"planted at:  S[100..139] ~ S[300..339]")
+print("planted at:  S[100..139] ~ S[300..339]")
 print()
 print(result.stats.summary())
 

@@ -11,8 +11,6 @@ Run with::
     python examples/streaming_monitor.py
 """
 
-import numpy as np
-
 from repro.datasets import make_trajectory
 from repro.extensions import StreamingMotif
 

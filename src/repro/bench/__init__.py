@@ -14,6 +14,7 @@ from .harness import (
     run_motif_averaged,
     save_table,
     timed,
+    timed_best,
     trajectory_for,
 )
 from .reporting import Table
@@ -36,5 +37,6 @@ __all__ = [
     "run_motif_averaged",
     "save_table",
     "timed",
+    "timed_best",
     "trajectory_for",
 ]

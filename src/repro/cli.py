@@ -135,40 +135,53 @@ def _collection_for_join(paths, dataset, count, n, seed_base):
 def _cmd_join(args: argparse.Namespace) -> int:
     if bool(args.left) != bool(args.right):
         raise SystemExit("provide both --left and --right (or neither, for synthetic)")
+    if (args.theta is None) == (args.top_k is None):
+        raise SystemExit("provide exactly one of --theta or --top-k")
     left = _collection_for_join(args.left, args.dataset, args.count, args.n, args.seed)
     right = _collection_for_join(
         args.right, args.dataset, args.count, args.n, args.seed + 1000
     )
+    workers = getattr(args, "workers", 1)
     with _engine_for(args) as engine:
+        if args.top_k is not None:
+            ranked = engine.join_top_k(
+                left, right, k=args.top_k, workers=workers, index=args.index
+            )
+            print(f"{len(ranked)} closest pair(s) by DFD")
+            for rank, (dist, (a, b)) in enumerate(ranked, start=1):
+                print(f"  #{rank}: left[{a}] ~ right[{b}]  DFD = {dist:.6g}")
+            return 0
         matches, stats = engine.join(
-            left, right, theta=args.theta, workers=getattr(args, "workers", 1)
+            left, right, theta=args.theta, workers=workers, index=args.index
         )
     print(f"{len(matches)} matching pair(s) at theta={args.theta:g} "
           f"({stats.pairs_total} pairs examined)")
     for a, b in matches:
         print(f"  left[{a}] ~ right[{b}]")
     if args.stats:
-        print(f"pruned: endpoint={stats.pruned_endpoint} bbox={stats.pruned_bbox} "
+        print(f"pruned: index={stats.pruned_index} "
+              f"endpoint={stats.pruned_endpoint} bbox={stats.pruned_bbox} "
               f"hausdorff={stats.pruned_hausdorff}; exact decisions={stats.decisions}")
     return 0
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    from .extensions import cluster_subtrajectories
-
     if args.input:
         traj = _load_input(args.input)
     else:
         traj = get_dataset(args.dataset or "figure_eight", seed=args.seed).generate(
             args.n
         )
-    clusters = cluster_subtrajectories(
-        traj,
-        window_length=args.window,
-        theta=args.theta,
-        stride=args.stride,
-        min_cluster_size=args.min_size,
-    )
+    with _engine_for(args) as engine:
+        clusters = engine.cluster(
+            traj,
+            window_length=args.window,
+            theta=args.theta,
+            stride=args.stride,
+            min_cluster_size=args.min_size,
+            workers=getattr(args, "workers", 1),
+            index=args.index,
+        )
     if not clusters:
         print("no clusters at this threshold")
         return 0
@@ -212,7 +225,7 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"repro {__version__} -- motif discovery with discrete Frechet distance")
     print("reproduction of Tang, Yiu, Mouratidis, Wang (EDBT 2017)")
-    print(f"algorithms: brute_dp, btm, gtm, gtm_star (engine: --workers N)")
+    print("algorithms: brute_dp, btm, gtm, gtm_star (engine: --workers N)")
     print(f"datasets:   {', '.join(dataset_names())}")
     print(f"experiments: {', '.join(EXPERIMENTS)}")
     return 0
@@ -275,9 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=120,
                    help="synthetic trajectory length")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--theta", type=float, required=True, help="DFD threshold")
+    p.add_argument("--theta", type=float, help="DFD threshold")
+    p.add_argument("--top-k", type=int,
+                   help="report the k closest pairs instead of a threshold join")
     p.add_argument("--workers", type=int, default=1,
-                   help="shard the pair grid across N worker processes")
+                   help="shard the candidate pairs across N worker processes")
+    p.add_argument("--index", action="store_true",
+                   help="prune candidate pairs with the corpus proximity "
+                        "index before the filter cascade (same matches)")
     p.add_argument("--stats", action="store_true",
                    help="print filter-cascade statistics")
     p.set_defaults(func=_cmd_join)
@@ -291,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta", type=float, required=True, help="DFD threshold")
     p.add_argument("--stride", type=int, default=1)
     p.add_argument("--min-size", type=int, default=2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the window-pair cascade across N worker processes")
+    p.add_argument("--index", action="store_true",
+                   help="prune window pairs with the corpus proximity index")
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("bench", help="run experiment(s) and print tables")

@@ -35,6 +35,18 @@ class GroundMetric:
     #: Registry key, e.g. ``"haversine"``.
     name: str = "abstract"
 
+    #: True when the metric is a coordinatewise-monotone function of the
+    #: per-axis absolute differences: ``d(p, q) = g(|p_1 - q_1|, ...,
+    #: |p_d - q_d|)`` with ``g`` non-decreasing in every argument.  Two
+    #: consequences the filters rely on: every per-axis difference
+    #: lower-bounds the distance (endpoint-grid bucketing), and the
+    #: axis-wise closest-point construction between two boxes attains
+    #: the minimum box-to-box distance exactly (the bbox filter in
+    #: :func:`repro.extensions.join.similarity_join` and the box bound
+    #: of :class:`repro.index.CorpusIndex`).  Euclidean and Chebyshev
+    #: qualify; haversine does not (degrees in, metres out).
+    coordinate_monotone: bool = False
+
     def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """All-pairs distances: ``(n, d) x (m, d) -> (n, m)``."""
         raise NotImplementedError
@@ -86,6 +98,7 @@ class EuclideanMetric(GroundMetric):
     """Planar Euclidean distance on the first ``d`` coordinates."""
 
     name = "euclidean"
+    coordinate_monotone = True
 
     def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.float64)
@@ -164,6 +177,7 @@ class ChebyshevMetric(GroundMetric):
     """L-infinity distance; useful for grid-world tests."""
 
     name = "chebyshev"
+    coordinate_monotone = True
 
     def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         a = np.asarray(a, dtype=np.float64)

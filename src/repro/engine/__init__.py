@@ -5,15 +5,27 @@ algorithms in :mod:`repro.core`: it caches ground oracles and results
 by content fingerprint, partitions single queries' candidate start
 pairs across a process pool with best-so-far sharing, fans corpus
 batches out one query per worker, scans top-k chunks against a shared
-k-th-best threshold, and shards similarity joins over a tile grid --
-with dense ground matrices riding named shared-memory segments
-(:mod:`repro.engine.shm`) instead of the pool pipe, and answers
-byte-identical to the serial algorithms (see ``tests/test_engine.py``
-and ``tests/test_parity_randomized.py``).
+k-th-best threshold, and shards similarity joins over candidate-pair
+tiles (optionally pruned by a :class:`repro.index.CorpusIndex`) --
+with dense ground matrices, bound tables and corpus transport arrays
+riding named shared-memory segments (:mod:`repro.engine.shm`) instead
+of the pool pipe, and answers byte-identical to the serial algorithms
+(see ``tests/test_engine.py`` and ``tests/test_parity_randomized.py``).
+
+The engine itself is layered (PR 4): :mod:`repro.engine.planner` is
+the pure query-planning layer (keys, parallelism decisions, partition
+layout), :mod:`repro.engine.oracles` the cache layer
+(:class:`OracleManager`), :mod:`repro.engine.executor` the execution
+backend (:class:`EngineExecutor`: pools, dispatch, shm publication,
+transfer accounting) and :mod:`repro.engine.corpus` the
+collection-level workload orchestration; :mod:`repro.engine.engine`
+is a thin facade over the four.
 """
 
 from .cache import LRUCache, fingerprint_array, fingerprint_points
 from .engine import MatrixMotifResult, MotifEngine, default_engine
+from .executor import EngineExecutor, fork_context
+from .oracles import OracleManager
 from .partition import (
     deal_indices,
     plan_chunks,
@@ -30,9 +42,11 @@ from .shm import (
 )
 
 __all__ = [
+    "EngineExecutor",
     "LRUCache",
     "MatrixMotifResult",
     "MotifEngine",
+    "OracleManager",
     "SharedArrayRef",
     "SharedArrayStore",
     "SharedMatrixRef",
@@ -41,6 +55,7 @@ __all__ = [
     "default_engine",
     "fingerprint_array",
     "fingerprint_points",
+    "fork_context",
     "plan_chunks",
     "plan_strides",
     "plan_tiles",

@@ -1,0 +1,532 @@
+"""Corpus workload orchestration: indexed joins, top-k joins, clustering.
+
+The :class:`~repro.engine.MotifEngine` facade delegates its
+collection-level workloads here.  Each workload follows one shape:
+
+1. the **planner** derives the content-addressed result key and the
+   candidate layout;
+2. the **corpus index** (:class:`repro.index.CorpusIndex`) generates
+   the candidate pairs the bounds cannot prove apart (indexed paths),
+   or the full tile grid stands in (unindexed paths);
+3. the **executor** publishes the index's transport arrays once and
+   maps candidate-pair chunks across the pool -- every task carries
+   refs plus a ``(start, stride)`` share, so nothing corpus-sized is
+   pickled (``transfer_info()``'s ``index_bytes_pickled`` stays 0);
+4. the per-chunk answers merge into the canonical serial result
+   (matches re-sort to left-major order, cascade statistics fold
+   additively, top-k heaps merge under the ``(distance, (a, b))``
+   total order).
+
+Indexed answers equal unindexed answers exactly -- the index's bounds
+are admissible -- which ``tests/test_parity_randomized.py`` sweeps
+across worker counts.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.motif import _as_trajectory
+from ..distances.ground import get_metric
+from ..errors import ReproError
+from ..extensions.join import (
+    _points_getter,
+    join_pairs,
+    join_top_k,
+    merge_join_stats,
+    merge_join_topk,
+    scan_join_topk,
+    similarity_join,
+)
+from ..index import CorpusIndex
+from . import planner
+from . import worker as _worker
+from .cache import fingerprint_points, metric_key
+
+
+def _points_list(items) -> List[np.ndarray]:
+    """Raw point arrays of a collection (inline task payloads)."""
+    return [
+        np.asarray(getattr(t, "points", t), dtype=np.float64) for t in items
+    ]
+
+
+def corpus_index_for(engine, items, metric) -> Tuple[CorpusIndex, tuple]:
+    """A (cached) :class:`CorpusIndex` over ``items`` under ``metric``.
+
+    Indexes are pure functions of (content, metric), so they ride the
+    engine's tables cache -- a serving workload joining the same
+    corpora repeatedly builds the summaries once.
+    """
+    fps = planner.corpus_fingerprint(items)
+    key = ("cindex", fps, metric_key(metric))
+    return (
+        engine._oracles.tables.get_or_build(
+            key, lambda: CorpusIndex(items, metric)
+        ),
+        fps,
+    )
+
+
+def _share_corpus(engine, index: CorpusIndex, fps: tuple):
+    """Publish one corpus' transport slabs; None -> ship inline."""
+    return engine._exec.share_index(
+        planner.corpus_slab_key(fps), index.transport_slabs()
+    )
+
+
+def _corpus_payloads(left_ref, right_ref, left_pts, right_pts, self_join):
+    """The corpus transport fields of one candidate-pair task."""
+    if left_ref is not None and (right_ref is not None or self_join):
+        return dict(left_ref=left_ref,
+                    right_ref=left_ref if self_join else right_ref)
+    return dict(left_points=left_pts,
+                right_points=None if self_join else right_pts)
+
+
+# ----------------------------------------------------------------------
+# Similarity join
+# ----------------------------------------------------------------------
+def run_join(engine, left, right, theta, metric, workers, use_index):
+    """Exact DFD similarity join; indexed and/or sharded.
+
+    Unindexed: the PR 2 tile grid over both collections.  Indexed: the
+    corpus index generates candidate pairs, the executor deals them
+    round-robin into chunks whose tasks carry only refs, and the
+    per-chunk cascades fold into statistics identical to the serial
+    ``similarity_join(index=True)`` -- for every worker count.
+    """
+    if theta < 0:  # one validation for both paths, same exception type
+        raise ValueError("theta must be non-negative")
+    resolved = get_metric(metric)
+    key = planner.join_result_key(left, right, resolved, theta, use_index)
+
+    def as_answer(out):
+        # Copies: a caller mutating the matches list or stats must
+        # not poison the cached canonical answer.
+        matches, stats = out
+        return list(matches), copy.deepcopy(stats)
+
+    cached = engine._oracles.result(key)
+    if cached is not None:
+        return as_answer(cached)
+    if use_index and len(left) and len(right):
+        out = _indexed_join(engine, left, right, theta, metric, resolved,
+                            workers)
+    else:
+        out = _tiled_join(engine, left, right, theta, metric, workers)
+    engine._oracles.put_result(key, out)
+    return as_answer(out)
+
+
+def _tiled_join(engine, left, right, theta, metric, workers):
+    """The unindexed path: shard the full pair grid into tiles."""
+    exec_ = engine._exec
+    plan = planner.plan_join(
+        len(left), len(right),
+        workers=workers,
+        chunks_per_worker=exec_.chunks_per_worker,
+        can_shard=exec_.can_shard(workers),
+    )
+    if not plan.sharded:
+        return similarity_join(left, right, theta, metric)
+    tasks = [
+        _worker.JoinTask(
+            left=[left[i] for i in left_idx],
+            right=[right[i] for i in right_idx],
+            theta=theta,
+            metric=metric,
+            left_offset=int(left_idx[0]),
+            right_offset=int(right_idx[0]),
+        )
+        for left_idx, right_idx in plan.tiles
+    ]
+    with exec_.scan_lock:  # pool use is engine-wide exclusive
+        parts = exec_.map_tasks(tasks, workers, _worker.join_tile)
+    matches: List[Tuple[int, int]] = []
+    tile_stats = []
+    for part_matches, part_stats in parts:
+        matches.extend(part_matches)
+        tile_stats.append(part_stats)
+    matches.sort()  # serial order: left-major, then right
+    return matches, merge_join_stats(tile_stats)
+
+
+def _indexed_join(engine, left, right, theta, metric, resolved, workers):
+    """The indexed path: candidate pairs -> sharded pair cascade."""
+    exec_ = engine._exec
+    index_left, fps_left = corpus_index_for(engine, left, resolved)
+    index_right, fps_right = corpus_index_for(engine, right, resolved)
+    self_join = fps_left == fps_right
+    # Candidate sets are pure functions of (corpora, metric, theta);
+    # serving workloads re-join the same collections, so they ride the
+    # tables cache next to the indexes themselves.
+    pairs, index_stats = engine._oracles.tables.get_or_build(
+        ("cpairs", fps_left, fps_right, metric_key(resolved), float(theta)),
+        lambda: index_left.candidate_pairs(index_right, theta),
+    )
+    n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
+    if not exec_.can_shard(workers) or len(pairs) < 2 or n_chunks < 2:
+        matches, stats = join_pairs(
+            _points_getter(left), _points_getter(right),
+            pairs, theta, resolved,
+        )
+    else:
+        with exec_.scan_lock:
+            exec_.shm.begin_batch()
+            left_ref = _share_corpus(engine, index_left, fps_left)
+            right_ref = (
+                left_ref if self_join
+                else _share_corpus(engine, index_right, fps_right)
+            )
+            pairs_ref = exec_.share_index(
+                planner.pairs_slab_key(fps_left, fps_right, resolved, theta),
+                {"pairs": pairs},
+            )
+            corpus_payload = _corpus_payloads(
+                left_ref, right_ref,
+                _points_list(left), _points_list(right), self_join,
+            )
+            tasks = [
+                _worker.PairsJoinTask(
+                    theta=theta,
+                    metric=metric,
+                    pairs=None if pairs_ref is not None
+                    else pairs[start::stride],
+                    pairs_ref=pairs_ref,
+                    pair_start=start if pairs_ref is not None else 0,
+                    pair_stride=stride if pairs_ref is not None else 1,
+                    **corpus_payload,
+                )
+                for start, stride in planner.plan_pair_strides(
+                    len(pairs), workers, exec_.chunks_per_worker
+                )
+            ]
+            parts = exec_.map_tasks(tasks, workers, _worker.pairs_join_tile)
+            exec_.shm.trim()
+        matches = []
+        tile_stats = []
+        for part_matches, part_stats in parts:
+            matches.extend(part_matches)
+            tile_stats.append(part_stats)
+        matches.sort()
+        stats = merge_join_stats(tile_stats)
+    stats.pairs_total = len(left) * len(right)
+    stats.pruned_index = stats.pairs_total - len(pairs)
+    stats.details["index"] = index_stats.as_dict()
+    return matches, stats
+
+
+# ----------------------------------------------------------------------
+# Top-k closest pairs
+# ----------------------------------------------------------------------
+def run_join_top_k(engine, left, right, k, metric, workers, use_index):
+    """The ``k`` closest (left, right) pairs by exact DFD, ascending.
+
+    The answer is canonical under ``(distance, (a, b))``, so the
+    result cache is shared by every path.  Indexed scans consume the
+    pair grid in ascending index-lower-bound order and stop at the
+    first bound beyond the evolving k-th best; sharded scans exchange
+    the k-th best through the engine's shared threshold and merge
+    per-chunk heaps exactly.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    resolved = get_metric(metric)
+    key = planner.join_topk_result_key(left, right, resolved, k)
+    cached = engine._oracles.result(key)
+    if cached is not None:
+        return list(cached)
+    exec_ = engine._exec
+    pairs = lbs = None
+    use_index = use_index and bool(len(left)) and bool(len(right))
+    if use_index:
+        index_left, _ = corpus_index_for(engine, left, resolved)
+        index_right, _ = corpus_index_for(engine, right, resolved)
+        pairs, lbs = index_left.ordered_pairs(index_right)
+    n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
+    n_pairs = len(left) * len(right)
+    if not exec_.can_shard(workers) or n_pairs < 2 or n_chunks < 2:
+        if use_index:
+            entries = scan_join_topk(
+                _points_getter(left), _points_getter(right),
+                pairs, k, resolved, bounds=lbs, ordered=True,
+            )
+        else:
+            entries = join_top_k(left, right, k, resolved)
+    else:
+        if pairs is None:
+            n_right = len(right)
+            a_idx, b_idx = np.divmod(
+                np.arange(n_pairs, dtype=np.int64), n_right
+            )
+            pairs = np.stack([a_idx, b_idx], axis=1)
+        entries = _sharded_join_topk(
+            engine, left, right, pairs, lbs, k, metric, resolved, workers
+        )
+    entries = list(entries)
+    engine._oracles.put_result(key, entries)
+    return list(entries)
+
+
+def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
+                       workers):
+    """Deal the (ordered) pair list into chunks sharing the k-th best."""
+    exec_ = engine._exec
+    index_left, fps_left = corpus_index_for(engine, left, resolved)
+    index_right, fps_right = corpus_index_for(engine, right, resolved)
+    self_join = fps_left == fps_right
+    with exec_.scan_lock:
+        exec_.shm.begin_batch()
+        left_ref = _share_corpus(engine, index_left, fps_left)
+        right_ref = (
+            left_ref if self_join
+            else _share_corpus(engine, index_right, fps_right)
+        )
+        slabs = {"pairs": pairs}
+        if lbs is not None:
+            slabs["lbs"] = lbs
+        pairs_ref = exec_.share_index(
+            planner.topk_pairs_slab_key(
+                fps_left, fps_right, resolved, lbs is not None
+            ),
+            slabs,
+        )
+        corpus_payload = _corpus_payloads(
+            left_ref, right_ref, _points_list(left), _points_list(right),
+            self_join,
+        )
+        tasks = [
+            _worker.JoinTopKChunkTask(
+                k=int(k),
+                metric=metric,
+                pairs=None if pairs_ref is not None else pairs[start::stride],
+                pairs_ref=pairs_ref,
+                pair_start=start if pairs_ref is not None else 0,
+                pair_stride=stride if pairs_ref is not None else 1,
+                pair_lbs=(
+                    None if pairs_ref is not None or lbs is None
+                    else lbs[start::stride]
+                ),
+                sync_every=exec_.bsf_sync_every,
+                **corpus_payload,
+            )
+            for start, stride in planner.plan_pair_strides(
+                len(pairs), workers, exec_.chunks_per_worker
+            )
+        ]
+
+        def inline(tasks):
+            # Thread the k-th best between chunks the way the shared
+            # value does across processes.
+            out = []
+            kth_carry = math.inf
+            for task in tasks:
+                entries = _worker.join_topk_chunk(
+                    dataclasses.replace(
+                        task, seed_kth=min(task.seed_kth, kth_carry)
+                    )
+                )
+                if len(entries) == task.k:
+                    kth_carry = min(kth_carry, entries[-1][0])
+                out.append(entries)
+            return out
+
+        parts = exec_.dispatch_chunks(
+            tasks, workers, _worker.join_topk_chunk, inline
+        )
+        exec_.shm.trim()
+    return merge_join_topk(parts, k)
+
+
+# ----------------------------------------------------------------------
+# Window clustering
+# ----------------------------------------------------------------------
+def run_cluster(engine, trajectory, *, window_length, theta, stride,
+                min_cluster_size, metric, workers, use_index):
+    """Window clustering through the engine's tiled candidate path.
+
+    The serial extension enumerates all O(W^2) non-overlapping window
+    pairs in Python; here the same pair list is (optionally) pruned by
+    a window-level :class:`CorpusIndex` and cascaded across the pool in
+    candidate-pair chunks, with the one trajectory's windows riding a
+    single published transport segment.  The surviving edge set is
+    identical (the bounds are admissible and the cascade exact), and
+    edges union in sorted order -- the exact union-find evolution of
+    the serial loop -- so the clusters are too.
+    """
+    from ..extensions.clustering import (
+        clusters_from_edges,
+        cluster_subtrajectories,
+        window_pair_grid,
+        window_starts,
+    )
+
+    traj = _as_trajectory(trajectory)
+    resolved = get_metric(metric, crs=traj.crs)
+    exec_ = engine._exec
+    if workers < 2 and not use_index:
+        return cluster_subtrajectories(
+            traj, window_length=window_length, theta=theta, stride=stride,
+            min_cluster_size=min_cluster_size, metric=resolved,
+        )
+    starts = window_starts(traj.n, window_length, stride, theta)
+    windows = [traj.points[s:s + window_length] for s in starts]
+    pair_grid = window_pair_grid(starts, window_length)
+    if not len(pair_grid):
+        # No candidate edges, but singleton components still exist
+        # (min_cluster_size=1 reports every window) -- same as serial.
+        return clusters_from_edges(starts, [], window_length,
+                                   min_cluster_size)
+    if use_index:
+        fp = (
+            "cwindex", fingerprint_points(traj), int(window_length),
+            int(stride), metric_key(resolved),
+        )
+        windex = engine._oracles.tables.get_or_build(
+            fp, lambda: CorpusIndex(windows, resolved)
+        )
+        candidates, _index_stats = windex.candidate_pairs(
+            None, theta, pairs=pair_grid
+        )
+    else:
+        windex = CorpusIndex(windows, resolved)
+        candidates = pair_grid
+    n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
+    if not exec_.can_shard(workers) or len(candidates) < 2 or n_chunks < 2:
+        edges, _ = join_pairs(
+            _points_getter(windows), _points_getter(windows),
+            candidates, theta, resolved,
+        )
+    else:
+        fps = ("windows", fingerprint_points(traj), int(window_length),
+               int(stride))
+        with exec_.scan_lock:
+            exec_.shm.begin_batch()
+            corpus_ref = exec_.share_index(
+                planner.corpus_slab_key(fps), windex.transport_slabs()
+            )
+            pairs_ref = exec_.share_index(
+                planner.pairs_slab_key(fps + (bool(use_index),),
+                                       fps, resolved, theta),
+                {"pairs": candidates},
+            )
+            tasks = [
+                _worker.PairsJoinTask(
+                    theta=theta,
+                    metric=resolved,
+                    pairs=None if pairs_ref is not None
+                    else candidates[start::stride_],
+                    pairs_ref=pairs_ref,
+                    pair_start=start if pairs_ref is not None else 0,
+                    pair_stride=stride_ if pairs_ref is not None else 1,
+                    left_points=None if corpus_ref is not None else windows,
+                    left_ref=corpus_ref,
+                )
+                for start, stride_ in planner.plan_pair_strides(
+                    len(candidates), workers, exec_.chunks_per_worker
+                )
+            ]
+            parts = exec_.map_tasks(tasks, workers, _worker.pairs_join_tile)
+            exec_.shm.trim()
+        edges = []
+        for part_matches, _part_stats in parts:
+            edges.extend(part_matches)
+    edges.sort()  # serial discovery order -> identical union-find state
+    return clusters_from_edges(starts, edges, window_length, min_cluster_size)
+
+
+# ----------------------------------------------------------------------
+# Corpus batches (discover_many transport + warm oracles)
+# ----------------------------------------------------------------------
+def warm_refs_for(engine, pending, parsed, metric, algorithm, options):
+    """Shared ``dG`` handles for a batch of corpus queries.
+
+    A query rides the warm path only when that is genuinely cheaper
+    than letting its worker build the oracle itself:
+
+    * its dense oracle is *already* in the parent's cache (the serving
+      case -- prior discover/top-k/join calls paid for it), or
+    * the same trajectory (pair) appears more than once among the
+      pending queries, so one parent-side build amortises across
+      workers -- but never for lazy-oracle algorithms (GTM*), whose
+      O(n)-space contract a forced dense O(n^2) build would break.
+
+    Cold unique queries return ``None`` and keep the old behavior
+    (each worker computes its own ``dG`` concurrently), so a cold
+    corpus sweep is never serialised behind the parent.
+    """
+    from collections import Counter
+
+    from ..core.motif import _make_algorithm
+    from ..core.gtm_star import GTMStar
+
+    if not engine._exec.use_shared_memory():
+        return [None] * len(pending)
+    probe = algorithm
+    if isinstance(algorithm, str):
+        probe = _make_algorithm(algorithm, **options)
+    lazy = isinstance(probe, GTMStar)
+    keys = []
+    for idx in pending:
+        traj_a, traj_b = parsed[idx]
+        resolved = get_metric(metric, crs=traj_a.crs)
+        keys.append(planner.dense_oracle_key(traj_a, traj_b, resolved))
+    counts = Counter(keys)
+    refs = []
+    built: dict = {}
+    for idx, key in zip(pending, keys):
+        dense = engine._oracles.oracles.get(key) or built.get(key)
+        if dense is None:
+            if lazy or counts[key] < 2:
+                refs.append(None)
+                continue
+            traj_a, traj_b = parsed[idx]
+            resolved = get_metric(metric, crs=traj_a.crs)
+            dense, key = engine._oracles.dense_oracle(traj_a, traj_b, resolved)
+            built[key] = dense
+        refs.append(engine._exec.share_dense(key, dense))
+    return refs
+
+
+def batch_transport(engine, pending, parsed):
+    """Publish a batch's trajectories once; per-query transport specs.
+
+    Returns ``(corpus_ref, specs)`` where ``specs[i]`` is the
+    ``(a_spec, b_spec)`` pair of ``pending[i]`` -- or ``(None, None)``
+    when shared memory is unavailable and tasks must carry the
+    trajectories inline (today's path).
+    """
+    inline = (None, [(None, None)] * len(pending))
+    if not engine._exec.use_shared_memory():
+        return inline
+    items: List = []
+    specs = []
+    for idx in pending:
+        traj_a, traj_b = parsed[idx]
+        a_spec = (len(items), traj_a.crs, traj_a.trajectory_id)
+        items.append(traj_a)
+        b_spec = None
+        if traj_b is not None:
+            b_spec = (len(items), traj_b.crs, traj_b.trajectory_id)
+            items.append(traj_b)
+        specs.append((a_spec, b_spec))
+    try:
+        # Transport is best-effort: a batch the index cannot hold as
+        # one corpus (e.g. mixed dimensionality -- every query is
+        # independent, so that is a legal batch) ships inline instead.
+        index = CorpusIndex(items, "euclidean")
+    except ReproError:
+        return inline
+    ref = engine._exec.share_index(
+        planner.corpus_slab_key(planner.corpus_fingerprint(items)),
+        index.transport_slabs(),
+    )
+    if ref is None:
+        return inline
+    return ref, specs

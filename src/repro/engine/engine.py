@@ -4,88 +4,57 @@ The serial algorithms in :mod:`repro.core` answer one query on one
 trajectory.  Production workloads look different: the same trajectories
 are queried repeatedly (serving), many trajectories are queried at once
 (corpus analytics), and multi-core hosts sit idle while a single
-best-first loop runs.  The engine closes that gap with three layers:
+best-first loop runs.  The engine closes that gap, and since PR 4 it is
+layered -- this module is only the thin public facade gluing three
+collaborators together:
 
-1. **Caching** -- ground matrices, lazy oracles, bound tables and whole
-   results are cached by content fingerprint (:mod:`repro.engine.cache`),
-   so repeated discover/top-k/join calls stop recomputing ``dG``.
-2. **Partitioned search** -- for one query with ``workers > 1``, the
-   candidate start pairs are dealt round-robin from the bound-sorted
-   order into chunks (:mod:`repro.engine.partition`) and scanned across
-   a process pool with best-so-far sharing (:mod:`repro.engine.worker`).
-   The scan establishes the exact motif distance ``d*``; a serial
-   *witness-resolution* re-run seeded with ``d*`` (maximal pruning, so
-   it expands only the irreducible ``lb <= d*`` frontier) then returns
-   the serial algorithm's exact witness -- identical indices and
-   distance, even under ties.  Parity is enforced by
-   ``tests/test_engine.py``.
-3. **Batched APIs** -- :meth:`MotifEngine.discover_many` runs whole
-   queries in parallel workers (embarrassingly parallel, each worker
-   executing the unmodified serial code) and deduplicates identical
-   queries within a batch.
-4. **Warm shared-memory workers** -- dense ground matrices are
-   published once into named shared-memory segments
-   (:mod:`repro.engine.shm`) and every task carries a tiny
-   by-reference handle, so no chunk pickles the O(n^2) ``dG`` through
-   the pool pipe and corpus workers stop recomputing ``dG`` for
-   repeated trajectories.  :meth:`transfer_info` exposes the
-   accounting; :meth:`close` unlinks the segments.
-5. **Parallel corpus workloads** -- :meth:`MotifEngine.top_k` scans
-   bound-ordered chunks against a shared k-th-best threshold and
-   merges per-chunk heaps into the exact serial ranking, and
-   :meth:`MotifEngine.join` shards the pair grid of *both* collections
-   into tiles with the filter cascade applied per tile.
+* :mod:`repro.engine.planner` -- pure query planning: item parsing,
+  content-addressed cache keys, parallelism decisions,
+  chunk/stride/tile layout.  Unit-testable without a pool.
+* :mod:`repro.engine.oracles` -- the cache layer
+  (:class:`~repro.engine.oracles.OracleManager`): dense/lazy/matrix
+  ground oracles, bound tables, group levels and whole results, all
+  keyed by content fingerprint.
+* :mod:`repro.engine.executor` -- the execution backend
+  (:class:`~repro.engine.executor.EngineExecutor`): pool lifecycle,
+  chunk/tile dispatch with inline fallbacks, shared-memory slab
+  publication and the transfer accounting behind
+  :meth:`transfer_info`.
+* :mod:`repro.engine.corpus` -- collection-level workloads (similarity
+  join, top-k closest pairs, window clustering, batch transport)
+  composed from the three layers plus the corpus proximity index
+  (:class:`repro.index.CorpusIndex`).
 
 The engine is exact by construction: every answer either comes from the
 serial algorithm directly, from a resolution pass of that same serial
 algorithm seeded with a proven threshold, or (top-k/join) from an
-order-independent merge of exhaustive per-partition answers.
+order-independent merge of exhaustive per-partition answers.  With
+``index=True`` the corpus workloads additionally consult admissible
+DFD lower bounds before the filter cascade -- pruned pairs provably
+cannot match, so indexed answers equal unindexed answers exactly
+(swept by ``tests/test_parity_randomized.py``).
 """
 
 from __future__ import annotations
 
 import copy
-import dataclasses
 import math
-import threading
 import time
-from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.bounds import (
-    BoundTables,
-    relaxed_subset_bounds,
-    relaxed_subset_bounds_for_pairs,
-)
-from ..core.brute import MotifTimeout
-from ..core.grouping import (
-    GroupBoundTables,
-    GroupLevel,
-    children_pairs,
-    feasible_group_pairs,
-    group_dfd_bounds,
-    pattern_bounds_for_pairs,
-)
-from ..core.gtm import GTM, expand_pairs_to_subsets
-from ..core.gtm_star import GTMStar
+from ..core.gtm import GTM
 from ..core.motif import MotifResult, _as_trajectory, _make_algorithm
-from ..core.problem import SearchSpace, cross_space, self_space
 from ..core.stats import PhaseTimer, SearchStats
-from ..distances.ground import (
-    DenseGroundMatrix,
-    GroundMetric,
-    LazyGroundMatrix,
-    get_metric,
-)
+from ..distances.ground import GroundMetric, get_metric
 from ..errors import ReproError
 from ..trajectory import Trajectory
-from .cache import LRUCache, fingerprint_array, fingerprint_points, metric_key
-from .partition import plan_chunks, plan_strides, plan_tiles
-from .shm import SharedArrayStore, shared_memory_available
+from . import corpus as _corpus
+from . import planner
 from . import worker as _worker
+from .executor import EngineExecutor, fork_context as _fork_context
+from .oracles import OracleManager
 
 
 class MatrixMotifResult(NamedTuple):
@@ -94,15 +63,6 @@ class MatrixMotifResult(NamedTuple):
     distance: float
     indices: Tuple[int, int, int, int]
     stats: SearchStats
-
-
-def _fork_context():
-    import multiprocessing as mp
-
-    try:
-        return mp.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return None
 
 
 class MotifEngine:
@@ -132,24 +92,28 @@ class MotifEngine:
         deterministically (used by tests and as the automatic fallback
         where fork is unavailable).
     shared_memory:
-        Publish dense ground matrices to named shared-memory segments
-        so pool tasks carry by-reference handles instead of pickled
-        matrices and corpus workers attach instead of recomputing
-        ``dG``.  Automatically off where unsupported; results are
-        identical either way.
+        Publish dense ground matrices (and corpus-index transport
+        arrays) to named shared-memory segments so pool tasks carry
+        by-reference handles instead of pickled payloads.
+        Automatically off where unsupported; results are identical
+        either way.
     shared_bounds:
         Publish each query's bound tables and the six
         :class:`~repro.core.bounds.SubsetBounds` arrays to one shared
         segment, so chunk tasks shrink to two refs plus their
         ``(start, stride)`` share of the arrays (zero bound-array
         pickling).  ``False`` restores the pre-zero-copy transfer
-        shape (eagerly sorted, pickled per-chunk slices) -- kept as
-        the no-shared-memory fallback and as the perf-trajectory
-        baseline; answers are identical either way.
+        shape; answers are identical either way.
     bsf_sync_every:
         Cadence (in processed subsets) at which a chunk scan re-reads
         and republishes the shared best-so-far *inside* its best-first
         loop, so late chunks prune against early discoveries mid-scan.
+    index:
+        Default for the corpus workloads' ``index=`` knob: consult a
+        :class:`repro.index.CorpusIndex` (admissible DFD lower bounds
+        + endpoint-grid bucketing) to prune candidate pairs before the
+        filter cascade.  Answers are identical either way; off by
+        default so unindexed filter statistics stay byte-stable.
     """
 
     def __init__(
@@ -165,48 +129,57 @@ class MotifEngine:
         shared_memory: bool = True,
         shared_bounds: bool = True,
         bsf_sync_every: int = 64,
+        index: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
-        if chunks_per_worker < 1:
-            raise ValueError("chunks_per_worker must be at least 1")
-        if executor not in ("process", "inline"):
-            raise ValueError("executor must be 'process' or 'inline'")
-        if bsf_sync_every < 1:
-            raise ValueError("bsf_sync_every must be at least 1")
         self.workers = int(workers)
         self.algorithm = algorithm
-        self.chunks_per_worker = int(chunks_per_worker)
-        self.executor = executor
-        self.shared_memory = bool(shared_memory)
-        self.shared_bounds = bool(shared_bounds)
-        self.bsf_sync_every = int(bsf_sync_every)
-        self._oracles = LRUCache(oracle_cache_size)
-        self._tables = LRUCache(tables_cache_size)
-        self._results = LRUCache(result_cache_size)
-        self._shm = SharedArrayStore(capacity=max(4, oracle_cache_size))
-        self._transfer = {
-            "pool_tasks": 0,
-            "dense_bytes_pickled": 0,
-            "bounds_bytes_pickled": 0,
-            "group_level_bytes_pickled": 0,
-            "shm_segments": 0,
-            "shm_bytes": 0,
-            "shm_task_refs": 0,
-            "shm_bounds_segments": 0,
-            "shm_bounds_bytes": 0,
-            "shm_bounds_refs": 0,
-            "shm_level_segments": 0,
-            "shm_level_bytes": 0,
-            "shm_level_refs": 0,
-        }
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._pool_workers = 0
-        self._shared_bsf = None
-        # The shared best-so-far Value is engine-wide; serialise the
-        # chunked-scan sections so two threads sharing one engine
-        # cannot cross-contaminate each other's thresholds.
-        self._scan_lock = threading.Lock()
+        self.index = bool(index)
+        self._oracles = OracleManager(
+            oracle_cache_size=oracle_cache_size,
+            tables_cache_size=tables_cache_size,
+            result_cache_size=result_cache_size,
+        )
+        self._exec = EngineExecutor(
+            executor,
+            shared_memory=shared_memory,
+            shared_bounds=shared_bounds,
+            shm_capacity=max(4, oracle_cache_size),
+            chunks_per_worker=chunks_per_worker,
+            bsf_sync_every=bsf_sync_every,
+        )
+
+    # ------------------------------------------------------------------
+    # Back-compat views of the layered internals
+    # ------------------------------------------------------------------
+    @property
+    def executor(self) -> str:
+        return self._exec.kind
+
+    @property
+    def shared_memory(self) -> bool:
+        return self._exec.shared_memory
+
+    @property
+    def shared_bounds(self) -> bool:
+        return self._exec.shared_bounds
+
+    @property
+    def chunks_per_worker(self) -> int:
+        return self._exec.chunks_per_worker
+
+    @property
+    def bsf_sync_every(self) -> int:
+        return self._exec.bsf_sync_every
+
+    @property
+    def _pool(self):
+        return self._exec._pool
+
+    @property
+    def _shm(self):
+        return self._exec.shm
 
     # ------------------------------------------------------------------
     # Public API
@@ -238,25 +211,16 @@ class MotifEngine:
         algorithm = self.algorithm if algorithm is None else algorithm
 
         result_key = None
-        if cacheable and seed is None and isinstance(algorithm, str):
-            result_key = (
-                "discover",
-                fingerprint_points(traj_a),
-                None if traj_b is None else fingerprint_points(traj_b),
-                metric_key(resolved_metric),
-                int(min_length),
-                algorithm.lower(),
-                tuple(sorted(algorithm_options.items())),
+        if cacheable and seed is None:
+            result_key = planner.discover_result_key(
+                traj_a, traj_b, resolved_metric, min_length, algorithm,
+                algorithm_options,
             )
-            cached = self._results.get(result_key)
+            cached = self._oracles.result(result_key)
             if cached is not None:
                 return cached
 
-        if traj_b is None:
-            space = self_space(traj_a.n, min_length)
-        else:
-            space = cross_space(traj_a.n, traj_b.n, min_length)
-
+        space = planner.build_space(traj_a, traj_b, min_length)
         distance, best, stats = self._search(
             space,
             algorithm,
@@ -274,8 +238,7 @@ class MotifEngine:
             float(distance),
             stats,
         )
-        if result_key is not None:
-            self._results.put(result_key, result)
+        self._oracles.put_result(result_key, result)
         return result
 
     def discover_matrix(
@@ -297,13 +260,7 @@ class MotifEngine:
         matrix = np.asarray(matrix, dtype=np.float64)
         workers = self.workers if workers is None else max(1, int(workers))
         algorithm = self.algorithm if algorithm is None else algorithm
-        n_rows, n_cols = matrix.shape
-        if mode == "self":
-            space = self_space(n_rows, min_length)
-            if n_rows != n_cols:
-                raise ReproError("self-mode matrix must be square")
-        else:
-            space = cross_space(n_rows, n_cols, min_length)
+        space = planner.matrix_space(matrix.shape, min_length, mode)
         distance, best, stats = self._search(
             space,
             algorithm,
@@ -322,6 +279,7 @@ class MotifEngine:
         metric: Union[str, GroundMetric, None] = None,
         workers: Optional[int] = None,
         dedupe: bool = True,
+        index: Optional[bool] = None,
         **algorithm_options,
     ) -> List[MotifResult]:
         """Discover motifs for a corpus of queries, in order.
@@ -332,26 +290,25 @@ class MotifEngine:
         algorithm -- results are byte-identical to a serial loop.
         Identical queries within the batch are searched once
         (``dedupe``), and the result cache is consulted per query.
+        With ``index=True`` the batch's trajectories are published once
+        as corpus transport slabs and every task carries a spec into
+        them instead of pickled trajectories.
         """
         workers = self.workers if workers is None else max(1, int(workers))
         algorithm = self.algorithm if algorithm is None else algorithm
-        parsed = [self._parse_item(item) for item in items]
+        use_index = self.index if index is None else bool(index)
+        parsed = [planner.parse_item(item) for item in items]
 
         # Resolve each query to its result-cache key (content
         # fingerprints), shared with discover() so a batch both
         # consults and warms the serving cache.
         keys: List[Optional[tuple]] = []
         for traj_a, traj_b in parsed:
-            if dedupe and isinstance(algorithm, str):
+            if dedupe:
                 resolved = get_metric(metric, crs=traj_a.crs)
-                keys.append((
-                    "discover",
-                    fingerprint_points(traj_a),
-                    None if traj_b is None else fingerprint_points(traj_b),
-                    metric_key(resolved),
-                    int(min_length),
-                    algorithm.lower(),
-                    tuple(sorted(algorithm_options.items())),
+                keys.append(planner.discover_result_key(
+                    traj_a, traj_b, resolved, min_length, algorithm,
+                    algorithm_options,
                 ))
             else:
                 keys.append(None)
@@ -362,7 +319,7 @@ class MotifEngine:
         pending: List[int] = []
         for idx, key in enumerate(keys):
             if key is not None:
-                cached = self._results.get(key)
+                cached = self._oracles.result(key)
                 if cached is not None:
                     results[idx] = cached
                     continue
@@ -379,30 +336,43 @@ class MotifEngine:
             and _fork_context() is not None
         )
         if run_parallel:
-            with self._scan_lock:  # pool use is engine-wide exclusive
-                warm_refs = self._warm_refs_for(
-                    pending, parsed, metric, algorithm, algorithm_options
+            with self._exec.scan_lock:  # pool use is engine-wide exclusive
+                self._shm.begin_batch()
+                warm_refs = _corpus.warm_refs_for(
+                    self, pending, parsed, metric, algorithm,
+                    algorithm_options,
+                )
+                corpus_ref, specs = (
+                    _corpus.batch_transport(self, pending, parsed)
+                    if use_index
+                    else (None, [(None, None)] * len(pending))
                 )
                 tasks = [
                     _worker.QueryTask(
-                        trajectory=parsed[idx][0],
-                        second=parsed[idx][1],
+                        trajectory=None if corpus_ref is not None
+                        else parsed[idx][0],
+                        second=None if corpus_ref is not None
+                        else parsed[idx][1],
                         min_length=int(min_length),
                         algorithm=algorithm,
                         metric=metric,
                         options=tuple(sorted(algorithm_options.items())),
                         matrix_ref=ref,
+                        corpus_ref=corpus_ref,
+                        a_spec=spec_a,
+                        b_spec=spec_b,
                     )
-                    for idx, ref in zip(pending, warm_refs)
+                    for idx, ref, (spec_a, spec_b) in zip(
+                        pending, warm_refs, specs
+                    )
                 ]
-                pool = self._get_pool(workers)
-                self._count_transfer(tasks)
+                pool = self._exec.get_pool(workers)
+                self._exec.count_transfer(tasks)
                 for idx, result in zip(
                     pending, pool.map(_worker.run_query, tasks)
                 ):
                     results[idx] = result
-                    if keys[idx] is not None:
-                        self._results.put(keys[idx], result)
+                    self._oracles.put_result(keys[idx], result)
                 self._shm.trim()
         else:
             for idx in pending:
@@ -440,6 +410,7 @@ class MotifEngine:
         every worker count -- the result cache is workers-independent.
         """
         from ..extensions.topk import entries_to_ranked, scan_topk_entries
+        from ..core.bounds import relaxed_subset_bounds
 
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -447,29 +418,18 @@ class MotifEngine:
         traj_b = None if second is None else _as_trajectory(second)
         resolved = get_metric(metric, crs=traj_a.crs)
         workers = self.workers if workers is None else max(1, int(workers))
-        key = (
-            "topk",
-            fingerprint_points(traj_a),
-            None if traj_b is None else fingerprint_points(traj_b),
-            metric_key(resolved),
-            int(min_length),
-            int(k),
-        )
-        cached = self._results.get(key)
+        key = planner.topk_result_key(traj_a, traj_b, resolved, min_length, k)
+        cached = self._oracles.result(key)
         if cached is not None:
-            return list(cached)  # copy: a caller-mutated list must not poison the cache
-        space = (
-            self_space(traj_a.n, min_length)
-            if traj_b is None
-            else cross_space(traj_a.n, traj_b.n, min_length)
-        )
-        oracle, okey = self._dense_oracle(traj_a, traj_b, resolved)
+            return list(cached)  # copy: caller mutations must not poison it
+        space = planner.build_space(traj_a, traj_b, min_length)
+        oracle, okey = self._oracles.dense_oracle(traj_a, traj_b, resolved)
         stats = SearchStats(algorithm="topk", mode=space.mode, xi=space.xi)
-        tables = self._bound_tables(okey, space, oracle)
+        tables = self._oracles.bound_tables(okey, space, oracle)
         with PhaseTimer(stats, "time_bounds"):
             bounds = relaxed_subset_bounds(space, oracle, tables)
         if workers > 1:
-            entries = self._chunked_topk(
+            entries = self._exec.chunked_topk(
                 oracle, okey, space, bounds, tables, k, stats, workers
             )
             stats.algorithm = f"engine[topk x{workers}]"
@@ -478,7 +438,7 @@ class MotifEngine:
                 oracle, space, bounds, tables.cmin, tables.rmin, k, stats
             )
         ranked = entries_to_ranked(traj_a, traj_b, entries)
-        self._results.put(key, ranked)
+        self._oracles.put_result(key, ranked)
         return list(ranked)
 
     def join(
@@ -488,96 +448,97 @@ class MotifEngine:
         theta: float,
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
+        index: Optional[bool] = None,
     ):
-        """DFD similarity join, sharding the pair grid into tiles.
+        """DFD similarity join, sharding the candidate pairs into tiles.
 
-        Both collections are sliced, so even a single left trajectory
-        against a large right collection parallelises; each tile runs
-        the full filter cascade on its pair block.  Matches are
-        re-sorted to the serial (left-major) order and the per-tile
-        filter statistics fold additively, so the answer is identical
-        to :func:`repro.extensions.join.similarity_join`.  Results are
-        cached by content fingerprint (workers-independent).
+        Unindexed (default): both collections are sliced into a tile
+        grid, so even a single left trajectory against a large right
+        collection parallelises; each tile runs the full filter cascade
+        on its pair block.  With ``index=True`` a
+        :class:`repro.index.CorpusIndex` prunes the pair grid first
+        (admissible lower bounds + endpoint-grid bucketing) and only
+        the surviving candidate pairs are dealt across the pool, each
+        task carrying refs into the published corpus arrays.  Matches
+        are identical on every path and re-sort to the serial
+        (left-major) order; the filter statistics fold additively
+        (indexed runs account the index's share in ``pruned_index``).
+        Results are cached by content fingerprint
+        (workers-independent).
         """
-        from ..extensions.join import merge_join_stats, similarity_join
-
         workers = self.workers if workers is None else max(1, int(workers))
-        resolved = get_metric(metric)
-        key = (
-            "join",
-            tuple(fingerprint_points(t) for t in left),
-            tuple(fingerprint_points(t) for t in right),
-            metric_key(resolved),
-            float(theta),
+        use_index = self.index if index is None else bool(index)
+        return _corpus.run_join(
+            self, left, right, theta, metric, workers, use_index
         )
-        def as_answer(out):
-            # Copies: a caller mutating the matches list or stats must
-            # not poison the cached canonical answer.
-            matches, stats = out
-            return list(matches), copy.deepcopy(stats)
 
-        cached = self._results.get(key)
-        if cached is not None:
-            return as_answer(cached)
-        # Tiling pays off on the pool, and (deterministically, for the
-        # parity tests) on the inline executor; a fork-less "process"
-        # platform would just repeat per-tile setup serially.
-        can_shard = workers > 1 and (
-            self.executor == "inline" or _fork_context() is not None
+    def join_top_k(
+        self,
+        left: Sequence,
+        right: Sequence,
+        k: int = 5,
+        metric: Union[str, GroundMetric] = "euclidean",
+        workers: Optional[int] = None,
+        index: Optional[bool] = None,
+    ):
+        """The ``k`` closest (left, right) pairs by exact DFD, ascending.
+
+        The corpus companion of :meth:`top_k`: instead of a threshold
+        the scan maintains the evolving k-th best distance, pruning
+        each pair with the cascade's lower bounds (and, with
+        ``index=True``, consuming the pair grid in ascending
+        index-bound order so the tail is never touched).  The answer
+        is canonical under ``(distance, (a, b))`` -- identical for the
+        serial reference :func:`repro.extensions.join.join_top_k`,
+        every worker count, indexed or not.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        use_index = self.index if index is None else bool(index)
+        return _corpus.run_join_top_k(
+            self, left, right, k, metric, workers, use_index
         )
-        tiles = (
-            plan_tiles(len(left), len(right), workers * self.chunks_per_worker)
-            if can_shard
-            else []
+
+    def cluster(
+        self,
+        trajectory,
+        *,
+        window_length: int,
+        theta: float,
+        stride: int = 1,
+        min_cluster_size: int = 2,
+        metric: Union[str, GroundMetric, None] = None,
+        workers: Optional[int] = None,
+        index: Optional[bool] = None,
+    ):
+        """Window clustering through the engine's tiled candidate path.
+
+        Same answer as
+        :func:`repro.extensions.clustering.cluster_subtrajectories`;
+        the O(W^2) window-pair cascade is dealt across the pool in
+        candidate-pair chunks (the windows ride one published transport
+        segment), optionally pruned by a window-level
+        :class:`repro.index.CorpusIndex` (``index=True``).
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        use_index = self.index if index is None else bool(index)
+        return _corpus.run_cluster(
+            self,
+            trajectory,
+            window_length=window_length,
+            theta=theta,
+            stride=stride,
+            min_cluster_size=min_cluster_size,
+            metric=metric,
+            workers=workers,
+            use_index=use_index,
         )
-        if len(tiles) < 2:
-            out = similarity_join(left, right, theta, metric)
-            self._results.put(key, out)
-            return as_answer(out)
-        tasks = [
-            _worker.JoinTask(
-                left=[left[i] for i in left_idx],
-                right=[right[i] for i in right_idx],
-                theta=theta,
-                metric=metric,
-                left_offset=int(left_idx[0]),
-                right_offset=int(right_idx[0]),
-            )
-            for left_idx, right_idx in tiles
-        ]
-        if self.executor == "process" and _fork_context() is not None:
-            with self._scan_lock:  # pool use is engine-wide exclusive
-                pool = self._get_pool(workers)
-                self._count_transfer(tasks)
-                parts = list(pool.map(_worker.join_tile, tasks))
-        else:
-            parts = [_worker.join_tile(task) for task in tasks]
-        matches: List[Tuple[int, int]] = []
-        tile_stats = []
-        for part_matches, part_stats in parts:
-            matches.extend(part_matches)
-            tile_stats.append(part_stats)
-        matches.sort()  # serial order: left-major, then right
-        out = (matches, merge_join_stats(tile_stats))
-        self._results.put(key, out)
-        return as_answer(out)
-
-    def cluster(self, trajectory, **kwargs):
-        """Subtrajectory clustering (delegates to the extension)."""
-        from ..extensions.clustering import cluster_subtrajectories
-
-        return cluster_subtrajectories(trajectory, **kwargs)
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
     def cache_info(self) -> dict:
         """Hit/miss/size accounting of the three engine caches."""
-        return {
-            "oracle": self._oracles.info(),
-            "tables": self._tables.info(),
-            "results": self._results.info(),
-        }
+        return self._oracles.cache_info()
 
     def transfer_info(self) -> dict:
         """Pool-transfer accounting: what crossed the pipe vs shared memory.
@@ -586,37 +547,22 @@ class MotifEngine:
         into pool tasks (0 whenever shared memory served the scan);
         ``shm_segments`` / ``shm_bytes`` count published dense
         segments and ``shm_task_refs`` the tasks that carried a
-        by-reference matrix.  The bound pipeline is accounted the same
-        way: ``bounds_bytes_pickled`` counts :class:`SubsetBounds`
-        array bytes serialised into chunk tasks (0 whenever the scan
-        rode a shared bound segment), ``shm_bounds_segments`` /
-        ``shm_bounds_bytes`` count published bound segments and
-        ``shm_bounds_refs`` the tasks that carried a bounds ref;
-        ``group_level_bytes_pickled`` / ``shm_level_refs`` do the same
-        for the parallel GTM grouping phase's block min/max matrices.
+        by-reference matrix.  The bound pipeline
+        (``bounds_bytes_pickled`` vs ``shm_bounds_*``), the parallel
+        GTM grouping phase (``group_level_bytes_pickled`` vs
+        ``shm_level_*``) and the corpus-index transport
+        (``index_bytes_pickled`` vs ``shm_index_*``: corpus points,
+        candidate-pair slabs, batch trajectories) are accounted the
+        same way.
         """
-        info = dict(self._transfer)
-        info["shm_live_segments"] = len(self._shm)
-        return info
+        return self._exec.transfer_info()
 
     def clear_caches(self) -> None:
         self._oracles.clear()
-        self._tables.clear()
-        self._results.clear()
 
     def close(self) -> None:
         """Shut the pool down and unlink shared segments (caches stay)."""
-        self._close_pool()
-        self._shm.close()
-
-    def _close_pool(self) -> None:
-        """Tear down the pool only; published segments stay attachable
-        (pool resizes and fallbacks must not unlink matrices that
-        already-built tasks reference)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-            self._pool_workers = 0
+        self._exec.close()
 
     def __enter__(self) -> "MotifEngine":
         return self
@@ -629,7 +575,7 @@ class MotifEngine:
     # ------------------------------------------------------------------
     def _search(
         self,
-        space: SearchSpace,
+        space,
         algorithm,
         options: dict,
         *,
@@ -651,59 +597,44 @@ class MotifEngine:
             mode=space.mode, n_rows=space.n_rows, n_cols=space.n_cols, xi=space.xi
         )
         started = time.perf_counter()
-        # The chunked scan proves an *exact* threshold; seeding an
-        # approximate search with it would change its semantics, so
-        # approximate variants stay on the serial path.
-        parallel = (
-            workers > 1
-            and seed is None
-            and float(getattr(algo, "approx_factor", 1.0)) == 1.0
+        parallel = planner.should_partition(
+            workers, seed, getattr(algo, "approx_factor", 1.0)
         )
 
         d_star = math.inf
         if parallel:
             dense, okey = (
-                self._dense_oracle(traj_a, traj_b, metric)
+                self._oracles.dense_oracle(traj_a, traj_b, metric)
                 if matrix is None
-                else self._matrix_oracle(matrix)
+                else self._oracles.matrix_oracle(matrix)
             )
             if isinstance(algo, GTM):
                 # GTM queries run the paper's grouping phase first --
                 # sharded across the pool -- so the chunk scan sees
                 # only the surviving subsets with a proven threshold.
-                d_star = self._grouped_distance(
-                    dense, okey, space, algo, stats, workers, started
+                d_star = self._exec.grouped_distance(
+                    self._oracles, dense, okey, space, algo, stats, workers,
+                    started,
                 )
                 # The resolution pass descends the same tau sequence;
                 # hand it the levels this scan just built and cached
                 # so it never re-reduces the O(n^2) matrix (a copy
                 # keeps a caller-owned algorithm instance untouched).
                 algo = copy.copy(algo)
-                algo.level_builder = (
-                    lambda dmat, tau, mode, _okey=okey, _w=workers:
-                        self._group_level(_okey, dmat, tau, mode, _w)
+                algo.level_builder = self._exec.level_builder_for(
+                    self._oracles, okey, workers
                 )
             else:
-                d_star = self._chunked_distance(
-                    dense, okey, space, algo, stats, workers, started
+                d_star = self._exec.chunked_distance(
+                    self._oracles, dense, okey, space, algo, stats, workers,
+                    started,
                 )
-            # `timeout` is one whole-query budget: the chunks shared an
-            # absolute deadline anchored at `started`; hand the
-            # resolution pass only what remains (a shallow copy keeps a
-            # caller-owned algorithm instance untouched).
-            budget = getattr(algo, "timeout", None)
-            if budget is not None:
-                remaining = float(budget) - (time.perf_counter() - started)
-                if remaining <= 0:
-                    raise MotifTimeout(
-                        f"engine search exceeded {budget:.1f}s "
-                        "during the chunk scan"
-                    )
-                algo = copy.copy(algo)
-                algo.timeout = remaining
+            algo = self._exec.remaining_budget_algo(algo, started)
 
         with PhaseTimer(stats, "time_precompute"):
-            oracle = self._serial_oracle(algo, traj_a, traj_b, metric, matrix)
+            oracle = self._oracles.serial_oracle(
+                algo, traj_a, traj_b, metric, matrix
+            )
         bsf0, best0 = (math.inf, None) if seed is None else seed
         if d_star < bsf0:
             bsf0, best0 = d_star, None
@@ -716,695 +647,6 @@ class MotifEngine:
         if parallel:
             stats.algorithm = f"engine[{stats.algorithm} x{workers}]"
         return float(distance), best, stats
-
-    def _chunked_distance(
-        self,
-        dense: DenseGroundMatrix,
-        okey,
-        space: SearchSpace,
-        algo,
-        stats,
-        workers,
-        started_at: float,
-    ) -> float:
-        """Exact motif distance via the partitioned chunk scan.
-
-        Every chunk shares one absolute deadline (``started_at`` +
-        the algorithm's timeout), so a timed-out query never exceeds
-        its budget chunk-by-chunk.  The scan's work is recorded in the
-        dedicated ``scan_*`` stats fields; the serial counters stay
-        reserved for the resolution pass so the paper-figure
-        accounting is not double-counted.
-        """
-        tables = self._bound_tables(okey, space, dense)
-        bounds = relaxed_subset_bounds(space, dense, tables)
-        return self._scan_bounds(
-            dense, okey, space, bounds, tables,
-            ("bounds", okey, space.mode, space.xi),
-            getattr(algo, "timeout", None), started_at, workers,
-            math.inf, stats,
-            eager_order=bool(getattr(algo, "eager_order", False)),
-        )
-
-    def _scan_bounds(
-        self,
-        dense: DenseGroundMatrix,
-        okey,
-        space: SearchSpace,
-        bounds,
-        tables: BoundTables,
-        bounds_key,
-        timeout: Optional[float],
-        started_at: float,
-        workers: int,
-        seed_bsf: float,
-        stats,
-        eager_order: bool = False,
-    ) -> float:
-        """Scan ``bounds`` across chunks; exact ``min(seed_bsf, best)``.
-
-        The zero-copy transfer shape: the six bound arrays plus
-        ``cmin``/``rmin`` publish once under ``bounds_key`` and every
-        task carries two refs plus its ``(start, stride)`` share.  The
-        whole publish -> scan -> trim sequence holds the scan lock:
-        segments published for this scan must stay attachable until
-        its pool map completes, and a concurrent scan on a shared
-        engine could otherwise evict them.
-        """
-        n_chunks = workers * self.chunks_per_worker
-        with self._scan_lock:
-            self._shm.begin_batch()
-            ref = self._share_dense(okey, dense)
-            bounds_ref = self._share_bounds(bounds_key, bounds, tables)
-            tasks = [
-                _worker.ChunkTask(
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                    space=space,
-                    timeout=timeout,
-                    started_at=started_at,
-                    seed_bsf=seed_bsf,
-                    sync_every=self.bsf_sync_every,
-                    **payload,
-                )
-                for payload in self._bounds_payloads(
-                    bounds, bounds_ref, tables, n_chunks,
-                    eager_order=eager_order,
-                )
-            ]
-            results = self._run_chunks(tasks, workers)
-            self._shm.trim()
-        d_star = seed_bsf
-        for res in results:
-            d_star = min(d_star, res.bsf)
-            stats.scan_subsets_expanded += res.subsets_expanded
-            stats.scan_cells_expanded += res.cells_expanded
-        return d_star
-
-    def _bounds_payloads(self, bounds, bounds_ref, tables, n_chunks,
-                         legacy_eager: bool = True,
-                         eager_order: bool = False):
-        """Per-task bound payloads: strided refs, or pre-sliced copies.
-
-        With a published segment (or the inline executor, where
-        nothing is pickled) every task references the same full arrays
-        and owns a ``(start, stride)`` share of the positions.  On the
-        cold pool path each task must carry its data through the pipe
-        anyway, so it ships the smaller pre-sorted slice -- the PR 2
-        transfer shape, which (for discover tasks, ``legacy_eager``)
-        also keeps the eager per-chunk argsort so the perf-trajectory
-        benchmark compares like with like.  An explicit
-        ``eager_order`` (a ``BTM(eager_order=True)`` query) forces the
-        up-front sort on every chunk regardless of transfer shape.
-        """
-        if bounds_ref is not None or self.executor == "inline":
-            payloads = [
-                dict(
-                    bounds=None if bounds_ref is not None else bounds,
-                    bounds_ref=bounds_ref,
-                    cmin=None if bounds_ref is not None else tables.cmin,
-                    rmin=None if bounds_ref is not None else tables.rmin,
-                    chunk_start=start,
-                    chunk_stride=stride,
-                )
-                for start, stride in plan_strides(len(bounds), n_chunks)
-            ]
-        else:
-            payloads = [
-                dict(bounds=chunk, cmin=tables.cmin, rmin=tables.rmin)
-                for chunk in plan_chunks(bounds, n_chunks)
-            ]
-            eager_order = eager_order or legacy_eager
-        if eager_order:
-            for payload in payloads:
-                payload["eager_order"] = True
-        return payloads
-
-    def _dispatch_chunks(self, tasks, workers, pool_fn, inline_fn):
-        """Run chunk tasks on the pool, inline on fallback.
-
-        Caller holds ``_scan_lock``.  The pool path resets the shared
-        threshold, accounts the transfer, and falls back to
-        ``inline_fn`` on fork/pipe failure -- the one copy of this
-        protocol for both the discover and the top-k scans.
-        """
-        ctx = _fork_context()
-        if self.executor == "process" and ctx is not None:
-            try:
-                pool = self._get_pool(workers)
-                with self._shared_bsf.get_lock():
-                    self._shared_bsf.value = math.inf
-                out = list(pool.map(pool_fn, tasks))
-                # Counted only after a successful map, so an inline
-                # fallback never reports pipe traffic that didn't happen.
-                self._count_transfer(tasks)
-                return out
-            except OSError:  # pragma: no cover - fork/pipe failure
-                self._close_pool()
-        return inline_fn(tasks)
-
-    def _run_chunks(self, tasks, workers) -> List[_worker.ChunkResult]:
-        """Execute discover chunk tasks (caller holds ``_scan_lock``).
-
-        Inline execution still threads the best-so-far between chunks
-        (sequentially), so it exercises identical pruning semantics.
-        """
-
-        def inline(tasks):
-            best_so_far = math.inf
-            out = []
-            for task in tasks:
-                res = _worker.scan_chunk(
-                    dataclasses.replace(
-                        task, seed_bsf=min(task.seed_bsf, best_so_far)
-                    )
-                )
-                best_so_far = min(best_so_far, res.bsf)
-                out.append(res)
-            return out
-
-        return self._dispatch_chunks(tasks, workers, _worker.scan_chunk, inline)
-
-    def _chunked_topk(
-        self, dense, okey, space, bounds, tables, k, stats, workers
-    ):
-        """Exact top-k entries via the partitioned chunk scan + merge."""
-        from ..extensions.topk import merge_topk_entries
-
-        n_chunks = workers * self.chunks_per_worker
-        with self._scan_lock:  # see _scan_bounds on lock extent
-            self._shm.begin_batch()
-            ref = self._share_dense(okey, dense)
-            bounds_ref = self._share_bounds(
-                ("bounds", okey, space.mode, space.xi), bounds, tables
-            )
-            tasks = [
-                _worker.TopKChunkTask(
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                    space=space,
-                    k=int(k),
-                    sync_every=self.bsf_sync_every,
-                    **payload,
-                )
-                for payload in self._bounds_payloads(
-                    bounds, bounds_ref, tables, n_chunks, legacy_eager=False
-                )
-            ]
-            def inline(tasks):
-                # Thread the k-th-best between chunks the way the
-                # shared value does across processes.
-                out = []
-                kth_carry = math.inf
-                for task in tasks:
-                    res = _worker.topk_chunk(
-                        dataclasses.replace(
-                            task, seed_kth=min(task.seed_kth, kth_carry)
-                        )
-                    )
-                    if len(res.entries) == task.k:
-                        kth_carry = min(kth_carry, res.entries[-1][0])
-                    out.append(res)
-                return out
-
-            results = self._dispatch_chunks(
-                tasks, workers, _worker.topk_chunk, inline
-            )
-            self._shm.trim()
-        # Unlike discover there is no serial resolution pass re-counting
-        # the space, so the chunk counters fold into the same fields the
-        # serial scan uses -- stats are worker-count independent.
-        for res in results:
-            stats.subsets_total += res.subsets_total
-            stats.subsets_expanded += res.subsets_expanded
-            stats.cells_expanded += res.cells_expanded
-        return merge_topk_entries([res.entries for res in results], k)
-
-    # ------------------------------------------------------------------
-    # Parallel GTM grouping phase
-    # ------------------------------------------------------------------
-    def _grouped_distance(
-        self,
-        dense: DenseGroundMatrix,
-        okey,
-        space: SearchSpace,
-        algo: GTM,
-        stats,
-        workers: int,
-        started_at: float,
-    ) -> float:
-        """Exact motif distance for GTM queries: grouping, then scan.
-
-        Mirrors :meth:`repro.core.gtm.GTM.search`'s multi-level loop
-        with the two heavy inner kernels sharded across the pool: the
-        block min/max reductions of each :class:`GroupLevel` (reading
-        ``dG`` from shared memory) and the per-pair
-        ``GLB_DFD``/``GUB_DFD`` group DPs (reading the level from its
-        own shared segment).  The surviving point-level subsets then go
-        through the ordinary partitioned chunk scan, seeded with the
-        grouping phase's proven (unwitnessed) threshold, so the
-        returned distance is exactly the motif distance -- the seeded
-        serial resolution pass recovers the witness as usual.
-        """
-        timeout = getattr(algo, "timeout", None)
-        deadline = None if timeout is None else started_at + timeout
-        bsf = math.inf
-        tau = min(algo.tau, max(algo.min_tau, space.n_rows // 2))
-        pairs = None
-        survivors: List[Tuple[int, int]] = []
-        level: Optional[GroupLevel] = None
-        prev_tau = None
-        while tau >= algo.min_tau:
-            level = self._group_level(okey, dense.array, tau, space.mode,
-                                      workers)
-            if pairs is None:
-                pairs = feasible_group_pairs(level, space)
-            else:
-                pairs = children_pairs(pairs, prev_tau, level, space)
-            bsf, survivors = self._replay_group_level(
-                okey, space, algo, level, pairs, bsf, workers, deadline
-            )
-            pairs = survivors
-            if tau == algo.min_tau:
-                break
-            prev_tau = tau
-            tau = max(tau // 2, algo.min_tau)
-        if level is None:  # pragma: no cover - requires min_tau > tau
-            return self._chunked_distance(
-                dense, okey, space, algo, stats, workers, started_at
-            )
-        i_idx, j_idx = expand_pairs_to_subsets(level, space, survivors)
-        tables = self._bound_tables(okey, space, dense)
-        bounds = relaxed_subset_bounds_for_pairs(
-            space, dense, tables, i_idx, j_idx
-        )
-        bounds_key = (
-            "gbounds", okey, space.mode, space.xi,
-            algo.tau, algo.min_tau, algo.use_gub, algo.dfd_bound_max_groups,
-        )
-        return self._scan_bounds(
-            dense, okey, space, bounds, tables, bounds_key,
-            timeout, started_at, workers, bsf, stats,
-        )
-
-    def _group_level(
-        self, okey, dmat: np.ndarray, tau: int, mode: str, workers: int
-    ) -> GroupLevel:
-        """One grouping level, cached by content key.
-
-        The grouping scan and the seeded resolution pass descend the
-        same ``tau`` sequence over the same matrix, so each level is
-        built exactly once per (matrix, tau, mode) -- sharded across
-        the pool where worthwhile -- and served from the tables cache
-        afterwards.
-        """
-        key = ("glevel", okey, tau, mode)
-        return self._tables.get_or_build(
-            key,
-            lambda: self._build_group_level(
-                DenseGroundMatrix(dmat, validate=False), okey, tau, mode,
-                workers,
-            ),
-        )
-
-    def _build_group_level(
-        self, dense: DenseGroundMatrix, okey, tau: int, mode: str,
-        workers: int,
-    ) -> GroupLevel:
-        """One grouping level, with the block reductions sharded.
-
-        Sharding pays a ``(gmin, gmax)`` band transfer back per task,
-        so it engages only where that stays a small fraction of the
-        O(n^2) reduction work it spreads out: coarse-enough groups
-        (``tau >= 4``) and enough group rows to give every worker a
-        real band.  The stitched result is identical to the serial
-        :meth:`GroupLevel.from_matrix`.
-        """
-        n_rows, n_cols = dense.shape
-        g_rows = math.ceil(n_rows / tau)
-        pool_ready = (
-            workers > 1
-            and self.executor == "process"
-            and _fork_context() is not None
-        )
-        if not pool_ready or tau < 4 or g_rows < 2 * workers:
-            return GroupLevel.from_matrix(dense.array, tau, mode)
-        band_edges = np.array_split(np.arange(g_rows), workers)
-        with self._scan_lock:  # pool use is engine-wide exclusive
-            self._shm.begin_batch()
-            ref = self._share_dense(okey, dense)
-            tasks = [
-                _worker.GroupReduceTask(
-                    tau=tau,
-                    mode=mode,
-                    u_start=int(band[0]),
-                    u_end=int(band[-1]) + 1,
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                )
-                for band in band_edges
-                if len(band)
-            ]
-            try:
-                pool = self._get_pool(workers)
-                bands = list(pool.map(_worker.group_reduce, tasks))
-                self._count_transfer(tasks)
-            except OSError:  # pragma: no cover - fork/pipe failure
-                self._close_pool()
-                return GroupLevel.from_matrix(dense.array, tau, mode)
-            finally:
-                self._shm.trim()
-        return GroupLevel.from_bands(bands, n_rows, n_cols, tau, mode)
-
-    def _replay_group_level(
-        self, okey, space, algo: GTM, level: GroupLevel,
-        pairs, bsf: float, workers: int, deadline,
-    ):
-        """Steps 3-4 of the grouping framework on one level.
-
-        The per-pair DFD bounds are precomputed in parallel against the
-        level-entry threshold, then the serial decision loop replays
-        against them.  The decisions are identical to computing each
-        bound inline with the evolving threshold: pattern bounds and
-        GUBs are exact, and an early-stopped GLB computed against a
-        weaker threshold is either exact or certified above it -- in
-        both cases the prune comparison lands on the same side (see
-        :class:`repro.engine.worker.GroupDFDTask`).  Thresholds here
-        are always unwitnessed (the engine carries no candidate pair),
-        so the tie-keeping ``lb > bsf`` break rule applies throughout.
-        """
-        tables = GroupBoundTables.build(level, space.xi)
-        lbs = pattern_bounds_for_pairs(level, tables, pairs)
-        order = np.argsort(lbs, kind="stable")
-        use_dfd = level.n_row_groups <= algo.dfd_bound_max_groups
-        dfd = None
-        if use_dfd and len(pairs):
-            candidates = order[lbs[order] <= bsf]
-            dfd = self._parallel_group_dfd(
-                okey, space, level, pairs, candidates, bsf, workers, deadline
-            )
-        survivors: List[Tuple[int, int]] = []
-        for count, k in enumerate(order):
-            if float(lbs[k]) > bsf:
-                break
-            u, v = pairs[k]
-            if not use_dfd:
-                survivors.append((u, v))
-                continue
-            glb, gub = dfd[int(k)]
-            if glb > bsf:
-                continue
-            survivors.append((u, v))
-            if algo.use_gub and gub < bsf:
-                bsf = float(gub)
-            if deadline is not None and count % 64 == 0:
-                if time.perf_counter() > deadline:
-                    raise MotifTimeout(
-                        f"engine GTM grouping exceeded {algo.timeout:.1f}s"
-                    )
-        survivors.sort()
-        return bsf, survivors
-
-    def _parallel_group_dfd(
-        self, okey, space, level: GroupLevel, pairs, candidates,
-        bsf: float, workers: int, deadline: Optional[float] = None,
-    ) -> np.ndarray:
-        """``(len(pairs), 2)`` array of ``(GLB, GUB)``, candidates filled.
-
-        Candidate pairs are dealt round-robin from the pattern-sorted
-        order so every task holds a comparable mix of cheap (early-
-        stopping) and expensive DPs; the level's block matrices ride a
-        shared segment, so a task is a few hundred pair indices.  A
-        timeout-bounded query's absolute ``deadline`` travels with
-        every task (and guards the serial fallbacks), mirroring the
-        chunk scan's budget contract.
-        """
-
-        def serial_fill(out):
-            for count, k in enumerate(candidates):
-                if deadline is not None and count % 16 == 0:
-                    if time.perf_counter() > deadline:
-                        raise MotifTimeout(
-                            "engine GTM grouping exceeded its budget"
-                        )
-                u, v = pairs[int(k)]
-                out[int(k)] = group_dfd_bounds(level, space, u, v, bsf=bsf)
-            return out
-
-        out = np.full((len(pairs), 2), np.nan)
-        n_chunks = min(len(candidates), workers * self.chunks_per_worker)
-        pool_ready = (
-            workers > 1
-            and self.executor == "process"
-            and _fork_context() is not None
-            and len(candidates) >= 4 * workers
-        )
-        if not pool_ready or n_chunks < 2:
-            return serial_fill(out)
-        deals = [candidates[k::n_chunks] for k in range(n_chunks)]
-        with self._scan_lock:  # pool use is engine-wide exclusive
-            self._shm.begin_batch()
-            level_ref = None
-            if self.shared_bounds and self._use_shared_memory():
-                level_ref, created = self._shm.publish(
-                    ("glevel", okey, space.mode, level.tau),
-                    _worker.level_slabs(level),
-                )
-                if created:
-                    self._transfer["shm_level_segments"] += 1
-                    self._transfer["shm_level_bytes"] += level_ref.nbytes
-            tasks = [
-                _worker.GroupDFDTask(
-                    space=space,
-                    us=tuple(int(pairs[int(k)][0]) for k in deal),
-                    vs=tuple(int(pairs[int(k)][1]) for k in deal),
-                    bsf=float(bsf),
-                    level=None if level_ref is not None else level,
-                    level_ref=level_ref,
-                    tau=level.tau,
-                    mode=level.mode,
-                    deadline=deadline,
-                )
-                for deal in deals
-            ]
-            try:
-                pool = self._get_pool(workers)
-                parts = list(pool.map(_worker.group_dfd_chunk, tasks))
-                self._count_transfer(tasks)
-            except OSError:  # pragma: no cover - fork/pipe failure
-                self._close_pool()
-                return serial_fill(out)
-            finally:
-                self._shm.trim()
-        for deal, part in zip(deals, parts):
-            out[np.asarray(deal, dtype=np.int64)] = part
-        return out
-
-    def _get_pool(self, workers: int) -> ProcessPoolExecutor:
-        ctx = _fork_context()
-        if ctx is None:
-            raise ReproError("process executor requires a fork-capable platform")
-        if self._pool is not None and self._pool_workers != workers:
-            self._close_pool()
-        if self._pool is None:
-            self._shared_bsf = ctx.Value("d", math.inf)
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=ctx,
-                initializer=_worker.init_worker,
-                initargs=(self._shared_bsf,),
-            )
-            self._pool_workers = workers
-        return self._pool
-
-    # ------------------------------------------------------------------
-    # Oracles and tables
-    # ------------------------------------------------------------------
-    def _dense_oracle(self, traj_a, traj_b, metric):
-        """Cached dense ground matrix for a trajectory (pair)."""
-        fp_a = fingerprint_points(traj_a)
-        fp_b = None if traj_b is None else fingerprint_points(traj_b)
-        key = ("dense", fp_a, fp_b, metric_key(metric))
-
-        def build():
-            points_b = traj_a.points if traj_b is None else traj_b.points
-            return DenseGroundMatrix(metric.pairwise(traj_a.points, points_b))
-
-        return self._oracles.get_or_build(key, build), key
-
-    def _matrix_oracle(self, matrix: np.ndarray):
-        key = ("matrix", fingerprint_array(matrix))
-        return self._oracles.get_or_build(
-            key, lambda: DenseGroundMatrix(matrix)
-        ), key
-
-    # ------------------------------------------------------------------
-    # Shared-memory transfer plumbing
-    # ------------------------------------------------------------------
-    def _use_shared_memory(self) -> bool:
-        return (
-            self.shared_memory
-            and self.executor == "process"
-            and shared_memory_available()
-            and _fork_context() is not None
-        )
-
-    def _share_dense(self, okey, dense):
-        """Publish a dense oracle's matrix; None when shipping inline."""
-        if not self._use_shared_memory():
-            return None
-        ref, created = self._shm.publish(okey, dense.array)
-        if created:
-            self._transfer["shm_segments"] += 1
-            self._transfer["shm_bytes"] += dense.array.nbytes
-        return ref
-
-    def _share_bounds(self, key, bounds, tables: BoundTables):
-        """Publish one query's bound slabs; ``None`` -> ship cold.
-
-        The segment groups the six :class:`SubsetBounds` arrays with
-        the ``cmin`` / ``rmin`` kill tables, so a chunk task resolves
-        its entire read set from one ref.  Caller holds ``_scan_lock``
-        and has opened the batch -- the publish must stay pinned until
-        the scan's pool map completes.
-        """
-        if not (self.shared_bounds and self._use_shared_memory()):
-            return None
-        ref, created = self._shm.publish(
-            key, _worker.bound_slabs(bounds, tables.cmin, tables.rmin)
-        )
-        if created:
-            self._transfer["shm_bounds_segments"] += 1
-            self._transfer["shm_bounds_bytes"] += ref.nbytes
-        return ref
-
-    def _warm_refs_for(self, pending, parsed, metric, algorithm, options):
-        """Shared ``dG`` handles for a batch of corpus queries.
-
-        A query rides the warm path only when that is genuinely
-        cheaper than letting its worker build the oracle itself:
-
-        * its dense oracle is *already* in the parent's cache (the
-          serving case -- prior discover/top-k/join calls paid for
-          it), or
-        * the same trajectory (pair) appears more than once among the
-          pending queries, so one parent-side build amortises across
-          workers -- but never for lazy-oracle algorithms (GTM*),
-          whose O(n)-space contract a forced dense O(n^2) build would
-          break.
-
-        Cold unique queries return ``None`` and keep the old behavior
-        (each worker computes its own ``dG`` concurrently), so a cold
-        corpus sweep is never serialised behind the parent.
-        """
-        if not self._use_shared_memory():
-            return [None] * len(pending)
-        probe = algorithm
-        if isinstance(algorithm, str):
-            probe = _make_algorithm(algorithm, **options)
-        lazy = isinstance(probe, GTMStar)
-        keys = []
-        for idx in pending:
-            traj_a, traj_b = parsed[idx]
-            resolved = get_metric(metric, crs=traj_a.crs)
-            keys.append((
-                "dense",
-                fingerprint_points(traj_a),
-                None if traj_b is None else fingerprint_points(traj_b),
-                metric_key(resolved),
-            ))
-        counts = Counter(keys)
-        self._shm.begin_batch()
-        refs = []
-        built: dict = {}
-        for idx, key in zip(pending, keys):
-            dense = self._oracles.get(key) or built.get(key)
-            if dense is None:
-                if lazy or counts[key] < 2:
-                    refs.append(None)
-                    continue
-                traj_a, traj_b = parsed[idx]
-                resolved = get_metric(metric, crs=traj_a.crs)
-                dense, key = self._dense_oracle(traj_a, traj_b, resolved)
-                built[key] = dense
-            refs.append(self._share_dense(key, dense))
-        return refs
-
-    def _count_transfer(self, tasks) -> None:
-        """Account what each pool-bound task ships through the pipe."""
-        for task in tasks:
-            self._transfer["pool_tasks"] += 1
-            if getattr(task, "matrix_ref", None) is not None:
-                self._transfer["shm_task_refs"] += 1
-            else:
-                matrix = getattr(task, "matrix", None)
-                if matrix is not None:
-                    self._transfer["dense_bytes_pickled"] += int(matrix.nbytes)
-            if getattr(task, "bounds_ref", None) is not None:
-                self._transfer["shm_bounds_refs"] += 1
-            else:
-                bounds = getattr(task, "bounds", None)
-                if bounds is not None:
-                    self._transfer["bounds_bytes_pickled"] += int(sum(
-                        getattr(bounds, field).nbytes
-                        for field in _worker.BOUND_FIELDS
-                    ))
-            if getattr(task, "level_ref", None) is not None:
-                self._transfer["shm_level_refs"] += 1
-            else:
-                level = getattr(task, "level", None)
-                if level is not None:
-                    self._transfer["group_level_bytes_pickled"] += int(
-                        level.gmin.nbytes + level.gmax.nbytes
-                    )
-
-    def _lazy_oracle(self, traj_a, traj_b, metric, cache_rows: int):
-        key = (
-            "lazy",
-            fingerprint_points(traj_a),
-            None if traj_b is None else fingerprint_points(traj_b),
-            metric_key(metric),
-            int(cache_rows),
-        )
-
-        def build():
-            return LazyGroundMatrix(
-                traj_a.points,
-                None if traj_b is None else traj_b.points,
-                metric=metric,
-                cache_rows=cache_rows,
-            )
-
-        return self._oracles.get_or_build(key, build)
-
-    def _serial_oracle(self, algo, traj_a, traj_b, metric, matrix):
-        """The oracle the plain serial path would build (parity).
-
-        Mirrors :func:`repro.core.motif._build_oracle`: GTM* gets the
-        lazy row oracle, everything else the dense matrix.
-        """
-        if matrix is not None:
-            oracle, _ = self._matrix_oracle(matrix)
-            return oracle
-        if isinstance(algo, GTMStar):
-            return self._lazy_oracle(traj_a, traj_b, metric, algo.cache_rows)
-        oracle, _ = self._dense_oracle(traj_a, traj_b, metric)
-        return oracle
-
-    def _bound_tables(self, okey, space: SearchSpace, dense) -> BoundTables:
-        key = ("tables", okey, space.mode, space.xi)
-        return self._tables.get_or_build(
-            key, lambda: BoundTables.build(space, dense)
-        )
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _parse_item(item):
-        """One discover_many item -> (traj_a, traj_b or None)."""
-        if isinstance(item, tuple) and len(item) == 2:
-            return _as_trajectory(item[0]), _as_trajectory(item[1])
-        return _as_trajectory(item), None
-
 
 #: Process-wide shared engine (lazy); used by the CLI and extensions.
 _DEFAULT_ENGINE: Optional[MotifEngine] = None

@@ -1,0 +1,300 @@
+"""Pure query planning for the :class:`~repro.engine.MotifEngine`.
+
+Everything the engine decides *before* any pool, shared-memory segment
+or oracle exists lives here: parsing query items, deriving the
+content-addressed cache keys (oracle, bound-table, group-level and
+result keys all flow from the same fingerprints, which is what makes
+answers workers-independent), choosing whether a query parallelises,
+and laying out the chunk / stride / tile partitions the executor will
+dispatch.  The module is deliberately side-effect free -- every
+function is a pure map from query description to plan, so the planner
+is unit-testable without ever touching a process pool
+(``tests/test_engine_layers.py``).
+
+The facade flow is::
+
+    plan = plan_discover(...)        # planner: keys + geometry + layout
+    oracle = oracles.dense_oracle()  # oracle manager: cached builds
+    executor.scan(plan, ...)         # executor: pools, shm, dispatch
+
+:func:`plan_chunks` / :func:`plan_strides` / :func:`plan_tiles` (the
+low-level partition maths) stay in :mod:`repro.engine.partition`; the
+planner composes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.motif import _as_trajectory
+from ..core.problem import SearchSpace, cross_space, self_space
+from ..errors import ReproError
+from ..trajectory import Trajectory
+from .cache import fingerprint_points, metric_key
+from .partition import plan_chunks, plan_strides, plan_tiles  # noqa: F401  (re-export)
+
+
+# ----------------------------------------------------------------------
+# Query parsing and geometry
+# ----------------------------------------------------------------------
+def parse_item(item) -> Tuple[Trajectory, Optional[Trajectory]]:
+    """One ``discover_many`` item -> ``(traj_a, traj_b or None)``."""
+    if isinstance(item, tuple) and len(item) == 2:
+        return _as_trajectory(item[0]), _as_trajectory(item[1])
+    return _as_trajectory(item), None
+
+
+def build_space(
+    traj_a: Trajectory, traj_b: Optional[Trajectory], min_length: int
+) -> SearchSpace:
+    """The search space of one (self- or cross-mode) trajectory query."""
+    if traj_b is None:
+        return self_space(traj_a.n, min_length)
+    return cross_space(traj_a.n, traj_b.n, min_length)
+
+
+def matrix_space(shape: Tuple[int, int], min_length: int, mode: str) -> SearchSpace:
+    """The search space of a matrix-level query (``discover_matrix``)."""
+    n_rows, n_cols = shape
+    if mode == "self":
+        if n_rows != n_cols:
+            raise ReproError("self-mode matrix must be square")
+        return self_space(n_rows, min_length)
+    return cross_space(n_rows, n_cols, min_length)
+
+
+# ----------------------------------------------------------------------
+# Cache keys (content fingerprints -> workers-independent answers)
+# ----------------------------------------------------------------------
+def dense_oracle_key(traj_a, traj_b, metric) -> tuple:
+    """Key of the cached dense ground matrix of a trajectory (pair)."""
+    return (
+        "dense",
+        fingerprint_points(traj_a),
+        None if traj_b is None else fingerprint_points(traj_b),
+        metric_key(metric),
+    )
+
+
+def lazy_oracle_key(traj_a, traj_b, metric, cache_rows: int) -> tuple:
+    """Key of the cached lazy (row-on-demand) oracle."""
+    return (
+        "lazy",
+        fingerprint_points(traj_a),
+        None if traj_b is None else fingerprint_points(traj_b),
+        metric_key(metric),
+        int(cache_rows),
+    )
+
+
+def bound_tables_key(okey, space: SearchSpace) -> tuple:
+    """Key of the cached :class:`BoundTables` of one oracle + geometry."""
+    return ("tables", okey, space.mode, space.xi)
+
+
+def bounds_slab_key(okey, space: SearchSpace) -> tuple:
+    """Shared-segment key of one query's published bound slabs."""
+    return ("bounds", okey, space.mode, space.xi)
+
+
+def grouped_bounds_key(okey, space: SearchSpace, algo) -> tuple:
+    """Shared-segment key of a grouped-GTM query's surviving bounds."""
+    return (
+        "gbounds", okey, space.mode, space.xi,
+        algo.tau, algo.min_tau, algo.use_gub, algo.dfd_bound_max_groups,
+    )
+
+
+def group_level_key(okey, tau: int, mode: str) -> tuple:
+    """Tables-cache key of one grouping level."""
+    return ("glevel", okey, tau, mode)
+
+
+def level_slab_key(okey, space: SearchSpace, tau: int) -> tuple:
+    """Shared-segment key of one published group level."""
+    return ("glevel", okey, space.mode, tau)
+
+
+def discover_result_key(
+    traj_a, traj_b, metric, min_length: int, algorithm, options: dict
+) -> Optional[tuple]:
+    """Result-cache key of one discover query; None when uncacheable.
+
+    Only string algorithm names are cacheable -- an instance may carry
+    mutable state the fingerprint cannot see.
+    """
+    if not isinstance(algorithm, str):
+        return None
+    return (
+        "discover",
+        fingerprint_points(traj_a),
+        None if traj_b is None else fingerprint_points(traj_b),
+        metric_key(metric),
+        int(min_length),
+        algorithm.lower(),
+        tuple(sorted(options.items())),
+    )
+
+
+def topk_result_key(traj_a, traj_b, metric, min_length: int, k: int) -> tuple:
+    """Result-cache key of one top-k query."""
+    return (
+        "topk",
+        fingerprint_points(traj_a),
+        None if traj_b is None else fingerprint_points(traj_b),
+        metric_key(metric),
+        int(min_length),
+        int(k),
+    )
+
+
+def corpus_fingerprint(trajectories: Sequence) -> tuple:
+    """Order-sensitive content fingerprint of a trajectory collection."""
+    return tuple(fingerprint_points(t) for t in trajectories)
+
+
+def join_result_key(left, right, metric, theta: float, indexed: bool) -> tuple:
+    """Result-cache key of one similarity join.
+
+    ``indexed`` participates because the indexed and unindexed paths
+    report different (both correct) filter statistics; the *matches*
+    are identical either way.
+    """
+    return (
+        "join",
+        corpus_fingerprint(left),
+        corpus_fingerprint(right),
+        metric_key(metric),
+        float(theta),
+        bool(indexed),
+    )
+
+
+def join_topk_result_key(left, right, metric, k: int) -> tuple:
+    """Result-cache key of one top-k closest-pair join (canonical)."""
+    return (
+        "join_topk",
+        corpus_fingerprint(left),
+        corpus_fingerprint(right),
+        metric_key(metric),
+        int(k),
+    )
+
+
+def corpus_slab_key(fingerprints) -> tuple:
+    """Shared-segment key of one published corpus transport group."""
+    return ("corpus", fingerprints)
+
+
+def pairs_slab_key(fps_left, fps_right, metric, theta: float) -> tuple:
+    """Shared-segment key of one join's candidate-pair slab."""
+    return ("pairs", fps_left, fps_right, metric_key(metric), float(theta))
+
+
+def topk_pairs_slab_key(fps_left, fps_right, metric, with_bounds: bool) -> tuple:
+    """Shared-segment key of one top-k join's ordered-pair slab."""
+    return (
+        "topk_pairs", fps_left, fps_right, metric_key(metric),
+        bool(with_bounds),
+    )
+
+
+# ----------------------------------------------------------------------
+# Parallelism decisions and partition layout
+# ----------------------------------------------------------------------
+def n_chunks_for(workers: int, chunks_per_worker: int) -> int:
+    """Chunk count of one partitioned scan."""
+    return max(1, int(workers)) * max(1, int(chunks_per_worker))
+
+
+def should_partition(workers: int, seed, approx_factor: float) -> bool:
+    """Whether one discover query runs the partitioned chunk scan.
+
+    The chunked scan proves an *exact* threshold; seeding an
+    approximate search with it would change its semantics, so
+    approximate variants stay serial, as do externally seeded queries
+    (streaming maintenance owns its own warm start).
+    """
+    return workers > 1 and seed is None and float(approx_factor) == 1.0
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """Tile layout of one sharded similarity join."""
+
+    tiles: list
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.tiles) >= 2
+
+
+def plan_join(
+    n_left: int, n_right: int,
+    *,
+    workers: int,
+    chunks_per_worker: int,
+    can_shard: bool,
+) -> JoinPlan:
+    """Plan one unindexed join: the (possibly empty) tile grid."""
+    tiles = (
+        plan_tiles(n_left, n_right, n_chunks_for(workers, chunks_per_worker))
+        if can_shard
+        else []
+    )
+    return JoinPlan(tiles=tiles)
+
+
+def plan_pair_strides(n_pairs: int, workers: int, chunks_per_worker: int):
+    """Round-robin ``(start, stride)`` shares of a candidate-pair list.
+
+    Indexed joins and pair-chunked scans deal the candidate pairs the
+    same way the chunk scan deals subset positions: chunk ``k`` owns
+    pairs ``k :: n_chunks``, so every chunk holds a representative mix
+    of cheap and expensive pairs (the index orders candidates by lower
+    bound, which concentrates the expensive near-pairs at the front).
+    """
+    return plan_strides(n_pairs, n_chunks_for(workers, chunks_per_worker))
+
+
+def tau_schedule(algo, space: SearchSpace):
+    """GTM's descending tau sequence for one query (pure).
+
+    Mirrors :meth:`repro.core.gtm.GTM.search`: start at
+    ``min(tau, max(min_tau, n_rows // 2))`` and halve (floored at
+    ``min_tau``) until ``min_tau`` runs.
+    """
+    tau = min(algo.tau, max(algo.min_tau, space.n_rows // 2))
+    while tau >= algo.min_tau:
+        yield tau
+        if tau == algo.min_tau:
+            return
+        tau = max(tau // 2, algo.min_tau)
+
+
+def remaining_budget(timeout: Optional[float], started_at: float, now: float) -> Optional[float]:
+    """What is left of one whole-query wall-clock budget (None = none)."""
+    if timeout is None:
+        return None
+    return float(timeout) - (now - started_at)
+
+
+def deadline_for(timeout: Optional[float], started_at: float) -> Optional[float]:
+    """Absolute ``perf_counter()`` deadline of a timeout-bounded query."""
+    return None if timeout is None else started_at + float(timeout)
+
+
+def chunk_deal(candidates, n_chunks: int):
+    """Deal an index array round-robin into ``n_chunks`` hands."""
+    n_chunks = max(1, min(int(n_chunks), len(candidates)))
+    return [candidates[k::n_chunks] for k in range(n_chunks)]
+
+
+def band_edges(n_rows: int, workers: int):
+    """Contiguous group-row bands for the sharded level reduction."""
+    return [
+        band for band in np.array_split(np.arange(n_rows), workers) if len(band)
+    ]

@@ -309,7 +309,15 @@ def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
 
 @dataclass(frozen=True)
 class QueryTask:
-    """One complete discovery query (corpus parallelism)."""
+    """One complete discovery query (corpus parallelism).
+
+    The trajectories travel either inline (``trajectory`` / ``second``,
+    the cold path) or by reference into the batch's published corpus
+    transport slabs (``corpus_ref`` plus ``a_spec`` / ``b_spec``, the
+    indexed path): a spec is ``(corpus position, crs, trajectory_id)``
+    and the worker rebuilds the exact same Trajectory from the shared
+    points/timestamps arrays -- zero trajectory pickling.
+    """
 
     trajectory: object
     second: Optional[object]
@@ -321,6 +329,11 @@ class QueryTask:
     #: trajectories; when present the worker attaches instead of
     #: recomputing ``dG`` (the warm-worker path).
     matrix_ref: Optional[SharedMatrixRef] = None
+    #: Parent-published corpus transport slabs (points / timestamps /
+    #: offsets) and this query's position(s) in them.
+    corpus_ref: Optional[SharedArrayRef] = None
+    a_spec: Optional[Tuple[int, str, Optional[str]]] = None
+    b_spec: Optional[Tuple[int, str, Optional[str]]] = None
 
 
 def run_query(task: QueryTask) -> MotifResult:
@@ -334,14 +347,22 @@ def run_query(task: QueryTask) -> MotifResult:
     the warm-state tests assert.  The oracle values are identical
     either way, so the answer is too.
     """
+    trajectory, second = task.trajectory, task.second
+    if task.corpus_ref is not None and task.a_spec is not None:
+        from ..index import slab_trajectory
+
+        slabs = attach_slabs(task.corpus_ref)
+        trajectory = slab_trajectory(slabs, *task.a_spec)
+        if task.b_spec is not None:
+            second = slab_trajectory(slabs, *task.b_spec)
     oracle = None
     if task.matrix_ref is not None:
         oracle = DenseGroundMatrix(
             attach_matrix(task.matrix_ref), validate=False
         )
     result = discover_motif(
-        task.trajectory,
-        task.second,
+        trajectory,
+        second,
         min_length=task.min_length,
         algorithm=task.algorithm,
         metric=task.metric,
@@ -375,6 +396,132 @@ def join_tile(task: JoinTask):
         task.theta,
         task.metric,
         offsets=(task.left_offset, task.right_offset),
+    )
+
+
+# ----------------------------------------------------------------------
+# Indexed corpus workloads (candidate-pair tiles)
+# ----------------------------------------------------------------------
+def _resolve_corpus(inline_points, ref: Optional[SharedArrayRef]):
+    """An index -> points callable: inline list or transport slabs."""
+    from ..index import slab_points
+
+    if inline_points is not None:
+        arrays = [np.asarray(p, dtype=np.float64) for p in inline_points]
+        return lambda i: arrays[i]
+    if ref is None:
+        raise ReproError("task carries neither corpus points nor a ref")
+    slabs = attach_slabs(ref)
+    return lambda i: slab_points(slabs, i)
+
+
+def _resolve_pairs(task):
+    """A task's candidate pairs: inline array or a strided shm share."""
+    if task.pairs is not None:
+        pairs = np.asarray(task.pairs, dtype=np.int64).reshape(-1, 2)
+    else:
+        if task.pairs_ref is None:
+            raise ReproError("task carries neither pairs nor a pairs_ref")
+        pairs = attach_slabs(task.pairs_ref)["pairs"]
+    if task.pair_stride != 1 or task.pair_start != 0:
+        pairs = pairs[task.pair_start::task.pair_stride]
+    return pairs
+
+
+@dataclass(frozen=True)
+class PairsJoinTask:
+    """One chunk of an indexed join's candidate-pair list.
+
+    The corpus points travel by reference into the published index
+    transport slabs (``left_ref`` / ``right_ref``; ``right_ref`` may
+    equal ``left_ref`` for self-joins) and the candidate pairs by a
+    ``(start, stride)`` share of the published pair slab -- a zero-copy
+    task is three refs plus two ints.  Inline fallbacks
+    (``left_points`` / ``right_points`` / ``pairs``) serve the inline
+    executor and shm-less hosts.
+    """
+
+    theta: float
+    metric: object
+    pairs: Optional[np.ndarray] = None
+    pairs_ref: Optional[SharedArrayRef] = None
+    pair_start: int = 0
+    pair_stride: int = 1
+    left_points: Optional[Sequence] = None
+    left_ref: Optional[SharedArrayRef] = None
+    right_points: Optional[Sequence] = None
+    right_ref: Optional[SharedArrayRef] = None
+
+
+def pairs_join_tile(task: PairsJoinTask):
+    """Cascade one candidate-pair chunk; absolute-index matches."""
+    from ..extensions.join import join_pairs
+
+    get_left = _resolve_corpus(task.left_points, task.left_ref)
+    if task.right_points is None and task.right_ref is None:
+        get_right = get_left  # self-join: one transport segment
+    else:
+        get_right = _resolve_corpus(task.right_points, task.right_ref)
+    return join_pairs(
+        get_left, get_right, _resolve_pairs(task), task.theta, task.metric
+    )
+
+
+@dataclass(frozen=True)
+class JoinTopKChunkTask:
+    """One chunk of a top-k closest-pair join's ordered pair list.
+
+    ``pair_lbs`` (or the ``lbs`` slab next to the shared ``pairs``)
+    carries the index lower bound per pair; the chunk's share is
+    ascending, so the scan stops at the first bound beyond the shared
+    k-th-best cut.  The k-th best rides the same shared value as the
+    motif scans (reset per scan by the engine).
+    """
+
+    k: int
+    metric: object
+    pairs: Optional[np.ndarray] = None
+    pairs_ref: Optional[SharedArrayRef] = None
+    pair_start: int = 0
+    pair_stride: int = 1
+    pair_lbs: Optional[np.ndarray] = None
+    left_points: Optional[Sequence] = None
+    left_ref: Optional[SharedArrayRef] = None
+    right_points: Optional[Sequence] = None
+    right_ref: Optional[SharedArrayRef] = None
+    seed_kth: float = math.inf
+    sync_every: int = 64
+
+
+def join_topk_chunk(task: JoinTopKChunkTask):
+    """Scan one ordered pair chunk against the shared k-th best."""
+    from ..extensions.join import scan_join_topk
+
+    get_left = _resolve_corpus(task.left_points, task.left_ref)
+    if task.right_points is None and task.right_ref is None:
+        get_right = get_left
+    else:
+        get_right = _resolve_corpus(task.right_points, task.right_ref)
+    pairs = _resolve_pairs(task)
+    bounds = task.pair_lbs
+    if bounds is None and task.pairs_ref is not None:
+        slabs = attach_slabs(task.pairs_ref)
+        if "lbs" in slabs:
+            lbs = slabs["lbs"]
+            if task.pair_stride != 1 or task.pair_start != 0:
+                lbs = lbs[task.pair_start::task.pair_stride]
+            bounds = lbs
+    return scan_join_topk(
+        get_left,
+        get_right,
+        pairs,
+        task.k,
+        task.metric,
+        bounds=bounds,
+        ordered=bounds is not None,
+        kth0=min(task.seed_kth, read_shared_bsf()),
+        sync=sync_bsf,
+        sync_every=task.sync_every,
     )
 
 

@@ -10,12 +10,22 @@ to components with a minimum population (a lightweight DBSCAN flavour).
 Overlapping windows are trivially similar, so windows whose index
 ranges overlap are never considered neighbours -- the same non-overlap
 rule Problem 1 imposes on the motif.
+
+The module is split so the engine can parallelise it:
+:func:`window_starts` / :func:`window_pair_grid` enumerate the
+candidate space, the cascade decides the edges, and
+:func:`clusters_from_edges` folds any edge set into clusters.
+:meth:`repro.engine.MotifEngine.cluster` routes the edge decisions
+through the engine's candidate-pair chunks (optionally pruned by a
+window-level :class:`~repro.index.CorpusIndex`) and reuses
+:func:`clusters_from_edges`, so its answer is identical to this serial
+loop's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -53,6 +63,64 @@ class _UnionFind:
             self.parent[rb] = ra
 
 
+def window_starts(
+    n: int, window_length: int, stride: int, theta: float
+) -> List[int]:
+    """Validated start indices of the sliding windows."""
+    if window_length < 2:
+        raise ReproError("window_length must be at least 2")
+    if stride < 1:
+        raise ReproError("stride must be at least 1")
+    if theta < 0:
+        raise ReproError("theta must be non-negative")
+    return list(range(0, n - window_length + 1, stride))
+
+
+def window_pair_grid(
+    starts: Sequence[int], window_length: int
+) -> np.ndarray:
+    """Non-overlapping window pairs ``(a, b)``, ``a < b``, lex-sorted.
+
+    The candidate space of the clustering problem: overlapping windows
+    are trivially similar and therefore excluded, mirroring Problem
+    1's non-overlap rule.
+    """
+    starts_arr = np.asarray(starts, dtype=np.int64)
+    n = len(starts_arr)
+    if n < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    a_idx, b_idx = np.triu_indices(n, k=1)
+    keep = starts_arr[b_idx] >= starts_arr[a_idx] + window_length
+    return np.stack([a_idx[keep], b_idx[keep]], axis=1)
+
+
+def clusters_from_edges(
+    starts: Sequence[int],
+    edges: Sequence[Tuple[int, int]],
+    window_length: int,
+    min_cluster_size: int,
+) -> List[WindowCluster]:
+    """Connected components of an edge set over window positions.
+
+    ``edges`` must be iterated in the serial discovery order (sorted
+    ``(a, b)``) for the union-find evolution -- and hence the cluster
+    ordering under size ties -- to match the serial loop exactly.
+    """
+    uf = _UnionFind(len(starts))
+    for a, b in edges:
+        uf.union(int(a), int(b))
+    groups: dict = {}
+    for k, s in enumerate(starts):
+        groups.setdefault(uf.find(k), []).append(s)
+    clusters = [
+        WindowCluster(tuple(sorted(members)), window_length)
+        for members in groups.values()
+        if len(members) >= min_cluster_size
+    ]
+    clusters.sort(key=len, reverse=True)
+    return clusters
+
+
 def cluster_subtrajectories(
     trajectory: Union[Trajectory, np.ndarray],
     *,
@@ -67,42 +135,24 @@ def cluster_subtrajectories(
     Returns clusters (largest first) with at least ``min_cluster_size``
     members.
     """
-    if window_length < 2:
-        raise ReproError("window_length must be at least 2")
-    if stride < 1:
-        raise ReproError("stride must be at least 1")
-    if theta < 0:
-        raise ReproError("theta must be non-negative")
     traj = trajectory if isinstance(trajectory, Trajectory) else Trajectory(
         np.asarray(trajectory, dtype=np.float64)
     )
     m = get_metric(metric, crs=traj.crs)
-    starts = list(range(0, traj.n - window_length + 1, stride))
+    starts = window_starts(traj.n, window_length, stride, theta)
     windows = [traj.points[s : s + window_length] for s in starts]
-    uf = _UnionFind(len(starts))
-    for a in range(len(starts)):
-        for b in range(a + 1, len(starts)):
-            if starts[b] < starts[a] + window_length:
-                continue  # overlapping windows are not neighbours
-            p, q = windows[a], windows[b]
-            if m.distance(p[0], q[0]) > theta or m.distance(p[-1], q[-1]) > theta:
-                continue
-            dmat = m.pairwise(p, q)
-            h = max(
-                directed_hausdorff_matrix(dmat),
-                directed_hausdorff_matrix(dmat.T),
-            )
-            if h > theta:
-                continue
-            if dfd_decision(dmat, theta):
-                uf.union(a, b)
-    groups = {}
-    for k, s in enumerate(starts):
-        groups.setdefault(uf.find(k), []).append(s)
-    clusters = [
-        WindowCluster(tuple(sorted(members)), window_length)
-        for members in groups.values()
-        if len(members) >= min_cluster_size
-    ]
-    clusters.sort(key=len, reverse=True)
-    return clusters
+    edges: List[Tuple[int, int]] = []
+    for a, b in window_pair_grid(starts, window_length):
+        p, q = windows[a], windows[b]
+        if m.distance(p[0], q[0]) > theta or m.distance(p[-1], q[-1]) > theta:
+            continue
+        dmat = m.pairwise(p, q)
+        h = max(
+            directed_hausdorff_matrix(dmat),
+            directed_hausdorff_matrix(dmat.T),
+        )
+        if h > theta:
+            continue
+        if dfd_decision(dmat, theta):
+            edges.append((int(a), int(b)))
+    return clusters_from_edges(starts, edges, window_length, min_cluster_size)

@@ -47,6 +47,14 @@ class StreamingMotif:
         private single-worker engine with caching disabled is created
         by default (window contents change on every append, so
         cross-call caching cannot help a single stream).
+    verify_seed:
+        Debug knob: recompute the warm seed's DFD from scratch on every
+        append and assert it matches the carried value.  The carried
+        previous distance is exact by construction -- the window shift
+        translates both subtrajectories by whole indices, leaving every
+        pairwise ground distance (hence the DFD) untouched -- so the
+        O(L^2) recompute is off by default; it exists to diagnose a
+        corrupted stream state.
 
     Usage::
 
@@ -61,6 +69,7 @@ class StreamingMotif:
         min_length: int,
         metric: Union[str, GroundMetric, None] = "euclidean",
         engine=None,
+        verify_seed: bool = False,
     ) -> None:
         if window < 2 * min_length + 4:
             raise InfeasibleQueryError(
@@ -70,6 +79,7 @@ class StreamingMotif:
         self.window = int(window)
         self.min_length = int(min_length)
         self.metric = get_metric(metric)
+        self.verify_seed = bool(verify_seed)
         self._engine = engine
         self._points: list = []
         self._dropped = 0  # absolute index of points[0]
@@ -164,9 +174,20 @@ class StreamingMotif:
         je = prev.second.end - shift
         if i < 0:
             return None
-        # Distances are unchanged (same points, shifted); recompute the
-        # exact value defensively in case of float drift.
-        value = dfd_matrix(
-            self.metric.pairwise(pts[i : ie + 1], pts[j : je + 1])
-        )
-        return float(value), (i, ie, j, je)
+        # The distance is shift-invariant: the surviving pair covers the
+        # same points at indices shifted by a constant, so every ground
+        # distance -- and therefore the DFD -- is bit-identical.  Reuse
+        # the previous answer instead of rebuilding the O(L x L)
+        # pairwise matrix and DFD DP on every append.
+        value = float(prev.distance)
+        if self.verify_seed:  # debug: recompute from scratch and compare
+            recomputed = float(dfd_matrix(
+                self.metric.pairwise(pts[i : ie + 1], pts[j : je + 1])
+            ))
+            if recomputed != value:  # pragma: no cover - corruption guard
+                raise ReproError(
+                    f"streaming warm seed drifted: carried {value!r}, "
+                    f"recomputed {recomputed!r}"
+                )
+            value = recomputed
+        return value, (i, ie, j, je)

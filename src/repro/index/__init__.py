@@ -1,0 +1,25 @@
+"""Corpus proximity indexing for DFD workloads (:class:`CorpusIndex`).
+
+Per-trajectory summaries -- bounding boxes, endpoints and
+Douglas-Peucker simplifications with exact discrete-Frechet error radii
+-- give admissible DFD lower bounds, and an endpoint grid buckets the
+corpus so similarity joins, top-k closest-pair scans and window
+clustering enumerate only the pairs the index cannot prove apart.  The
+engine publishes the index's transport arrays once through shared
+memory so pool tasks carry refs instead of pickled trajectories (see
+:meth:`repro.engine.MotifEngine.join` and DESIGN.md section 8).
+"""
+
+from .index import (
+    CorpusIndex,
+    IndexStats,
+    slab_points,
+    slab_trajectory,
+)
+
+__all__ = [
+    "CorpusIndex",
+    "IndexStats",
+    "slab_points",
+    "slab_trajectory",
+]

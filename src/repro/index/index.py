@@ -1,0 +1,460 @@
+"""Corpus proximity index: admissible DFD lower bounds per trajectory pair.
+
+Corpus workloads (similarity join, top-k closest pairs, window
+clustering) compare *whole* trajectories under the discrete Frechet
+distance.  Enumerating every ``|L| x |R|`` pair in Python before the
+filter cascade runs is the dominant cost once collections grow; the
+practical Frechet-proximity literature (Gudmundsson et al.,
+arXiv:2005.13773; the greedy subtrajectory-clustering line,
+arXiv:2503.14115) shows that cheap per-trajectory summaries prune most
+pairs before any distance matrix is built.
+
+:class:`CorpusIndex` precomputes, per trajectory:
+
+* **endpoints** -- any coupling matches the first points and the last
+  points, so ``d(p_0, q_0) <= DFD`` and ``d(p_last, q_last) <= DFD``;
+* **bounding box** -- every coupled pair is one point from each
+  trajectory, so the minimum box-to-box distance lower-bounds the DFD
+  (coordinate-monotone metrics);
+* **Douglas-Peucker simplification with its error radius** -- the
+  simplification ``A^`` keeps a subsequence of ``A``'s points, and the
+  index stores the *exact* discrete Frechet error
+  ``err(A) = DFD(A, A^)`` (one small DP per trajectory).  The discrete
+  Frechet distance satisfies the triangle inequality, so
+
+  .. math:: DFD(A, B) \\ge DFD(A^, B^) - err(A) - err(B)
+
+  and the right-hand side is computed on the tiny simplified curves.
+
+Candidate generation buckets trajectories by an **endpoint grid** with
+cell size ``theta``: for a coordinate-monotone ground metric, two start
+points more than one cell apart on any axis are strictly further than
+``theta``, so only the 3^d neighbouring buckets can contain join
+partners -- most pairs are never enumerated at all.
+
+Every bound is *admissible* (never exceeds the true DFD), which the
+property suite in ``tests/test_index.py`` asserts on random corpora;
+pruned pairs therefore provably fail ``DFD <= theta`` and indexed
+answers equal unindexed answers exactly.
+
+The index is transport-ready: :meth:`CorpusIndex.transport_slabs`
+exposes the corpus as three contiguous arrays (points, timestamps,
+offsets) that the engine publishes once through its
+:class:`~repro.engine.shm.SharedArrayStore`, so join / top-k tiles and
+corpus-batch tasks carry only a by-reference handle (zero index-array
+pickling; see ``MotifEngine.transfer_info``).  This module deliberately
+imports nothing from :mod:`repro.engine` -- the engine composes it, not
+the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..distances.frechet import dfd_matrix
+from ..distances.ground import GroundMetric, get_metric
+from ..errors import ReproError
+from ..trajectory import Trajectory
+from ..trajectory.ops import douglas_peucker
+
+
+@dataclass
+class IndexStats:
+    """Accounting of one candidate-generation pass.
+
+    ``pairs_total`` counts the conceptual ``|L| x |R|`` grid (or the
+    caller-supplied pair list); every ``pruned_*`` counter is a pair
+    the index removed *before* the join cascade's own endpoint filter
+    ran.  ``candidates`` is what survives.
+    """
+
+    pairs_total: int = 0
+    pruned_grid: int = 0
+    pruned_endpoint: int = 0
+    pruned_box: int = 0
+    pruned_simplification: int = 0
+    candidates: int = 0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def pruned_total(self) -> int:
+        return (
+            self.pruned_grid
+            + self.pruned_endpoint
+            + self.pruned_box
+            + self.pruned_simplification
+        )
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Share of the pair grid the index removed (0 on empty grids)."""
+        if self.pairs_total == 0:
+            return 0.0
+        return self.pruned_total / self.pairs_total
+
+    def as_dict(self) -> dict:
+        return {
+            "pairs_total": self.pairs_total,
+            "pruned_grid": self.pruned_grid,
+            "pruned_endpoint": self.pruned_endpoint,
+            "pruned_box": self.pruned_box,
+            "pruned_simplification": self.pruned_simplification,
+            "candidates": self.candidates,
+        }
+
+
+def _as_points(obj) -> np.ndarray:
+    pts = np.asarray(getattr(obj, "points", obj), dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] < 1:
+        raise ReproError("index trajectories must be non-empty (n, d) arrays")
+    return pts
+
+
+def _as_timestamps(obj, n: int) -> np.ndarray:
+    ts = getattr(obj, "timestamps", None)
+    if ts is None:
+        return np.arange(n, dtype=np.float64)
+    return np.asarray(ts, dtype=np.float64)
+
+
+class CorpusIndex:
+    """Per-trajectory summaries giving admissible DFD lower bounds.
+
+    Parameters
+    ----------
+    trajectories:
+        Sequence of :class:`Trajectory` objects or raw ``(n, d)``
+        arrays.  The index snapshots their points; it does not keep the
+        originals alive.
+    metric:
+        Ground metric (name or instance) the bounds are computed under.
+        Grid bucketing and the box bound engage only for
+        *coordinate-monotone* metrics (``metric.coordinate_monotone``,
+        e.g. Euclidean and Chebyshev); the endpoint and simplification
+        bounds are admissible under any ground metric.
+    simplify_frac:
+        Douglas-Peucker tolerance as a fraction of each trajectory's
+        bounding-box diagonal (the summaries are scale-free).
+    max_simplification_points:
+        Upper bound on a summary's size: the tolerance doubles until
+        the simplification fits.  Small summaries keep the per-pair
+        ``DFD(A^, B^)`` DPs cheap -- the bound stays admissible at any
+        size because the stored error radius is always the *exact*
+        ``DFD(A, A^)`` of whatever simplification was kept.
+    """
+
+    def __init__(
+        self,
+        trajectories: Sequence[Union[Trajectory, np.ndarray]],
+        metric: Union[str, GroundMetric] = "euclidean",
+        *,
+        simplify_frac: float = 0.05,
+        max_simplification_points: int = 8,
+    ) -> None:
+        if simplify_frac < 0:
+            raise ReproError("simplify_frac must be non-negative")
+        if max_simplification_points < 2:
+            raise ReproError("max_simplification_points must be at least 2")
+        self.metric = get_metric(metric)
+        self.simplify_frac = float(simplify_frac)
+        self.max_simplification_points = int(max_simplification_points)
+        self._points: List[np.ndarray] = [_as_points(t) for t in trajectories]
+        if not self._points:
+            raise ReproError("cannot index an empty corpus")
+        dims = {p.shape[1] for p in self._points}
+        if len(dims) != 1:
+            raise ReproError("index trajectories must share dimensionality")
+        self._timestamps = [
+            _as_timestamps(t, p.shape[0])
+            for t, p in zip(trajectories, self._points)
+        ]
+        self.starts = np.stack([p[0] for p in self._points])
+        self.ends = np.stack([p[-1] for p in self._points])
+        self.box_lo = np.stack([p.min(axis=0) for p in self._points])
+        self.box_hi = np.stack([p.max(axis=0) for p in self._points])
+        # Simplification summaries are built lazily: transport-only
+        # consumers (corpus batches) never pay the per-trajectory DPs.
+        self._simplified: Optional[List[np.ndarray]] = None
+        self._simp_errors: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed trajectories."""
+        return len(self._points)
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def dimensions(self) -> int:
+        return self._points[0].shape[1]
+
+    def points(self, i: int) -> np.ndarray:
+        """Point array of trajectory ``i``."""
+        return self._points[int(i)]
+
+    # ------------------------------------------------------------------
+    # Simplification summaries
+    # ------------------------------------------------------------------
+    def ensure_summaries(self) -> None:
+        """Build the Douglas-Peucker summaries (idempotent)."""
+        if self._simplified is not None:
+            return
+        simplified: List[np.ndarray] = []
+        errors = np.zeros(self.n)
+        for i, pts in enumerate(self._points):
+            diag = float(np.linalg.norm(self.box_hi[i] - self.box_lo[i]))
+            eps = self.simplify_frac * diag
+            if eps == 0.0:
+                eps = 1e-9 * max(1.0, diag)
+            traj = Trajectory(pts)
+            simp = douglas_peucker(traj, eps).points
+            # Cap the summary size: noisy curves keep too many points
+            # at the geometric tolerance, and summary cost is quadratic
+            # in summary size at query time.
+            while simp.shape[0] > self.max_simplification_points:
+                eps *= 2.0
+                simp = douglas_peucker(traj, eps).points
+            simplified.append(simp)
+            # The *exact* discrete Frechet error of the simplification,
+            # not the geometric epsilon: one small (n x k) DP makes the
+            # triangle-inequality bound admissible by construction.
+            errors[i] = dfd_matrix(self.metric.pairwise(pts, simp))
+        self._simplified = simplified
+        self._simp_errors = errors
+
+    @property
+    def simplifications(self) -> List[np.ndarray]:
+        self.ensure_summaries()
+        return self._simplified  # type: ignore[return-value]
+
+    @property
+    def simplification_errors(self) -> np.ndarray:
+        self.ensure_summaries()
+        return self._simp_errors  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Lower bounds
+    # ------------------------------------------------------------------
+    def _box_gaps(self, other: "CorpusIndex", a_idx, b_idx) -> np.ndarray:
+        """Per-axis separation of the bounding boxes of paired items."""
+        lo_a, hi_a = self.box_lo[a_idx], self.box_hi[a_idx]
+        lo_b, hi_b = other.box_lo[b_idx], other.box_hi[b_idx]
+        return np.maximum(0.0, np.maximum(lo_b - hi_a, lo_a - hi_b))
+
+    def pair_bounds(
+        self, other: Optional["CorpusIndex"], a_idx, b_idx
+    ) -> np.ndarray:
+        """Vectorised endpoint + box lower bounds for index pairs.
+
+        ``a_idx`` / ``b_idx`` are parallel integer arrays; the result is
+        an admissible DFD lower bound per pair (no simplification term
+        -- that one needs a small DP per pair, see :meth:`lower_bound`).
+        """
+        other = self if other is None else other
+        a_idx = np.asarray(a_idx, dtype=np.int64)
+        b_idx = np.asarray(b_idx, dtype=np.int64)
+        m = self.metric
+        lb = np.maximum(
+            m.rowwise(self.starts[a_idx], other.starts[b_idx]),
+            m.rowwise(self.ends[a_idx], other.ends[b_idx]),
+        )
+        if m.coordinate_monotone:
+            gaps = self._box_gaps(other, a_idx, b_idx)
+            lb = np.maximum(lb, m.rowwise(np.zeros_like(gaps), gaps))
+        return lb
+
+    def simplification_bound(
+        self, i: int, other: Optional["CorpusIndex"], j: int
+    ) -> float:
+        """Triangle-inequality bound ``DFD(A^, B^) - err(A) - err(B)``."""
+        other = self if other is None else other
+        self.ensure_summaries()
+        other.ensure_summaries()
+        simp_a = self.simplifications[int(i)]
+        simp_b = other.simplifications[int(j)]
+        core = dfd_matrix(self.metric.pairwise(simp_a, simp_b))
+        return float(
+            core
+            - self.simplification_errors[int(i)]
+            - other.simplification_errors[int(j)]
+        )
+
+    def lower_bound(
+        self, i: int, j: int, other: Optional["CorpusIndex"] = None
+    ) -> float:
+        """Tightest admissible DFD lower bound the index can prove.
+
+        ``max(endpoint, box, simplification)`` -- each term individually
+        never exceeds ``DFD(self[i], other[j])`` (property-tested), so
+        the max does not either.
+        """
+        lb = float(self.pair_bounds(other, [int(i)], [int(j)])[0])
+        return max(lb, self.simplification_bound(i, other, j))
+
+    # ------------------------------------------------------------------
+    # Candidate generation
+    # ------------------------------------------------------------------
+    def _grid_candidates(
+        self, other: "CorpusIndex", theta: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pairs surviving the endpoint grid (coordinate-monotone only).
+
+        Start points are hashed into cells of side ``theta``; a pair
+        whose start cells differ by two or more on any axis has
+        per-axis start distance strictly greater than ``theta``, hence
+        ``DFD > theta`` -- only the 3^d neighbouring cells are probed.
+        """
+        cells = np.floor(other.starts / theta).astype(np.int64)
+        buckets: Dict[tuple, List[int]] = {}
+        for j, cell in enumerate(map(tuple, cells)):
+            buckets.setdefault(cell, []).append(j)
+        a_out: List[int] = []
+        b_out: List[int] = []
+        own_cells = np.floor(self.starts / theta).astype(np.int64)
+        dims = self.dimensions
+        offsets = np.stack(
+            np.meshgrid(*([np.array([-1, 0, 1])] * dims), indexing="ij"),
+            axis=-1,
+        ).reshape(-1, dims)
+        for i, cell in enumerate(own_cells):
+            for off in offsets:
+                hits = buckets.get(tuple(cell + off))
+                if hits:
+                    a_out.extend([i] * len(hits))
+                    b_out.extend(hits)
+        return (
+            np.asarray(a_out, dtype=np.int64),
+            np.asarray(b_out, dtype=np.int64),
+        )
+
+    def candidate_pairs(
+        self,
+        other: Optional["CorpusIndex"],
+        theta: float,
+        pairs: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, IndexStats]:
+        """All pairs the index cannot prove apart at threshold ``theta``.
+
+        Returns a lexicographically sorted ``(m, 2)`` int64 array of
+        surviving ``(a, b)`` pairs plus the pruning statistics.  Every
+        pruned pair provably has ``DFD > theta``.  ``pairs`` restricts
+        the grid to a caller-supplied pair list (window clustering's
+        non-overlap rule); grid bucketing then does not apply, but the
+        vectorised bound filters do.
+        """
+        if theta < 0:
+            raise ReproError("theta must be non-negative")
+        peer = self if other is None else other
+        stats = IndexStats()
+        if pairs is not None:
+            pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            stats.pairs_total = len(pairs)
+            a_idx, b_idx = pairs[:, 0], pairs[:, 1]
+        else:
+            stats.pairs_total = self.n * peer.n
+            if theta > 0 and self.metric.coordinate_monotone:
+                a_idx, b_idx = self._grid_candidates(peer, theta)
+                stats.pruned_grid = stats.pairs_total - len(a_idx)
+            else:
+                a_idx, b_idx = np.divmod(
+                    np.arange(self.n * peer.n, dtype=np.int64), peer.n
+                )
+        if len(a_idx):
+            lbs = self.pair_bounds(other, a_idx, b_idx)
+            keep = lbs <= theta
+            # Endpoint/box are folded into one vectorised pass; split
+            # the accounting so reports show which bound class fired.
+            m = self.metric
+            lb_end = np.maximum(
+                m.rowwise(self.starts[a_idx], peer.starts[b_idx]),
+                m.rowwise(self.ends[a_idx], peer.ends[b_idx]),
+            )
+            stats.pruned_endpoint = int(np.sum(lb_end > theta))
+            stats.pruned_box = int(np.sum(~keep)) - stats.pruned_endpoint
+            a_idx, b_idx = a_idx[keep], b_idx[keep]
+        if len(a_idx):
+            self.ensure_summaries()
+            peer.ensure_summaries()
+            keep_mask = np.ones(len(a_idx), dtype=bool)
+            for pos, (i, j) in enumerate(zip(a_idx, b_idx)):
+                if self.simplification_bound(int(i), other, int(j)) > theta:
+                    keep_mask[pos] = False
+            stats.pruned_simplification = int(np.sum(~keep_mask))
+            a_idx, b_idx = a_idx[keep_mask], b_idx[keep_mask]
+        out = np.stack([a_idx, b_idx], axis=1) if len(a_idx) else (
+            np.empty((0, 2), dtype=np.int64)
+        )
+        order = np.lexsort((out[:, 1], out[:, 0]))
+        out = np.ascontiguousarray(out[order])
+        stats.candidates = len(out)
+        return out, stats
+
+    def ordered_pairs(
+        self, other: Optional["CorpusIndex"] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The full pair grid, ascending by ``(lower bound, a, b)``.
+
+        Top-k closest-pair joins have no fixed threshold to prune
+        against up front; instead the scan consumes pairs in ascending
+        lower-bound order and stops once the bound exceeds the evolving
+        k-th best distance.  Returns ``(pairs, bounds)`` (endpoint +
+        box bounds; no per-pair simplification DP -- the scan's cascade
+        tightens further).
+        """
+        peer = self if other is None else other
+        a_idx, b_idx = np.divmod(
+            np.arange(self.n * peer.n, dtype=np.int64), peer.n
+        )
+        lbs = self.pair_bounds(other, a_idx, b_idx)
+        order = np.lexsort((b_idx, a_idx, lbs))
+        pairs = np.stack([a_idx[order], b_idx[order]], axis=1)
+        return np.ascontiguousarray(pairs), np.ascontiguousarray(lbs[order])
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport
+    # ------------------------------------------------------------------
+    def transport_slabs(self) -> Dict[str, np.ndarray]:
+        """The corpus as three contiguous arrays for shm publication.
+
+        ``points`` (sum(n_i), d) and ``timestamps`` (sum(n_i),) are the
+        concatenated trajectories; ``offsets`` (n + 1,) delimits them.
+        Workers rebuild any trajectory as a zero-copy slice
+        (:func:`slab_points` / :func:`slab_trajectory`).
+        """
+        offsets = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum([p.shape[0] for p in self._points], out=offsets[1:])
+        return {
+            "points": np.concatenate(self._points, axis=0),
+            "timestamps": np.concatenate(self._timestamps),
+            "offsets": offsets,
+        }
+
+
+def slab_points(slabs: Dict[str, np.ndarray], i: int) -> np.ndarray:
+    """Trajectory ``i``'s point array out of transport slabs (zero-copy)."""
+    offsets = slabs["offsets"]
+    return slabs["points"][int(offsets[i]):int(offsets[i + 1])]
+
+
+def slab_trajectory(
+    slabs: Dict[str, np.ndarray],
+    i: int,
+    crs: str = "plane",
+    trajectory_id: Optional[str] = None,
+) -> Trajectory:
+    """Rebuild trajectory ``i`` (points + timestamps) from transport slabs."""
+    offsets = slabs["offsets"]
+    lo, hi = int(offsets[i]), int(offsets[i + 1])
+    return Trajectory(
+        slabs["points"][lo:hi],
+        slabs["timestamps"][lo:hi],
+        crs=crs,
+        trajectory_id=trajectory_id,
+    )

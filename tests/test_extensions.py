@@ -154,6 +154,111 @@ class TestSimilarityJoin:
         _, stats = similarity_join(near, far, theta=1.0)
         assert stats.pruned_endpoint + stats.pruned_bbox == stats.pairs_total
 
+    def test_boxes_apart_exact_for_chebyshev(self):
+        """The closest-point box construction is exact for every
+        coordinate-monotone metric, so the filter now engages for
+        Chebyshev too (it used to run only under Euclidean)."""
+        from repro.distances.ground import get_metric
+        from repro.extensions.join import _bbox, _boxes_apart
+
+        m = get_metric("chebyshev")
+        assert m.coordinate_monotone
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            p = rng.uniform(-10, 10, size=(6, 2))
+            q = rng.uniform(-10, 10, size=(6, 2))
+            theta = float(rng.uniform(0.1, 15.0))
+            # Exactness: the decision equals the brute-force min
+            # point-to-point distance between the boxes' corners/edges,
+            # which the all-pairs point distance lower-bounds.
+            min_pair = m.pairwise(p, q).min()
+            if _boxes_apart(_bbox(p), _bbox(q), theta, m):
+                assert min_pair > theta  # never prunes a feasible pair
+        # Haversine stays outside the gate.
+        assert not get_metric("haversine").coordinate_monotone
+
+    def test_chebyshev_join_matches_naive(self):
+        rng = np.random.default_rng(9)
+        trajs = [rng.integers(0, 8, size=(12, 2)).astype(float)
+                 for _ in range(6)]
+        for theta in (1.0, 3.0):
+            matches, _ = similarity_join(trajs, trajs, theta,
+                                         metric="chebyshev")
+            naive = {
+                (a, b)
+                for a in range(len(trajs))
+                for b in range(len(trajs))
+                if discrete_frechet(trajs[a], trajs[b], metric="chebyshev")
+                <= theta
+            }
+            assert set(matches) == naive
+
+    def test_indexed_join_identical_matches(self):
+        trajs = self.make_sets(seed=5)
+        for theta in (0.5, 2.0, 8.0):
+            ref_matches, _ = similarity_join(trajs, trajs, theta)
+            idx_matches, idx_stats = similarity_join(trajs, trajs, theta,
+                                                     index=True)
+            assert idx_matches == ref_matches
+            assert (idx_stats.pruned_total + idx_stats.decisions
+                    == idx_stats.pairs_total)
+            assert "index" in idx_stats.details
+
+    def test_join_pairs_equals_full_join_on_full_grid(self):
+        from repro.extensions.join import join_pairs
+
+        trajs = self.make_sets(seed=6)
+        pts = [np.asarray(t, dtype=float) for t in trajs]
+        pairs = [(a, b) for a in range(len(pts)) for b in range(len(pts))]
+        ref_matches, ref_stats = similarity_join(trajs, trajs, 2.0)
+        got_matches, got_stats = join_pairs(
+            lambda i: pts[i], lambda i: pts[i], pairs, 2.0
+        )
+        assert sorted(got_matches) == ref_matches
+        assert got_stats.pruned_endpoint == ref_stats.pruned_endpoint
+        assert got_stats.decisions == ref_stats.decisions
+
+
+class TestJoinTopK:
+    def make_sets(self, seed=0, count=5, n=18):
+        rng = np.random.default_rng(seed)
+        return [rng.normal(size=(n, 2)).cumsum(axis=0) for _ in range(count)]
+
+    def test_matches_brute_force_ranking(self):
+        from repro.extensions.join import join_top_k
+
+        left = self.make_sets(seed=1)
+        right = self.make_sets(seed=2)
+        brute = sorted(
+            (float(discrete_frechet(p, q)), (a, b))
+            for a, p in enumerate(left)
+            for b, q in enumerate(right)
+        )
+        for k in (1, 3, 7, 30):
+            got = join_top_k(left, right, k)
+            want = brute[: min(k, len(brute))]
+            assert [pair for _, pair in got] == [pair for _, pair in want]
+            assert [d for d, _ in got] == pytest.approx(
+                [d for d, _ in want]
+            )
+
+    def test_ties_rank_canonically(self):
+        from repro.extensions.join import join_top_k
+
+        base = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        # Duplicate trajectories force exact distance ties; the (a, b)
+        # order must break them deterministically.
+        left = [base, base.copy(), base + 10.0]
+        got = join_top_k(left, left, 4)
+        assert [pair for _, pair in got] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert all(d == 0.0 for d, _ in got)
+
+    def test_k_validation(self):
+        from repro.extensions.join import join_top_k
+
+        with pytest.raises(ValueError):
+            join_top_k([], [], k=0)
+
 
 class TestClustering:
     def test_figure_eight_forms_clusters(self):

@@ -26,7 +26,8 @@ import pytest
 from repro.core import discover_motif
 from repro.engine import MotifEngine
 from repro.extensions import discover_top_k_motifs
-from repro.extensions.join import similarity_join
+from repro.extensions.clustering import cluster_subtrajectories
+from repro.extensions.join import join_top_k, similarity_join
 from repro.trajectory import Trajectory
 
 SEED_BASE = int(os.environ.get("REPRO_TEST_SEED", "0"))
@@ -162,6 +163,71 @@ def test_join_parity(inline_engine, seed):
 
 
 # ----------------------------------------------------------------------
+# Indexed corpus paths: admissible pruning must not change any answer
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_indexed_join_parity(inline_engine, seed):
+    """Indexed join == unindexed serial join, for every worker count.
+
+    The matches must be identical (the index only removes provably
+    non-matching pairs) and the indexed statistics must be
+    workers-independent (identical to the serial indexed reference).
+    """
+    left, right, theta, metric = make_collections(seed)
+    ref_matches, _ = similarity_join(left, right, theta, metric)
+    idx_matches, idx_stats = similarity_join(left, right, theta, metric,
+                                             index=True)
+    assert idx_matches == ref_matches
+    for workers in WORKER_COUNTS:
+        got_matches, got_stats = inline_engine.join(
+            left, right, theta, metric, workers=workers, index=True
+        )
+        assert got_matches == ref_matches
+        assert got_stats.pairs_total == idx_stats.pairs_total
+        assert got_stats.pruned_index == idx_stats.pruned_index
+        assert got_stats.pruned_endpoint == idx_stats.pruned_endpoint
+        assert got_stats.pruned_bbox == idx_stats.pruned_bbox
+        assert got_stats.pruned_hausdorff == idx_stats.pruned_hausdorff
+        assert got_stats.decisions == idx_stats.decisions
+        assert got_stats.matches == idx_stats.matches
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_join_top_k_parity(inline_engine, seed):
+    """Indexed/sharded top-k closest pairs == the serial reference."""
+    left, right, _theta, metric = make_collections(seed)
+    k = 1 + seed % 6
+    ref = join_top_k(left, right, k, metric)
+    for workers in WORKER_COUNTS:
+        for use_index in (False, True):
+            got = inline_engine.join_top_k(
+                left, right, k, metric, workers=workers, index=use_index
+            )
+            assert got == ref, (workers, use_index)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_cluster_parity(inline_engine, seed):
+    """Engine-tiled (and indexed) clustering == the serial extension."""
+    rng = np.random.default_rng(seed + 13)
+    tie_heavy = seed % 2 == 0
+    traj = make_trajectory(rng, int(rng.integers(40, 70)), tie_heavy)
+    window = int(rng.integers(5, 10))
+    stride = int(rng.integers(1, 4))
+    theta = float(rng.uniform(0.5, 4.0))
+    ref = cluster_subtrajectories(
+        traj, window_length=window, theta=theta, stride=stride
+    )
+    for workers in WORKER_COUNTS:
+        for use_index in (False, True):
+            got = inline_engine.cluster(
+                traj, window_length=window, theta=theta, stride=stride,
+                workers=workers, index=use_index,
+            )
+            assert got == ref, (workers, use_index)
+
+
+# ----------------------------------------------------------------------
 # Process-pool sweep: the same contract against real fork workers
 # ----------------------------------------------------------------------
 POOL_SEEDS = SEEDS[:4]
@@ -214,3 +280,34 @@ def test_pool_join_parity(pool_engine, seed):
     assert got_matches == ref_matches
     assert got_stats.matches == ref_stats.matches
     assert got_stats.pairs_total == ref_stats.pairs_total
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS)
+def test_pool_indexed_join_parity(pool_engine, seed):
+    left, right, theta, metric = make_collections(seed)
+    ref_matches, _ = similarity_join(left, right, theta, metric)
+    got_matches, got_stats = pool_engine.join(
+        left, right, theta, metric, index=True
+    )
+    assert got_matches == ref_matches
+    assert got_stats.pairs_total == len(left) * len(right)
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS)
+def test_pool_join_top_k_parity(pool_engine, seed):
+    left, right, _theta, metric = make_collections(seed)
+    k = 1 + seed % 6
+    ref = join_top_k(left, right, k, metric)
+    assert pool_engine.join_top_k(left, right, k, metric) == ref
+    assert pool_engine.join_top_k(left, right, k, metric, index=True) == ref
+
+
+@pytest.mark.parametrize("seed", POOL_SEEDS[:2])
+def test_pool_cluster_parity(pool_engine, seed):
+    rng = np.random.default_rng(seed + 13)
+    traj = make_trajectory(rng, 60, seed % 2 == 0)
+    ref = cluster_subtrajectories(traj, window_length=8, theta=2.5, stride=2)
+    got = pool_engine.cluster(
+        traj, window_length=8, theta=2.5, stride=2, index=True
+    )
+    assert got == ref

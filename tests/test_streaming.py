@@ -102,3 +102,53 @@ class TestExactness:
             Trajectory(pts[4:44]), min_length=4, algorithm="btm"
         ).stats.subsets_expanded
         assert incremental / 4 <= fresh * 2  # typically far smaller
+
+
+class TestWarmSeedReuse:
+    """The carried seed distance must not rebuild the O(L^2) matrix."""
+
+    def test_append_does_not_recompute_seed_distance(self, monkeypatch):
+        import repro.extensions.streaming as streaming_mod
+
+        pts = random_walk_points(60, 3)
+        stream = StreamingMotif(window=40, min_length=4)
+        stream.extend(pts[:45])
+        # From here on every append carries the previous answer; the
+        # full pairwise DFD rebuild must never run on the default path.
+        def boom(*_args, **_kwargs):  # pragma: no cover - failure path
+            raise AssertionError(
+                "warm seed recomputed the full DFD matrix"
+            )
+
+        monkeypatch.setattr(streaming_mod, "dfd_matrix", boom)
+        for pt in pts[45:55]:
+            stream.append(pt)
+
+    def test_verify_seed_flag_recomputes_and_agrees(self):
+        pts = random_walk_points(70, 4)
+        plain = StreamingMotif(window=40, min_length=4)
+        checked = StreamingMotif(window=40, min_length=4, verify_seed=True)
+        for pt in pts:
+            a = plain.append(pt)
+            b = checked.append(pt)  # recomputes + asserts, same answers
+            if a is None:
+                assert b is None
+            else:
+                assert a.distance == b.distance
+                assert a.indices == b.indices
+
+    def test_seed_distance_stays_exact_across_evictions(self):
+        """The shifted witness' carried distance equals a from-scratch
+        recompute at every step (shift invariance)."""
+        pts = random_walk_points(70, 5)
+        stream = StreamingMotif(window=40, min_length=4)
+        for k, pt in enumerate(pts):
+            result = stream.append(pt)
+            if result is None:
+                continue
+            window = pts[max(0, k + 1 - 40) : k + 1]
+            ref = discover_motif(
+                Trajectory(window), min_length=4, algorithm="btm"
+            )
+            assert result.distance == ref.distance
+            assert result.indices == ref.indices
