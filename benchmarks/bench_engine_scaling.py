@@ -258,6 +258,129 @@ def test_indexed_join_speedup(benchmark):
         assert info_index["shm_index_refs"] > 0, info_index
 
 
+#: Service-throughput stream shape per scale: (unique queries,
+#: duplicates per query, trajectory length).  Duplicate-heavy on
+#: purpose -- the coalescing win under test is in-flight sharing.
+SERVICE_STREAM_SHAPE = {
+    "smoke": (3, 6, 150),
+    "quick": (3, 6, 150),
+    "full": (4, 8, 220),
+}
+
+
+def _service_stream(unique: int, repeats: int, n: int):
+    """A duplicate-heavy request stream: each unique query x repeats."""
+    trajs = [trajectory_for("geolife", n, seed) for seed in range(unique)]
+    stream = [trajs[i % unique] for i in range(unique * repeats)]
+    return trajs, stream
+
+
+def _run_service_stream(stream, xi: int, *, coalesce: bool):
+    """Serve one burst over a real socket; returns (seconds, answers, stats).
+
+    All requests are released together from client threads, so
+    duplicates of one query are genuinely in flight at once; the
+    engine's result cache is off so the comparison isolates the
+    service-layer coalescing (with the cache on, late duplicates hit
+    the cache on either path and the gap only narrows).
+    """
+    import threading
+
+    from repro.service import MotifService, ServiceClient, make_server
+
+    service = MotifService(
+        service_workers=2,
+        max_pending=max(64, 2 * len(stream)),
+        coalesce=coalesce,
+        engine_kwargs=dict(result_cache_size=0),
+    )
+    answers = [None] * len(stream)
+    with service:
+        httpd = make_server(service)
+        server_thread = threading.Thread(
+            target=httpd.serve_forever, daemon=True
+        )
+        server_thread.start()
+        port = httpd.server_address[1]
+        barrier = threading.Barrier(len(stream) + 1)
+
+        def fire(slot: int, traj) -> None:
+            client = ServiceClient(port=port)
+            barrier.wait()
+            out = client.discover(traj, min_length=xi, algorithm="btm")
+            answers[slot] = (out["distance"], tuple(out["indices"]))
+
+        threads = [
+            threading.Thread(target=fire, args=(slot, traj))
+            for slot, traj in enumerate(stream)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+        httpd.shutdown()
+        httpd.server_close()
+        server_thread.join()
+    assert all(answer is not None for answer in answers)
+    return elapsed, answers, stats
+
+
+def test_service_throughput(benchmark):
+    """The PR 5 tentpole row: a duplicate-heavy discover stream served
+    with request coalescing must beat the uncoalesced service >= 1.3x
+    at 2 service workers (identical answers).  Recorded as
+    ``service_throughput`` in ``BENCH_engine_scaling.json``."""
+    benchmark.group = "service: coalesced vs uncoalesced stream"
+    unique, repeats, n = SERVICE_STREAM_SHAPE.get(
+        bench_scale(), (3, 6, 150)
+    )
+    _, stream = _service_stream(unique, repeats, n)
+    # Deliberately heavier than default_xi: per-query search cost must
+    # dominate the per-request HTTP overhead for the ratio to measure
+    # coalescing rather than socket churn.
+    xi = max(6, default_xi(n))
+
+    def run():
+        t_plain, a_plain, s_plain = _run_service_stream(
+            stream, xi, coalesce=False
+        )
+        t_coal, a_coal, s_coal = _run_service_stream(
+            stream, xi, coalesce=True
+        )
+        return t_plain, a_plain, s_plain, t_coal, a_coal, s_coal
+
+    t_plain, a_plain, s_plain, t_coal, a_coal, s_coal = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Coalescing shares computations, never changes answers.
+    assert a_coal == a_plain
+    assert s_plain["counters"]["coalesced"] == 0
+    assert s_coal["counters"]["coalesced"] > 0
+    speedup = t_plain / max(t_coal, 1e-9)
+    _update_bench_json("service_throughput", {
+        "unique_queries": unique,
+        "requests": len(stream),
+        "n": n,
+        "xi": xi,
+        "service_workers": 2,
+        "uncoalesced_seconds": t_plain,
+        "coalesced_seconds": t_coal,
+        "speedup": speedup,
+        "coalesced_hits": s_coal["counters"]["coalesced"],
+        "computations_uncoalesced": s_plain["counters"]["accepted"],
+        "computations_coalesced": s_coal["counters"]["accepted"],
+    })
+    # Acceptance floor; future PRs should beat it.
+    assert speedup >= 1.3, (
+        f"coalesced stream {speedup:.2f}x vs uncoalesced "
+        f"(uncoalesced {t_plain:.3f}s, coalesced {t_coal:.3f}s)"
+    )
+
+
 def test_engine_answers_match_serial(benchmark):
     """The speedup is not bought with approximation: spot-check parity."""
     benchmark.group = "engine: parity spot check"

@@ -6,6 +6,9 @@ Subcommands::
     repro-motif discover --input track.csv --algorithm btm --min-length 20
     repro-motif topk --dataset geolife --min-length 10 --k 5 --workers 4
     repro-motif join --dataset truck --count 12 --theta 25 --workers 4
+    repro-motif snapshot build --dataset truck --count 12 --output snap/
+    repro-motif snapshot inspect snap/
+    repro-motif serve --snapshot fleet=snap/ --port 8707 --workers 2
     repro-motif bench fig18 --scale quick
     repro-motif datasets
     repro-motif info
@@ -162,7 +165,20 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"pruned: index={stats.pruned_index} "
               f"endpoint={stats.pruned_endpoint} bbox={stats.pruned_bbox} "
               f"hausdorff={stats.pruned_hausdorff}; exact decisions={stats.decisions}")
+        _print_index_stats(stats.details.get("index"))
     return 0
+
+
+def _print_index_stats(index_stats) -> None:
+    """One ``index: ...`` line from an ``IndexStats.as_dict()`` payload.
+
+    ``summary_builds=0`` is the observable signature of a snapshot (or
+    warm-cache) hit: the candidate pass ran no simplification DPs.
+    """
+    if not index_stats:
+        return
+    rendered = " ".join(f"{k}={v}" for k, v in sorted(index_stats.items()))
+    print(f"index: {rendered}")
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -173,7 +189,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             args.n
         )
     with _engine_for(args) as engine:
-        clusters = engine.cluster(
+        out = engine.cluster(
             traj,
             window_length=args.window,
             theta=args.theta,
@@ -181,14 +197,111 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             min_cluster_size=args.min_size,
             workers=getattr(args, "workers", 1),
             index=args.index,
+            with_stats=args.stats,
         )
+    clusters, info = out if args.stats else (out, None)
     if not clusters:
         print("no clusters at this threshold")
-        return 0
     for k, cluster in enumerate(clusters):
         starts = ", ".join(str(s) for s in cluster.members[:8])
         more = ", ..." if len(cluster) > 8 else ""
         print(f"cluster {k}: {len(cluster)} windows at starts [{starts}{more}]")
+    if info is not None:
+        print(f"windows={info['windows']} pair_grid={info['pairs_total']} "
+              f"candidates={info['candidates']}")
+        cascade = info.get("cascade")
+        if cascade:
+            print("cascade: " + " ".join(
+                f"{k}={v}" for k, v in sorted(cascade.items())
+            ))
+        _print_index_stats(info.get("index"))
+    return 0
+
+
+def _collection_for_snapshot(args: argparse.Namespace):
+    if args.inputs:
+        return [_load_input(p) for p in args.inputs]
+    return [
+        get_dataset(args.dataset or "geolife", seed=args.seed + i).generate(args.n)
+        for i in range(args.count)
+    ]
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from .index import CorpusIndex
+    from .store import SnapshotError, inspect_snapshot, save_snapshot
+
+    if args.snapshot_command == "inspect":
+        try:
+            info = inspect_snapshot(args.path, verify=not args.no_verify)
+        except SnapshotError as exc:
+            raise SystemExit(f"snapshot inspect failed: {exc}")
+        print(f"snapshot at {info['path']}")
+        print(f"  content_key: {info['content_key']}")
+        print(f"  corpus: {info['n']} trajectories, "
+              f"{info['dimensions']}-d, metric={info['metric']}")
+        print(f"  simplify: frac={info['simplify_frac']:g} "
+              f"max_points={info['max_simplification_points']}")
+        print(f"  arrays: {len(info['arrays'])} files, "
+              f"{info['total_bytes']} bytes"
+              + (" (digests verified)" if info["verified"] else ""))
+        return 0
+    # build
+    corpus = _collection_for_snapshot(args)
+    index = CorpusIndex(
+        corpus,
+        args.metric,
+        simplify_frac=args.simplify_frac,
+        max_simplification_points=args.max_simplification_points,
+    )
+    manifest = save_snapshot(
+        index,
+        args.output,
+        crs=corpus[0].crs,
+        trajectory_ids=[t.trajectory_id for t in corpus],
+    )
+    total = sum(spec["nbytes"] for spec in manifest["arrays"].values())
+    print(f"snapshot written to {args.output}")
+    print(f"  content_key: {manifest['content_key']}")
+    print(f"  corpus: {manifest['n']} trajectories, {total} array bytes")
+    return 0
+
+
+def _parse_snapshot_mounts(specs):
+    mounts = []
+    for spec in specs or []:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"bad --snapshot {spec!r}; expected NAME=PATH"
+            )
+        mounts.append((name, path))
+    return mounts
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import MotifService, serve
+    from .store import SnapshotError
+
+    service = MotifService(
+        workers=args.workers,
+        service_workers=args.service_workers,
+        max_pending=args.queue_limit,
+        coalesce=not args.no_coalesce,
+    )
+    for name, path in _parse_snapshot_mounts(args.snapshot):
+        try:
+            info = service.load_snapshot(name, path, verify=args.verify)
+        except SnapshotError as exc:
+            raise SystemExit(f"cannot load snapshot {name!r}: {exc}")
+        print(f"loaded snapshot {name!r}: {info['n']} trajectories "
+              f"({info['content_key'][:12]}...) from {path}")
+    print(f"serving on http://{args.host}:{args.port} "
+          f"(engine workers={args.workers}, "
+          f"service workers={args.service_workers}, "
+          f"queue limit={args.queue_limit}, "
+          f"coalescing={'off' if args.no_coalesce else 'on'})")
+    serve(service, host=args.host, port=args.port)
     return 0
 
 
@@ -313,7 +426,53 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard the window-pair cascade across N worker processes")
     p.add_argument("--index", action="store_true",
                    help="prune window pairs with the corpus proximity index")
+    p.add_argument("--stats", action="store_true",
+                   help="print window/candidate counts and index pruning stats")
     p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("snapshot",
+                       help="build or inspect persisted corpus-index snapshots")
+    snap_sub = p.add_subparsers(dest="snapshot_command", required=True)
+    b = snap_sub.add_parser("build", help="index a corpus and write a snapshot")
+    b.add_argument("--output", required=True, help="snapshot directory")
+    b.add_argument("--inputs", nargs="+",
+                   help="trajectory files (.plt/.csv/.json)")
+    b.add_argument("--dataset", choices=dataset_names(),
+                   help="synthetic dataset when no files are given")
+    b.add_argument("--count", type=int, default=8,
+                   help="synthetic trajectories to generate")
+    b.add_argument("--n", type=int, default=120,
+                   help="synthetic trajectory length")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--metric", default="euclidean",
+                   help="ground metric the summaries are computed under")
+    b.add_argument("--simplify-frac", type=float, default=0.05)
+    b.add_argument("--max-simplification-points", type=int, default=8)
+    b.set_defaults(func=_cmd_snapshot)
+    i = snap_sub.add_parser("inspect", help="validate and describe a snapshot")
+    i.add_argument("path", help="snapshot directory")
+    i.add_argument("--no-verify", action="store_true",
+                   help="skip the per-array SHA-1 verification (size checks only)")
+    i.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser("serve",
+                       help="run the persistent motif-query service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707)
+    p.add_argument("--snapshot", action="append", metavar="NAME=PATH",
+                   help="load a snapshot directory under NAME (repeatable)")
+    p.add_argument("--verify", action="store_true",
+                   help="digest-verify snapshots while loading")
+    p.add_argument("--workers", type=int, default=1,
+                   help="engine worker processes")
+    p.add_argument("--service-workers", type=int, default=2,
+                   help="serving threads executing admitted requests")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="admission bound; overflow answers HTTP 429")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="give every request its own computation (disable "
+                        "in-flight sharing of identical queries)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="run experiment(s) and print tables")
     p.add_argument("experiment", nargs="+",

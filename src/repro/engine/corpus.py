@@ -56,6 +56,16 @@ def _points_list(items) -> List[np.ndarray]:
     ]
 
 
+def corpus_index_cache_key(fps: tuple, metric) -> tuple:
+    """Tables-cache key of one corpus' :class:`CorpusIndex`.
+
+    Shared with the serving layer: :class:`repro.service.MotifService`
+    seeds this exact key with a snapshot-restored index so corpus
+    queries against a loaded snapshot never rebuild the summaries.
+    """
+    return ("cindex", fps, metric_key(metric))
+
+
 def corpus_index_for(engine, items, metric) -> Tuple[CorpusIndex, tuple]:
     """A (cached) :class:`CorpusIndex` over ``items`` under ``metric``.
 
@@ -64,17 +74,26 @@ def corpus_index_for(engine, items, metric) -> Tuple[CorpusIndex, tuple]:
     corpora repeatedly builds the summaries once.
     """
     fps = planner.corpus_fingerprint(items)
-    key = ("cindex", fps, metric_key(metric))
     return (
         engine._oracles.tables.get_or_build(
-            key, lambda: CorpusIndex(items, metric)
+            corpus_index_cache_key(fps, metric),
+            lambda: CorpusIndex(items, metric),
         ),
         fps,
     )
 
 
 def _share_corpus(engine, index: CorpusIndex, fps: tuple):
-    """Publish one corpus' transport slabs; None -> ship inline."""
+    """Publish one corpus' transport slabs; None -> ship inline.
+
+    A snapshot-restored index already lives in mapped files, so its
+    :class:`~repro.store.SnapshotSlabRef` is handed out directly --
+    workers re-map the same files (one page cache host-wide) and the
+    parent copies nothing into shared memory.
+    """
+    ref = getattr(index, "slab_ref", None)
+    if ref is not None:
+        return ref
     return engine._exec.share_index(
         planner.corpus_slab_key(fps), index.transport_slabs()
     )
@@ -348,7 +367,8 @@ def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
 # Window clustering
 # ----------------------------------------------------------------------
 def run_cluster(engine, trajectory, *, window_length, theta, stride,
-                min_cluster_size, metric, workers, use_index):
+                min_cluster_size, metric, workers, use_index,
+                with_stats=False):
     """Window clustering through the engine's tiled candidate path.
 
     The serial extension enumerates all O(W^2) non-overlapping window
@@ -358,7 +378,10 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
     single published transport segment.  The surviving edge set is
     identical (the bounds are admissible and the cascade exact), and
     edges union in sorted order -- the exact union-find evolution of
-    the serial loop -- so the clusters are too.
+    the serial loop -- so the clusters are too.  ``with_stats`` returns
+    ``(clusters, info)`` where ``info`` carries the window counts, the
+    index's :meth:`IndexStats.as_dict` accounting and the folded
+    cascade statistics (the CLI's ``cluster --stats``).
     """
     from ..extensions.clustering import (
         clusters_from_edges,
@@ -370,7 +393,7 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
     traj = _as_trajectory(trajectory)
     resolved = get_metric(metric, crs=traj.crs)
     exec_ = engine._exec
-    if workers < 2 and not use_index:
+    if workers < 2 and not use_index and not with_stats:
         return cluster_subtrajectories(
             traj, window_length=window_length, theta=theta, stride=stride,
             min_cluster_size=min_cluster_size, metric=resolved,
@@ -378,11 +401,35 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
     starts = window_starts(traj.n, window_length, stride, theta)
     windows = [traj.points[s:s + window_length] for s in starts]
     pair_grid = window_pair_grid(starts, window_length)
+    index_stats = None
+    cascade_stats = None
+
+    def answer(clusters, candidates):
+        if not with_stats:
+            return clusters
+        info = {
+            "windows": len(starts),
+            "pairs_total": int(len(pair_grid)),
+            "candidates": int(len(candidates)),
+            "index": None if index_stats is None else index_stats.as_dict(),
+        }
+        if cascade_stats is not None:
+            info["cascade"] = {
+                "pruned_endpoint": cascade_stats.pruned_endpoint,
+                "pruned_bbox": cascade_stats.pruned_bbox,
+                "pruned_hausdorff": cascade_stats.pruned_hausdorff,
+                "decisions": cascade_stats.decisions,
+                "matches": cascade_stats.matches,
+            }
+        return clusters, info
+
     if not len(pair_grid):
         # No candidate edges, but singleton components still exist
         # (min_cluster_size=1 reports every window) -- same as serial.
-        return clusters_from_edges(starts, [], window_length,
-                                   min_cluster_size)
+        return answer(
+            clusters_from_edges(starts, [], window_length, min_cluster_size),
+            [],
+        )
     if use_index:
         fp = (
             "cwindex", fingerprint_points(traj), int(window_length),
@@ -391,7 +438,7 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
         windex = engine._oracles.tables.get_or_build(
             fp, lambda: CorpusIndex(windows, resolved)
         )
-        candidates, _index_stats = windex.candidate_pairs(
+        candidates, index_stats = windex.candidate_pairs(
             None, theta, pairs=pair_grid
         )
     else:
@@ -399,7 +446,7 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
         candidates = pair_grid
     n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
     if not exec_.can_shard(workers) or len(candidates) < 2 or n_chunks < 2:
-        edges, _ = join_pairs(
+        edges, cascade_stats = join_pairs(
             _points_getter(windows), _points_getter(windows),
             candidates, theta, resolved,
         )
@@ -435,10 +482,16 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
             parts = exec_.map_tasks(tasks, workers, _worker.pairs_join_tile)
             exec_.shm.trim()
         edges = []
-        for part_matches, _part_stats in parts:
+        tile_stats = []
+        for part_matches, part_stats in parts:
             edges.extend(part_matches)
+            tile_stats.append(part_stats)
+        cascade_stats = merge_join_stats(tile_stats)
     edges.sort()  # serial discovery order -> identical union-find state
-    return clusters_from_edges(starts, edges, window_length, min_cluster_size)
+    return answer(
+        clusters_from_edges(starts, edges, window_length, min_cluster_size),
+        candidates,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -114,6 +114,14 @@ class MotifEngine:
         + endpoint-grid bucketing) to prune candidate pairs before the
         filter cascade.  Answers are identical either way; off by
         default so unindexed filter statistics stay byte-stable.
+    adaptive_chunks:
+        Let the planner rebalance ``chunks_per_worker`` from each
+        dispatch round's observed chunk runtimes
+        (:func:`repro.engine.planner.adapt_chunks_per_worker`): skewed
+        rounds get finer chunks, overhead-dominated rounds coarser
+        ones.  Chunk layout never affects answers, so this is
+        parity-safe; off by default so recorded transfer shapes stay
+        reproducible.
     """
 
     def __init__(
@@ -130,6 +138,7 @@ class MotifEngine:
         shared_bounds: bool = True,
         bsf_sync_every: int = 64,
         index: bool = False,
+        adaptive_chunks: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -148,6 +157,7 @@ class MotifEngine:
             shm_capacity=max(4, oracle_cache_size),
             chunks_per_worker=chunks_per_worker,
             bsf_sync_every=bsf_sync_every,
+            adaptive_chunks=adaptive_chunks,
         )
 
     # ------------------------------------------------------------------
@@ -509,6 +519,7 @@ class MotifEngine:
         metric: Union[str, GroundMetric, None] = None,
         workers: Optional[int] = None,
         index: Optional[bool] = None,
+        with_stats: bool = False,
     ):
         """Window clustering through the engine's tiled candidate path.
 
@@ -517,7 +528,10 @@ class MotifEngine:
         the O(W^2) window-pair cascade is dealt across the pool in
         candidate-pair chunks (the windows ride one published transport
         segment), optionally pruned by a window-level
-        :class:`repro.index.CorpusIndex` (``index=True``).
+        :class:`repro.index.CorpusIndex` (``index=True``).  With
+        ``with_stats=True`` returns ``(clusters, info)`` where ``info``
+        folds the window counts, the index's pruning accounting
+        (:meth:`IndexStats.as_dict`) and the cascade statistics.
         """
         workers = self.workers if workers is None else max(1, int(workers))
         use_index = self.index if index is None else bool(index)
@@ -531,6 +545,7 @@ class MotifEngine:
             metric=metric,
             workers=workers,
             use_index=use_index,
+            with_stats=with_stats,
         )
 
     # ------------------------------------------------------------------

@@ -62,6 +62,7 @@ from ..core.gtm import expand_pairs_to_subsets
 from ..core.problem import SearchSpace
 from ..distances.ground import DenseGroundMatrix
 from ..errors import ReproError
+from ..store.snapshot import SnapshotSlabRef
 from . import planner
 from . import worker as _worker
 from .partition import plan_chunks, plan_strides
@@ -96,6 +97,7 @@ class EngineExecutor:
         shm_capacity: int = 16,
         chunks_per_worker: int = 3,
         bsf_sync_every: int = 64,
+        adaptive_chunks: bool = False,
     ) -> None:
         if kind not in ("process", "inline"):
             raise ValueError("executor must be 'process' or 'inline'")
@@ -108,6 +110,11 @@ class EngineExecutor:
         self.shared_bounds = bool(shared_bounds)
         self.chunks_per_worker = int(chunks_per_worker)
         self.bsf_sync_every = int(bsf_sync_every)
+        self.adaptive_chunks = bool(adaptive_chunks)
+        #: (rounds observed, granularity changes applied) -- adaptive
+        #: chunk-sizing telemetry, surfaced via transfer_info().
+        self.adapt_rounds = 0
+        self.adapt_changes = 0
         self.shm = SharedArrayStore(capacity=max(4, shm_capacity))
         self.transfer = {
             "pool_tasks": 0,
@@ -127,6 +134,7 @@ class EngineExecutor:
             "shm_index_segments": 0,
             "shm_index_bytes": 0,
             "shm_index_refs": 0,
+            "snapshot_slab_refs": 0,
         }
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
@@ -282,8 +290,14 @@ class EngineExecutor:
                         level.gmin.nbytes + level.gmax.nbytes
                     )
             for field in _INDEX_REF_FIELDS:
-                if getattr(task, field, None) is not None:
+                ref = getattr(task, field, None)
+                if ref is not None:
                     self.transfer["shm_index_refs"] += 1
+                    if isinstance(ref, SnapshotSlabRef):
+                        # File-backed (mmap'd snapshot) rather than a
+                        # shared-memory segment: nothing was even
+                        # copied parent-side.
+                        self.transfer["snapshot_slab_refs"] += 1
             for field in _INDEX_INLINE_FIELDS:
                 payload = getattr(task, field, None)
                 if payload is None:
@@ -298,7 +312,33 @@ class EngineExecutor:
     def transfer_info(self) -> dict:
         info = dict(self.transfer)
         info["shm_live_segments"] = len(self.shm)
+        info["chunks_per_worker"] = self.chunks_per_worker
+        info["adapt_rounds"] = self.adapt_rounds
+        info["adapt_changes"] = self.adapt_changes
         return info
+
+    # ------------------------------------------------------------------
+    # Adaptive chunk granularity
+    # ------------------------------------------------------------------
+    def observe_chunk_times(self, elapsed) -> None:
+        """Feed one dispatch round's chunk runtimes to the planner.
+
+        With ``adaptive_chunks`` the executor's granularity becomes the
+        planner's :func:`~repro.engine.planner.adapt_chunks_per_worker`
+        output for the *next* round -- answers are unaffected (the
+        scans' merges are exact for any partition), only chunk sizes
+        move.  Off by default so recorded transfer shapes stay
+        byte-stable.
+        """
+        if not self.adaptive_chunks:
+            return
+        self.adapt_rounds += 1
+        new = planner.adapt_chunks_per_worker(
+            self.chunks_per_worker, list(elapsed)
+        )
+        if new != self.chunks_per_worker:
+            self.adapt_changes += 1
+            self.chunks_per_worker = new
 
     # ------------------------------------------------------------------
     # Generic dispatch
@@ -463,7 +503,11 @@ class EngineExecutor:
                 out.append(res)
             return out
 
-        return self.dispatch_chunks(tasks, workers, _worker.scan_chunk, inline)
+        results = self.dispatch_chunks(
+            tasks, workers, _worker.scan_chunk, inline
+        )
+        self.observe_chunk_times(res.elapsed for res in results)
+        return results
 
     # ------------------------------------------------------------------
     # Partitioned top-k scan
@@ -514,6 +558,7 @@ class EngineExecutor:
             results = self.dispatch_chunks(
                 tasks, workers, _worker.topk_chunk, inline
             )
+            self.observe_chunk_times(res.elapsed for res in results)
             self.shm.trim()
         # Unlike discover there is no serial resolution pass re-counting
         # the space, so the chunk counters fold into the same fields the

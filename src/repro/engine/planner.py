@@ -210,6 +210,47 @@ def n_chunks_for(workers: int, chunks_per_worker: int) -> int:
     return max(1, int(workers)) * max(1, int(chunks_per_worker))
 
 
+def adapt_chunks_per_worker(
+    current: int,
+    runtimes: Sequence[float],
+    *,
+    lo: int = 1,
+    hi: int = 16,
+    min_chunk_seconds: float = 0.005,
+    imbalance_threshold: float = 1.5,
+) -> int:
+    """Next ``chunks_per_worker`` from one round's observed chunk runtimes.
+
+    Pure: a map from the previous dispatch round's per-chunk wall
+    times to the next round's granularity.  Two failure shapes are
+    corrected, one step at a time (hysteresis -- each decision is
+    re-validated against the next round's real measurements):
+
+    * **skew** -- the slowest chunk dominates its round
+      (``max > imbalance_threshold * mean``): more, smaller chunks let
+      the pool rebalance the straggler's work, so granularity rises;
+    * **overhead** -- chunks finish faster than scheduling costs
+      (``mean < min_chunk_seconds``): fewer, larger chunks amortise the
+      dispatch, so granularity drops.
+
+    Chunk layout never affects answers -- the scans' merges are exact
+    for every partition -- so adapting is parity-safe by construction
+    (swept by the randomized parity suite with adaptation enabled).
+    """
+    current = max(lo, min(hi, int(current)))
+    times = [float(t) for t in runtimes if t is not None and float(t) >= 0.0]
+    if not times:
+        return current
+    mean = sum(times) / len(times)
+    if mean <= 0.0:
+        return current
+    if mean < min_chunk_seconds:
+        return max(lo, current - 1)
+    if max(times) > imbalance_threshold * mean:
+        return min(hi, current + 1)
+    return current
+
+
 def should_partition(workers: int, seed, approx_factor: float) -> bool:
     """Whether one discover query runs the partitioned chunk scan.
 

@@ -197,6 +197,11 @@ class ChunkResult(NamedTuple):
     subsets_expanded: int
     cells_expanded: int
     candidates_checked: int
+    #: Wall-clock seconds this chunk took inside its worker; the
+    #: adaptive planner (:func:`repro.engine.planner.adapt_chunks_per_worker`)
+    #: consumes one dispatch round's elapsed values to rebalance the
+    #: next round's chunk sizes.
+    elapsed: float = 0.0
 
 
 def scan_chunk(task: ChunkTask) -> ChunkResult:
@@ -210,6 +215,7 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
     ``sync_every`` subsets, so a late chunk prunes against an early
     chunk's discovery without waiting for its own chunk boundary.
     """
+    chunk_started = time.perf_counter()
     oracle = DenseGroundMatrix(
         _resolve_matrix(task.matrix, task.matrix_ref), validate=False
     )
@@ -239,6 +245,7 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
         subsets_expanded=stats.subsets_expanded,
         cells_expanded=stats.cells_expanded,
         candidates_checked=stats.candidates_checked,
+        elapsed=time.perf_counter() - chunk_started,
     )
 
 
@@ -267,6 +274,7 @@ class TopKChunkResult(NamedTuple):
     subsets_total: int
     subsets_expanded: int
     cells_expanded: int
+    elapsed: float = 0.0  # wall-clock seconds (see ChunkResult.elapsed)
 
 
 def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
@@ -281,6 +289,7 @@ def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
     """
     from ..extensions.topk import scan_topk_entries
 
+    chunk_started = time.perf_counter()
     oracle = DenseGroundMatrix(
         _resolve_matrix(task.matrix, task.matrix_ref), validate=False
     )
@@ -304,6 +313,7 @@ def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
         subsets_total=stats.subsets_total,
         subsets_expanded=stats.subsets_expanded,
         cells_expanded=stats.cells_expanded,
+        elapsed=time.perf_counter() - chunk_started,
     )
 
 
@@ -351,7 +361,7 @@ def run_query(task: QueryTask) -> MotifResult:
     if task.corpus_ref is not None and task.a_spec is not None:
         from ..index import slab_trajectory
 
-        slabs = attach_slabs(task.corpus_ref)
+        slabs = _attach_corpus_slabs(task.corpus_ref)
         trajectory = slab_trajectory(slabs, *task.a_spec)
         if task.b_spec is not None:
             second = slab_trajectory(slabs, *task.b_spec)
@@ -402,8 +412,23 @@ def join_tile(task: JoinTask):
 # ----------------------------------------------------------------------
 # Indexed corpus workloads (candidate-pair tiles)
 # ----------------------------------------------------------------------
-def _resolve_corpus(inline_points, ref: Optional[SharedArrayRef]):
-    """An index -> points callable: inline list or transport slabs."""
+def _attach_corpus_slabs(ref):
+    """Attach one corpus transport ref: shared memory or snapshot files."""
+    from ..store.snapshot import SnapshotSlabRef, attach_snapshot_slabs
+
+    if isinstance(ref, SnapshotSlabRef):
+        return attach_snapshot_slabs(ref)
+    return attach_slabs(ref)
+
+
+def _resolve_corpus(inline_points, ref):
+    """An index -> points callable: inline list or transport slabs.
+
+    ``ref`` is either a :class:`SharedArrayRef` (parent-published
+    shared-memory segment) or a :class:`~repro.store.SnapshotSlabRef`
+    (on-disk snapshot the worker re-maps via ``numpy.memmap``) -- the
+    slab layout behind both is identical.
+    """
     from ..index import slab_points
 
     if inline_points is not None:
@@ -411,7 +436,7 @@ def _resolve_corpus(inline_points, ref: Optional[SharedArrayRef]):
         return lambda i: arrays[i]
     if ref is None:
         raise ReproError("task carries neither corpus points nor a ref")
-    slabs = attach_slabs(ref)
+    slabs = _attach_corpus_slabs(ref)
     return lambda i: slab_points(slabs, i)
 
 

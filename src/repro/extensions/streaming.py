@@ -55,6 +55,16 @@ class StreamingMotif:
         pairwise ground distance (hence the DFD) untouched -- so the
         O(L^2) recompute is off by default; it exists to diagnose a
         corrupted stream state.
+    use_window_index:
+        Consult the per-append endpoint/bbox summary bound before
+        rerunning the seeded search (see :meth:`_append_lower_bound`):
+        when even the cheapest admissible lower bound on every *new*
+        candidate pair meets or exceeds the carried motif's distance,
+        the append provably cannot change the answer and the O(L^2)
+        rerun is skipped entirely (counted in ``appends_skipped``).
+        Answers are identical either way (tested); the knob exists so
+        effectiveness experiments can measure the skip rate against
+        the always-search baseline.
 
     Usage::
 
@@ -70,6 +80,7 @@ class StreamingMotif:
         metric: Union[str, GroundMetric, None] = "euclidean",
         engine=None,
         verify_seed: bool = False,
+        use_window_index: bool = True,
     ) -> None:
         if window < 2 * min_length + 4:
             raise InfeasibleQueryError(
@@ -80,12 +91,18 @@ class StreamingMotif:
         self.min_length = int(min_length)
         self.metric = get_metric(metric)
         self.verify_seed = bool(verify_seed)
+        self.use_window_index = bool(use_window_index)
         self._engine = engine
         self._points: list = []
         self._dropped = 0  # absolute index of points[0]
         self._last: Optional[MotifResult] = None
         #: Cumulative expansion counter (for effectiveness reporting).
         self.subsets_expanded_total = 0
+        #: Appends answered without a search: the window summary bound
+        #: proved no new candidate pair could beat the carried motif.
+        self.appends_skipped = 0
+        #: Appends that ran the (seeded) search.
+        self.appends_searched = 0
 
     @property
     def engine(self):
@@ -145,19 +162,102 @@ class StreamingMotif:
             out = self.append(pt)
         return out
 
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of ready appends answered without a search."""
+        done = self.appends_skipped + self.appends_searched
+        return self.appends_skipped / done if done else 0.0
+
     # ------------------------------------------------------------------
     def _search(self) -> MotifResult:
         pts = np.vstack(self._points)
+        seed = self._warm_seed(pts)
+        if (
+            self.use_window_index
+            and seed is not None
+            and self._append_lower_bound(pts) >= seed[0]
+        ):
+            self.appends_skipped += 1
+            return self._carried_result(pts, seed)
+        self.appends_searched += 1
         result = self.engine.discover(
             Trajectory(pts),
             min_length=self.min_length,
             algorithm="btm",
             metric=self.metric,
-            seed=self._warm_seed(pts),
+            seed=seed,
             cacheable=False,
         )
         self.subsets_expanded_total += result.stats.subsets_expanded
         return result
+
+    def _append_lower_bound(self, pts: np.ndarray) -> float:
+        """Admissible DFD lower bound over every *new* candidate pair.
+
+        Subtrajectories are contiguous, so a candidate pair unseen in
+        the previous window must contain the newest point -- and can
+        only contain it as the *last* point of its second
+        subtrajectory (self mode orders the pair, so only the second
+        can reach the window's end).  Any coupling matches final
+        points, hence for every new pair
+
+        ``DFD >= d(partner_end, p_new) >= min_e d(points[e], p_new)``
+
+        with ``e`` ranging over the feasible first-subtrajectory end
+        indices ``[xi+1, n-xi-3]`` (a superset keeps the bound
+        admissible).  Every *old* pair survived the eviction and its
+        distance is >= the carried motif's by definition of the
+        previous minimum, so when this bound reaches the carried
+        distance the seeded best-first rerun provably returns the
+        carried witness -- the skip is exact (the witnessed ``bsf``
+        prunes ties, see :mod:`repro.core.btm`'s witness rule).
+
+        The window's summaries make the check cheap: a bounding-box
+        gap test (coordinate-monotone metrics) answers most skips in
+        O(d), and the fallback is one vectorised O(n) endpoint sweep
+        -- against the O(L^2) search it replaces.
+        """
+        n, xi = pts.shape[0], self.min_length
+        lo, hi = xi + 1, n - xi - 3
+        if hi < lo:  # pragma: no cover - unreachable once ready
+            return -np.inf
+        band = pts[lo:hi + 1]
+        p_new = pts[-1]
+        if self.metric.coordinate_monotone:
+            # Box summary first: the gap from p_new to the band's
+            # bounding box lower-bounds every endpoint distance.
+            gaps = np.maximum(
+                0.0,
+                np.maximum(band.min(axis=0) - p_new, p_new - band.max(axis=0)),
+            )
+            box_lb = float(self.metric.distance(np.zeros_like(gaps), gaps))
+            if box_lb >= (self._last.distance if self._last else np.inf):
+                return box_lb
+        ends = self.metric.rowwise(band, np.tile(p_new, (band.shape[0], 1)))
+        return float(ends.min())
+
+    def _carried_result(self, pts: np.ndarray, seed) -> MotifResult:
+        """The carried motif re-expressed in the current window.
+
+        Byte-identical to what the seeded rerun would return: the
+        rerun starts from this witnessed pair and (per
+        :meth:`_append_lower_bound`) no candidate can strictly beat it
+        or displace it on a tie.
+        """
+        from ..core.stats import SearchStats
+
+        value, (i, ie, j, je) = seed
+        traj = Trajectory(pts)
+        stats = SearchStats(
+            algorithm="streaming-skip", mode="self",
+            n_rows=pts.shape[0], n_cols=pts.shape[0], xi=self.min_length,
+        )
+        return MotifResult(
+            traj.subtrajectory(i, ie),
+            traj.subtrajectory(j, je),
+            float(value),
+            stats,
+        )
 
     def _warm_seed(self, pts: np.ndarray):
         """Previous answer as a witnessed starting candidate, if its

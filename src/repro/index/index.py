@@ -77,6 +77,11 @@ class IndexStats:
     pruned_box: int = 0
     pruned_simplification: int = 0
     candidates: int = 0
+    #: Douglas-Peucker summary DPs *built* during this pass (0 when the
+    #: summaries were already resident -- e.g. a warm index or one
+    #: restored from a :mod:`repro.store` snapshot).  This is what makes
+    #: snapshot hits observable in serving statistics.
+    summary_builds: int = 0
     details: dict = field(default_factory=dict)
 
     @property
@@ -103,6 +108,7 @@ class IndexStats:
             "pruned_box": self.pruned_box,
             "pruned_simplification": self.pruned_simplification,
             "candidates": self.candidates,
+            "summary_builds": self.summary_builds,
         }
 
 
@@ -179,6 +185,65 @@ class CorpusIndex:
         # consumers (corpus batches) never pay the per-trajectory DPs.
         self._simplified: Optional[List[np.ndarray]] = None
         self._simp_errors: Optional[np.ndarray] = None
+        #: Per-trajectory summary DPs this index has actually run (a
+        #: snapshot-restored index keeps this at 0 -- the serving-cost
+        #: contract ``tests/test_store.py`` asserts).
+        self.summary_builds = 0
+        #: Set on snapshot-restored indexes: contiguous transport slabs
+        #: (zero-copy views of the mapped files) and the picklable
+        #: by-reference handle pool workers re-map the files from.
+        self._slabs: Optional[Dict[str, np.ndarray]] = None
+        self.slab_ref = None
+
+    @classmethod
+    def restore(
+        cls,
+        *,
+        metric: Union[str, GroundMetric],
+        simplify_frac: float,
+        max_simplification_points: int,
+        points: List[np.ndarray],
+        timestamps: List[np.ndarray],
+        starts: np.ndarray,
+        ends: np.ndarray,
+        box_lo: np.ndarray,
+        box_hi: np.ndarray,
+        simplified: Optional[List[np.ndarray]] = None,
+        simplification_errors: Optional[np.ndarray] = None,
+        slabs: Optional[Dict[str, np.ndarray]] = None,
+        slab_ref=None,
+    ) -> "CorpusIndex":
+        """Rebuild an index from precomputed summary arrays.
+
+        The snapshot loader (:mod:`repro.store`) uses this to hand back
+        an index whose every derived array is *byte-identical* to the
+        one that was saved -- nothing is recomputed, so a restored
+        index answers :meth:`candidate_pairs` / :meth:`ordered_pairs`
+        bit-for-bit like the original and performs **zero**
+        simplification DPs (``summary_builds`` stays 0).  ``slabs`` /
+        ``slab_ref`` mark the index as backed by contiguous mapped
+        files: :meth:`transport_slabs` then returns the mapped arrays
+        directly and the engine ships ``slab_ref`` to pool workers,
+        which re-map the same files (one shared page cache, no copies).
+        """
+        index = cls.__new__(cls)
+        index.metric = get_metric(metric)
+        index.simplify_frac = float(simplify_frac)
+        index.max_simplification_points = int(max_simplification_points)
+        if not points:
+            raise ReproError("cannot restore an empty corpus index")
+        index._points = list(points)
+        index._timestamps = list(timestamps)
+        index.starts = starts
+        index.ends = ends
+        index.box_lo = box_lo
+        index.box_hi = box_hi
+        index._simplified = None if simplified is None else list(simplified)
+        index._simp_errors = simplification_errors
+        index.summary_builds = 0
+        index._slabs = slabs
+        index.slab_ref = slab_ref
+        return index
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -198,6 +263,48 @@ class CorpusIndex:
     def points(self, i: int) -> np.ndarray:
         """Point array of trajectory ``i``."""
         return self._points[int(i)]
+
+    def timestamps(self, i: int) -> np.ndarray:
+        """Timestamp array of trajectory ``i``."""
+        return self._timestamps[int(i)]
+
+    @property
+    def content_key(self) -> str:
+        """Stable content fingerprint of this index (hex digest).
+
+        A pure function of the corpus bytes (points and timestamps, in
+        order), the ground metric and the simplification parameters --
+        the inputs every derived summary is a function of.  Equal keys
+        therefore mean byte-identical :meth:`candidate_pairs` /
+        :meth:`ordered_pairs` answers, which is what lets the snapshot
+        store (:mod:`repro.store`) key its manifests by it and lets
+        serving layers detect that a snapshot matches a request corpus
+        without rebuilding anything.
+        """
+        import hashlib
+
+        digest = hashlib.sha1()
+        digest.update(b"repro-corpus-index-v1")
+        digest.update(repr((
+            self.metric.name,
+            type(self.metric).__qualname__,
+            self.simplify_frac,
+            self.max_simplification_points,
+            self.n,
+            self.dimensions,
+        )).encode())
+        for pts, ts in zip(self._points, self._timestamps):
+            digest.update(repr(pts.shape).encode())
+            # Hash explicitly little-endian bytes so the fingerprint is
+            # host-independent -- snapshot manifests written on one
+            # architecture must verify on any other.
+            digest.update(
+                np.ascontiguousarray(pts).astype("<f8", copy=False).tobytes()
+            )
+            digest.update(
+                np.ascontiguousarray(ts).astype("<f8", copy=False).tobytes()
+            )
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Simplification summaries
@@ -228,6 +335,7 @@ class CorpusIndex:
             errors[i] = dfd_matrix(self.metric.pairwise(pts, simp))
         self._simplified = simplified
         self._simp_errors = errors
+        self.summary_builds += self.n
 
     @property
     def simplifications(self) -> List[np.ndarray]:
@@ -380,8 +488,16 @@ class CorpusIndex:
             stats.pruned_box = int(np.sum(~keep)) - stats.pruned_endpoint
             a_idx, b_idx = a_idx[keep], b_idx[keep]
         if len(a_idx):
+            built_before = self.summary_builds + (
+                0 if peer is self else peer.summary_builds
+            )
             self.ensure_summaries()
             peer.ensure_summaries()
+            stats.summary_builds = (
+                self.summary_builds
+                + (0 if peer is self else peer.summary_builds)
+                - built_before
+            )
             keep_mask = np.ones(len(a_idx), dtype=bool)
             for pos, (i, j) in enumerate(zip(a_idx, b_idx)):
                 if self.simplification_bound(int(i), other, int(j)) > theta:
@@ -426,8 +542,12 @@ class CorpusIndex:
         ``points`` (sum(n_i), d) and ``timestamps`` (sum(n_i),) are the
         concatenated trajectories; ``offsets`` (n + 1,) delimits them.
         Workers rebuild any trajectory as a zero-copy slice
-        (:func:`slab_points` / :func:`slab_trajectory`).
+        (:func:`slab_points` / :func:`slab_trajectory`).  A
+        snapshot-restored index already holds its corpus as contiguous
+        mapped slabs and returns those directly (no concatenation).
         """
+        if self._slabs is not None:
+            return dict(self._slabs)
         offsets = np.zeros(self.n + 1, dtype=np.int64)
         np.cumsum([p.shape[0] for p in self._points], out=offsets[1:])
         return {

@@ -1,0 +1,38 @@
+"""Persistent motif-query serving (:class:`MotifService` + HTTP layer).
+
+The serving subsystem: a daemon owning one warm
+:class:`~repro.engine.MotifEngine` and a registry of mapped
+:mod:`repro.store` snapshots, answering the engine's whole query
+surface over a stdlib JSON/HTTP wire protocol with request
+coalescing, per-request deadlines and bounded admission.  Run it with
+``repro-motif serve``; talk to it with :class:`ServiceClient`.
+"""
+
+from .client import ServiceClient
+from .protocol import (
+    OPS,
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownSnapshotError,
+)
+from .server import MotifHTTPServer, MotifRequestHandler, make_server, serve
+from .service import MotifService
+
+__all__ = [
+    "OPS",
+    "BadRequestError",
+    "DeadlineExceededError",
+    "MotifHTTPServer",
+    "MotifRequestHandler",
+    "MotifService",
+    "OverloadedError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "UnknownSnapshotError",
+    "make_server",
+    "serve",
+]

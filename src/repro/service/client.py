@@ -1,0 +1,242 @@
+"""Stdlib client of the motif-query service.
+
+:class:`ServiceClient` speaks the JSON envelope of
+:mod:`repro.service.protocol` over :class:`http.client.HTTPConnection`
+-- no third-party dependency, usable from any process that can reach
+the daemon.  Server-side errors surface as the *same* typed exceptions
+the service raises (:class:`DeadlineExceededError`,
+:class:`OverloadedError`, ...), so callers handle overload and
+deadline expiry uniformly whether the service is in-process or remote.
+
+Trajectory arguments accept :class:`~repro.trajectory.Trajectory`
+objects, numpy arrays, nested lists, or server-side snapshot specs
+(``{"snapshot": name, "item": i}``); corpora likewise
+(``{"snapshot": name}`` for a whole loaded corpus).
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .protocol import ServiceError, error_from_payload
+
+#: Extra socket-timeout slack past the request deadline, so the server
+#: (not a client-side socket error) decides deadline expiry.
+_DEADLINE_GRACE = 5.0
+
+
+def _spec(obj) -> object:
+    """A JSON-safe trajectory spec from whatever the caller holds."""
+    if isinstance(obj, dict):
+        return obj  # snapshot reference, passed through
+    points = getattr(obj, "points", obj)
+    return np.asarray(points, dtype=np.float64).tolist()
+
+
+def _corpus_spec(obj) -> object:
+    if isinstance(obj, dict):
+        return obj
+    return [_spec(item) for item in obj]
+
+
+class ServiceClient:
+    """Blocking JSON client of one ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8707,
+        *,
+        timeout: Optional[float] = None,
+        socket_timeout: float = 60.0,
+    ) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        #: Default per-request deadline (seconds); None = no deadline.
+        self.timeout = timeout
+        self.socket_timeout = float(socket_timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _http(self, method: str, path: str, body: Optional[dict],
+              deadline: Optional[float]) -> dict:
+        sock_timeout = self.socket_timeout
+        if deadline is not None:
+            sock_timeout = max(sock_timeout, float(deadline) + _DEADLINE_GRACE)
+        conn = HTTPConnection(self.host, self.port, timeout=sock_timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read())
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+        if not data.get("ok"):
+            raise error_from_payload(data.get("error", {}))
+        return data
+
+    def call(self, op: str, params: dict,
+             timeout: Optional[float] = None) -> dict:
+        """One query; returns the full ``{"result", "coalesced"}`` envelope."""
+        deadline = self.timeout if timeout is None else timeout
+        body = {"params": params}
+        if deadline is not None:
+            body["timeout"] = float(deadline)
+        return self._http("POST", f"/v1/{op}", body, deadline)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._http("GET", "/healthz", None, None)
+
+    def stats(self) -> dict:
+        return self._http("GET", "/stats", None, None)["stats"]
+
+    # ------------------------------------------------------------------
+    # Queries (mirroring the MotifEngine surface)
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        trajectory,
+        second=None,
+        *,
+        min_length: int,
+        algorithm: Optional[str] = None,
+        metric: Optional[str] = None,
+        timeout: Optional[float] = None,
+        **options,
+    ) -> dict:
+        params = {
+            "trajectory": _spec(trajectory),
+            "min_length": int(min_length),
+        }
+        if second is not None:
+            params["second"] = _spec(second)
+        if algorithm is not None:
+            params["algorithm"] = algorithm
+        if metric is not None:
+            params["metric"] = metric
+        if options:
+            params["options"] = options
+        return self.call("discover", params, timeout)["result"]
+
+    def discover_many(
+        self,
+        items,
+        *,
+        min_length: int,
+        algorithm: Optional[str] = None,
+        metric: Optional[str] = None,
+        timeout: Optional[float] = None,
+        **options,
+    ) -> List[dict]:
+        encoded = []
+        for item in items:
+            if isinstance(item, tuple) and len(item) == 2:
+                encoded.append({"pair": [_spec(item[0]), _spec(item[1])]})
+            else:
+                encoded.append(_spec(item))
+        params = {"items": encoded, "min_length": int(min_length)}
+        if algorithm is not None:
+            params["algorithm"] = algorithm
+        if metric is not None:
+            params["metric"] = metric
+        if options:
+            params["options"] = options
+        return self.call("discover_many", params, timeout)["result"]
+
+    def top_k(
+        self,
+        trajectory,
+        second=None,
+        *,
+        min_length: int,
+        k: int = 5,
+        metric: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> List[dict]:
+        params = {
+            "trajectory": _spec(trajectory),
+            "min_length": int(min_length),
+            "k": int(k),
+        }
+        if second is not None:
+            params["second"] = _spec(second)
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("top_k", params, timeout)["result"]
+
+    def join(
+        self,
+        left,
+        right,
+        theta: float,
+        *,
+        metric: Union[str, None] = None,
+        index: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        params = {
+            "left": _corpus_spec(left),
+            "right": _corpus_spec(right),
+            "theta": float(theta),
+            "index": bool(index),
+        }
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("join", params, timeout)["result"]
+
+    def join_top_k(
+        self,
+        left,
+        right,
+        *,
+        k: int = 5,
+        metric: Union[str, None] = None,
+        index: bool = True,
+        timeout: Optional[float] = None,
+    ) -> List[dict]:
+        params = {
+            "left": _corpus_spec(left),
+            "right": _corpus_spec(right),
+            "k": int(k),
+            "index": bool(index),
+        }
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("join_top_k", params, timeout)["result"]
+
+    def cluster(
+        self,
+        trajectory,
+        *,
+        window_length: int,
+        theta: float,
+        stride: int = 1,
+        min_cluster_size: int = 2,
+        metric: Optional[str] = None,
+        index: bool = True,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        params = {
+            "trajectory": _spec(trajectory),
+            "window_length": int(window_length),
+            "theta": float(theta),
+            "stride": int(stride),
+            "min_cluster_size": int(min_cluster_size),
+            "index": bool(index),
+        }
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("cluster", params, timeout)["result"]

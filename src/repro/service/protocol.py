@@ -1,0 +1,101 @@
+"""Wire protocol of the motif-query service (JSON over HTTP).
+
+One request shape serves every operation::
+
+    POST /v1/<op>
+    {"params": {...}, "timeout": <seconds, optional>}
+
+with ``<op>`` one of :data:`OPS`.  Responses are::
+
+    {"ok": true,  "result": ..., "coalesced": <bool>}
+    {"ok": false, "error": {"code": "...", "message": "..."}}
+
+and the HTTP status mirrors the error class (400 bad request, 404
+unknown snapshot, 429 admission overflow, 504 deadline exceeded, 500
+internal).  ``GET /healthz`` and ``GET /stats`` are the liveness and
+introspection endpoints.
+
+Trajectory and corpus *specs* (request params) are either inline
+coordinate lists or references into server-loaded snapshots:
+
+* trajectory: ``[[x, y], ...]`` or ``{"snapshot": name, "item": i}``;
+* corpus: ``[[[x, y], ...], ...]``, ``{"snapshot": name}`` (the whole
+  corpus) or ``{"snapshot": name, "items": [i, ...]}``.
+
+Everything here is shared by the server and :class:`ServiceClient`, so
+the error taxonomy round-trips: a server-side
+:class:`DeadlineExceededError` surfaces client-side as the same class.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+#: Operations the service answers, mirroring the MotifEngine surface.
+OPS = ("discover", "discover_many", "top_k", "join", "join_top_k", "cluster")
+
+
+class ServiceError(ReproError):
+    """Base service failure (HTTP 500 unless a subclass narrows it)."""
+
+    status = 500
+    code = "internal"
+
+
+class BadRequestError(ServiceError):
+    """Malformed or unresolvable request parameters."""
+
+    status = 400
+    code = "bad_request"
+
+
+class UnknownSnapshotError(BadRequestError):
+    """The request references a snapshot this server has not loaded."""
+
+    status = 404
+    code = "unknown_snapshot"
+
+
+class OverloadedError(ServiceError):
+    """Admission queue overflow -- retry later (HTTP 429)."""
+
+    status = 429
+    code = "overloaded"
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired before an answer was ready."""
+
+    status = 504
+    code = "deadline_exceeded"
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is not running (stopped or not yet started)."""
+
+    status = 503
+    code = "unavailable"
+
+
+_ERROR_CLASSES = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        BadRequestError,
+        UnknownSnapshotError,
+        OverloadedError,
+        DeadlineExceededError,
+        ServiceUnavailableError,
+    )
+}
+
+
+def error_payload(exc: ServiceError) -> dict:
+    """The ``{"code", "message"}`` body of one service error."""
+    return {"code": exc.code, "message": str(exc)}
+
+
+def error_from_payload(payload: dict) -> ServiceError:
+    """Rebuild the typed error a response body describes (client side)."""
+    cls = _ERROR_CLASSES.get(payload.get("code"), ServiceError)
+    return cls(payload.get("message", "service error"))

@@ -1,0 +1,158 @@
+"""HTTP transport of the motif-query service (stdlib only).
+
+A thin :class:`http.server.ThreadingHTTPServer` wrapper around
+:class:`~repro.service.MotifService`: handler threads parse the JSON
+envelope and block in :meth:`MotifService.submit`, which owns all
+queueing, coalescing, deadlines and admission control.  No third-party
+runtime dependency -- the daemon is importable anywhere the package
+is.
+
+Endpoints (see :mod:`repro.service.protocol` for the envelope):
+
+* ``POST /v1/<op>`` -- one query; body ``{"params": ..., "timeout": ...}``.
+* ``GET /healthz`` -- liveness + loaded snapshot names.
+* ``GET /stats`` -- service counters, queue depth, snapshot registry
+  and the engine's cache / transfer accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .protocol import (
+    OPS,
+    BadRequestError,
+    ServiceError,
+    error_payload,
+)
+from .service import MotifService
+
+#: Request bodies beyond this are refused outright (64 MiB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class MotifRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP exchange; all real work happens in the service."""
+
+    server_version = "repro-motif-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> MotifService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, exc: ServiceError) -> None:
+        self._send_json(exc.status, {"ok": False, "error": error_payload(exc)})
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        if self.path == "/healthz":
+            health = self.service.health()
+            # Status-code health checks (the load-balancer default)
+            # must see the outage, not a 200 with a false body.
+            self._send_json(200 if health["ok"] else 503, health)
+        elif self.path == "/stats":
+            self._send_json(200, {"ok": True, "stats": self.service.stats()})
+        else:
+            self._send_error_payload(
+                BadRequestError(f"unknown path {self.path!r}")
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        try:
+            op, params, timeout = self._parse_request()
+            result, coalesced = self.service.submit(op, params, timeout)
+        except ServiceError as exc:
+            self._send_error_payload(exc)
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_payload(ServiceError(f"internal error: {exc}"))
+            return
+        self._send_json(
+            200, {"ok": True, "result": result, "coalesced": coalesced}
+        )
+
+    def _parse_request(self) -> Tuple[str, dict, Optional[float]]:
+        prefix = "/v1/"
+        if not self.path.startswith(prefix):
+            raise BadRequestError(
+                f"unknown path {self.path!r} (queries POST to /v1/<op>)"
+            )
+        op = self.path[len(prefix):]
+        if op not in OPS:
+            raise BadRequestError(
+                f"unknown operation {op!r}; known: {', '.join(OPS)}"
+            )
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            raise BadRequestError("bad Content-Length header") from exc
+        if length <= 0:
+            raise BadRequestError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        try:
+            body = json.loads(self.rfile.read(length))
+        except ValueError as exc:
+            raise BadRequestError(f"unparseable JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise BadRequestError("body must be a JSON object")
+        timeout = body.get("timeout")
+        if timeout is not None:
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError("timeout must be a number") from exc
+        return op, body.get("params", {}), timeout
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr chatter (stats carry the counters)."""
+
+
+class MotifHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`MotifService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    #: socketserver's default listen backlog of 5 resets connections
+    #: under request bursts; admission control belongs to the service's
+    #: bounded queue (429), not to kernel-level RSTs.
+    request_queue_size = 128
+
+    def __init__(self, address, service: MotifService) -> None:
+        super().__init__(address, MotifRequestHandler)
+        self.service = service
+
+
+def make_server(
+    service: MotifService, host: str = "127.0.0.1", port: int = 0
+) -> MotifHTTPServer:
+    """Bind (but do not run) the HTTP server; ``port=0`` picks a free one."""
+    return MotifHTTPServer((host, port), service)
+
+
+def serve(
+    service: MotifService, host: str = "127.0.0.1", port: int = 8707
+) -> None:
+    """Run the service until interrupted (the CLI's ``repro serve`` body)."""
+    with service:
+        httpd = make_server(service, host, port)
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
+        finally:
+            httpd.server_close()

@@ -1,0 +1,682 @@
+"""The :class:`MotifService` daemon core: one warm engine, many requests.
+
+The serving layer the paper's filter cascade earns its keep in: a
+process that owns **one** warm :class:`~repro.engine.MotifEngine`
+(caches, pool, shared-memory segments) plus a registry of
+:mod:`repro.store` snapshots, and answers discover / discover_many /
+top_k / join / join_top_k / cluster requests against them.  Three
+serving mechanisms live here, independent of the HTTP transport
+(:mod:`repro.service.server`):
+
+* **Request coalescing** -- every request is resolved to the *same
+  content-addressed key the engine's planner caches by*
+  (:func:`repro.engine.planner.discover_result_key` and friends).  An
+  identical request arriving while one is queued or executing attaches
+  to the in-flight computation instead of enqueueing a duplicate, so a
+  burst of equal queries costs one search regardless of fan-in.
+* **Deadlines** -- a request may carry ``timeout`` seconds.  Expiry is
+  enforced at admission, at dequeue, and -- for the discover family --
+  *inside* the search, by handing the remaining budget to the
+  algorithms' existing :class:`~repro.core.brute.MotifTimeout`
+  machinery.  An expired request answers ``deadline_exceeded`` (HTTP
+  504).  Coalescing respects deadlines both ways: a request attaches
+  to an in-flight computation only when that computation's budget
+  covers its own deadline (a shorter-budgeted sibling must never fail
+  it with a borrowed 504), and each waiter still gives up at its own
+  deadline while the shared computation runs.
+* **Bounded admission** -- at most ``max_pending`` requests may queue;
+  the next one is refused immediately with ``overloaded`` (HTTP 429)
+  rather than building an unbounded backlog.
+
+Snapshots loaded via :meth:`MotifService.load_snapshot` are mapped
+read-only (``numpy.memmap``) and **seeded into the engine's index
+cache** under the exact key the corpus workloads look up
+(:func:`repro.engine.corpus.corpus_index_cache_key`), so a join or
+top-k against a snapshot corpus reuses the persisted summaries --
+zero simplification DPs, observable as ``summary_builds == 0`` in the
+reply's index statistics -- and pool workers re-map the snapshot files
+themselves (one host-wide page cache, nothing pickled or copied).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.brute import MotifTimeout
+from ..distances.ground import get_metric
+from ..engine import MotifEngine
+from ..engine import planner
+from ..engine.cache import fingerprint_points, metric_key
+from ..engine.corpus import corpus_index_cache_key
+from ..errors import ReproError
+from ..store import load_snapshot, snapshot_trajectories
+from ..trajectory import Trajectory
+from .protocol import (
+    OPS,
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownSnapshotError,
+)
+
+
+# ----------------------------------------------------------------------
+# Result encoding (JSON-safe plain types only)
+# ----------------------------------------------------------------------
+def _encode_motif(result) -> dict:
+    return {
+        "distance": float(result.distance),
+        "indices": [int(v) for v in result.indices],
+        "algorithm": result.stats.algorithm,
+        "subsets_expanded": int(result.stats.subsets_expanded),
+        "time_total": float(result.stats.time_total),
+    }
+
+
+def _encode_join_stats(stats) -> dict:
+    return {
+        "pairs_total": int(stats.pairs_total),
+        "pruned_index": int(stats.pruned_index),
+        "pruned_endpoint": int(stats.pruned_endpoint),
+        "pruned_bbox": int(stats.pruned_bbox),
+        "pruned_hausdorff": int(stats.pruned_hausdorff),
+        "decisions": int(stats.decisions),
+        "matches": int(stats.matches),
+        "details": stats.details,
+    }
+
+
+@dataclass
+class _Snapshot:
+    """One loaded snapshot: its index, corpus views, and metadata."""
+
+    name: str
+    path: str
+    index: object
+    trajectories: List[Trajectory]
+
+    def describe(self) -> dict:
+        manifest = getattr(self.index, "snapshot_manifest", {}) or {}
+        return {
+            "path": self.path,
+            "n": len(self.trajectories),
+            "content_key": manifest.get("content_key"),
+            "metric": manifest.get("metric"),
+        }
+
+
+@dataclass
+class _Request:
+    """One admitted computation and everyone waiting on it."""
+
+    op: str
+    key: Optional[tuple]
+    runner: Callable[[Optional[float]], object]
+    deadline: Optional[float]
+    event: threading.Event = field(default_factory=threading.Event)
+    result: object = None
+    error: Optional[BaseException] = None
+
+    def covers(self, deadline: Optional[float]) -> bool:
+        """Whether this computation's budget covers ``deadline``.
+
+        Attaching to a computation that will be cut short *earlier*
+        than the new request's own deadline would fail the waiter with
+        someone else's 504, so coalescing requires the in-flight
+        budget to be at least as generous.
+        """
+        if self.deadline is None:
+            return True
+        return deadline is not None and self.deadline >= deadline
+
+
+class MotifService:
+    """A persistent motif-query service over one warm engine.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count of the owned engine (ignored when
+        ``engine`` is supplied).
+    service_workers:
+        Serving threads executing admitted requests.  Engine pool use
+        is internally exclusive, so serving threads overlap on cache
+        hits, coalesced waits and independent serial work.
+    max_pending:
+        Admission bound: requests that would grow the queue beyond
+        this are refused with :class:`OverloadedError` (HTTP 429).
+    coalesce:
+        Share one computation among identical in-flight requests
+        (content-addressed by the planner's cache keys).  ``False``
+        turns every request into its own computation -- the
+        benchmark's baseline.
+    engine / engine_kwargs:
+        Adopt a caller-owned engine, or forward construction kwargs to
+        the owned one (e.g. ``result_cache_size=0`` for benchmarks).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        service_workers: int = 2,
+        max_pending: int = 32,
+        coalesce: bool = True,
+        engine: Optional[MotifEngine] = None,
+        engine_kwargs: Optional[dict] = None,
+    ) -> None:
+        if service_workers < 1:
+            raise ValueError("service_workers must be at least 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else MotifEngine(
+            workers=workers, **(engine_kwargs or {})
+        )
+        self.service_workers = int(service_workers)
+        self.max_pending = int(max_pending)
+        self.coalesce = bool(coalesce)
+        self._snapshots: Dict[str, _Snapshot] = {}
+        self._cond = threading.Condition()
+        self._queue: "deque[_Request]" = deque()
+        self._inflight: Dict[tuple, _Request] = {}
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        # Admission (accepted/coalesced/rejected) and computation
+        # outcomes (completed/failed/deadline_expired) are disjoint
+        # families: outcomes sum to accepted once the queue drains.
+        # waiter_timeouts counts callers who gave up waiting (their
+        # computation may still complete) -- it overlaps, by design.
+        self._counters = {
+            "accepted": 0,
+            "coalesced": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "deadline_expired": 0,
+            "waiter_timeouts": 0,
+        }
+        #: Test seam: called (with the request) in the serving thread
+        #: right before execution; lets tests hold computations
+        #: in-flight deterministically.
+        self._before_execute: Optional[Callable[[_Request], None]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MotifService":
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._threads = [
+            threading.Thread(
+                target=self._serve_loop, name=f"motif-serve-{k}", daemon=True
+            )
+            for k in range(self.service_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain nothing: refuse the queue, join threads, close the engine."""
+        with self._cond:
+            self._running = False
+            pending = list(self._queue)
+            self._queue.clear()
+            self._inflight.clear()
+            self._cond.notify_all()
+        for req in pending:
+            req.error = ServiceUnavailableError("service stopped")
+            req.event.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+        self._threads = []
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "MotifService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def load_snapshot(self, name: str, path, *, verify: bool = False) -> dict:
+        """Map a :mod:`repro.store` snapshot and register it as ``name``.
+
+        The restored index is seeded into the engine's tables cache
+        under :func:`~repro.engine.corpus.corpus_index_cache_key`, so
+        corpus queries referencing this snapshot reuse its persisted
+        summaries instead of rebuilding them.
+        """
+        index = load_snapshot(path, mmap=True, verify=verify)
+        trajectories = snapshot_trajectories(index)
+        fps = planner.corpus_fingerprint(trajectories)
+        self.engine._oracles.tables.put(
+            corpus_index_cache_key(fps, index.metric), index
+        )
+        snap = _Snapshot(
+            name=str(name), path=str(path), index=index,
+            trajectories=trajectories,
+        )
+        with self._cond:
+            self._snapshots[snap.name] = snap
+        return snap.describe()
+
+    def snapshot_names(self) -> List[str]:
+        with self._cond:
+            return sorted(self._snapshots)
+
+    def _snapshot(self, name) -> _Snapshot:
+        with self._cond:
+            snap = self._snapshots.get(name)
+        if snap is None:
+            raise UnknownSnapshotError(
+                f"no snapshot {name!r} loaded (have: {self.snapshot_names()})"
+            )
+        return snap
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._cond:
+            counters = dict(self._counters)
+            pending = len(self._queue)
+            inflight = len(self._inflight)
+            snapshots = {
+                name: snap.describe() for name, snap in self._snapshots.items()
+            }
+        return {
+            "counters": counters,
+            "pending": pending,
+            "inflight": inflight,
+            "max_pending": self.max_pending,
+            "coalesce": self.coalesce,
+            "service_workers": self.service_workers,
+            "snapshots": snapshots,
+            "engine": {
+                "cache": self.engine.cache_info(),
+                "transfer": self.engine.transfer_info(),
+            },
+        }
+
+    def health(self) -> dict:
+        with self._cond:
+            running = self._running
+        return {"ok": running, "snapshots": self.snapshot_names()}
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, op: str, params: dict, timeout: Optional[float] = None
+    ) -> Tuple[object, bool]:
+        """Answer one request; returns ``(result, coalesced)``.
+
+        Blocks until the computation completes or ``timeout`` seconds
+        elapse (:class:`DeadlineExceededError`).  This is the whole
+        serving path -- the HTTP layer is a thin wrapper around it.
+        """
+        if op not in OPS:
+            raise BadRequestError(
+                f"unknown operation {op!r}; known: {', '.join(OPS)}"
+            )
+        if timeout is not None and float(timeout) <= 0:
+            raise BadRequestError("timeout must be positive seconds")
+        if not isinstance(params, dict):
+            raise BadRequestError("params must be a JSON object")
+        key, runner = self._prepare(op, params)
+        deadline = None if timeout is None else time.monotonic() + float(timeout)
+        with self._cond:
+            if not self._running:
+                raise ServiceUnavailableError("service is not running")
+            req = None
+            if self.coalesce and key is not None:
+                candidate = self._inflight.get(key)
+                # Attach only when the in-flight budget covers this
+                # request's own deadline -- a shorter-budgeted sibling
+                # must never fail us with its 504.
+                if candidate is not None and candidate.covers(deadline):
+                    req = candidate
+            if req is not None:
+                self._counters["coalesced"] += 1
+                coalesced = True
+            else:
+                if len(self._queue) >= self.max_pending:
+                    self._counters["rejected"] += 1
+                    raise OverloadedError(
+                        f"admission queue full ({self.max_pending} pending)"
+                    )
+                req = _Request(op=op, key=key, runner=runner, deadline=deadline)
+                if key is not None:
+                    # Latest entry wins the key: future duplicates
+                    # coalesce onto the most generously budgeted
+                    # computation (identity-guarded on removal).
+                    self._inflight[key] = req
+                self._queue.append(req)
+                self._counters["accepted"] += 1
+                self._cond.notify()
+                coalesced = False
+        remaining = None if deadline is None else deadline - time.monotonic()
+        finished = req.event.wait(remaining)
+        if not finished:
+            with self._cond:
+                self._counters["waiter_timeouts"] += 1
+            raise DeadlineExceededError(
+                f"{op} missed its {float(timeout):.3f}s deadline"
+            )
+        if req.error is not None:
+            raise req.error
+        return req.result, coalesced
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while True:
+            with self._cond:
+                while self._running and not self._queue:
+                    self._cond.wait()
+                if not self._running:
+                    return
+                req = self._queue.popleft()
+            outcome = "failed"
+            try:
+                if req.deadline is not None and time.monotonic() > req.deadline:
+                    raise DeadlineExceededError(
+                        f"{req.op} expired while queued"
+                    )
+                hook = self._before_execute
+                if hook is not None:
+                    hook(req)
+                req.result = req.runner(req.deadline)
+                outcome = "completed"
+            except MotifTimeout as exc:
+                req.error = DeadlineExceededError(str(exc))
+                outcome = "deadline_expired"
+            except ServiceError as exc:
+                req.error = exc
+                outcome = (
+                    "deadline_expired"
+                    if isinstance(exc, DeadlineExceededError)
+                    else "failed"
+                )
+            except (ReproError, ValueError, TypeError, KeyError,
+                    IndexError) as exc:
+                req.error = BadRequestError(str(exc))
+                outcome = "failed"
+            except Exception as exc:  # pragma: no cover - defensive
+                req.error = ServiceError(f"internal error: {exc}")
+                outcome = "failed"
+            finally:
+                with self._cond:
+                    self._counters[outcome] += 1
+                    if req.key is not None and self._inflight.get(req.key) is req:
+                        del self._inflight[req.key]
+                req.event.set()
+
+    # ------------------------------------------------------------------
+    # Request resolution (specs -> engine calls + coalescing keys)
+    # ------------------------------------------------------------------
+    def _trajectory_from_spec(self, spec) -> Trajectory:
+        if isinstance(spec, dict):
+            snap = self._snapshot(spec.get("snapshot"))
+            item = spec.get("item")
+            if item is None:
+                raise BadRequestError(
+                    "trajectory snapshot spec needs an 'item' index"
+                )
+            try:
+                return snap.trajectories[int(item)]
+            except (IndexError, ValueError) as exc:
+                raise BadRequestError(
+                    f"snapshot {snap.name!r} has no item {item!r}"
+                ) from exc
+        try:
+            points = np.asarray(spec, dtype=np.float64)
+            return Trajectory(points)
+        except (ValueError, TypeError, ReproError) as exc:
+            raise BadRequestError(f"bad trajectory spec: {exc}") from exc
+
+    def _corpus_from_spec(self, spec) -> List[Trajectory]:
+        if isinstance(spec, dict):
+            snap = self._snapshot(spec.get("snapshot"))
+            items = spec.get("items")
+            if items is None:
+                return snap.trajectories
+            try:
+                return [snap.trajectories[int(i)] for i in items]
+            except (IndexError, ValueError, TypeError) as exc:
+                raise BadRequestError(
+                    f"bad items for snapshot {snap.name!r}: {exc}"
+                ) from exc
+        if not isinstance(spec, (list, tuple)) or not spec:
+            raise BadRequestError("corpus spec must be a non-empty list")
+        return [self._trajectory_from_spec(item) for item in spec]
+
+    @staticmethod
+    def _options_from(params: dict) -> dict:
+        options = params.get("options", {})
+        if not isinstance(options, dict):
+            raise BadRequestError("options must be a JSON object")
+        return dict(options)
+
+    @staticmethod
+    def _remaining(deadline: Optional[float]) -> Optional[float]:
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError("deadline expired before the search")
+        return remaining
+
+    def _prepare(self, op: str, params: dict):
+        """Resolve ``params`` into ``(coalescing key, runner)``.
+
+        The key reuses the planner's content-addressed cache keys, so
+        "identical request" means exactly what "cache hit" means in
+        the engine -- equal content, metric, geometry and options --
+        never object identity.  Resolution errors surface as 400s
+        before admission (they consume no queue slot).
+        """
+        try:
+            return getattr(self, f"_prepare_{op}")(params)
+        except KeyError as exc:
+            raise BadRequestError(f"missing required param: {exc}") from exc
+
+    def _prepare_discover(self, params: dict):
+        traj = self._trajectory_from_spec(params["trajectory"])
+        second = (
+            self._trajectory_from_spec(params["second"])
+            if params.get("second") is not None
+            else None
+        )
+        min_length = int(params["min_length"])
+        algorithm = str(params.get("algorithm") or self.engine.algorithm)
+        metric = params.get("metric")
+        options = self._options_from(params)
+        resolved = get_metric(metric, crs=traj.crs)
+        key = (
+            "svc", "discover",
+            planner.discover_result_key(
+                traj, second, resolved, min_length, algorithm, options
+            ),
+        )
+
+        def runner(deadline):
+            opts = dict(options)
+            remaining = self._remaining(deadline)
+            if remaining is not None:
+                opts["timeout"] = remaining
+            result = self.engine.discover(
+                traj, second, min_length=min_length, algorithm=algorithm,
+                metric=metric, cacheable=remaining is None, **opts,
+            )
+            return _encode_motif(result)
+
+        return key, runner
+
+    def _prepare_discover_many(self, params: dict):
+        raw_items = params["items"]
+        if not isinstance(raw_items, (list, tuple)) or not raw_items:
+            raise BadRequestError("items must be a non-empty list")
+        items = []
+        for raw in raw_items:
+            if isinstance(raw, dict) and "pair" in raw:
+                a, b = raw["pair"]
+                items.append((
+                    self._trajectory_from_spec(a),
+                    self._trajectory_from_spec(b),
+                ))
+            else:
+                items.append(self._trajectory_from_spec(raw))
+        min_length = int(params["min_length"])
+        algorithm = str(params.get("algorithm") or self.engine.algorithm)
+        metric = params.get("metric")
+        options = self._options_from(params)
+        item_keys = []
+        for item in items:
+            traj, second = item if isinstance(item, tuple) else (item, None)
+            resolved = get_metric(metric, crs=traj.crs)
+            item_keys.append(planner.discover_result_key(
+                traj, second, resolved, min_length, algorithm, options
+            ))
+        key = ("svc", "discover_many", tuple(item_keys))
+
+        def runner(deadline):
+            opts = dict(options)
+            remaining = self._remaining(deadline)
+            if remaining is not None:
+                opts["timeout"] = remaining
+            results = self.engine.discover_many(
+                items, min_length=min_length, algorithm=algorithm,
+                metric=metric, **opts,
+            )
+            return [_encode_motif(result) for result in results]
+
+        return key, runner
+
+    def _prepare_top_k(self, params: dict):
+        traj = self._trajectory_from_spec(params["trajectory"])
+        second = (
+            self._trajectory_from_spec(params["second"])
+            if params.get("second") is not None
+            else None
+        )
+        min_length = int(params["min_length"])
+        k = int(params.get("k", 5))
+        metric = params.get("metric")
+        resolved = get_metric(metric, crs=traj.crs)
+        key = (
+            "svc", "top_k",
+            planner.topk_result_key(traj, second, resolved, min_length, k),
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)  # expiry check; top_k has no budget knob
+            ranked = self.engine.top_k(
+                traj, second, min_length=min_length, k=k, metric=metric,
+            )
+            return [
+                {
+                    "rank": int(motif.rank),
+                    "distance": float(motif.distance),
+                    "indices": [int(v) for v in motif.indices],
+                }
+                for motif in ranked
+            ]
+
+        return key, runner
+
+    def _prepare_join(self, params: dict):
+        left = self._corpus_from_spec(params["left"])
+        right = self._corpus_from_spec(params["right"])
+        theta = float(params["theta"])
+        metric = params.get("metric") or "euclidean"
+        use_index = bool(params.get("index", True))
+        resolved = get_metric(metric)
+        key = (
+            "svc", "join",
+            planner.join_result_key(left, right, resolved, theta, use_index),
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)
+            matches, stats = self.engine.join(
+                left, right, theta, metric=metric, index=use_index,
+            )
+            return {
+                "matches": [[int(a), int(b)] for a, b in matches],
+                "stats": _encode_join_stats(stats),
+            }
+
+        return key, runner
+
+    def _prepare_join_top_k(self, params: dict):
+        left = self._corpus_from_spec(params["left"])
+        right = self._corpus_from_spec(params["right"])
+        k = int(params.get("k", 5))
+        metric = params.get("metric") or "euclidean"
+        use_index = bool(params.get("index", True))
+        resolved = get_metric(metric)
+        key = (
+            "svc", "join_top_k",
+            planner.join_topk_result_key(left, right, resolved, k),
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)
+            entries = self.engine.join_top_k(
+                left, right, k=k, metric=metric, index=use_index,
+            )
+            return [
+                {"distance": float(dist), "pair": [int(a), int(b)]}
+                for dist, (a, b) in entries
+            ]
+
+        return key, runner
+
+    def _prepare_cluster(self, params: dict):
+        traj = self._trajectory_from_spec(params["trajectory"])
+        window_length = int(params["window_length"])
+        theta = float(params["theta"])
+        stride = int(params.get("stride", 1))
+        min_cluster_size = int(params.get("min_cluster_size", 2))
+        metric = params.get("metric")
+        use_index = bool(params.get("index", True))
+        resolved = get_metric(metric, crs=traj.crs)
+        key = (
+            "svc", "cluster",
+            fingerprint_points(traj), window_length, theta, stride,
+            min_cluster_size, metric_key(resolved), use_index,
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)
+            clusters = self.engine.cluster(
+                traj, window_length=window_length, theta=theta,
+                stride=stride, min_cluster_size=min_cluster_size,
+                metric=metric, index=use_index,
+            )
+            return {
+                "window_length": window_length,
+                "clusters": [
+                    {"members": [int(s) for s in cluster.members]}
+                    for cluster in clusters
+                ],
+            }
+
+        return key, runner

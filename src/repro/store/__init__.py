@@ -1,0 +1,36 @@
+"""Persisted corpus-index snapshots (:mod:`repro.store.snapshot`).
+
+A snapshot is a directory of raw little-endian array files behind a
+JSON manifest keyed by the index's content fingerprint:
+:func:`save_snapshot` writes one, :func:`load_snapshot` maps it back
+zero-copy via :class:`numpy.memmap` (byte-identical answers, zero
+simplification recomputes), and :class:`SnapshotSlabRef` /
+:func:`attach_snapshot_slabs` let engine pool workers re-map the same
+files so every server process on a host shares one page cache.
+"""
+
+from .snapshot import (
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SnapshotSlabRef,
+    attach_snapshot_slabs,
+    inspect_snapshot,
+    load_snapshot,
+    save_snapshot,
+    snapshot_trajectories,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "SnapshotSlabRef",
+    "attach_snapshot_slabs",
+    "inspect_snapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "snapshot_trajectories",
+]

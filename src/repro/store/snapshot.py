@@ -1,0 +1,412 @@
+"""Versioned on-disk snapshots of a corpus and its :class:`CorpusIndex`.
+
+The filter cascade only pays off at serving scale when the summaries
+survive the process that built them: Gudmundsson et al.'s practical
+Frechet-proximity index (PAPERS.md) is precisely a *precomputed,
+reusable* structure, and the engine's corpus workloads re-derive one
+per process today.  A snapshot turns the index into a file-system
+artifact any number of server processes can map simultaneously:
+
+* every numeric array -- the corpus transport slabs (concatenated
+  points / timestamps / offsets), the endpoint and bounding-box
+  summaries, and the Douglas-Peucker simplifications with their exact
+  DFD error radii -- is written as a **raw little-endian array file**
+  (``<f8`` / ``<i8``, C order, no headers);
+* a JSON ``manifest.json`` describes the layout (shape / dtype /
+  byte-size / SHA-1 per array) and is keyed by the index's
+  :attr:`~repro.index.CorpusIndex.content_key` fingerprint;
+* :func:`load_snapshot` maps the files back with :class:`numpy.memmap`
+  (read-only, page-cache backed) and rebuilds the index via
+  :meth:`CorpusIndex.restore` -- **nothing is recomputed**, so a
+  loaded index answers ``candidate_pairs`` / ``ordered_pairs``
+  byte-identically to the saved one and performs zero simplification
+  DPs (property-tested in ``tests/test_store.py``);
+* :class:`SnapshotSlabRef` is the picklable by-reference handle pool
+  workers receive instead of shared-memory refs: each worker re-maps
+  the same files (:func:`attach_snapshot_slabs`), so N processes share
+  one page cache and the parent never copies the corpus anywhere.
+
+Error handling is deliberate: a missing / truncated array file, a
+format or version mismatch, or (under ``verify=True``) a digest
+mismatch all raise :class:`SnapshotError` -- a serving layer must fail
+a bad snapshot loudly, never fall back to silently recomputing.
+
+This module imports only :mod:`repro.index`, :mod:`repro.trajectory`
+and :mod:`repro.errors` -- the engine and service layers compose it,
+not the other way around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from ..index import CorpusIndex
+from ..trajectory import Trajectory
+
+SNAPSHOT_FORMAT = "repro-corpus-snapshot"
+SNAPSHOT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: Array dtypes on disk are explicit little-endian codes, so a snapshot
+#: is bit-portable across hosts (big-endian writers byte-swap on save).
+_FLOAT = "<f8"
+_INT = "<i8"
+
+
+class SnapshotError(ReproError):
+    """A snapshot is missing, malformed, truncated or version-skewed."""
+
+
+class SnapshotSlabRef(NamedTuple):
+    """Picklable by-reference handle to a snapshot's transport slabs.
+
+    The file-backed analogue of
+    :class:`repro.engine.shm.SharedArrayRef`: ``fields`` maps each slab
+    to ``(field_name, file_name, shape, dtype)`` under ``root``.  A
+    pool worker re-maps the files read-only
+    (:func:`attach_snapshot_slabs`), so the payload through the pool
+    pipe is a path plus a few ints however many megabytes the corpus
+    spans -- and every process on the host shares one page cache.
+    """
+
+    root: str
+    fields: Tuple[Tuple[str, str, Tuple[int, ...], str], ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes referenced."""
+        return sum(
+            int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+            for _, _, shape, dtype in self.fields
+        )
+
+
+def _open_array(path: Path, shape: Tuple[int, ...], dtype: str, mmap: bool):
+    """Map (or read) one raw array file, validating its size first."""
+    expected = int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
+    try:
+        actual = path.stat().st_size
+    except OSError as exc:
+        raise SnapshotError(f"snapshot array missing: {path}") from exc
+    if actual != expected:
+        raise SnapshotError(
+            f"snapshot array {path.name} is {actual} bytes, "
+            f"expected {expected} (truncated or corrupt)"
+        )
+    if expected == 0:
+        return np.empty(shape, dtype=np.dtype(dtype))
+    if mmap:
+        return np.memmap(path, dtype=np.dtype(dtype), mode="r", shape=shape)
+    return np.fromfile(path, dtype=np.dtype(dtype)).reshape(shape)
+
+
+# ----------------------------------------------------------------------
+# Worker-side attachment (per-process map cache)
+# ----------------------------------------------------------------------
+_MAPPED: "OrderedDict[SnapshotSlabRef, Dict[str, np.ndarray]]" = OrderedDict()
+_MAP_LIMIT = 8
+
+#: Per-process counters (observable in tests that attach in-process).
+MAP_STATS = {"maps": 0, "reuses": 0}
+
+
+def attach_snapshot_slabs(ref: SnapshotSlabRef) -> Dict[str, np.ndarray]:
+    """The ``{field: ndarray}`` group behind ``ref``, mapped read-only.
+
+    Arrays are zero-copy :class:`numpy.memmap` views of the snapshot
+    files; repeated calls for the same ref reuse the existing mapping,
+    so a warm worker pays the ``open``/``mmap`` syscalls once per
+    snapshot, and the kernel's page cache is shared by every process
+    mapping the same files.
+    """
+    entry = _MAPPED.get(ref)
+    if entry is not None:
+        _MAPPED.move_to_end(ref)
+        MAP_STATS["reuses"] += 1
+        return entry
+    root = Path(ref.root)
+    slabs = {
+        field: _open_array(root / filename, tuple(shape), dtype, mmap=True)
+        for field, filename, shape, dtype in ref.fields
+    }
+    _MAPPED[ref] = slabs
+    MAP_STATS["maps"] += 1
+    while len(_MAPPED) > _MAP_LIMIT:
+        _MAPPED.popitem(last=False)
+    return slabs
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+def _le(array: np.ndarray, dtype: str) -> np.ndarray:
+    """A C-contiguous little-endian view/copy of ``array``."""
+    return np.ascontiguousarray(np.asarray(array).astype(dtype, copy=False))
+
+
+def save_snapshot(
+    index: CorpusIndex,
+    path: Union[str, Path],
+    *,
+    crs: str = "plane",
+    trajectory_ids: Optional[List[Optional[str]]] = None,
+) -> dict:
+    """Write ``index`` (corpus + summaries) to ``path``; returns the manifest.
+
+    The directory is created if needed; existing array files are
+    overwritten and the manifest is written last, so a crashed save
+    never leaves a manifest pointing at stale bytes it does not
+    describe.  Summaries are built first (:meth:`ensure_summaries`):
+    the whole point of a snapshot is that loaders never run the DPs.
+    """
+    if trajectory_ids is not None and len(trajectory_ids) != index.n:
+        raise SnapshotError(
+            f"trajectory_ids has {len(trajectory_ids)} entries "
+            f"for a corpus of {index.n}"
+        )
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    index.ensure_summaries()
+    slabs = index.transport_slabs()
+    simplified = index.simplifications
+    simp_offsets = np.zeros(index.n + 1, dtype=np.int64)
+    np.cumsum([s.shape[0] for s in simplified], out=simp_offsets[1:])
+    arrays = {
+        "points": (_le(slabs["points"], _FLOAT), _FLOAT),
+        "timestamps": (_le(slabs["timestamps"], _FLOAT), _FLOAT),
+        "offsets": (_le(slabs["offsets"], _INT), _INT),
+        "starts": (_le(index.starts, _FLOAT), _FLOAT),
+        "ends": (_le(index.ends, _FLOAT), _FLOAT),
+        "box_lo": (_le(index.box_lo, _FLOAT), _FLOAT),
+        "box_hi": (_le(index.box_hi, _FLOAT), _FLOAT),
+        "simp_points": (_le(np.concatenate(simplified, axis=0), _FLOAT), _FLOAT),
+        "simp_offsets": (_le(simp_offsets, _INT), _INT),
+        "simp_errors": (_le(index.simplification_errors, _FLOAT), _FLOAT),
+    }
+    specs = {}
+    for name, (array, dtype) in arrays.items():
+        filename = f"{name}.bin"
+        # Write and hash through a flat byte view -- no tobytes() copy,
+        # so peak memory stays one corpus even for multi-GB slabs.
+        # Each array lands via tmp + rename: re-saving over a live
+        # snapshot must never let the old manifest describe half-new
+        # bytes if the process dies mid-write (same discipline as the
+        # manifest itself).
+        payload = memoryview(array).cast("B")
+        tmp_array = root / (filename + ".tmp")
+        tmp_array.write_bytes(payload)
+        os.replace(tmp_array, root / filename)
+        specs[name] = {
+            "file": filename,
+            "dtype": dtype,
+            "shape": list(array.shape),
+            "nbytes": payload.nbytes,
+            "sha1": hashlib.sha1(payload).hexdigest(),
+        }
+    manifest = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "content_key": index.content_key,
+        "metric": index.metric.name,
+        "simplify_frac": index.simplify_frac,
+        "max_simplification_points": index.max_simplification_points,
+        "n": index.n,
+        "dimensions": index.dimensions,
+        "crs": crs,
+        "trajectory_ids": trajectory_ids,
+        "arrays": specs,
+    }
+    manifest_path = root / MANIFEST_NAME
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, manifest_path)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Load / inspect
+# ----------------------------------------------------------------------
+def _read_manifest(root: Path) -> dict:
+    manifest_path = root / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}") from exc
+    except ValueError as exc:
+        raise SnapshotError(f"unparseable snapshot manifest {manifest_path}") from exc
+    if manifest.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"not a corpus snapshot: format={manifest.get('format')!r}"
+        )
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {manifest.get('version')!r} is not "
+            f"supported (this build reads version {SNAPSHOT_VERSION})"
+        )
+    return manifest
+
+
+def _verify_digests(root: Path, manifest: dict) -> None:
+    for name, spec in manifest["arrays"].items():
+        digest = hashlib.sha1()
+        try:
+            with open(root / spec["file"], "rb") as handle:
+                # Fixed-size chunks: verification must not materialise
+                # a multi-GB slab the mmap design exists to avoid.
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
+        except OSError as exc:
+            raise SnapshotError(
+                f"snapshot array missing: {spec['file']}"
+            ) from exc
+        if digest.hexdigest() != spec["sha1"]:
+            raise SnapshotError(
+                f"snapshot array {name!r} digest mismatch "
+                f"(expected {spec['sha1'][:12]}..., "
+                f"got {digest.hexdigest()[:12]}...)"
+            )
+
+
+def load_snapshot(
+    path: Union[str, Path],
+    *,
+    mmap: bool = True,
+    verify: bool = False,
+) -> CorpusIndex:
+    """Restore a :class:`CorpusIndex` from a snapshot directory.
+
+    With ``mmap=True`` (default) every array is a read-only
+    :class:`numpy.memmap` view of the snapshot files -- loading is
+    O(metadata), the corpus pages in on demand, and concurrent loaders
+    in other processes share the same page cache.  ``verify=True``
+    additionally checks every array's SHA-1 against the manifest (a
+    full read) and the restored index's
+    :attr:`~repro.index.CorpusIndex.content_key` against the
+    manifest's.  The restored index carries ``snapshot_manifest`` /
+    ``snapshot_path`` attributes and a :class:`SnapshotSlabRef` the
+    engine ships to pool workers in place of shared-memory segments.
+    """
+    root = Path(path)
+    manifest = _read_manifest(root)
+    if verify:
+        _verify_digests(root, manifest)
+    specs = manifest["arrays"]
+
+    def open_named(name: str):
+        spec = specs.get(name)
+        if spec is None:
+            raise SnapshotError(f"snapshot manifest lists no {name!r} array")
+        return _open_array(
+            root / spec["file"], tuple(spec["shape"]), spec["dtype"], mmap
+        )
+
+    points = open_named("points")
+    timestamps = open_named("timestamps")
+    offsets = open_named("offsets")
+    simp_points = open_named("simp_points")
+    simp_offsets = open_named("simp_offsets")
+    n = int(manifest["n"])
+    if len(offsets) != n + 1 or len(simp_offsets) != n + 1:
+        raise SnapshotError("snapshot offsets disagree with the manifest n")
+    points_list = [
+        points[int(offsets[i]):int(offsets[i + 1])] for i in range(n)
+    ]
+    ts_list = [
+        timestamps[int(offsets[i]):int(offsets[i + 1])] for i in range(n)
+    ]
+    simplified = [
+        simp_points[int(simp_offsets[i]):int(simp_offsets[i + 1])]
+        for i in range(n)
+    ]
+    transport = ("points", "timestamps", "offsets")
+    slab_ref = SnapshotSlabRef(
+        root=str(root.resolve()),
+        fields=tuple(
+            (name, specs[name]["file"], tuple(specs[name]["shape"]),
+             specs[name]["dtype"])
+            for name in transport
+        ),
+    )
+    index = CorpusIndex.restore(
+        metric=manifest["metric"],
+        simplify_frac=manifest["simplify_frac"],
+        max_simplification_points=manifest["max_simplification_points"],
+        points=points_list,
+        timestamps=ts_list,
+        starts=open_named("starts"),
+        ends=open_named("ends"),
+        box_lo=open_named("box_lo"),
+        box_hi=open_named("box_hi"),
+        simplified=simplified,
+        simplification_errors=open_named("simp_errors"),
+        slabs={"points": points, "timestamps": timestamps, "offsets": offsets},
+        slab_ref=slab_ref,
+    )
+    index.snapshot_manifest = manifest
+    index.snapshot_path = str(root.resolve())
+    if verify and index.content_key != manifest["content_key"]:
+        raise SnapshotError(
+            "snapshot content_key mismatch: manifest "
+            f"{manifest['content_key'][:12]}... vs loaded "
+            f"{index.content_key[:12]}..."
+        )
+    return index
+
+
+def snapshot_trajectories(index: CorpusIndex) -> List[Trajectory]:
+    """The snapshot's corpus as :class:`Trajectory` objects.
+
+    Points and timestamps are the index's zero-copy mapped views; crs
+    and trajectory ids come from the snapshot manifest (plain indexes
+    without one get planar defaults).
+    """
+    manifest = getattr(index, "snapshot_manifest", None) or {}
+    crs = manifest.get("crs", "plane")
+    ids = manifest.get("trajectory_ids") or [None] * index.n
+    return [
+        Trajectory(
+            index.points(i), index.timestamps(i),
+            crs=crs, trajectory_id=ids[i],
+        )
+        for i in range(index.n)
+    ]
+
+
+def inspect_snapshot(path: Union[str, Path], *, verify: bool = True) -> dict:
+    """Manifest summary of a snapshot (optionally digest-verified).
+
+    Returns a plain dict: the manifest fields plus per-array byte
+    totals and, with ``verify=True``, a ``"verified": True`` marker.
+    Raises :class:`SnapshotError` on any inconsistency, like
+    :func:`load_snapshot` would.
+    """
+    root = Path(path)
+    manifest = _read_manifest(root)
+    total = 0
+    for name, spec in manifest["arrays"].items():
+        expected = int(spec["nbytes"])
+        try:
+            actual = (root / spec["file"]).stat().st_size
+        except OSError as exc:
+            raise SnapshotError(f"snapshot array missing: {spec['file']}") from exc
+        if actual != expected:
+            raise SnapshotError(
+                f"snapshot array {name!r} is {actual} bytes, "
+                f"manifest says {expected}"
+            )
+        total += actual
+    if verify:
+        _verify_digests(root, manifest)
+    out = dict(manifest)
+    out["path"] = str(root.resolve())
+    out["total_bytes"] = total
+    out["verified"] = bool(verify)
+    return out

@@ -140,3 +140,89 @@ class TestBench:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
+
+
+class TestSnapshotCli:
+    def test_build_and_inspect(self, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        rc = main([
+            "snapshot", "build", "--dataset", "random_walk", "--count", "4",
+            "--n", "40", "--output", str(out_dir),
+        ])
+        assert rc == 0
+        built = capsys.readouterr().out
+        assert "content_key:" in built
+        rc = main(["snapshot", "inspect", str(out_dir)])
+        assert rc == 0
+        inspected = capsys.readouterr().out
+        assert "digests verified" in inspected
+        assert "4 trajectories" in inspected
+        # The two commands report the same fingerprint.
+        key = built.split("content_key: ")[1].split()[0]
+        assert key in inspected
+
+    def test_build_from_files(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        paths = []
+        for i in range(2):
+            traj = Trajectory(rng.normal(size=(30, 2)).cumsum(axis=0))
+            path = tmp_path / f"t{i}.csv"
+            write_csv(traj, path)
+            paths.append(str(path))
+        rc = main([
+            "snapshot", "build", "--inputs", *paths,
+            "--output", str(tmp_path / "snap"),
+        ])
+        assert rc == 0
+        assert "2 trajectories" in capsys.readouterr().out
+
+    def test_inspect_rejects_corruption(self, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        main([
+            "snapshot", "build", "--dataset", "random_walk", "--count", "2",
+            "--n", "30", "--output", str(out_dir),
+        ])
+        capsys.readouterr()
+        payload = bytearray((out_dir / "points.bin").read_bytes())
+        payload[0] ^= 0xFF
+        (out_dir / "points.bin").write_bytes(bytes(payload))
+        with pytest.raises(SystemExit, match="inspect failed"):
+            main(["snapshot", "inspect", str(out_dir)])
+        # size checks alone still pass without digest verification
+        assert main(["snapshot", "inspect", str(out_dir), "--no-verify"]) == 0
+
+
+class TestServeCli:
+    def test_bad_snapshot_mount_spec(self):
+        with pytest.raises(SystemExit, match="NAME=PATH"):
+            main(["serve", "--snapshot", "not-a-mount", "--port", "0"])
+
+    def test_missing_snapshot_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load snapshot"):
+            main([
+                "serve", "--snapshot", f"x={tmp_path / 'nope'}",
+                "--port", "0",
+            ])
+
+
+class TestStatsFlags:
+    def test_join_stats_prints_index_line(self, capsys):
+        rc = main([
+            "join", "--dataset", "random_walk", "--count", "4", "--n", "40",
+            "--theta", "5", "--index", "--stats",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "index: " in out
+        assert "summary_builds=" in out
+
+    def test_cluster_stats_prints_counts(self, capsys):
+        rc = main([
+            "cluster", "--dataset", "figure_eight", "--n", "150",
+            "--window", "16", "--theta", "0.5", "--stride", "8",
+            "--index", "--stats",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "windows=" in out and "candidates=" in out
+        assert "index: " in out

@@ -152,3 +152,94 @@ class TestWarmSeedReuse:
             )
             assert result.distance == ref.distance
             assert result.indices == ref.indices
+
+
+class TestWindowIndexSkip:
+    """The per-append endpoint/bbox bound (ISSUE 5 satellite): appends
+    that provably cannot beat the carried motif skip the rerun, with
+    answers identical to the always-search baseline at every step."""
+
+    @staticmethod
+    def departing_stream():
+        """A tight repeated loop (small motif) followed by a walk that
+        marches far away -- every far append should skip."""
+        angles = np.linspace(0.0, 2 * np.pi, 12)
+        loop = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+        rng = np.random.default_rng(11)
+        away = rng.normal(size=(40, 2)) * 0.2 + np.linspace(
+            [6.0, 6.0], [70.0, 70.0], 40
+        )
+        return np.concatenate([loop, loop + 0.01, away])
+
+    def test_answers_identical_with_and_without_skipping(self):
+        pts = self.departing_stream()
+        skipping = StreamingMotif(window=30, min_length=5)
+        baseline = StreamingMotif(window=30, min_length=5,
+                                  use_window_index=False)
+        for pt in pts:
+            a = skipping.append(pt)
+            b = baseline.append(pt)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.distance == b.distance
+                assert a.indices == b.indices
+        assert skipping.appends_skipped > 0
+        assert baseline.appends_skipped == 0
+
+    def test_skips_counted_and_partition_ready_appends(self):
+        pts = self.departing_stream()
+        stream = StreamingMotif(window=30, min_length=5)
+        ready_appends = 0
+        for pt in pts:
+            if stream.append(pt) is not None:
+                ready_appends += 1
+        assert (
+            stream.appends_skipped + stream.appends_searched == ready_appends
+        )
+        assert 0.0 < stream.skip_rate < 1.0
+
+    def test_skipped_append_matches_from_scratch(self):
+        """Exactness: even on skipped appends the reported motif equals
+        a from-scratch discovery of the current window."""
+        pts = self.departing_stream()
+        stream = StreamingMotif(window=30, min_length=5)
+        for k, pt in enumerate(pts):
+            result = stream.append(pt)
+            if result is None:
+                continue
+            window = pts[max(0, k + 1 - 30) : k + 1]
+            ref = discover_motif(
+                Trajectory(window), min_length=5, algorithm="btm"
+            )
+            assert result.distance == ref.distance
+            assert result.indices == ref.indices
+
+    def test_skip_bound_never_fires_on_tie_heavy_noise(self):
+        """Random tie-heavy integer grids keep every point near the
+        window; skips must still never change an answer."""
+        rng = np.random.default_rng(13)
+        pts = rng.integers(0, 4, size=(60, 2)).astype(np.float64)
+        skipping = StreamingMotif(window=26, min_length=4)
+        baseline = StreamingMotif(window=26, min_length=4,
+                                  use_window_index=False)
+        for pt in pts:
+            a = skipping.append(pt)
+            b = baseline.append(pt)
+            if a is not None:
+                assert a.distance == b.distance
+                assert a.indices == b.indices
+
+    def test_skipped_result_is_usable_motif(self):
+        pts = self.departing_stream()
+        stream = StreamingMotif(window=30, min_length=5)
+        result = None
+        for pt in pts:
+            out = stream.append(pt)
+            if out is not None:
+                result = out
+        assert stream.appends_skipped > 0
+        assert result.first.n >= 6 and result.second.n >= 6
+        assert (
+            result.stats.algorithm == "streaming-skip"
+            or result.stats.algorithm.startswith("btm")
+        )
