@@ -197,37 +197,41 @@ def _indexed_join(engine, left, right, theta, metric, resolved, workers):
         )
     else:
         with exec_.scan_lock:
-            exec_.shm.begin_batch()
-            left_ref = _share_corpus(engine, index_left, fps_left)
-            right_ref = (
-                left_ref if self_join
-                else _share_corpus(engine, index_right, fps_right)
-            )
-            pairs_ref = exec_.share_index(
-                planner.pairs_slab_key(fps_left, fps_right, resolved, theta),
-                {"pairs": pairs},
-            )
-            corpus_payload = _corpus_payloads(
-                left_ref, right_ref,
-                _points_list(left), _points_list(right), self_join,
-            )
-            tasks = [
-                _worker.PairsJoinTask(
-                    theta=theta,
-                    metric=metric,
-                    pairs=None if pairs_ref is not None
-                    else pairs[start::stride],
-                    pairs_ref=pairs_ref,
-                    pair_start=start if pairs_ref is not None else 0,
-                    pair_stride=stride if pairs_ref is not None else 1,
-                    **corpus_payload,
+            try:
+                exec_.shm.begin_batch()
+                left_ref = _share_corpus(engine, index_left, fps_left)
+                right_ref = (
+                    left_ref if self_join
+                    else _share_corpus(engine, index_right, fps_right)
                 )
-                for start, stride in planner.plan_pair_strides(
-                    len(pairs), workers, exec_.chunks_per_worker
+                pairs_ref = exec_.share_index(
+                    planner.pairs_slab_key(fps_left, fps_right, resolved,
+                                           theta),
+                    {"pairs": pairs},
                 )
-            ]
-            parts = exec_.map_tasks(tasks, workers, _worker.pairs_join_tile)
-            exec_.shm.trim()
+                corpus_payload = _corpus_payloads(
+                    left_ref, right_ref,
+                    _points_list(left), _points_list(right), self_join,
+                )
+                tasks = [
+                    _worker.PairsJoinTask(
+                        theta=theta,
+                        metric=metric,
+                        pairs=None if pairs_ref is not None
+                        else pairs[start::stride],
+                        pairs_ref=pairs_ref,
+                        pair_start=start if pairs_ref is not None else 0,
+                        pair_stride=stride if pairs_ref is not None else 1,
+                        **corpus_payload,
+                    )
+                    for start, stride in planner.plan_pair_strides(
+                        len(pairs), workers, exec_.chunks_per_worker
+                    )
+                ]
+                parts = exec_.map_tasks(tasks, workers,
+                                        _worker.pairs_join_tile)
+            finally:
+                exec_.shm.trim()
         matches = []
         tile_stats = []
         for part_matches, part_stats in parts:
@@ -301,65 +305,68 @@ def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
     index_right, fps_right = corpus_index_for(engine, right, resolved)
     self_join = fps_left == fps_right
     with exec_.scan_lock:
-        exec_.shm.begin_batch()
-        left_ref = _share_corpus(engine, index_left, fps_left)
-        right_ref = (
-            left_ref if self_join
-            else _share_corpus(engine, index_right, fps_right)
-        )
-        slabs = {"pairs": pairs}
-        if lbs is not None:
-            slabs["lbs"] = lbs
-        pairs_ref = exec_.share_index(
-            planner.topk_pairs_slab_key(
-                fps_left, fps_right, resolved, lbs is not None
-            ),
-            slabs,
-        )
-        corpus_payload = _corpus_payloads(
-            left_ref, right_ref, _points_list(left), _points_list(right),
-            self_join,
-        )
-        tasks = [
-            _worker.JoinTopKChunkTask(
-                k=int(k),
-                metric=metric,
-                pairs=None if pairs_ref is not None else pairs[start::stride],
-                pairs_ref=pairs_ref,
-                pair_start=start if pairs_ref is not None else 0,
-                pair_stride=stride if pairs_ref is not None else 1,
-                pair_lbs=(
-                    None if pairs_ref is not None or lbs is None
-                    else lbs[start::stride]
+        try:
+            exec_.shm.begin_batch()
+            left_ref = _share_corpus(engine, index_left, fps_left)
+            right_ref = (
+                left_ref if self_join
+                else _share_corpus(engine, index_right, fps_right)
+            )
+            slabs = {"pairs": pairs}
+            if lbs is not None:
+                slabs["lbs"] = lbs
+            pairs_ref = exec_.share_index(
+                planner.topk_pairs_slab_key(
+                    fps_left, fps_right, resolved, lbs is not None
                 ),
-                sync_every=exec_.bsf_sync_every,
-                **corpus_payload,
+                slabs,
             )
-            for start, stride in planner.plan_pair_strides(
-                len(pairs), workers, exec_.chunks_per_worker
+            corpus_payload = _corpus_payloads(
+                left_ref, right_ref, _points_list(left), _points_list(right),
+                self_join,
             )
-        ]
-
-        def inline(tasks):
-            # Thread the k-th best between chunks the way the shared
-            # value does across processes.
-            out = []
-            kth_carry = math.inf
-            for task in tasks:
-                entries = _worker.join_topk_chunk(
-                    dataclasses.replace(
-                        task, seed_kth=min(task.seed_kth, kth_carry)
-                    )
+            tasks = [
+                _worker.JoinTopKChunkTask(
+                    k=int(k),
+                    metric=metric,
+                    pairs=None if pairs_ref is not None
+                    else pairs[start::stride],
+                    pairs_ref=pairs_ref,
+                    pair_start=start if pairs_ref is not None else 0,
+                    pair_stride=stride if pairs_ref is not None else 1,
+                    pair_lbs=(
+                        None if pairs_ref is not None or lbs is None
+                        else lbs[start::stride]
+                    ),
+                    sync_every=exec_.bsf_sync_every,
+                    **corpus_payload,
                 )
-                if len(entries) == task.k:
-                    kth_carry = min(kth_carry, entries[-1][0])
-                out.append(entries)
-            return out
+                for start, stride in planner.plan_pair_strides(
+                    len(pairs), workers, exec_.chunks_per_worker
+                )
+            ]
 
-        parts = exec_.dispatch_chunks(
-            tasks, workers, _worker.join_topk_chunk, inline
-        )
-        exec_.shm.trim()
+            def inline(tasks):
+                # Thread the k-th best between chunks the way the shared
+                # value does across processes.
+                out = []
+                kth_carry = math.inf
+                for task in tasks:
+                    entries = _worker.join_topk_chunk(
+                        dataclasses.replace(
+                            task, seed_kth=min(task.seed_kth, kth_carry)
+                        )
+                    )
+                    if len(entries) == task.k:
+                        kth_carry = min(kth_carry, entries[-1][0])
+                    out.append(entries)
+                return out
+
+            parts = exec_.dispatch_chunks(
+                tasks, workers, _worker.join_topk_chunk, inline
+            )
+        finally:
+            exec_.shm.trim()
     return merge_join_topk(parts, k)
 
 
@@ -454,33 +461,37 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
         fps = ("windows", fingerprint_points(traj), int(window_length),
                int(stride))
         with exec_.scan_lock:
-            exec_.shm.begin_batch()
-            corpus_ref = exec_.share_index(
-                planner.corpus_slab_key(fps), windex.transport_slabs()
-            )
-            pairs_ref = exec_.share_index(
-                planner.pairs_slab_key(fps + (bool(use_index),),
-                                       fps, resolved, theta),
-                {"pairs": candidates},
-            )
-            tasks = [
-                _worker.PairsJoinTask(
-                    theta=theta,
-                    metric=resolved,
-                    pairs=None if pairs_ref is not None
-                    else candidates[start::stride_],
-                    pairs_ref=pairs_ref,
-                    pair_start=start if pairs_ref is not None else 0,
-                    pair_stride=stride_ if pairs_ref is not None else 1,
-                    left_points=None if corpus_ref is not None else windows,
-                    left_ref=corpus_ref,
+            try:
+                exec_.shm.begin_batch()
+                corpus_ref = exec_.share_index(
+                    planner.corpus_slab_key(fps), windex.transport_slabs()
                 )
-                for start, stride_ in planner.plan_pair_strides(
-                    len(candidates), workers, exec_.chunks_per_worker
+                pairs_ref = exec_.share_index(
+                    planner.pairs_slab_key(fps + (bool(use_index),),
+                                           fps, resolved, theta),
+                    {"pairs": candidates},
                 )
-            ]
-            parts = exec_.map_tasks(tasks, workers, _worker.pairs_join_tile)
-            exec_.shm.trim()
+                tasks = [
+                    _worker.PairsJoinTask(
+                        theta=theta,
+                        metric=resolved,
+                        pairs=None if pairs_ref is not None
+                        else candidates[start::stride_],
+                        pairs_ref=pairs_ref,
+                        pair_start=start if pairs_ref is not None else 0,
+                        pair_stride=stride_ if pairs_ref is not None else 1,
+                        left_points=None if corpus_ref is not None
+                        else windows,
+                        left_ref=corpus_ref,
+                    )
+                    for start, stride_ in planner.plan_pair_strides(
+                        len(candidates), workers, exec_.chunks_per_worker
+                    )
+                ]
+                parts = exec_.map_tasks(tasks, workers,
+                                        _worker.pairs_join_tile)
+            finally:
+                exec_.shm.trim()
         edges = []
         tile_stats = []
         for part_matches, part_stats in parts:

@@ -347,43 +347,45 @@ class MotifEngine:
         )
         if run_parallel:
             with self._exec.scan_lock:  # pool use is engine-wide exclusive
-                self._shm.begin_batch()
-                warm_refs = _corpus.warm_refs_for(
-                    self, pending, parsed, metric, algorithm,
-                    algorithm_options,
-                )
-                corpus_ref, specs = (
-                    _corpus.batch_transport(self, pending, parsed)
-                    if use_index
-                    else (None, [(None, None)] * len(pending))
-                )
-                tasks = [
-                    _worker.QueryTask(
-                        trajectory=None if corpus_ref is not None
-                        else parsed[idx][0],
-                        second=None if corpus_ref is not None
-                        else parsed[idx][1],
-                        min_length=int(min_length),
-                        algorithm=algorithm,
-                        metric=metric,
-                        options=tuple(sorted(algorithm_options.items())),
-                        matrix_ref=ref,
-                        corpus_ref=corpus_ref,
-                        a_spec=spec_a,
-                        b_spec=spec_b,
+                try:
+                    self._shm.begin_batch()
+                    warm_refs = _corpus.warm_refs_for(
+                        self, pending, parsed, metric, algorithm,
+                        algorithm_options,
                     )
-                    for idx, ref, (spec_a, spec_b) in zip(
-                        pending, warm_refs, specs
+                    corpus_ref, specs = (
+                        _corpus.batch_transport(self, pending, parsed)
+                        if use_index
+                        else (None, [(None, None)] * len(pending))
                     )
-                ]
-                pool = self._exec.get_pool(workers)
-                self._exec.count_transfer(tasks)
-                for idx, result in zip(
-                    pending, pool.map(_worker.run_query, tasks)
-                ):
-                    results[idx] = result
-                    self._oracles.put_result(keys[idx], result)
-                self._shm.trim()
+                    tasks = [
+                        _worker.QueryTask(
+                            trajectory=None if corpus_ref is not None
+                            else parsed[idx][0],
+                            second=None if corpus_ref is not None
+                            else parsed[idx][1],
+                            min_length=int(min_length),
+                            algorithm=algorithm,
+                            metric=metric,
+                            options=tuple(sorted(algorithm_options.items())),
+                            matrix_ref=ref,
+                            corpus_ref=corpus_ref,
+                            a_spec=spec_a,
+                            b_spec=spec_b,
+                        )
+                        for idx, ref, (spec_a, spec_b) in zip(
+                            pending, warm_refs, specs
+                        )
+                    ]
+                    pool = self._exec.get_pool(workers)
+                    self._exec.count_transfer(tasks)
+                    for idx, result in zip(
+                        pending, pool.map(_worker.run_query, tasks)
+                    ):
+                        results[idx] = result
+                        self._oracles.put_result(keys[idx], result)
+                finally:
+                    self._shm.trim()
         else:
             for idx in pending:
                 traj_a, traj_b = parsed[idx]

@@ -416,27 +416,29 @@ class EngineExecutor:
         """
         n_chunks = planner.n_chunks_for(workers, self.chunks_per_worker)
         with self.scan_lock:
-            self.shm.begin_batch()
-            ref = self.share_dense(okey, dense)
-            bounds_ref = self.share_bounds(bounds_key, bounds, tables)
-            tasks = [
-                _worker.ChunkTask(
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                    space=space,
-                    timeout=timeout,
-                    started_at=started_at,
-                    seed_bsf=seed_bsf,
-                    sync_every=self.bsf_sync_every,
-                    **payload,
-                )
-                for payload in self.bounds_payloads(
-                    bounds, bounds_ref, tables, n_chunks,
-                    eager_order=eager_order,
-                )
-            ]
-            results = self.run_discover_chunks(tasks, workers)
-            self.shm.trim()
+            try:
+                self.shm.begin_batch()
+                ref = self.share_dense(okey, dense)
+                bounds_ref = self.share_bounds(bounds_key, bounds, tables)
+                tasks = [
+                    _worker.ChunkTask(
+                        matrix=None if ref is not None else dense.array,
+                        matrix_ref=ref,
+                        space=space,
+                        timeout=timeout,
+                        started_at=started_at,
+                        seed_bsf=seed_bsf,
+                        sync_every=self.bsf_sync_every,
+                        **payload,
+                    )
+                    for payload in self.bounds_payloads(
+                        bounds, bounds_ref, tables, n_chunks,
+                        eager_order=eager_order,
+                    )
+                ]
+                results = self.run_discover_chunks(tasks, workers)
+            finally:
+                self.shm.trim()
         d_star = seed_bsf
         for res in results:
             d_star = min(d_star, res.bsf)
@@ -520,46 +522,49 @@ class EngineExecutor:
 
         n_chunks = planner.n_chunks_for(workers, self.chunks_per_worker)
         with self.scan_lock:  # see scan_bounds on lock extent
-            self.shm.begin_batch()
-            ref = self.share_dense(okey, dense)
-            bounds_ref = self.share_bounds(
-                planner.bounds_slab_key(okey, space), bounds, tables
-            )
-            tasks = [
-                _worker.TopKChunkTask(
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                    space=space,
-                    k=int(k),
-                    sync_every=self.bsf_sync_every,
-                    **payload,
+            try:
+                self.shm.begin_batch()
+                ref = self.share_dense(okey, dense)
+                bounds_ref = self.share_bounds(
+                    planner.bounds_slab_key(okey, space), bounds, tables
                 )
-                for payload in self.bounds_payloads(
-                    bounds, bounds_ref, tables, n_chunks, legacy_eager=False
-                )
-            ]
-
-            def inline(tasks):
-                # Thread the k-th-best between chunks the way the
-                # shared value does across processes.
-                out = []
-                kth_carry = math.inf
-                for task in tasks:
-                    res = _worker.topk_chunk(
-                        dataclasses.replace(
-                            task, seed_kth=min(task.seed_kth, kth_carry)
-                        )
+                tasks = [
+                    _worker.TopKChunkTask(
+                        matrix=None if ref is not None else dense.array,
+                        matrix_ref=ref,
+                        space=space,
+                        k=int(k),
+                        sync_every=self.bsf_sync_every,
+                        **payload,
                     )
-                    if len(res.entries) == task.k:
-                        kth_carry = min(kth_carry, res.entries[-1][0])
-                    out.append(res)
-                return out
+                    for payload in self.bounds_payloads(
+                        bounds, bounds_ref, tables, n_chunks,
+                        legacy_eager=False
+                    )
+                ]
 
-            results = self.dispatch_chunks(
-                tasks, workers, _worker.topk_chunk, inline
-            )
-            self.observe_chunk_times(res.elapsed for res in results)
-            self.shm.trim()
+                def inline(tasks):
+                    # Thread the k-th-best between chunks the way the
+                    # shared value does across processes.
+                    out = []
+                    kth_carry = math.inf
+                    for task in tasks:
+                        res = _worker.topk_chunk(
+                            dataclasses.replace(
+                                task, seed_kth=min(task.seed_kth, kth_carry)
+                            )
+                        )
+                        if len(res.entries) == task.k:
+                            kth_carry = min(kth_carry, res.entries[-1][0])
+                        out.append(res)
+                    return out
+
+                results = self.dispatch_chunks(
+                    tasks, workers, _worker.topk_chunk, inline
+                )
+                self.observe_chunk_times(res.elapsed for res in results)
+            finally:
+                self.shm.trim()
         # Unlike discover there is no serial resolution pass re-counting
         # the space, so the chunk counters fold into the same fields the
         # serial scan uses -- stats are worker-count independent.
@@ -691,20 +696,20 @@ class EngineExecutor:
         if not self.pool_ready(workers) or tau < 4 or g_rows < 2 * workers:
             return GroupLevel.from_matrix(dense.array, tau, mode)
         with self.scan_lock:  # pool use is engine-wide exclusive
-            self.shm.begin_batch()
-            ref = self.share_dense(okey, dense)
-            tasks = [
-                _worker.GroupReduceTask(
-                    tau=tau,
-                    mode=mode,
-                    u_start=int(band[0]),
-                    u_end=int(band[-1]) + 1,
-                    matrix=None if ref is not None else dense.array,
-                    matrix_ref=ref,
-                )
-                for band in planner.band_edges(g_rows, workers)
-            ]
             try:
+                self.shm.begin_batch()
+                ref = self.share_dense(okey, dense)
+                tasks = [
+                    _worker.GroupReduceTask(
+                        tau=tau,
+                        mode=mode,
+                        u_start=int(band[0]),
+                        u_end=int(band[-1]) + 1,
+                        matrix=None if ref is not None else dense.array,
+                        matrix_ref=ref,
+                    )
+                    for band in planner.band_edges(g_rows, workers)
+                ]
                 pool = self.get_pool(workers)
                 bands = list(pool.map(_worker.group_reduce, tasks))
                 self.count_transfer(tasks)
@@ -800,25 +805,25 @@ class EngineExecutor:
             return serial_fill(out)
         deals = planner.chunk_deal(candidates, n_chunks)
         with self.scan_lock:  # pool use is engine-wide exclusive
-            self.shm.begin_batch()
-            level_ref = self.share_level(
-                planner.level_slab_key(okey, space, level.tau), level
-            )
-            tasks = [
-                _worker.GroupDFDTask(
-                    space=space,
-                    us=tuple(int(pairs[int(k)][0]) for k in deal),
-                    vs=tuple(int(pairs[int(k)][1]) for k in deal),
-                    bsf=float(bsf),
-                    level=None if level_ref is not None else level,
-                    level_ref=level_ref,
-                    tau=level.tau,
-                    mode=level.mode,
-                    deadline=deadline,
-                )
-                for deal in deals
-            ]
             try:
+                self.shm.begin_batch()
+                level_ref = self.share_level(
+                    planner.level_slab_key(okey, space, level.tau), level
+                )
+                tasks = [
+                    _worker.GroupDFDTask(
+                        space=space,
+                        us=tuple(int(pairs[int(k)][0]) for k in deal),
+                        vs=tuple(int(pairs[int(k)][1]) for k in deal),
+                        bsf=float(bsf),
+                        level=None if level_ref is not None else level,
+                        level_ref=level_ref,
+                        tau=level.tau,
+                        mode=level.mode,
+                        deadline=deadline,
+                    )
+                    for deal in deals
+                ]
                 pool = self.get_pool(workers)
                 parts = list(pool.map(_worker.group_dfd_chunk, tasks))
                 self.count_transfer(tasks)
