@@ -1,0 +1,25 @@
+"""Project-invariant static analysis (``python -m repro.analysis``).
+
+See :mod:`repro.analysis.framework` for the engine and
+:mod:`repro.analysis.rules` for the seven ``RPR0xx`` rules; DESIGN.md
+section 11 catalogues the invariants each rule defends.
+"""
+
+from .framework import (  # noqa: F401
+    META_CODE,
+    Finding,
+    Rule,
+    analyze_paths,
+    analyze_source,
+    apply_baseline,
+    known_codes,
+    load_baseline,
+    register,
+    render_json,
+    render_text,
+    rule_catalog,
+    summarize,
+    write_baseline,
+)
+from . import rules  # noqa: F401  (importing registers the RPR rules)
+from .cli import main  # noqa: F401

@@ -1,0 +1,113 @@
+"""Command-line front end of the analyzer.
+
+Reached two ways -- ``python -m repro.analysis`` and
+``repro-motif analyze`` -- with the same arguments (both mount
+:func:`configure` onto their parser); exits 0 only when every finding
+is suppressed (with justification) or baselined.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .framework import (
+    analyze_paths,
+    apply_baseline,
+    known_codes,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_catalog,
+    summarize,
+    write_baseline,
+)
+
+
+def configure(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the analyzer's arguments to ``parser`` (shared with the
+    ``repro-motif analyze`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to analyze "
+             "(default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="accepted-findings file; matches are reported but not fatal",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current active findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rule codes and exit",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one analyzer invocation from parsed arguments."""
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['code']}  {entry['name']}: {entry['description']}")
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",")
+                  if code.strip()]
+        unknown = [c for c in select if c not in known_codes()]
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings = analyze_paths(args.paths, select=select)
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            findings = apply_baseline(findings, load_baseline(baseline_path))
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(f"baseline written: {args.write_baseline} "
+              f"({summarize(findings)['active']} finding(s))")
+        return 0
+
+    report = (render_json(findings) if args.format == "json"
+              else render_text(findings))
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    return 0 if summarize(findings)["active"] == 0 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         prog: str = "python -m repro.analysis") -> int:
+    parser = configure(argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Run the repro project-invariant static analyzer "
+            "(RPR0xx rules) over python files or directories."
+        ),
+    ))
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,399 @@
+"""The AST-walking core of the project-invariant analyzer.
+
+The engine's correctness rests on contracts no type checker sees: worker
+tasks ship refs-and-strides instead of arrays, every shared-memory
+publication has an unlink path, the planner's cache keys are pure, the
+service's locks nest consistently.  Runtime parity tests defend those
+invariants only on the inputs they happen to execute; this module (plus
+:mod:`repro.analysis.rules`) enforces them on every commit, the way the
+paper's bound cascade enforces admissibility before the expensive DP
+ever runs.
+
+The framework is deliberately small:
+
+* :class:`Rule` subclasses register themselves (via :func:`register`)
+  under a stable ``RPR0xx`` code and declare which files they apply to
+  (path-fragment scoping, so the same rule runs on fixture snippets in
+  tests).  A rule inspects one parsed module per :meth:`Rule.check`
+  call and may emit cross-file findings from :meth:`Rule.finish` (the
+  lock-order graph needs the whole scope before it can look for
+  cycles).
+* :class:`Finding` carries ``path:line:col``, the rule code, and a
+  message; its :attr:`~Finding.fingerprint` is line-independent so a
+  committed baseline survives unrelated edits.
+* Suppressions are source comments of the form
+  ``# repro: ignore[RPR006] -- <justification>`` -- on the flagged
+  line, or on a standalone comment line directly above it.  The
+  justification is *mandatory*: a bare suppression (or one naming an
+  unknown code) is itself reported under :data:`META_CODE`, and meta
+  findings cannot be suppressed -- so "zero findings" always means
+  every waiver is explained in-line.
+
+Reports render as text (``path:line:col CODE message``) or JSON (the
+CI artifact shape), and an optional baseline file lets a rule be
+introduced before its historical debt is paid down: baselined findings
+are reported but do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+#: Code under which the framework reports its own hygiene findings
+#: (unparseable files, suppressions without justification, unknown
+#: codes).  Meta findings are never suppressible.
+META_CODE = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]*)\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored at ``path:line:col``."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether this finding fails the run."""
+        return not (self.suppressed or self.baselined)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity (baseline entries survive edits)."""
+        digest = hashlib.sha1(
+            f"{self.code}|{_posix(self.path)}|{self.message}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def render(self) -> str:
+        tag = ""
+        if self.suppressed:
+            tag = "  [suppressed]"
+        elif self.baselined:
+            tag = "  [baselined]"
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}{tag}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": _posix(self.path),
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _posix(path: str) -> str:
+    return str(path).replace("\\", "/")
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+class Rule:
+    """One invariant check; subclass, set the class attributes, register.
+
+    ``paths`` is a tuple of path fragments; the rule runs on a file when
+    any fragment occurs in (or suffixes) its normalised path, and on
+    every file when the tuple is empty.  Fragment scoping -- rather than
+    repo-absolute paths -- is what lets the test suite exercise each
+    rule on synthetic snippets under the same virtual paths.
+    """
+
+    code: str = META_CODE
+    name: str = "unnamed"
+    description: str = ""
+    paths: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        norm = _posix(path)
+        return not self.paths or any(frag in norm for frag in self.paths)
+
+    def check(self, tree: ast.Module, source: str, path: str) -> Iterable[Finding]:
+        """Per-file findings (may also accumulate state for finish())."""
+        return ()
+
+    def finish(self) -> Iterable[Finding]:
+        """Cross-file findings, emitted after every file was checked."""
+        return ()
+
+    def finding(self, path: str, node, message: str) -> Finding:
+        line = getattr(node, "lineno", node if isinstance(node, int) else 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(self.code, message, _posix(path), int(line), int(col))
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def known_codes() -> Tuple[str, ...]:
+    """Every registered rule code, plus the framework's meta code."""
+    return tuple(sorted(_REGISTRY)) + (META_CODE,)
+
+
+def fresh_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """New rule instances for one run (rules carry cross-file state)."""
+    codes = sorted(_REGISTRY) if select is None else list(select)
+    unknown = [c for c in codes if c not in _REGISTRY]
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {', '.join(unknown)}")
+    return [_REGISTRY[code]() for code in codes]
+
+
+def rule_catalog() -> List[dict]:
+    """``{code, name, description, paths}`` per registered rule."""
+    return [
+        {
+            "code": code,
+            "name": cls.name,
+            "description": cls.description,
+            "paths": list(cls.paths),
+        }
+        for code, cls in sorted(_REGISTRY.items())
+    ]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, Set[str]], List[Finding]]:
+    """``{line: {codes}}`` plus hygiene findings for malformed waivers.
+
+    A suppression comment applies to its own line; a *standalone*
+    comment line additionally covers the next non-blank, non-comment
+    source line, so long justifications can sit above the code they
+    waive.  Missing justifications and unknown codes are reported under
+    :data:`META_CODE` instead of being honoured.
+    """
+    lines = source.splitlines()
+    suppressed: Dict[int, Set[str]] = {}
+    meta: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        tokens = []
+    valid = set(known_codes())
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        justification = match.group(2).strip().lstrip("-: ").strip()
+        if not codes:
+            meta.append(Finding(
+                META_CODE, "suppression lists no rule codes",
+                _posix(path), line, tok.start[1],
+            ))
+            continue
+        bad = sorted(codes - valid)
+        if bad:
+            meta.append(Finding(
+                META_CODE,
+                f"suppression names unknown rule code(s): {', '.join(bad)}",
+                _posix(path), line, tok.start[1],
+            ))
+        if not justification:
+            meta.append(Finding(
+                META_CODE,
+                "suppression without a justification "
+                "(write `# repro: ignore[CODE] -- why this is safe`)",
+                _posix(path), line, tok.start[1],
+            ))
+            continue
+        codes &= valid
+        if not codes:
+            continue
+        targets = [line]
+        prefix = lines[line - 1][: tok.start[1]] if line <= len(lines) else ""
+        if not prefix.strip():  # standalone comment: covers the next code line
+            for follow in range(line + 1, len(lines) + 1):
+                text = lines[follow - 1].strip()
+                if not text:
+                    continue
+                targets.append(follow)
+                if not text.startswith("#"):
+                    break
+        for target in targets:
+            suppressed.setdefault(target, set()).update(codes)
+    return suppressed, meta
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding], by_path: Dict[str, Dict[int, Set[str]]]
+) -> List[Finding]:
+    out = []
+    for f in findings:
+        if f.code != META_CODE:
+            codes = by_path.get(_posix(f.path), {}).get(f.line, ())
+            if f.code in codes:
+                f = replace(f, suppressed=True)
+        out.append(f)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Analysis drivers
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(
+    paths: Sequence[str], *, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run every (selected) rule over the python files under ``paths``."""
+    rules = fresh_rules(select)
+    findings: List[Finding] = []
+    suppress_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for file in iter_python_files(paths):
+        path = _posix(str(file))
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(Finding(
+                META_CODE, f"cannot analyze file: {exc}", path, int(line)
+            ))
+            continue
+        supp, meta = parse_suppressions(source, path)
+        suppress_by_path[path] = supp
+        findings.extend(meta)
+        for rule in rules:
+            if rule.applies_to(path):
+                findings.extend(rule.check(tree, source, path))
+    for rule in rules:
+        findings.extend(rule.finish())
+    findings = _apply_suppressions(findings, suppress_by_path)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def analyze_source(
+    source: str, path: str, *, select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Analyze one in-memory module under a virtual ``path`` (tests)."""
+    rules = fresh_rules(select)
+    tree = ast.parse(source, filename=path)
+    supp, findings = parse_suppressions(source, path)
+    findings = list(findings)
+    for rule in rules:
+        if rule.applies_to(path):
+            findings.extend(rule.check(tree, source, path))
+    for rule in rules:
+        findings.extend(rule.finish())
+    findings = _apply_suppressions(findings, {_posix(path): supp})
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def load_baseline(path) -> Set[str]:
+    """The fingerprint set of a committed baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("findings", [])
+    return {entry["fingerprint"] for entry in entries}
+
+
+def write_baseline(path, findings: Sequence[Finding]) -> None:
+    """Persist the active findings as the new accepted baseline."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": _posix(f.path),
+                "message": f.message,
+            }
+            for f in findings
+            if f.active
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: Sequence[Finding], fingerprints: Set[str]
+) -> List[Finding]:
+    return [
+        replace(f, baselined=True)
+        if f.active and f.fingerprint in fingerprints
+        else f
+        for f in findings
+    ]
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def summarize(findings: Sequence[Finding]) -> dict:
+    return {
+        "total": len(findings),
+        "active": sum(1 for f in findings if f.active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+    }
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    counts = summarize(findings)
+    lines.append(
+        f"{counts['active']} finding(s) "
+        f"({counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "version": 1,
+        "rules": rule_catalog(),
+        "findings": [f.as_dict() for f in findings],
+        "summary": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

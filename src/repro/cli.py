@@ -10,6 +10,7 @@ Subcommands::
     repro-motif snapshot inspect snap/
     repro-motif serve --snapshot fleet=snap/ --port 8707 --workers 2
     repro-motif bench fig18 --scale quick
+    repro-motif analyze src tests benchmarks --format json
     repro-motif datasets
     repro-motif info
 
@@ -25,6 +26,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+from .analysis.cli import configure as _analyze_configure
+from .analysis.cli import run as _analyze_run
 from .bench import EXPERIMENTS, SCALES
 from .datasets import dataset_names, get_dataset
 from .engine import MotifEngine, default_engine
@@ -483,6 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chart", action="store_true",
                    help="render ASCII charts of numeric series")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the project-invariant static analyzer (RPR0xx rules)",
+    )
+    _analyze_configure(p)
+    p.set_defaults(func=_analyze_run)
 
     p = sub.add_parser("datasets", help="list synthetic datasets")
     p.set_defaults(func=_cmd_datasets)

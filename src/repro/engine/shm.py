@@ -255,10 +255,16 @@ class SharedMatrixStore(SharedArrayStore):
 # Worker-side attachment cache
 # ----------------------------------------------------------------------
 #: name -> (segment, {field: ndarray}); per-process, LRU-bounded.
+# repro: ignore[RPR006] -- deliberately per-process: each worker keeps its
+# own attachment map (keyed by segment name, bounded by _ATTACH_LIMIT), and
+# a fork inheriting entries still resolves them by name, so divergence
+# between processes is the designed behaviour, not shared state.
 _ATTACHED: "OrderedDict[str, tuple]" = OrderedDict()
 _ATTACH_LIMIT = 8
 
 #: Per-process counters (observable in tests that run attach in-process).
+# repro: ignore[RPR006] -- observability counters only; values never feed
+# back into control flow, so per-process divergence after fork is harmless.
 ATTACH_STATS = {"attaches": 0, "reuses": 0}
 
 
