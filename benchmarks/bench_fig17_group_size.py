@@ -37,7 +37,7 @@ def test_fig17_shape(benchmark):
     )
     save_table(table)
     by_n = {}
-    for n, tau, seconds, _ in table.rows:
+    for n, _tau, seconds, _ in table.rows:
         by_n.setdefault(n, []).append(seconds)
     for n, times in by_n.items():
         if len(times) > 1:

@@ -19,7 +19,7 @@ def test_fig20_shape(benchmark):
     )
     save_table(table)
     by_dataset = {}
-    for dataset, xi, btm, gtm, star in table.rows:
+    for dataset, xi, btm, _gtm, _star in table.rows:
         by_dataset.setdefault(dataset, []).append((xi, btm))
     for dataset, series in by_dataset.items():
         series.sort()

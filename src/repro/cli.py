@@ -238,7 +238,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         try:
             info = inspect_snapshot(args.path, verify=not args.no_verify)
         except SnapshotError as exc:
-            raise SystemExit(f"snapshot inspect failed: {exc}")
+            raise SystemExit(f"snapshot inspect failed: {exc}") from exc
         print(f"snapshot at {info['path']}")
         print(f"  content_key: {info['content_key']}")
         print(f"  corpus: {info['n']} trajectories, "
@@ -296,7 +296,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             info = service.load_snapshot(name, path, verify=args.verify)
         except SnapshotError as exc:
-            raise SystemExit(f"cannot load snapshot {name!r}: {exc}")
+            raise SystemExit(f"cannot load snapshot {name!r}: {exc}") from exc
         print(f"loaded snapshot {name!r}: {info['n']} trajectories "
               f"({info['content_key'][:12]}...) from {path}")
     print(f"serving on http://{args.host}:{args.port} "

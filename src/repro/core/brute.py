@@ -9,6 +9,7 @@ measured against (Figure 18).
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Optional, Tuple
 
@@ -41,7 +42,7 @@ class BruteDP:
         oracle,
         space: SearchSpace,
         stats: Optional[SearchStats] = None,
-        bsf0: float = float("inf"),
+        bsf0: float = math.inf,
         best0: Best = None,
     ) -> Tuple[float, Best]:
         """Return ``(distance, (i, ie, j, je))`` of the motif.
@@ -55,7 +56,7 @@ class BruteDP:
         start_time = time.perf_counter()
         deadline = None if self.timeout is None else start_time + self.timeout
         bsf = float(bsf0)
-        if best0 is None and bsf != float("inf"):
+        if best0 is None and bsf != math.inf:
             bsf = float(np.nextafter(bsf, np.inf))
         best: Best = best0
         n_subsets = 0

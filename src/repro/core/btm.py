@@ -24,6 +24,7 @@ the processing loop breaks on ``lb > bsf`` when unwitnessed and on
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Callable, Optional, Tuple
 
@@ -50,7 +51,7 @@ def run_best_first(
     bounds: SubsetBounds,
     tables: Optional[BoundTables],
     stats: SearchStats,
-    bsf: float = float("inf"),
+    bsf: float = math.inf,
     best: Best = None,
     use_kills: bool = True,
     approx_factor: float = 1.0,
@@ -214,7 +215,7 @@ class BTM:
         oracle,
         space: SearchSpace,
         stats: Optional[SearchStats] = None,
-        bsf0: float = float("inf"),
+        bsf0: float = math.inf,
         best0: Best = None,
     ) -> Tuple[float, Best]:
         """Return ``(distance, (i, ie, j, je))`` of the motif.

@@ -19,6 +19,7 @@ Every pruning step is safe (Lemmas 3-4 plus the witness rule of
 
 from __future__ import annotations
 
+import math
 import time
 from typing import List, Optional, Tuple
 
@@ -99,7 +100,7 @@ class GTM:
         oracle,
         space: SearchSpace,
         stats: Optional[SearchStats] = None,
-        bsf0: float = float("inf"),
+        bsf0: float = math.inf,
         best0: Best = None,
     ) -> Tuple[float, Best]:
         """Return ``(distance, (i, ie, j, je))`` of the motif.

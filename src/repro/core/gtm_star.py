@@ -18,6 +18,7 @@ time for space -- exactly the behaviour Figures 18-19 report.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import List, Optional, Tuple
 
@@ -76,7 +77,7 @@ class GTMStar:
         oracle,
         space: SearchSpace,
         stats: Optional[SearchStats] = None,
-        bsf0: float = float("inf"),
+        bsf0: float = math.inf,
         best0: Best = None,
     ) -> Tuple[float, Best]:
         """Return ``(distance, (i, ie, j, je))`` of the motif.

@@ -198,7 +198,7 @@ class SharedArrayStore:
             except OSError:  # pragma: no cover - /dev/shm exhausted
                 return None, False
             payload = 0
-            for (field, start, shape, dtype), array in zip(specs, slabs.values()):
+            for (_field, start, shape, dtype), array in zip(specs, slabs.values()):
                 view = np.ndarray(
                     shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=start
                 )

@@ -41,6 +41,7 @@ join :func:`join_top_k`.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -245,7 +246,7 @@ def scan_join_topk(
     *,
     bounds=None,
     ordered: bool = False,
-    kth0: float = float("inf"),
+    kth0: float = math.inf,
     sync: Optional[Callable[[float], float]] = None,
     sync_every: int = 64,
 ) -> List[JoinTopKEntry]:
@@ -270,7 +271,7 @@ def scan_join_topk(
     heap: List[Tuple[float, Tuple[int, int]]] = []  # negated max-heap
 
     def kth_dist() -> float:
-        return -heap[0][0] if len(heap) == k else float("inf")
+        return -heap[0][0] if len(heap) == k else math.inf
 
     external = float(kth0)
     boxes_l: dict = {}

@@ -29,6 +29,7 @@ corpus skip the O(n^2) precompute.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -74,7 +75,7 @@ def scan_topk_entries(
     k: int,
     stats: SearchStats,
     *,
-    kth0: float = float("inf"),
+    kth0: float = math.inf,
     sync: Optional[Callable[[float], float]] = None,
     sync_every: int = 64,
     positions: Optional[np.ndarray] = None,
@@ -100,7 +101,7 @@ def scan_topk_entries(
     external = float(kth0)
 
     def kth_dist() -> float:
-        return -heap[0][0] if len(heap) == k else float("inf")
+        return -heap[0][0] if len(heap) == k else math.inf
 
     count = 0
     exhausted = False

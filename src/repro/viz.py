@@ -166,7 +166,7 @@ def render_series(
     span = hi - lo if hi > lo else 1.0
     grid = [[" "] * width for _ in range(height)]
     markers = "ox+*@$"
-    for k, (name, values) in enumerate(series.items()):
+    for k, (_name, values) in enumerate(series.items()):
         mark = markers[k % len(markers)]
         for idx, v in enumerate(values):
             if v is None or (log_y and v <= 0):

@@ -24,6 +24,7 @@ import numpy as np
 import pytest
 
 from repro.engine import MotifEngine, fork_context
+from repro.errors import ReproError
 from repro.engine.cache import metric_key
 from repro.engine.corpus import corpus_index_cache_key
 from repro.engine.planner import corpus_fingerprint
@@ -307,7 +308,7 @@ class TestEngineParity:
 
 class TestRestoreValidation:
     def test_restore_rejects_empty(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ReproError):
             CorpusIndex.restore(
                 metric="euclidean", simplify_frac=0.05,
                 max_simplification_points=8, points=[], timestamps=[],
