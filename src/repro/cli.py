@@ -243,8 +243,14 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         print(f"  content_key: {info['content_key']}")
         print(f"  corpus: {info['n']} trajectories, "
               f"{info['dimensions']}-d, metric={info['metric']}")
-        print(f"  simplify: frac={info['simplify_frac']:g} "
-              f"max_points={info['max_simplification_points']}")
+        if "shards" in info:
+            blocks = ", ".join(
+                str(s["stop"] - s["start"]) for s in info["shards"]
+            )
+            print(f"  shards: {len(info['shards'])} ({blocks})")
+        else:
+            print(f"  simplify: frac={info['simplify_frac']:g} "
+                  f"max_points={info['max_simplification_points']}")
         print(f"  arrays: {len(info['arrays'])} files, "
               f"{info['total_bytes']} bytes"
               + (" (digests verified)" if info["verified"] else ""))
@@ -262,11 +268,19 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         args.output,
         crs=corpus[0].crs,
         trajectory_ids=[t.trajectory_id for t in corpus],
+        shards=args.shards,
     )
-    total = sum(spec["nbytes"] for spec in manifest["arrays"].values())
     print(f"snapshot written to {args.output}")
     print(f"  content_key: {manifest['content_key']}")
-    print(f"  corpus: {manifest['n']} trajectories, {total} array bytes")
+    if "shards" in manifest:
+        blocks = ", ".join(
+            str(s["stop"] - s["start"]) for s in manifest["shards"]
+        )
+        print(f"  corpus: {manifest['n']} trajectories in "
+              f"{len(manifest['shards'])} shards ({blocks})")
+    else:
+        total = sum(spec["nbytes"] for spec in manifest["arrays"].values())
+        print(f"  corpus: {manifest['n']} trajectories, {total} array bytes")
     return 0
 
 
@@ -283,16 +297,29 @@ def _parse_snapshot_mounts(specs):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import MotifService, serve
+    from .service import MotifService, ServiceFleet, serve, serve_fleet
     from .store import SnapshotError
 
-    service = MotifService(
+    service_kwargs = dict(
         workers=args.workers,
         service_workers=args.service_workers,
         max_pending=args.queue_limit,
         coalesce=not args.no_coalesce,
+        snapshot_watch_interval=args.reload_interval,
     )
-    for name, path in _parse_snapshot_mounts(args.snapshot):
+    mounts = _parse_snapshot_mounts(args.snapshot)
+    if args.fleet > 1:
+        fleet = ServiceFleet(
+            workers=args.fleet,
+            host=args.host,
+            port=args.port,
+            snapshots=[(name, path, args.verify) for name, path in mounts],
+            service_kwargs=service_kwargs,
+        )
+        serve_fleet(fleet)
+        return 0
+    service = MotifService(**service_kwargs)
+    for name, path in mounts:
         try:
             info = service.load_snapshot(name, path, verify=args.verify)
         except SnapshotError as exc:
@@ -451,6 +478,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ground metric the summaries are computed under")
     b.add_argument("--simplify-frac", type=float, default=0.05)
     b.add_argument("--max-simplification-points", type=int, default=8)
+    b.add_argument("--shards", type=int, default=1,
+                   help="split the corpus into K contiguous shard snapshots "
+                        "behind one shard-set manifest (serving layers "
+                        "scatter corpus queries across shards)")
     b.set_defaults(func=_cmd_snapshot)
     i = snap_sub.add_parser("inspect", help="validate and describe a snapshot")
     i.add_argument("path", help="snapshot directory")
@@ -475,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-coalesce", action="store_true",
                    help="give every request its own computation (disable "
                         "in-flight sharing of identical queries)")
+    p.add_argument("--fleet", type=int, default=1,
+                   help="pre-fork this many serving processes sharing one "
+                        "listening socket (and one snapshot page cache)")
+    p.add_argument("--reload-interval", type=float, default=None,
+                   help="poll loaded snapshots every S seconds and hot-swap "
+                        "rebuilt ones without dropping in-flight requests")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="run experiment(s) and print tables")

@@ -27,7 +27,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import math
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -243,6 +243,95 @@ def _indexed_join(engine, left, right, theta, metric, resolved, workers):
     stats.pruned_index = stats.pairs_total - len(pairs)
     stats.details["index"] = index_stats.as_dict()
     return matches, stats
+
+
+def _shard_offsets(shards) -> List[int]:
+    """Global index offset of each shard in a contiguous shard list."""
+    offsets = [0]
+    for items in shards:
+        offsets.append(offsets[-1] + len(items))
+    return offsets
+
+
+def _merge_index_details(parts) -> Optional[dict]:
+    """Key-wise sum of per-shard-pair ``IndexStats.as_dict`` payloads.
+
+    Every index counter is additive over a partition of the pair grid,
+    so ``summary_builds == 0`` remains the observable all-shards-served
+    -from-snapshot signature after the merge.
+    """
+    merged: Optional[dict] = None
+    for part in parts:
+        detail = part.details.get("index")
+        if detail is None:
+            continue
+        if merged is None:
+            merged = dict(detail)
+        else:
+            for key, value in detail.items():
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def run_sharded_join(engine, left_shards, right_shards, theta, metric,
+                     workers, use_index):
+    """Scatter a similarity join across shard pairs; merge exactly.
+
+    Each (left shard, right shard) block runs the ordinary
+    :func:`run_join` (riding its per-block result cache), local match
+    indices shift by the shards' global offsets, and the union re-sorts
+    to the serial left-major order -- the cascade is exact per pair, so
+    the merged matches equal the unsharded join's.  Statistics fold
+    additively (:func:`merge_join_stats`); index accounting sums
+    key-wise so a snapshot-served scatter still reports
+    ``summary_builds == 0``.
+    """
+    left_offsets = _shard_offsets(left_shards)
+    right_offsets = _shard_offsets(right_shards)
+    matches: List[Tuple[int, int]] = []
+    stat_parts = []
+    for i, left in enumerate(left_shards):
+        for j, right in enumerate(right_shards):
+            part_matches, part_stats = run_join(
+                engine, left, right, theta, metric, workers, use_index
+            )
+            loff, roff = left_offsets[i], right_offsets[j]
+            matches.extend((a + loff, b + roff) for a, b in part_matches)
+            stat_parts.append(part_stats)
+    matches.sort()
+    stats = merge_join_stats(stat_parts)
+    index_detail = _merge_index_details(stat_parts)
+    if index_detail is not None:
+        stats.details["index"] = index_detail
+    stats.details["shards"] = {
+        "left": len(left_shards), "right": len(right_shards),
+    }
+    return matches, stats
+
+
+def run_sharded_join_top_k(engine, left_shards, right_shards, k, metric,
+                           workers, use_index):
+    """The k closest pairs across shard blocks, merged canonically.
+
+    Any pair in the global answer ranks within its own block's top k,
+    so per-block answers (global-indexed) merge exactly under the
+    ``(distance, (a, b))`` total order -- the same
+    :func:`merge_join_topk` reducer the PR 2 chunked scan uses, applied
+    one level up.
+    """
+    left_offsets = _shard_offsets(left_shards)
+    right_offsets = _shard_offsets(right_shards)
+    parts = []
+    for i, left in enumerate(left_shards):
+        for j, right in enumerate(right_shards):
+            entries = run_join_top_k(
+                engine, left, right, k, metric, workers, use_index
+            )
+            loff, roff = left_offsets[i], right_offsets[j]
+            parts.append([
+                (dist, (a + loff, b + roff)) for dist, (a, b) in entries
+            ])
+    return merge_join_topk(parts, k)
 
 
 # ----------------------------------------------------------------------

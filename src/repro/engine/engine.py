@@ -510,6 +510,57 @@ class MotifEngine:
             self, left, right, k, metric, workers, use_index
         )
 
+    def join_sharded(
+        self,
+        left_shards: Sequence[Sequence],
+        right_shards: Sequence[Sequence],
+        theta: float,
+        metric: Union[str, GroundMetric] = "euclidean",
+        workers: Optional[int] = None,
+        index: Optional[bool] = None,
+    ):
+        """:meth:`join` scattered across contiguous corpus shards.
+
+        ``left_shards`` / ``right_shards`` are lists of trajectory
+        collections whose concatenation is the full corpus (the shape
+        :func:`repro.store.load_snapshot_shards` hands back).  Every
+        (left, right) shard block runs an ordinary join -- each block's
+        cached :class:`~repro.index.CorpusIndex` is the shard's own, so
+        snapshot-seeded shards serve with zero summary rebuilds -- and
+        local match indices shift by the shards' global offsets before
+        the union re-sorts to serial left-major order.  Matches are
+        identical to ``join(concat(left), concat(right))``; the filter
+        statistics fold additively with the index accounting summed
+        key-wise.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        use_index = self.index if index is None else bool(index)
+        return _corpus.run_sharded_join(
+            self, left_shards, right_shards, theta, metric, workers, use_index
+        )
+
+    def join_top_k_sharded(
+        self,
+        left_shards: Sequence[Sequence],
+        right_shards: Sequence[Sequence],
+        k: int = 5,
+        metric: Union[str, GroundMetric] = "euclidean",
+        workers: Optional[int] = None,
+        index: Optional[bool] = None,
+    ):
+        """:meth:`join_top_k` scattered across contiguous corpus shards.
+
+        Per-block top-k answers (shifted to global indices) merge under
+        the canonical ``(distance, (a, b))`` total order -- the same
+        reducer the chunked scan uses -- so the ranking equals the
+        unsharded :meth:`join_top_k` exactly, ties included.
+        """
+        workers = self.workers if workers is None else max(1, int(workers))
+        use_index = self.index if index is None else bool(index)
+        return _corpus.run_sharded_join_top_k(
+            self, left_shards, right_shards, k, metric, workers, use_index
+        )
+
     def cluster(
         self,
         trajectory,

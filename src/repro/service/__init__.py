@@ -9,6 +9,7 @@ coalescing, per-request deadlines and bounded admission.  Run it with
 """
 
 from .client import ServiceClient
+from .fleet import ServiceFleet, serve_fleet
 from .protocol import (
     OPS,
     BadRequestError,
@@ -31,8 +32,10 @@ __all__ = [
     "OverloadedError",
     "ServiceClient",
     "ServiceError",
+    "ServiceFleet",
     "ServiceUnavailableError",
     "UnknownSnapshotError",
     "make_server",
     "serve",
+    "serve_fleet",
 ]

@@ -18,6 +18,8 @@ Endpoints (see :mod:`repro.service.protocol` for the envelope):
 from __future__ import annotations
 
 import json
+import socket
+import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -32,6 +34,21 @@ from .service import MotifService
 #: Request bodies beyond this are refused outright (64 MiB).
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
+#: On a keep-alive connection, an errored request's unread body must be
+#: consumed before the next request is parsed -- but only up to this
+#: much; a larger leftover closes the connection instead of burning
+#: server time reading bytes it will throw away.
+MAX_DRAIN_BYTES = 1 * 1024 * 1024
+
+#: Peer-disconnect shapes: the client went away mid-exchange.  These
+#: are load-shedding noise, not server failures -- they are counted in
+#: the service stats and never traced to stderr.
+_DISCONNECT_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+)
+
 
 class MotifRequestHandler(BaseHTTPRequestHandler):
     """One HTTP exchange; all real work happens in the service."""
@@ -45,12 +62,31 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: dict) -> None:
+        """Write one JSON response; a vanished peer is not an error.
+
+        A client disconnecting mid-response (deadline hit client-side,
+        process killed, load-balancer retry) surfaces here as
+        ``BrokenPipeError``/``ConnectionResetError``.  Letting that
+        propagate would spam ``handle_error`` tracebacks from every
+        daemon thread under load; instead the write is abandoned, the
+        connection marked closed, and the disconnect counted in the
+        service stats.
+        """
         body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                # An undrainable request body (or an earlier write
+                # failure) is about to end this connection; advertise
+                # it so well-behaved clients do not try to reuse it.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECT_ERRORS:
+            self.close_connection = True
+            self.service.note_client_disconnect()
 
     def _send_error_payload(self, exc: ServiceError) -> None:
         self._send_json(exc.status, {"ok": False, "error": error_payload(exc)})
@@ -70,8 +106,19 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        self._body_consumed = 0
         try:
             op, params, timeout = self._parse_request()
+        except ServiceError as exc:
+            # Keep-alive discipline: the handler advertises HTTP/1.1,
+            # so an errored request's unread body bytes would otherwise
+            # be parsed as the *next* request line on this persistent
+            # connection.  Drain them (bounded) or close the
+            # connection before answering.
+            self._discard_request_body()
+            self._send_error_payload(exc)
+            return
+        try:
             result, coalesced = self.service.submit(op, params, timeout)
         except ServiceError as exc:
             self._send_error_payload(exc)
@@ -82,6 +129,41 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
         self._send_json(
             200, {"ok": True, "result": result, "coalesced": coalesced}
         )
+
+    def _discard_request_body(self) -> None:
+        """Consume an errored request's unread body, or give up on reuse.
+
+        Without this, every ``_parse_request`` error path (unknown op,
+        bad or oversized ``Content-Length``, unparseable JSON) left the
+        declared body unread on the socket, desynchronising all later
+        requests on the keep-alive connection.  Unknown, chunked or
+        oversized leftovers cannot be drained cheaply -- those mark the
+        connection for closure instead.
+        """
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self.close_connection = True
+            return
+        remaining = length - self._body_consumed
+        if remaining <= 0:
+            return
+        if remaining > MAX_DRAIN_BYTES:
+            self.close_connection = True
+            return
+        try:
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    self.close_connection = True
+                    return
+                remaining -= len(chunk)
+        except _DISCONNECT_ERRORS:
+            self.close_connection = True
+            self.service.note_client_disconnect()
 
     def _parse_request(self) -> Tuple[str, dict, Optional[float]]:
         prefix = "/v1/"
@@ -104,8 +186,10 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             raise BadRequestError(
                 f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
             )
+        raw = self.rfile.read(length)
+        self._body_consumed = len(raw)
         try:
-            body = json.loads(self.rfile.read(length))
+            body = json.loads(raw)
         except ValueError as exc:
             raise BadRequestError(f"unparseable JSON body: {exc}") from exc
         if not isinstance(body, dict):
@@ -123,7 +207,13 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
 
 
 class MotifHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`MotifService`."""
+    """Threaded HTTP server bound to one :class:`MotifService`.
+
+    With ``sock`` the server adopts an already-bound, already-listening
+    socket instead of binding its own -- the pre-fork fleet master
+    binds once and every forked worker accepts from the same kernel
+    queue (:mod:`repro.service.fleet`).
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -132,16 +222,55 @@ class MotifHTTPServer(ThreadingHTTPServer):
     #: bounded queue (429), not to kernel-level RSTs.
     request_queue_size = 128
 
-    def __init__(self, address, service: MotifService) -> None:
-        super().__init__(address, MotifRequestHandler)
+    def __init__(
+        self,
+        address,
+        service: MotifService,
+        *,
+        sock: Optional[socket.socket] = None,
+    ) -> None:
+        if sock is None:
+            super().__init__(address, MotifRequestHandler)
+        else:
+            super().__init__(address, MotifRequestHandler,
+                             bind_and_activate=False)
+            self.socket.close()  # the placeholder TCPServer created
+            self.socket = sock
+            # server_bind() normally fills these; adopters skip it (no
+            # getfqdn here -- a DNS stall per forked worker is real).
+            host, port = sock.getsockname()[:2]
+            self.server_address = sock.getsockname()
+            self.server_name = host
+            self.server_port = port
         self.service = service
+
+    def handle_error(self, request, client_address) -> None:
+        """Count peer disconnects instead of tracing them.
+
+        Disconnect-shaped failures escaping a handler thread (client
+        gone mid-read, reset before the response) are expected churn
+        under load; anything else keeps the stdlib traceback.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _DISCONNECT_ERRORS):
+            self.service.note_client_disconnect()
+            return
+        super().handle_error(request, client_address)
 
 
 def make_server(
-    service: MotifService, host: str = "127.0.0.1", port: int = 0
+    service: MotifService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    sock: Optional[socket.socket] = None,
 ) -> MotifHTTPServer:
-    """Bind (but do not run) the HTTP server; ``port=0`` picks a free one."""
-    return MotifHTTPServer((host, port), service)
+    """Bind (but do not run) the HTTP server; ``port=0`` picks a free one.
+
+    Pass ``sock`` (bound + listening) to adopt a shared pre-fork
+    listener instead of binding ``(host, port)``.
+    """
+    return MotifHTTPServer((host, port), service, sock=sock)
 
 
 def serve(

@@ -40,6 +40,7 @@ themselves (one host-wide page cache, nothing pickled or copied).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -55,7 +56,12 @@ from ..engine import planner
 from ..engine.cache import fingerprint_points, metric_key
 from ..engine.corpus import corpus_index_cache_key
 from ..errors import ReproError
-from ..store import load_snapshot, snapshot_trajectories
+from ..store import (
+    SnapshotError,
+    load_snapshot_shards,
+    snapshot_fingerprint,
+    snapshot_trajectories,
+)
 from ..trajectory import Trajectory
 from .protocol import (
     OPS,
@@ -96,20 +102,32 @@ def _encode_join_stats(stats) -> dict:
 
 @dataclass
 class _Snapshot:
-    """One loaded snapshot: its index, corpus views, and metadata."""
+    """One loaded snapshot: its shard indexes, corpus views, metadata.
+
+    A plain snapshot is the one-shard case (``shard_items is None``);
+    a K-shard set keeps the per-shard trajectory lists so corpus
+    queries can scatter across shards and merge canonically.
+    ``generation`` counts hot-reload swaps of this registration.
+    """
 
     name: str
     path: str
-    index: object
+    indexes: List[object]
     trajectories: List[Trajectory]
+    shard_items: Optional[List[List[Trajectory]]] = None
+    content_key: Optional[str] = None
+    verify: bool = False
+    generation: int = 0
 
     def describe(self) -> dict:
-        manifest = getattr(self.index, "snapshot_manifest", {}) or {}
+        manifest = getattr(self.indexes[0], "snapshot_manifest", {}) or {}
         return {
             "path": self.path,
             "n": len(self.trajectories),
-            "content_key": manifest.get("content_key"),
+            "content_key": self.content_key,
             "metric": manifest.get("metric"),
+            "shards": len(self.indexes),
+            "generation": self.generation,
         }
 
 
@@ -158,6 +176,12 @@ class MotifService:
         (content-addressed by the planner's cache keys).  ``False``
         turns every request into its own computation -- the
         benchmark's baseline.
+    snapshot_watch_interval:
+        Seconds between hot-reload polls of every registered
+        snapshot's manifest fingerprint (``None`` disables the
+        watcher).  A changed ``content_key`` atomically swaps in the
+        re-mapped index without dropping in-flight requests; see
+        :meth:`check_snapshots`.
     engine / engine_kwargs:
         Adopt a caller-owned engine, or forward construction kwargs to
         the owned one (e.g. ``result_cache_size=0`` for benchmarks).
@@ -170,6 +194,7 @@ class MotifService:
         service_workers: int = 2,
         max_pending: int = 32,
         coalesce: bool = True,
+        snapshot_watch_interval: Optional[float] = None,
         engine: Optional[MotifEngine] = None,
         engine_kwargs: Optional[dict] = None,
     ) -> None:
@@ -177,6 +202,10 @@ class MotifService:
             raise ValueError("service_workers must be at least 1")
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if snapshot_watch_interval is not None:
+            snapshot_watch_interval = float(snapshot_watch_interval)
+            if snapshot_watch_interval <= 0:
+                raise ValueError("snapshot_watch_interval must be positive")
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else MotifEngine(
             workers=workers, **(engine_kwargs or {})
@@ -184,7 +213,10 @@ class MotifService:
         self.service_workers = int(service_workers)
         self.max_pending = int(max_pending)
         self.coalesce = bool(coalesce)
+        self.snapshot_watch_interval = snapshot_watch_interval
         self._snapshots: Dict[str, _Snapshot] = {}
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
         self._cond = threading.Condition()
         self._queue: "deque[_Request]" = deque()
         self._inflight: Dict[tuple, _Request] = {}
@@ -195,6 +227,9 @@ class MotifService:
         # families: outcomes sum to accepted once the queue drains.
         # waiter_timeouts counts callers who gave up waiting (their
         # computation may still complete) -- it overlaps, by design.
+        # The last three track transport/registry churn outside the
+        # request families: peers vanishing mid-exchange, hot-reload
+        # swaps, and reloads that failed (old registration kept).
         self._counters = {
             "accepted": 0,
             "coalesced": 0,
@@ -203,6 +238,9 @@ class MotifService:
             "failed": 0,
             "deadline_expired": 0,
             "waiter_timeouts": 0,
+            "client_disconnects": 0,
+            "snapshot_reloads": 0,
+            "reload_errors": 0,
         }
         #: Test seam: called (with the request) in the serving thread
         #: right before execution; lets tests hold computations
@@ -225,10 +263,22 @@ class MotifService:
         ]
         for thread in self._threads:
             thread.start()
+        if self.snapshot_watch_interval is not None:
+            self._watch_stop.clear()
+            self._watch_thread = threading.Thread(
+                target=self._watch_loop,
+                name="motif-snapshot-watch",
+                daemon=True,
+            )
+            self._watch_thread.start()
         return self
 
     def stop(self) -> None:
         """Drain nothing: refuse the queue, join threads, close the engine."""
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=10.0)
+            self._watch_thread = None
         with self._cond:
             self._running = False
             pending = list(self._queue)
@@ -256,24 +306,95 @@ class MotifService:
     def load_snapshot(self, name: str, path, *, verify: bool = False) -> dict:
         """Map a :mod:`repro.store` snapshot and register it as ``name``.
 
-        The restored index is seeded into the engine's tables cache
+        Accepts plain snapshots and K-shard sets alike.  Every
+        restored shard index is seeded into the engine's tables cache
         under :func:`~repro.engine.corpus.corpus_index_cache_key`, so
         corpus queries referencing this snapshot reuse its persisted
-        summaries instead of rebuilding them.
+        summaries instead of rebuilding them; whole-corpus joins over
+        a shard set scatter per shard and merge canonically.
         """
-        index = load_snapshot(path, mmap=True, verify=verify)
-        trajectories = snapshot_trajectories(index)
-        fps = planner.corpus_fingerprint(trajectories)
-        self.engine._oracles.tables.put(
-            corpus_index_cache_key(fps, index.metric), index
-        )
-        snap = _Snapshot(
-            name=str(name), path=str(path), index=index,
-            trajectories=trajectories,
-        )
+        snap = self._map_snapshot(str(name), path, verify=verify)
         with self._cond:
+            prior = self._snapshots.get(snap.name)
+            if prior is not None:
+                snap.generation = prior.generation + 1
             self._snapshots[snap.name] = snap
         return snap.describe()
+
+    def _map_snapshot(self, name: str, path, *, verify: bool) -> _Snapshot:
+        """Map ``path`` (snapshot or shard set) into a registry entry."""
+        fingerprint = snapshot_fingerprint(path)
+        indexes = load_snapshot_shards(path, mmap=True, verify=verify)
+        shard_items = [snapshot_trajectories(index) for index in indexes]
+        for index, items in zip(indexes, shard_items):
+            fps = planner.corpus_fingerprint(items)
+            self.engine._oracles.tables.put(
+                corpus_index_cache_key(fps, index.metric), index
+            )
+        return _Snapshot(
+            name=name,
+            path=str(path),
+            indexes=list(indexes),
+            trajectories=[t for items in shard_items for t in items],
+            shard_items=shard_items if len(indexes) > 1 else None,
+            content_key=fingerprint,
+            verify=verify,
+        )
+
+    def check_snapshots(self) -> List[str]:
+        """Hot-reload pass: re-map registered snapshots whose files changed.
+
+        For each registered snapshot the manifest ``content_key`` is
+        probed (one small JSON read -- manifests are written last via
+        atomic rename, so a changed fingerprint means all array bytes
+        are on disk).  A changed snapshot is re-mapped and its
+        registration swapped atomically under the service lock:
+        requests prepared before the swap keep their already-resolved
+        trajectory views (replaced files' old inodes stay mapped until
+        the index is garbage collected), requests prepared after it
+        see the new corpus.  Nothing in flight is dropped.  A reload
+        that fails keeps the old registration serving and counts
+        ``reload_errors``.  Returns the names that were swapped.
+        """
+        with self._cond:
+            snaps = list(self._snapshots.values())
+        reloaded: List[str] = []
+        for snap in snaps:
+            try:
+                fingerprint = snapshot_fingerprint(snap.path)
+            except (SnapshotError, OSError, ValueError):
+                with self._cond:
+                    self._counters["reload_errors"] += 1
+                continue
+            if fingerprint == snap.content_key:
+                continue
+            try:
+                fresh = self._map_snapshot(
+                    snap.name, snap.path, verify=snap.verify
+                )
+            except (SnapshotError, OSError, ValueError):
+                with self._cond:
+                    self._counters["reload_errors"] += 1
+                continue
+            fresh.generation = snap.generation + 1
+            with self._cond:
+                # An explicit load_snapshot() racing the watcher wins:
+                # only swap the exact registration that was probed.
+                if self._snapshots.get(snap.name) is not snap:
+                    continue
+                self._snapshots[snap.name] = fresh
+                self._counters["snapshot_reloads"] += 1
+            reloaded.append(snap.name)
+        return reloaded
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(self.snapshot_watch_interval):
+            self.check_snapshots()
+
+    def note_client_disconnect(self) -> None:
+        """Count a peer that vanished mid-exchange (transport churn)."""
+        with self._cond:
+            self._counters["client_disconnects"] += 1
 
     def snapshot_names(self) -> List[str]:
         with self._cond:
@@ -300,6 +421,7 @@ class MotifService:
                 name: snap.describe() for name, snap in self._snapshots.items()
             }
         return {
+            "pid": os.getpid(),
             "counters": counters,
             "pending": pending,
             "inflight": inflight,
@@ -316,7 +438,11 @@ class MotifService:
     def health(self) -> dict:
         with self._cond:
             running = self._running
-        return {"ok": running, "snapshots": self.snapshot_names()}
+        return {
+            "ok": running,
+            "pid": os.getpid(),
+            "snapshots": self.snapshot_names(),
+        }
 
     # ------------------------------------------------------------------
     # Submission
@@ -467,6 +593,22 @@ class MotifService:
             raise BadRequestError("corpus spec must be a non-empty list")
         return [self._trajectory_from_spec(item) for item in spec]
 
+    def _corpus_and_shards_from_spec(
+        self, spec
+    ) -> Tuple[List[Trajectory], Optional[List[List[Trajectory]]]]:
+        """``(corpus, per-shard lists)`` -- one snapshot resolution.
+
+        Only a snapshot reference without an ``items`` subset scatters:
+        explicit item picks and inline corpora span shard boundaries,
+        so they run through the ordinary single-corpus path.  Both
+        views come from the same registry lookup, so a hot-reload swap
+        can never mix generations within one request.
+        """
+        if isinstance(spec, dict) and spec.get("items") is None:
+            snap = self._snapshot(spec.get("snapshot"))
+            return snap.trajectories, snap.shard_items
+        return self._corpus_from_spec(spec), None
+
     @staticmethod
     def _options_from(params: dict) -> dict:
         options = params.get("options", {})
@@ -602,22 +744,38 @@ class MotifService:
         return key, runner
 
     def _prepare_join(self, params: dict):
-        left = self._corpus_from_spec(params["left"])
-        right = self._corpus_from_spec(params["right"])
+        left, left_shards = self._corpus_and_shards_from_spec(params["left"])
+        right, right_shards = self._corpus_and_shards_from_spec(
+            params["right"]
+        )
         theta = float(params["theta"])
         metric = params.get("metric") or "euclidean"
         use_index = bool(params.get("index", True))
         resolved = get_metric(metric)
+        # The shard signature joins the key: a scattered run answers
+        # identical matches but shard-local stats, so it must not
+        # coalesce with (or cache-alias) an unsharded run of the same
+        # corpus content.
+        shard_sig = (
+            len(left_shards) if left_shards else 1,
+            len(right_shards) if right_shards else 1,
+        )
         key = (
-            "svc", "join",
+            "svc", "join", shard_sig,
             planner.join_result_key(left, right, resolved, theta, use_index),
         )
 
         def runner(deadline):
             self._remaining(deadline)
-            matches, stats = self.engine.join(
-                left, right, theta, metric=metric, index=use_index,
-            )
+            if left_shards or right_shards:
+                matches, stats = self.engine.join_sharded(
+                    left_shards or [left], right_shards or [right],
+                    theta, metric=metric, index=use_index,
+                )
+            else:
+                matches, stats = self.engine.join(
+                    left, right, theta, metric=metric, index=use_index,
+                )
             return {
                 "matches": [[int(a), int(b)] for a, b in matches],
                 "stats": _encode_join_stats(stats),
@@ -626,22 +784,34 @@ class MotifService:
         return key, runner
 
     def _prepare_join_top_k(self, params: dict):
-        left = self._corpus_from_spec(params["left"])
-        right = self._corpus_from_spec(params["right"])
+        left, left_shards = self._corpus_and_shards_from_spec(params["left"])
+        right, right_shards = self._corpus_and_shards_from_spec(
+            params["right"]
+        )
         k = int(params.get("k", 5))
         metric = params.get("metric") or "euclidean"
         use_index = bool(params.get("index", True))
         resolved = get_metric(metric)
+        shard_sig = (
+            len(left_shards) if left_shards else 1,
+            len(right_shards) if right_shards else 1,
+        )
         key = (
-            "svc", "join_top_k",
+            "svc", "join_top_k", shard_sig,
             planner.join_topk_result_key(left, right, resolved, k),
         )
 
         def runner(deadline):
             self._remaining(deadline)
-            entries = self.engine.join_top_k(
-                left, right, k=k, metric=metric, index=use_index,
-            )
+            if left_shards or right_shards:
+                entries = self.engine.join_top_k_sharded(
+                    left_shards or [left], right_shards or [right],
+                    k=k, metric=metric, index=use_index,
+                )
+            else:
+                entries = self.engine.join_top_k(
+                    left, right, k=k, metric=metric, index=use_index,
+                )
             return [
                 {"distance": float(dist), "pair": [int(a), int(b)]}
                 for dist, (a, b) in entries

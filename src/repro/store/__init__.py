@@ -11,26 +11,36 @@ files so every server process on a host shares one page cache.
 
 from .snapshot import (
     MANIFEST_NAME,
+    SHARD_SET_FORMAT,
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
     SnapshotError,
     SnapshotSlabRef,
     attach_snapshot_slabs,
     inspect_snapshot,
+    is_shard_set,
     load_snapshot,
+    load_snapshot_shards,
     save_snapshot,
+    shard_bounds,
+    snapshot_fingerprint,
     snapshot_trajectories,
 )
 
 __all__ = [
     "MANIFEST_NAME",
+    "SHARD_SET_FORMAT",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SnapshotError",
     "SnapshotSlabRef",
     "attach_snapshot_slabs",
     "inspect_snapshot",
+    "is_shard_set",
     "load_snapshot",
+    "load_snapshot_shards",
     "save_snapshot",
+    "shard_bounds",
+    "snapshot_fingerprint",
     "snapshot_trajectories",
 ]

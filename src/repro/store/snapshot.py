@@ -52,6 +52,10 @@ from ..index import CorpusIndex
 from ..trajectory import Trajectory
 
 SNAPSHOT_FORMAT = "repro-corpus-snapshot"
+#: Top-level manifest format of a K-shard snapshot set: the root
+#: directory holds one ``manifest.json`` naming K ordinary snapshot
+#: subdirectories, each covering a contiguous block of the corpus.
+SHARD_SET_FORMAT = "repro-corpus-snapshot-set"
 SNAPSHOT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
@@ -152,12 +156,104 @@ def _le(array: np.ndarray, dtype: str) -> np.ndarray:
     return np.ascontiguousarray(np.asarray(array).astype(dtype, copy=False))
 
 
+def shard_bounds(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` blocks splitting ``n`` items K ways.
+
+    The first ``n % K`` shards carry one extra item, so the split is a
+    pure function of ``(n, K)`` -- savers and loaders agree on the
+    global -> (shard, local) mapping without storing it.
+    """
+    if shards < 1:
+        raise SnapshotError("shards must be at least 1")
+    if shards > n:
+        raise SnapshotError(
+            f"cannot split a corpus of {n} into {shards} shards"
+        )
+    base, extra = divmod(n, shards)
+    bounds = []
+    start = 0
+    for k in range(shards):
+        stop = start + base + (1 if k < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _slice_index(index: CorpusIndex, start: int, stop: int) -> CorpusIndex:
+    """A shard sub-index over ``[start, stop)`` reusing parent summaries.
+
+    Summaries are per-trajectory, so slicing the parent's arrays gives
+    the exact index ``CorpusIndex(items[start:stop], ...)`` would build
+    -- without re-running a single simplification DP.
+    """
+    return CorpusIndex.restore(
+        metric=index.metric,
+        simplify_frac=index.simplify_frac,
+        max_simplification_points=index.max_simplification_points,
+        points=[index.points(i) for i in range(start, stop)],
+        timestamps=[index.timestamps(i) for i in range(start, stop)],
+        starts=index.starts[start:stop],
+        ends=index.ends[start:stop],
+        box_lo=index.box_lo[start:stop],
+        box_hi=index.box_hi[start:stop],
+        simplified=index.simplifications[start:stop],
+        simplification_errors=index.simplification_errors[start:stop],
+    )
+
+
+def _save_shard_set(
+    index: CorpusIndex,
+    root: Path,
+    shards: int,
+    crs: str,
+    trajectory_ids: Optional[List[Optional[str]]],
+) -> dict:
+    """Write ``index`` as K ordinary snapshots behind a set manifest."""
+    index.ensure_summaries()  # one summary pass shared by every shard
+    bounds = shard_bounds(index.n, shards)
+    entries = []
+    for k, (start, stop) in enumerate(bounds):
+        shard_dir = f"shard-{k:03d}"
+        ids = None if trajectory_ids is None else trajectory_ids[start:stop]
+        manifest = save_snapshot(
+            _slice_index(index, start, stop),
+            root / shard_dir,
+            crs=crs,
+            trajectory_ids=ids,
+        )
+        entries.append({
+            "dir": shard_dir,
+            "content_key": manifest["content_key"],
+            "n": stop - start,
+            "start": start,
+            "stop": stop,
+        })
+    combined = hashlib.sha1(
+        "|".join(entry["content_key"] for entry in entries).encode()
+    ).hexdigest()
+    set_manifest = {
+        "format": SHARD_SET_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "content_key": combined,
+        "metric": index.metric.name,
+        "n": index.n,
+        "dimensions": index.dimensions,
+        "crs": crs,
+        "shards": entries,
+    }
+    tmp = root / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(set_manifest, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, root / MANIFEST_NAME)
+    return set_manifest
+
+
 def save_snapshot(
     index: CorpusIndex,
     path: Union[str, Path],
     *,
     crs: str = "plane",
     trajectory_ids: Optional[List[Optional[str]]] = None,
+    shards: int = 1,
 ) -> dict:
     """Write ``index`` (corpus + summaries) to ``path``; returns the manifest.
 
@@ -166,12 +262,26 @@ def save_snapshot(
     never leaves a manifest pointing at stale bytes it does not
     describe.  Summaries are built first (:meth:`ensure_summaries`):
     the whole point of a snapshot is that loaders never run the DPs.
+
+    With ``shards=K > 1`` the corpus is split into K contiguous blocks
+    (:func:`shard_bounds`), each written as an ordinary snapshot under
+    ``shard-000/ .. shard-K-1/``, behind a top-level shard-set manifest
+    keyed by the SHA-1 of the shard content keys.  Load the result with
+    :func:`load_snapshot_shards`; serving layers scatter corpus queries
+    across the shards and merge under the canonical
+    ``(distance, indices)`` order.
     """
     if trajectory_ids is not None and len(trajectory_ids) != index.n:
         raise SnapshotError(
             f"trajectory_ids has {len(trajectory_ids)} entries "
             f"for a corpus of {index.n}"
         )
+    if shards > 1:
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        return _save_shard_set(index, root, int(shards), crs, trajectory_ids)
+    if shards != 1:
+        raise SnapshotError("shards must be at least 1")
     root = Path(path)
     root.mkdir(parents=True, exist_ok=True)
     index.ensure_summaries()
@@ -234,7 +344,9 @@ def save_snapshot(
 # ----------------------------------------------------------------------
 # Load / inspect
 # ----------------------------------------------------------------------
-def _read_manifest(root: Path) -> dict:
+def _read_manifest(
+    root: Path, formats: Tuple[str, ...] = (SNAPSHOT_FORMAT,)
+) -> dict:
     manifest_path = root / MANIFEST_NAME
     try:
         manifest = json.loads(manifest_path.read_text())
@@ -242,9 +354,10 @@ def _read_manifest(root: Path) -> dict:
         raise SnapshotError(f"no snapshot manifest at {manifest_path}") from exc
     except ValueError as exc:
         raise SnapshotError(f"unparseable snapshot manifest {manifest_path}") from exc
-    if manifest.get("format") != SNAPSHOT_FORMAT:
+    if manifest.get("format") not in formats:
         raise SnapshotError(
-            f"not a corpus snapshot: format={manifest.get('format')!r}"
+            f"not a corpus snapshot: format={manifest.get('format')!r} "
+            f"(expected one of {formats})"
         )
     if manifest.get("version") != SNAPSHOT_VERSION:
         raise SnapshotError(
@@ -252,6 +365,30 @@ def _read_manifest(root: Path) -> dict:
             f"supported (this build reads version {SNAPSHOT_VERSION})"
         )
     return manifest
+
+
+def is_shard_set(path: Union[str, Path]) -> bool:
+    """Whether ``path`` holds a K-shard snapshot set (vs a single one)."""
+    manifest = _read_manifest(
+        Path(path), formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)
+    )
+    return manifest["format"] == SHARD_SET_FORMAT
+
+
+def snapshot_fingerprint(path: Union[str, Path]) -> str:
+    """The ``content_key`` a snapshot (or shard set) currently advertises.
+
+    One small JSON read -- this is the probe hot-reload watchers poll:
+    manifests are written last via atomic rename, so a changed
+    fingerprint means the new bytes are fully on disk.
+    """
+    manifest = _read_manifest(
+        Path(path), formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)
+    )
+    key = manifest.get("content_key")
+    if not key:
+        raise SnapshotError(f"snapshot manifest at {path} has no content_key")
+    return str(key)
 
 
 def _verify_digests(root: Path, manifest: dict) -> None:
@@ -295,7 +432,14 @@ def load_snapshot(
     engine ships to pool workers in place of shared-memory segments.
     """
     root = Path(path)
-    manifest = _read_manifest(root)
+    manifest = _read_manifest(
+        root, formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)
+    )
+    if manifest["format"] == SHARD_SET_FORMAT:
+        raise SnapshotError(
+            f"{root} is a {len(manifest.get('shards', []))}-shard snapshot "
+            "set; load it with load_snapshot_shards()"
+        )
     if verify:
         _verify_digests(root, manifest)
     specs = manifest["arrays"]
@@ -361,6 +505,57 @@ def load_snapshot(
     return index
 
 
+def load_snapshot_shards(
+    path: Union[str, Path],
+    *,
+    mmap: bool = True,
+    verify: bool = False,
+) -> List[CorpusIndex]:
+    """Restore every shard of a K-shard snapshot set, in corpus order.
+
+    Each element is an ordinary :func:`load_snapshot` result (mapped
+    read-only, zero recomputes, its own :class:`SnapshotSlabRef`);
+    concatenating the shards' trajectories reproduces the original
+    corpus order because the split is contiguous
+    (:func:`shard_bounds`).  A plain single snapshot loads as a
+    one-element list, so callers can treat every snapshot as sharded.
+    """
+    root = Path(path)
+    manifest = _read_manifest(
+        root, formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)
+    )
+    if manifest["format"] == SNAPSHOT_FORMAT:
+        return [load_snapshot(root, mmap=mmap, verify=verify)]
+    shards = manifest.get("shards") or []
+    if not shards:
+        raise SnapshotError(f"shard-set manifest at {root} lists no shards")
+    indexes = []
+    expected_start = 0
+    for entry in shards:
+        index = load_snapshot(
+            root / entry["dir"], mmap=mmap, verify=verify
+        )
+        if int(entry["start"]) != expected_start or index.n != int(entry["n"]):
+            raise SnapshotError(
+                f"shard {entry['dir']!r} covers "
+                f"[{entry['start']}, {entry['stop']}) but loaded {index.n} "
+                f"trajectories at offset {expected_start}"
+            )
+        if verify and index.content_key != entry["content_key"]:
+            raise SnapshotError(
+                f"shard {entry['dir']!r} content_key mismatch against "
+                "the set manifest"
+            )
+        expected_start += index.n
+        indexes.append(index)
+    if expected_start != int(manifest["n"]):
+        raise SnapshotError(
+            f"shard set covers {expected_start} trajectories, "
+            f"manifest says {manifest['n']}"
+        )
+    return indexes
+
+
 def snapshot_trajectories(index: CorpusIndex) -> List[Trajectory]:
     """The snapshot's corpus as :class:`Trajectory` objects.
 
@@ -386,10 +581,36 @@ def inspect_snapshot(path: Union[str, Path], *, verify: bool = True) -> dict:
     Returns a plain dict: the manifest fields plus per-array byte
     totals and, with ``verify=True``, a ``"verified": True`` marker.
     Raises :class:`SnapshotError` on any inconsistency, like
-    :func:`load_snapshot` would.
+    :func:`load_snapshot` would.  A shard set reports the set manifest
+    with each shard's summary aggregated into ``total_bytes``.
     """
     root = Path(path)
-    manifest = _read_manifest(root)
+    manifest = _read_manifest(
+        root, formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)
+    )
+    if manifest["format"] == SHARD_SET_FORMAT:
+        total = 0
+        shard_infos = []
+        for entry in manifest.get("shards") or []:
+            info = inspect_snapshot(root / entry["dir"], verify=verify)
+            if info["content_key"] != entry["content_key"]:
+                raise SnapshotError(
+                    f"shard {entry['dir']!r} content_key mismatch against "
+                    "the set manifest"
+                )
+            total += info["total_bytes"]
+            shard_infos.append(info)
+        out = dict(manifest)
+        out["path"] = str(root.resolve())
+        out["total_bytes"] = total
+        out["arrays"] = {}
+        for info in shard_infos:
+            out["arrays"].update({
+                f"{Path(info['path']).name}/{name}": spec
+                for name, spec in info["arrays"].items()
+            })
+        out["verified"] = bool(verify)
+        return out
     total = 0
     for name, spec in manifest["arrays"].items():
         expected = int(spec["nbytes"])

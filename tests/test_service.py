@@ -12,6 +12,8 @@ the exact deployment shape of ``repro-motif serve``.
 
 from __future__ import annotations
 
+import http.client
+import json
 import threading
 import time
 
@@ -469,6 +471,123 @@ class TestErrors:
                                [6.0, 0.0], [7.0, 1.0]],
                 "min_length": 1,
             })
+
+
+class TestKeepAlive:
+    """HTTP/1.1 connection reuse across errored requests (PR 7 bugfix).
+
+    Error paths in ``_parse_request`` used to leave the declared body
+    unread on the socket, so the next request on a keep-alive
+    connection parsed those bytes as its request line and desynced.
+    """
+
+    @staticmethod
+    def _open(rs):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", rs.httpd.server_address[1], timeout=30
+        )
+        conn.connect()
+        return conn
+
+    @staticmethod
+    def _roundtrip(conn, op, payload):
+        body = json.dumps(payload).encode()
+        conn.request("POST", f"/v1/{op}", body,
+                     {"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+
+    GOOD_JOIN = {"params": {
+        "left": {"snapshot": "fleet"},
+        "right": {"snapshot": "fleet"},
+        "theta": 6.0,
+    }}
+
+    def test_good_request_after_unknown_op_same_connection(
+        self, snapshot_dir
+    ):
+        rs = running_service(snapshot_dir)
+        with rs:
+            conn = self._open(rs)
+            try:
+                status, out = self._roundtrip(
+                    conn, "nonsense", {"params": {"pad": "x" * 2048}}
+                )
+                assert status == 400 and not out["ok"]
+                status, out = self._roundtrip(conn, "join", self.GOOD_JOIN)
+                assert status == 200 and out["ok"]
+            finally:
+                conn.close()
+
+    def test_good_request_after_bad_json_same_connection(self, snapshot_dir):
+        rs = running_service(snapshot_dir)
+        with rs:
+            conn = self._open(rs)
+            try:
+                conn.request("POST", "/v1/join", b"{not json" + b"!" * 512,
+                             {"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                assert resp.status == 400
+                json.loads(resp.read())
+                status, out = self._roundtrip(conn, "join", self.GOOD_JOIN)
+                assert status == 200 and out["ok"]
+            finally:
+                conn.close()
+
+    def test_oversized_leftover_closes_connection(self, snapshot_dir):
+        from repro.service.server import MAX_DRAIN_BYTES
+
+        rs = running_service(snapshot_dir)
+        with rs:
+            conn = self._open(rs)
+            try:
+                # Declare a body too large to drain; send nothing.  The
+                # 400 must arrive with Connection: close so the
+                # undrainable leftover can never desync a next request.
+                conn.putrequest("POST", "/v1/nonsense")
+                conn.putheader("Content-Type", "application/json")
+                conn.putheader(
+                    "Content-Length", str(MAX_DRAIN_BYTES + 1)
+                )
+                conn.endheaders()
+                resp = conn.getresponse()
+                assert resp.status == 400
+                resp.read()
+                assert resp.getheader("Connection") == "close"
+            finally:
+                conn.close()
+
+
+class TestClientDisconnects:
+    def test_disconnects_are_counted_not_traced(self, snapshot_dir, capsys):
+        rs = running_service(snapshot_dir)
+        with rs as (service, _):
+            try:
+                raise BrokenPipeError("peer vanished")
+            except BrokenPipeError:
+                rs.httpd.handle_error(None, ("127.0.0.1", 54321))
+            try:
+                raise ConnectionResetError("peer reset")
+            except ConnectionResetError:
+                rs.httpd.handle_error(None, ("127.0.0.1", 54321))
+            assert (
+                service.stats()["counters"]["client_disconnects"] == 2
+            )
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
+    def test_other_errors_still_trace(self, snapshot_dir, capsys):
+        rs = running_service(snapshot_dir)
+        with rs as (service, _):
+            try:
+                raise RuntimeError("genuine bug")
+            except RuntimeError:
+                rs.httpd.handle_error(None, ("127.0.0.1", 54321))
+            assert (
+                service.stats()["counters"]["client_disconnects"] == 0
+            )
+        err = capsys.readouterr().err
+        assert "RuntimeError" in err
 
 
 class TestRestart:
