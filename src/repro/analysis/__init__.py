@@ -1,7 +1,7 @@
 """Project-invariant static analysis (``python -m repro.analysis``).
 
 See :mod:`repro.analysis.framework` for the engine and
-:mod:`repro.analysis.rules` for the seven ``RPR0xx`` rules; DESIGN.md
+:mod:`repro.analysis.rules` for the eight ``RPR0xx`` rules; DESIGN.md
 section 11 catalogues the invariants each rule defends.
 """
 

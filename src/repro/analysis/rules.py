@@ -1,4 +1,4 @@
-"""The seven project-invariant rules (``RPR001``..``RPR007``).
+"""The eight project-invariant rules (``RPR001``..``RPR008``).
 
 Each rule encodes a contract an earlier PR established and the test
 suite defends only dynamically; DESIGN.md section 11 catalogues them.
@@ -761,4 +761,66 @@ class LockOrderRule(Rule):
         for node in sorted(graph):
             if node not in state:
                 dfs(node)
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RPR008 -- crash-safe pool dispatch
+# ----------------------------------------------------------------------
+@register
+class PoolDispatchRule(Rule):
+    """All pool dispatch must route through the crash-safe dispatcher.
+
+    PR 8 centralised worker-crash recovery in
+    ``ProcessExecutor.pool_map``: submission, broken-pool detection,
+    pool rebuild and re-dispatch of unfinished tasks live in one place.
+    A direct ``pool.map(...)`` / ``pool.submit(...)`` call anywhere
+    else would hang (or raise ``BrokenProcessPool``) the moment a
+    worker dies, silently bypassing the ``worker_crashes`` /
+    ``redispatches`` accounting and the typed ``WorkerCrashError``
+    contract the service layer maps onto the wire.  Only the body of
+    ``pool_map`` itself may touch the pool's dispatch surface.
+    """
+
+    code = "RPR008"
+    name = "crash-safe-dispatch"
+    description = (
+        "no direct pool.map/imap/submit outside the pool_map "
+        "crash-safe dispatcher"
+    )
+    paths = ("repro/engine/", "repro/service/")
+
+    _DISPATCH_ATTRS = {
+        "map", "imap", "imap_unordered", "starmap", "starmap_async",
+        "map_async", "apply", "apply_async", "submit",
+    }
+    #: The one sanctioned dispatcher (executor.ProcessExecutor.pool_map).
+    _SANCTIONED = "pool_map"
+
+    def check(self, tree, source, path):
+        sanctioned_ids: Set[int] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.FunctionDef)
+                    and node.name == self._SANCTIONED):
+                sanctioned_ids.update(
+                    id(sub) for stmt in node.body for sub in ast.walk(stmt)
+                )
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if id(node) in sanctioned_ids:
+                continue
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._DISPATCH_ATTRS):
+                continue
+            recv = _dotted(node.func.value)
+            if recv is None or "pool" not in recv.lower():
+                continue
+            findings.append(self.finding(
+                path, node,
+                f"direct {recv}.{node.func.attr}() dispatch bypasses the "
+                "crash-safe pool_map dispatcher (no broken-pool "
+                "detection, no re-dispatch, no worker_crashes "
+                "accounting)",
+            ))
         return findings

@@ -306,6 +306,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.queue_limit,
         coalesce=not args.no_coalesce,
         snapshot_watch_interval=args.reload_interval,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     mounts = _parse_snapshot_mounts(args.snapshot)
     if args.fleet > 1:
@@ -512,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reload-interval", type=float, default=None,
                    help="poll loaded snapshots every S seconds and hot-swap "
                         "rebuilt ones without dropping in-flight requests")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive infrastructure failures before the "
+                        "circuit breaker opens and sheds load with 503")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds the open breaker sheds load before "
+                        "admitting a half-open probe request")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="run experiment(s) and print tables")

@@ -377,10 +377,10 @@ class MotifEngine:
                             pending, warm_refs, specs
                         )
                     ]
-                    pool = self._exec.get_pool(workers)
                     self._exec.count_transfer(tasks)
                     for idx, result in zip(
-                        pending, pool.map(_worker.run_query, tasks)
+                        pending,
+                        self._exec.pool_map(_worker.run_query, tasks, workers),
                     ):
                         results[idx] = result
                         self._oracles.put_result(keys[idx], result)

@@ -40,6 +40,8 @@ import math
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -61,7 +63,7 @@ from ..core.grouping import (
 from ..core.gtm import expand_pairs_to_subsets
 from ..core.problem import SearchSpace
 from ..distances.ground import DenseGroundMatrix
-from ..errors import ReproError
+from ..errors import ReproError, WorkerCrashError
 from ..store.snapshot import SnapshotSlabRef
 from . import planner
 from . import worker as _worker
@@ -98,6 +100,8 @@ class EngineExecutor:
         chunks_per_worker: int = 3,
         bsf_sync_every: int = 64,
         adaptive_chunks: bool = False,
+        max_dispatch_attempts: int = 3,
+        dispatch_poll_interval: float = 0.05,
     ) -> None:
         if kind not in ("process", "inline"):
             raise ValueError("executor must be 'process' or 'inline'")
@@ -105,7 +109,13 @@ class EngineExecutor:
             raise ValueError("chunks_per_worker must be at least 1")
         if bsf_sync_every < 1:
             raise ValueError("bsf_sync_every must be at least 1")
+        if max_dispatch_attempts < 1:
+            raise ValueError("max_dispatch_attempts must be at least 1")
+        if dispatch_poll_interval <= 0:
+            raise ValueError("dispatch_poll_interval must be positive")
         self.kind = kind
+        self.max_dispatch_attempts = int(max_dispatch_attempts)
+        self.dispatch_poll_interval = float(dispatch_poll_interval)
         self.shared_memory = bool(shared_memory)
         self.shared_bounds = bool(shared_bounds)
         self.chunks_per_worker = int(chunks_per_worker)
@@ -135,6 +145,8 @@ class EngineExecutor:
             "shm_index_bytes": 0,
             "shm_index_refs": 0,
             "snapshot_slab_refs": 0,
+            "worker_crashes": 0,
+            "redispatches": 0,
         }
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
@@ -343,20 +355,130 @@ class EngineExecutor:
     # ------------------------------------------------------------------
     # Generic dispatch
     # ------------------------------------------------------------------
+    def pool_map(self, fn, tasks, workers: int) -> list:
+        """The one crash-safe pool dispatcher (RPR008's sanctioned site).
+
+        Every task is submitted as its own future and awaited with
+        bounded polling, so a SIGKILLed child can never leave the
+        dispatch blocked forever while the caller holds ``scan_lock``.
+        When the pool breaks, the completed results are kept, the pool
+        is rebuilt, and only the unfinished tasks are re-dispatched --
+        the scans' merges are exact for any partition, so answers stay
+        byte-identical to the undisturbed run.  After
+        ``max_dispatch_attempts`` consecutive pool losses a typed
+        :class:`~repro.errors.WorkerCrashError` is raised (deliberately
+        not an ``OSError``: the inline fallback must not mask a
+        workload that kills every worker it touches).
+
+        Exceptions raised *by a task* (timeouts, attach failures)
+        propagate unchanged; only pool-death shapes trigger the
+        rebuild/re-dispatch cycle.
+        """
+        tasks = list(tasks)
+        results: list = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempts = 0
+        while pending:
+            pool = self.get_pool(workers)
+            futures = {}
+            crashed = False
+            try:
+                for idx in pending:
+                    futures[idx] = pool.submit(fn, tasks[idx])
+            except BrokenProcessPool:
+                crashed = True
+            if futures and not crashed:
+                self._await_futures(futures.values())
+            survivors = []
+            for idx, fut in futures.items():
+                if not fut.done() or fut.cancelled():
+                    fut.cancel()
+                    survivors.append(idx)
+                    crashed = True
+                    continue
+                exc = fut.exception()
+                if exc is None:
+                    results[idx] = fut.result()
+                elif isinstance(exc, BrokenProcessPool):
+                    survivors.append(idx)
+                    crashed = True
+                else:
+                    raise exc
+            survivors.extend(i for i in pending if i not in futures)
+            if not crashed:
+                return results
+            attempts += 1
+            self.transfer["worker_crashes"] += 1
+            self.close_pool()
+            if not survivors:
+                # The pool died after the last result landed; nothing
+                # to re-run.
+                return results
+            if attempts >= self.max_dispatch_attempts:
+                raise WorkerCrashError(
+                    f"pool dispatch lost its workers {attempts} times; "
+                    f"{len(survivors)} of {len(tasks)} tasks unfinished"
+                )
+            self.transfer["redispatches"] += 1
+            pending = sorted(survivors)
+        return results
+
+    def _await_futures(self, futures) -> None:
+        """Wait for ``futures`` with a bounded poll instead of blocking.
+
+        A dead child flips the executor to broken and fails every
+        outstanding future with ``BrokenProcessPool``, so the wait
+        normally returns on its own; the ``dispatch_poll_interval``
+        timeout is the belt-and-braces bound that keeps the dispatch
+        loop observable (and interruptible) even if that machinery
+        stalls.  Futures that never resolve despite a broken pool are
+        handed back undone and treated as crashed by the caller.
+        """
+        outstanding = set(futures)
+        stalled = 0
+        while outstanding:
+            _, outstanding = _futures_wait(
+                outstanding, timeout=self.dispatch_poll_interval
+            )
+            if not outstanding:
+                return
+            if self._pool_broken():
+                # The executor is tearing down; give its management
+                # thread a few polls to fail the remaining futures,
+                # then stop waiting -- undone futures count as crashed.
+                stalled += 1
+                if stalled >= 20:  # pragma: no cover - stalled teardown
+                    return
+            else:
+                stalled = 0
+
+    def _pool_broken(self) -> bool:
+        """Whether the current pool (if any) has lost a child."""
+        pool = self._pool
+        if pool is None:
+            return True
+        if getattr(pool, "_broken", False):
+            return True
+        procs = getattr(pool, "_processes", None) or {}
+        return any(proc.exitcode is not None for proc in procs.values())
+
     def map_tasks(self, tasks, workers: int, fn, inline_fn=None):
         """Map ``fn`` over tasks on the pool, inline where unavailable.
 
         Caller holds ``scan_lock`` when the tasks reference same-batch
         shared segments.  ``inline_fn`` (default: sequential map)
         serves the inline executor and the fork/pipe-failure fallback.
+        Pool dispatch goes through :meth:`pool_map`, so killed children
+        are survived transparently; a :class:`WorkerCrashError` (the
+        pool kept dying) propagates to the caller instead of silently
+        degrading to inline execution.
         """
         if inline_fn is None:
             def inline_fn(ts):
                 return [fn(t) for t in ts]
         if self.kind == "process" and fork_context() is not None:
             try:
-                pool = self.get_pool(workers)
-                out = list(pool.map(fn, tasks))
+                out = self.pool_map(fn, tasks, workers)
                 self.count_transfer(tasks)
                 return out
             except OSError:  # pragma: no cover - fork/pipe failure
@@ -369,15 +491,18 @@ class EngineExecutor:
         Caller holds ``scan_lock``.  The pool path resets the shared
         threshold, accounts the transfer, and falls back to
         ``inline_fn`` on fork/pipe failure -- the one copy of this
-        protocol for the discover, top-k and top-k-join scans.
+        protocol for the discover, top-k and top-k-join scans.  A
+        crash-rebuilt pool re-arms a fresh shared threshold at +inf
+        before the unfinished chunks re-run (see :meth:`get_pool`),
+        which only weakens pruning -- the merge stays exact.
         """
         ctx = fork_context()
         if self.kind == "process" and ctx is not None:
             try:
-                pool = self.get_pool(workers)
+                self.get_pool(workers)
                 with self._shared_bsf.get_lock():
                     self._shared_bsf.value = math.inf
-                out = list(pool.map(pool_fn, tasks))
+                out = self.pool_map(pool_fn, tasks, workers)
                 # Counted only after a successful map, so an inline
                 # fallback never reports pipe traffic that didn't happen.
                 self.count_transfer(tasks)
@@ -710,8 +835,7 @@ class EngineExecutor:
                     )
                     for band in planner.band_edges(g_rows, workers)
                 ]
-                pool = self.get_pool(workers)
-                bands = list(pool.map(_worker.group_reduce, tasks))
+                bands = self.pool_map(_worker.group_reduce, tasks, workers)
                 self.count_transfer(tasks)
             except OSError:  # pragma: no cover - fork/pipe failure
                 self.close_pool()
@@ -824,8 +948,7 @@ class EngineExecutor:
                     )
                     for deal in deals
                 ]
-                pool = self.get_pool(workers)
-                parts = list(pool.map(_worker.group_dfd_chunk, tasks))
+                parts = self.pool_map(_worker.group_dfd_chunk, tasks, workers)
                 self.count_transfer(tasks)
             except OSError:  # pragma: no cover - fork/pipe failure
                 self.close_pool()

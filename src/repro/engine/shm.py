@@ -52,6 +52,8 @@ from typing import Dict, Hashable, Mapping, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from ..faults import fail_at
+
 try:  # pragma: no cover - always present on CPython >= 3.8
     from multiprocessing import shared_memory as _shm_mod
 except ImportError:  # pragma: no cover
@@ -276,6 +278,7 @@ def attach_slabs(ref: SharedArrayRef) -> Dict[str, np.ndarray]:
     segment reuse the existing mapping, which is what makes a warm
     worker's repeated-trajectory queries free of payload transfer.
     """
+    fail_at("shm.attach")
     entry = _ATTACHED.get(ref.name)
     if entry is not None:
         _ATTACHED.move_to_end(ref.name)

@@ -59,6 +59,7 @@ from ..core.problem import SearchSpace
 from ..core.stats import SearchStats
 from ..distances.ground import DenseGroundMatrix
 from ..errors import ReproError
+from ..faults import fail_at
 from .shm import SharedArrayRef, SharedMatrixRef, attach_matrix, attach_slabs
 
 #: Shared best-so-far threshold; installed per worker by init_worker().
@@ -215,6 +216,7 @@ def scan_chunk(task: ChunkTask) -> ChunkResult:
     ``sync_every`` subsets, so a late chunk prunes against an early
     chunk's discovery without waiting for its own chunk boundary.
     """
+    fail_at("worker.task")
     chunk_started = time.perf_counter()
     oracle = DenseGroundMatrix(
         _resolve_matrix(task.matrix, task.matrix_ref), validate=False
@@ -287,6 +289,7 @@ def topk_chunk(task: TopKChunkTask) -> TopKChunkResult:
     own chunk's k best, so the engine's merge of the returned entry
     lists is exact.
     """
+    fail_at("worker.task")
     from ..extensions.topk import scan_topk_entries
 
     chunk_started = time.perf_counter()
@@ -357,6 +360,7 @@ def run_query(task: QueryTask) -> MotifResult:
     the warm-state tests assert.  The oracle values are identical
     either way, so the answer is too.
     """
+    fail_at("worker.task")
     trajectory, second = task.trajectory, task.second
     if task.corpus_ref is not None and task.a_spec is not None:
         from ..index import slab_trajectory
@@ -398,6 +402,7 @@ class JoinTask:
 
 def join_tile(task: JoinTask):
     """Join one (left slice, right slice) tile; absolute-index matches."""
+    fail_at("worker.task")
     from ..extensions.join import similarity_join
 
     return similarity_join(
@@ -480,6 +485,7 @@ class PairsJoinTask:
 
 def pairs_join_tile(task: PairsJoinTask):
     """Cascade one candidate-pair chunk; absolute-index matches."""
+    fail_at("worker.task")
     from ..extensions.join import join_pairs
 
     get_left = _resolve_corpus(task.left_points, task.left_ref)
@@ -520,6 +526,7 @@ class JoinTopKChunkTask:
 
 def join_topk_chunk(task: JoinTopKChunkTask):
     """Scan one ordered pair chunk against the shared k-th best."""
+    fail_at("worker.task")
     from ..extensions.join import scan_join_topk
 
     get_left = _resolve_corpus(task.left_points, task.left_ref)
@@ -583,6 +590,7 @@ class GroupReduceTask:
 
 def group_reduce(task: GroupReduceTask):
     """Block min/max matrices for one band of group rows."""
+    fail_at("worker.task")
     dmat = _resolve_matrix(task.matrix, task.matrix_ref)
     return reduce_group_rows(dmat, task.tau, task.mode, task.u_start, task.u_end)
 
@@ -615,6 +623,7 @@ class GroupDFDTask:
 
 def group_dfd_chunk(task: GroupDFDTask) -> np.ndarray:
     """``(len(pairs), 2)`` array of ``(GLB_DFD, GUB_DFD)`` per pair."""
+    fail_at("worker.task")
     level = task.level
     if level is None:
         if task.level_ref is None:

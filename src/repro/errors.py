@@ -32,3 +32,16 @@ class InfeasibleQueryError(ReproError, ValueError):
 
 class DatasetError(ReproError, ValueError):
     """Raised for unknown dataset names or invalid generator parameters."""
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """Raised when pool workers keep dying and re-dispatch gives up.
+
+    The executor's crash-safe dispatcher rebuilds a broken pool and
+    re-runs only the unfinished tasks; after ``max_dispatch_attempts``
+    consecutive pool losses it raises this instead of retrying forever.
+    Deliberately *not* an :class:`OSError`: the fork/pipe-failure
+    fallback (which silently degrades to inline execution) must not
+    swallow a systematically crashing workload.
+    """
+

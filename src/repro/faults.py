@@ -1,0 +1,296 @@
+"""Deterministic failpoint registry for chaos testing the whole stack.
+
+Production code calls :func:`fail_at` at named crash-prone seams; tests
+and chaos drills *arm* those sites to raise a typed exception, kill the
+calling process, or exit with a status code.  When nothing is armed a
+``fail_at`` call is one dict lookup -- cheap enough to leave in the
+hottest dispatch paths permanently.
+
+Determinism is the whole point: a failpoint fires on exact **per-site
+hit numbers** counted in fork-shared ``multiprocessing.Value`` slots --
+no wall clock, no RNG -- so a chaos run reproduces bit-for-bit and the
+static analyzer's purity rules (RPR003/RPR004) hold by construction.
+
+Spec grammar (the ``REPRO_FAILPOINTS`` environment variable, or the
+argument of :func:`arm` / :class:`armed`)::
+
+    SITE=ACTION[@HITS][%LIMIT][;SITE=ACTION...]
+
+* ``SITE`` -- a dotted site name; the wired catalogue is :data:`SITES`
+  (arbitrary names are allowed for tests of the registry itself).
+* ``ACTION`` -- one of
+  ``raise:ExcName`` (builtins or the repro error taxonomy, resolved
+  lazily at fire time), ``kill`` (``SIGKILL`` the calling process) or
+  ``exit:N`` (``os._exit(N)``).
+* ``@HITS`` -- fire only on these hit numbers: ``@3`` (exactly the
+  third hit), ``@2-5`` (a closed range), default every hit.
+* ``%LIMIT`` -- total fire budget across *all* processes sharing the
+  armed state; default unlimited.
+
+Example: ``worker.task=kill%1`` SIGKILLs exactly one pool child, on
+the first task any child picks up; the budget is a fork-shared counter,
+so the rebuilt pool's fresh children see it exhausted and recover.
+
+Arming must happen in the process that will fork the children (the
+engine parent, the fleet master, or via the environment before the
+interpreter starts): the shared counters are created at arm time and
+inherited through ``fork``.  Arming *after* a pool exists leaves the
+existing children unarmed until the pool is rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "ENV_VAR",
+    "SITES",
+    "arm",
+    "armed",
+    "armed_sites",
+    "disarm",
+    "fail_at",
+    "state",
+]
+
+#: Environment variable parsed at import time (so ``REPRO_FAILPOINTS``
+#: set before ``python -m repro serve`` arms every forked descendant).
+ENV_VAR = "REPRO_FAILPOINTS"
+
+#: The failpoint sites wired through the stack.  Documentation, not a
+#: closed set -- tests may arm ad-hoc names for registry unit tests.
+SITES = (
+    "worker.task",       # pool-worker task entry (repro.engine.worker)
+    "shm.attach",        # shared-memory segment attach (repro.engine.shm)
+    "snapshot.read",     # snapshot array open/map (repro.store.snapshot)
+    "service.execute",   # request execution (repro.service.service)
+    "service.reload",    # snapshot (re)map (repro.service.service)
+    "fleet.worker_boot", # forked fleet worker entry (repro.service.fleet)
+)
+
+_ACTIONS = ("raise", "kill", "exit")
+
+
+def _shared_counter():
+    """A fork-shared int cell; plain fallback where fork is missing.
+
+    Created in the arming process so every later ``fork`` (pool
+    children, fleet workers) shares the same hit and budget counters --
+    a child that fires spends the budget for the whole tree.
+    """
+    import multiprocessing as mp
+
+    try:
+        return mp.get_context("fork").Value("l", 0)
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        class _Local:
+            __slots__ = ("value", "_lock")
+
+            def __init__(self):
+                self.value = 0
+                self._lock = threading.Lock()
+
+            def get_lock(self):
+                return self._lock
+
+        return _Local()
+
+
+def _resolve_exception(name: str):
+    """Map an exception name to its class (builtins, then repro errors).
+
+    Resolution is lazy -- performed at fire time, never at arm time --
+    so this module stays import-cycle-free for the low layers
+    (``worker``/``shm``) that call :func:`fail_at`.
+    """
+    import builtins
+
+    cls = getattr(builtins, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        from . import errors
+
+        cls = getattr(errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        from .store import SnapshotError
+
+        cls = SnapshotError if name == "SnapshotError" else None
+    if cls is None:
+        raise ValueError(f"failpoint exception {name!r} is not resolvable")
+    return cls
+
+
+class _Failpoint:
+    """One armed site: its action plus fork-shared hit/fire counters."""
+
+    __slots__ = ("site", "action", "arg", "first", "last", "limit",
+                 "hits", "fires", "spec")
+
+    def __init__(self, site: str, action: str, arg: Optional[str],
+                 first: int, last: int, limit: Optional[int], spec: str):
+        self.site = site
+        self.action = action
+        self.arg = arg
+        self.first = first
+        self.last = last
+        self.limit = limit
+        self.spec = spec
+        self.hits = _shared_counter()
+        self.fires = _shared_counter()
+
+    def trigger(self) -> None:
+        # Both counter locks are released before the action runs: a
+        # SIGKILL while holding a fork-shared lock would deadlock every
+        # sibling process incrementing the same counter.
+        with self.hits.get_lock():
+            self.hits.value += 1
+            hit = self.hits.value
+        if not (self.first <= hit <= self.last):
+            return
+        if self.limit is not None:
+            with self.fires.get_lock():
+                if self.fires.value >= self.limit:
+                    return
+                self.fires.value += 1
+        else:
+            with self.fires.get_lock():
+                self.fires.value += 1
+        self._fire(hit)
+
+    def _fire(self, hit: int) -> None:
+        if self.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - unreachable after SIGKILL
+        if self.action == "exit":
+            os._exit(int(self.arg))
+        cls = _resolve_exception(self.arg)
+        raise cls(f"failpoint {self.site} fired (hit {hit})")
+
+
+#: Armed sites of this process tree.  Deliberately module-level: the
+#: mapping is inherited through fork, which is how pool children and
+#: fleet workers come up armed.
+_ARMED: Dict[str, _Failpoint] = {}
+
+
+def fail_at(site: str) -> None:
+    """Fire ``site`` if armed; a no-op (one dict lookup) otherwise."""
+    fp = _ARMED.get(site)
+    if fp is not None:
+        fp.trigger()
+
+
+def _parse_entry(entry: str) -> Tuple[str, _Failpoint]:
+    spec = entry.strip()
+    site, sep, rest = spec.partition("=")
+    site = site.strip()
+    if not sep or not site or not rest:
+        raise ValueError(f"bad failpoint spec {spec!r}; expected SITE=ACTION")
+    if site not in SITES:
+        raise ValueError(
+            f"unknown failpoint site {site!r}; wired sites: "
+            f"{', '.join(SITES)}"
+        )
+    limit: Optional[int] = None
+    if "%" in rest:
+        rest, _, raw = rest.partition("%")
+        limit = int(raw)
+        if limit < 1:
+            raise ValueError(f"failpoint limit must be >= 1 in {spec!r}")
+    first, last = 1, 2 ** 62
+    if "@" in rest:
+        rest, _, raw = rest.partition("@")
+        lo, sep2, hi = raw.partition("-")
+        first = int(lo)
+        last = int(hi) if sep2 else first
+        if first < 1 or last < first:
+            raise ValueError(f"bad failpoint hit range in {spec!r}")
+    action, _, arg = rest.strip().partition(":")
+    arg = arg.strip() or None
+    if action not in _ACTIONS:
+        raise ValueError(
+            f"unknown failpoint action {action!r} in {spec!r}; "
+            f"known: {', '.join(_ACTIONS)}"
+        )
+    if action == "raise":
+        if not arg:
+            raise ValueError(f"raise action needs an exception name in {spec!r}")
+    elif action == "exit":
+        int(arg if arg is not None else "")  # validates now, fires later
+    elif arg is not None:
+        raise ValueError(f"action {action!r} takes no argument in {spec!r}")
+    return site, _Failpoint(site, action, arg, first, last, limit, spec)
+
+
+def arm(spec: str) -> None:
+    """Arm every ``SITE=ACTION`` entry of ``spec`` (``;`` separated).
+
+    Re-arming a site replaces its entry and resets its counters.  Call
+    this in the process that forks the workers -- the counters are
+    created here and shared by inheritance.
+    """
+    entries = [e for e in str(spec).split(";") if e.strip()]
+    if not entries:
+        raise ValueError("empty failpoint spec")
+    parsed = dict(_parse_entry(entry) for entry in entries)
+    _ARMED.update(parsed)
+
+
+def disarm(site: Optional[str] = None) -> None:
+    """Disarm one ``site``, or everything when ``site`` is None."""
+    if site is None:
+        _ARMED.clear()
+    else:
+        _ARMED.pop(site, None)
+
+
+def armed_sites() -> Tuple[str, ...]:
+    return tuple(sorted(_ARMED))
+
+
+def state() -> Dict[str, dict]:
+    """Per-site observability: the spec plus shared hit/fire counts."""
+    out = {}
+    for site, fp in sorted(_ARMED.items()):
+        out[site] = {
+            "spec": fp.spec,
+            "hits": int(fp.hits.value),
+            "fires": int(fp.fires.value),
+            "limit": fp.limit,
+        }
+    return out
+
+
+class armed:
+    """Context manager arming ``spec`` for the block, disarming after.
+
+    Only the sites named in ``spec`` are disarmed on exit, so nesting
+    with disjoint sites composes.
+    """
+
+    def __init__(self, spec: str):
+        self.spec = str(spec)
+        self._sites: Tuple[str, ...] = ()
+
+    def __enter__(self) -> "armed":
+        arm(self.spec)
+        self._sites = tuple(
+            e.partition("=")[0].strip()
+            for e in self.spec.split(";") if e.strip()
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for site in self._sites:
+            disarm(site)
+
+
+def _arm_from_env() -> None:
+    spec = os.environ.get(ENV_VAR)
+    if spec:
+        arm(spec)
+
+
+_arm_from_env()

@@ -15,9 +15,11 @@ from .protocol import (
     BadRequestError,
     DeadlineExceededError,
     OverloadedError,
+    ServiceDegradedError,
     ServiceError,
     ServiceUnavailableError,
     UnknownSnapshotError,
+    WorkerCrashedError,
 )
 from .server import MotifHTTPServer, MotifRequestHandler, make_server, serve
 from .service import MotifService
@@ -31,10 +33,12 @@ __all__ = [
     "MotifService",
     "OverloadedError",
     "ServiceClient",
+    "ServiceDegradedError",
     "ServiceError",
     "ServiceFleet",
     "ServiceUnavailableError",
     "UnknownSnapshotError",
+    "WorkerCrashedError",
     "make_server",
     "serve",
     "serve_fleet",

@@ -8,6 +8,20 @@ the service raises (:class:`DeadlineExceededError`,
 :class:`OverloadedError`, ...), so callers handle overload and
 deadline expiry uniformly whether the service is in-process or remote.
 
+Two transport behaviours make the client robust under churn:
+
+* **Keep-alive reuse** -- one persistent connection per thread (the
+  server speaks HTTP/1.1), transparently re-opened when a pooled
+  socket turns out stale (server restarted, idle timeout, fleet worker
+  replaced).  ``transport_stats`` counts opens/reuses/reconnects.
+* **Idempotent retries** -- every service operation is a read-only
+  query, so transport failures and explicitly retryable service
+  errors (``overloaded``, ``degraded``, ``unavailable``,
+  ``worker_crash``) are retried up to ``retries`` times with
+  exponential backoff and decorrelated jitter, honouring the server's
+  ``retry_after`` hint as the floor.  Caller-owned failures
+  (``bad_request``, ``deadline_exceeded``, ...) are never retried.
+
 Trajectory arguments accept :class:`~repro.trajectory.Trajectory`
 objects, numpy arrays, nested lists, or server-side snapshot specs
 (``{"snapshot": name, "item": i}``); corpora likewise
@@ -17,7 +31,10 @@ objects, numpy arrays, nested lists, or server-side snapshot specs
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+import random
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
 from typing import List, Optional, Union
 
 import numpy as np
@@ -27,6 +44,23 @@ from .protocol import ServiceError, error_from_payload
 #: Extra socket-timeout slack past the request deadline, so the server
 #: (not a client-side socket error) decides deadline expiry.
 _DEADLINE_GRACE = 5.0
+
+#: Error codes worth retrying: the condition is transient by
+#: construction (load shedding, breaker cooldown, pool rebuild) and
+#: every service op is an idempotent read.
+RETRYABLE_CODES = frozenset(
+    {"overloaded", "degraded", "unavailable", "worker_crash"}
+)
+
+#: Stale-socket shapes on a reused keep-alive connection: the peer
+#: closed between requests.  One transparent reconnect, then the
+#: ordinary retry policy applies.
+_STALE_ERRORS = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    HTTPException,
+)
 
 
 def _spec(obj) -> object:
@@ -44,7 +78,16 @@ def _corpus_spec(obj) -> object:
 
 
 class ServiceClient:
-    """Blocking JSON client of one ``repro serve`` daemon."""
+    """Blocking JSON client of one ``repro serve`` daemon.
+
+    ``retries`` bounds *additional* attempts per request (the default 2
+    means up to 3 attempts).  Backoff between attempts is decorrelated
+    jitter -- ``sleep = min(cap, uniform(base, 3 * previous))`` -- which
+    de-synchronises a herd of clients hammering a recovering server,
+    and a server-supplied ``retry_after`` (breaker cooldown) floors the
+    sleep.  ``rng`` and ``sleep`` are injectable for deterministic
+    tests.
+    """
 
     def __init__(
         self,
@@ -53,37 +96,155 @@ class ServiceClient:
         *,
         timeout: Optional[float] = None,
         socket_timeout: float = 60.0,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng=None,
+        sleep=None,
     ) -> None:
         self.host = str(host)
         self.port = int(port)
         #: Default per-request deadline (seconds); None = no deadline.
         self.timeout = timeout
         self.socket_timeout = float(socket_timeout)
+        self.retries = int(retries)
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        if self.backoff_base <= 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                "need 0 < backoff_base <= backoff_cap, got "
+                f"{backoff_base}/{backoff_cap}"
+            )
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._local = threading.local()
+        self._stats_lock = threading.Lock()
+        #: Transport counters: ``connections_opened`` (sockets dialled),
+        #: ``reconnects`` (stale pooled socket replaced mid-request),
+        #: ``retries`` (request attempts beyond the first).
+        self.transport_stats = {
+            "connections_opened": 0,
+            "reconnects": 0,
+            "retries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection pool (one persistent connection per thread)
+    # ------------------------------------------------------------------
+    def _connection(self, sock_timeout: float) -> HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = HTTPConnection(self.host, self.port, timeout=sock_timeout)
+            self._local.conn = conn
+            with self._stats_lock:
+                self.transport_stats["connections_opened"] += 1
+        else:
+            # Reused connection; retune the socket timeout for this
+            # request's deadline (the attribute applies at connect time,
+            # the live socket needs an explicit settimeout).
+            conn.timeout = sock_timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(sock_timeout)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def close(self) -> None:
+        """Close this thread's pooled connection (others close lazily)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _exchange(self, method: str, path: str, payload: Optional[str],
+                  sock_timeout: float) -> dict:
+        """One HTTP round-trip on the pooled connection.
+
+        A pooled socket can be stale -- the server restarted, a fleet
+        worker was replaced, or the peer timed the connection out while
+        this client was idle.  That surfaces only when the next request
+        hits the dead socket, so one transparent reconnect-and-resend
+        is correct here (the request never reached the server); real
+        transport failures then propagate to the retry policy above.
+        """
+        headers = {"Content-Type": "application/json"} if payload else {}
+        fresh_attempted = False
+        while True:
+            conn = self._connection(sock_timeout)
+            was_fresh = conn.sock is None
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except _STALE_ERRORS:
+                self._drop_connection()
+                if was_fresh or fresh_attempted:
+                    raise
+                fresh_attempted = True
+                with self._stats_lock:
+                    self.transport_stats["reconnects"] += 1
+                continue
+            except BaseException:
+                # Unknown state (timeout mid-read, interrupt): never
+                # reuse the socket, a later request would desync.
+                self._drop_connection()
+                raise
+            if response.will_close:
+                self._drop_connection()
+            return json.loads(raw)
+
     def _http(self, method: str, path: str, body: Optional[dict],
               deadline: Optional[float]) -> dict:
         sock_timeout = self.socket_timeout
         if deadline is not None:
             sock_timeout = max(sock_timeout, float(deadline) + _DEADLINE_GRACE)
-        conn = HTTPConnection(self.host, self.port, timeout=sock_timeout)
-        try:
-            payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            data = json.loads(response.read())
-        except (OSError, ValueError) as exc:
-            raise ServiceError(
-                f"service at {self.host}:{self.port} unreachable: {exc}"
-            ) from exc
-        finally:
-            conn.close()
-        if not data.get("ok"):
-            raise error_from_payload(data.get("error", {}))
-        return data
+        payload = None if body is None else json.dumps(body)
+        attempts = self.retries + 1
+        backoff = self.backoff_base
+        for attempt in range(attempts):
+            retry_after = None
+            try:
+                data = self._exchange(method, path, payload, sock_timeout)
+            except (OSError, ValueError, HTTPException) as exc:
+                error = ServiceError(
+                    f"service at {self.host}:{self.port} unreachable: {exc}"
+                )
+                error.__cause__ = exc
+            else:
+                if data.get("ok"):
+                    return data
+                error = error_from_payload(data.get("error", {}))
+                if error.code not in RETRYABLE_CODES:
+                    raise error
+                retry_after = getattr(error, "retry_after", None)
+            if attempt + 1 >= attempts:
+                raise error
+            backoff = min(
+                self.backoff_cap,
+                self._rng.uniform(self.backoff_base, backoff * 3),
+            )
+            pause = backoff if retry_after is None else max(
+                backoff, float(retry_after)
+            )
+            with self._stats_lock:
+                self.transport_stats["retries"] += 1
+            self._sleep(pause)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def call(self, op: str, params: dict,
              timeout: Optional[float] = None) -> dict:

@@ -30,8 +30,10 @@ import signal
 import socket
 import sys
 import threading
+import time
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..faults import fail_at
 from .server import make_server
 from .service import MotifService
 
@@ -52,6 +54,7 @@ def _fleet_worker(sock, service_factory, service_kwargs, snapshots) -> None:
     ``serve_forever`` so the context managers below still close the
     HTTP server and stop the service (engine pool included) cleanly.
     """
+    fail_at("fleet.worker_boot")
     signal.signal(signal.SIGTERM, _exit_on_sigterm)
     if service_factory is not None:
         service = service_factory()
@@ -88,6 +91,16 @@ class ServiceFleet:
     restart_workers:
         Supervise the fleet: a dead worker (crash, kill -9) is
         replaced so capacity recovers without operator action.
+    restart_backoff_base / restart_backoff_cap / restart_healthy_interval:
+        Crash-loop damping.  A worker that dies within
+        ``restart_healthy_interval`` seconds of spawning is respawned
+        after an exponentially growing per-slot delay (``base``,
+        doubling up to ``cap``); surviving past the healthy interval
+        resets its slot's backoff, and a worker that dies *after* a
+        healthy run restarts at the base delay again.  Without this, a
+        worker that dies at boot (bad snapshot path, port stolen, OOM
+        at load) would be forked in a tight loop, flooding the host
+        with short-lived processes.
     """
 
     def __init__(
@@ -100,9 +113,26 @@ class ServiceFleet:
         service_factory: Optional[Callable[[], MotifService]] = None,
         service_kwargs: Optional[dict] = None,
         restart_workers: bool = True,
+        restart_backoff_base: float = 0.2,
+        restart_backoff_cap: float = 10.0,
+        restart_healthy_interval: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if restart_backoff_base <= 0:
+            raise ValueError(
+                f"restart_backoff_base must be > 0, got {restart_backoff_base}"
+            )
+        if restart_backoff_cap < restart_backoff_base:
+            raise ValueError(
+                "restart_backoff_cap must be >= restart_backoff_base, got "
+                f"{restart_backoff_cap}"
+            )
+        if restart_healthy_interval <= 0:
+            raise ValueError(
+                "restart_healthy_interval must be > 0, got "
+                f"{restart_healthy_interval}"
+            )
         if service_factory is not None and service_kwargs is not None:
             raise ValueError(
                 "pass service_factory or service_kwargs, not both"
@@ -111,6 +141,9 @@ class ServiceFleet:
         self.host = host
         self.port = int(port)
         self.restart_workers = bool(restart_workers)
+        self.restart_backoff_base = float(restart_backoff_base)
+        self.restart_backoff_cap = float(restart_backoff_cap)
+        self.restart_healthy_interval = float(restart_healthy_interval)
         self._service_factory = service_factory
         self._service_kwargs = dict(service_kwargs or {})
         self._snapshots: List[Tuple[str, str, bool]] = []
@@ -119,7 +152,14 @@ class ServiceFleet:
             verify = bool(entry[2]) if len(entry) > 2 else False
             self._snapshots.append((str(name), str(path), verify))
         self._sock: Optional[socket.socket] = None
-        self._procs: List[multiprocessing.process.BaseProcess] = []
+        #: ``_procs[slot]`` is ``None`` while the slot sits out its
+        #: restart backoff; ``_retry_at`` / ``_spawned_at`` are
+        #: ``time.monotonic`` instants, ``_backoffs`` the current
+        #: per-slot delay (0.0 = slot has no crash-loop history).
+        self._procs: List[Optional[multiprocessing.process.BaseProcess]] = []
+        self._backoffs: List[float] = []
+        self._retry_at: List[float] = []
+        self._spawned_at: List[float] = []
         self._lock = threading.Lock()
         self._stop_event = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
@@ -142,6 +182,9 @@ class ServiceFleet:
         self._restarts = 0
         self._running = True
         with self._lock:
+            self._backoffs = [0.0] * self.workers
+            self._retry_at = [0.0] * self.workers
+            self._spawned_at = [0.0] * self.workers
             self._procs = [self._spawn(k) for k in range(self.workers)]
         if self.restart_workers:
             self._supervisor = threading.Thread(
@@ -162,9 +205,11 @@ class ServiceFleet:
             self._procs = []
             self._running = False
         for proc in procs:
-            if proc.is_alive():
+            if proc is not None and proc.is_alive():
                 proc.terminate()
         for proc in procs:
+            if proc is None:
+                continue
             proc.join(timeout=10.0)
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.kill()
@@ -194,7 +239,31 @@ class ServiceFleet:
 
     def pids(self) -> List[int]:
         with self._lock:
-            return [proc.pid for proc in self._procs if proc.pid is not None]
+            return [
+                proc.pid
+                for proc in self._procs
+                if proc is not None and proc.pid is not None
+            ]
+
+    def stats(self) -> dict:
+        """Supervisor-side fleet state (the master's view, no HTTP).
+
+        ``restart_backoffs`` is the per-slot crash-loop delay in
+        seconds -- 0.0 for slots with no recent crash history, growing
+        exponentially for slots whose worker keeps dying at boot.
+        """
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "alive": sum(
+                    1 for p in self._procs if p is not None and p.is_alive()
+                ),
+                "restarts": self._restarts,
+                "restart_backoffs": list(self._backoffs),
+                "pids": [
+                    None if p is None else p.pid for p in self._procs
+                ],
+            }
 
     # ------------------------------------------------------------------
     # Workers
@@ -217,6 +286,7 @@ class ServiceFleet:
             daemon=False,
         )
         proc.start()
+        self._spawned_at[slot] = time.monotonic()
         return proc
 
     def _supervise(self) -> None:
@@ -224,12 +294,42 @@ class ServiceFleet:
             with self._lock:
                 if not self._running:
                     return
+                now = time.monotonic()
                 for slot, proc in enumerate(self._procs):
+                    if proc is None:
+                        # Slot is sitting out its backoff delay.
+                        if now >= self._retry_at[slot]:
+                            self._procs[slot] = self._spawn(slot)
+                            self._restarts += 1
+                        continue
                     if proc.is_alive():
+                        if (
+                            self._backoffs[slot]
+                            and now - self._spawned_at[slot]
+                            >= self.restart_healthy_interval
+                        ):
+                            # Survived long enough: forgive the
+                            # crash-loop history.
+                            self._backoffs[slot] = 0.0
                         continue
                     proc.join(timeout=0)
-                    self._procs[slot] = self._spawn(slot)
-                    self._restarts += 1
+                    lifetime = now - self._spawned_at[slot]
+                    if lifetime >= self.restart_healthy_interval:
+                        # A long-lived worker died: not a crash loop,
+                        # restart immediately and start damping fresh.
+                        self._backoffs[slot] = 0.0
+                        self._procs[slot] = self._spawn(slot)
+                        self._restarts += 1
+                        continue
+                    delay = self._backoffs[slot]
+                    delay = (
+                        self.restart_backoff_base
+                        if delay == 0.0
+                        else min(self.restart_backoff_cap, delay * 2)
+                    )
+                    self._backoffs[slot] = delay
+                    self._retry_at[slot] = now + delay
+                    self._procs[slot] = None
 
 
 def serve_fleet(

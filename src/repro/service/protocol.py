@@ -77,6 +77,36 @@ class ServiceUnavailableError(ServiceError):
     code = "unavailable"
 
 
+class ServiceDegradedError(ServiceError):
+    """The circuit breaker is open -- the service is shedding load.
+
+    Carries ``retry_after`` (seconds until a probe may be admitted),
+    surfaced both in the JSON payload and as an HTTP ``Retry-After``
+    header, so well-behaved clients back off for exactly the breaker's
+    remaining cooldown instead of guessing.
+    """
+
+    status = 503
+    code = "degraded"
+
+    def __init__(self, message: str = "service degraded",
+                 retry_after=None) -> None:
+        super().__init__(message)
+        self.retry_after = None if retry_after is None else float(retry_after)
+
+
+class WorkerCrashedError(ServiceError):
+    """The engine lost its pool workers and exhausted re-dispatch.
+
+    Maps :class:`repro.errors.WorkerCrashError` onto the wire.  The
+    engine has already rebuilt its pool, so the condition is usually
+    transient -- clients treat this as retryable.
+    """
+
+    status = 500
+    code = "worker_crash"
+
+
 _ERROR_CLASSES = {
     cls.code: cls
     for cls in (
@@ -86,16 +116,27 @@ _ERROR_CLASSES = {
         OverloadedError,
         DeadlineExceededError,
         ServiceUnavailableError,
+        ServiceDegradedError,
+        WorkerCrashedError,
     )
 }
 
 
 def error_payload(exc: ServiceError) -> dict:
     """The ``{"code", "message"}`` body of one service error."""
-    return {"code": exc.code, "message": str(exc)}
+    payload = {"code": exc.code, "message": str(exc)}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after"] = float(retry_after)
+    return payload
 
 
 def error_from_payload(payload: dict) -> ServiceError:
     """Rebuild the typed error a response body describes (client side)."""
     cls = _ERROR_CLASSES.get(payload.get("code"), ServiceError)
+    if cls is ServiceDegradedError:
+        return cls(
+            payload.get("message", "service error"),
+            retry_after=payload.get("retry_after"),
+        )
     return cls(payload.get("message", "service error"))

@@ -18,6 +18,7 @@ Endpoints (see :mod:`repro.service.protocol` for the envelope):
 from __future__ import annotations
 
 import json
+import math
 import socket
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -61,7 +62,8 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
         """Write one JSON response; a vanished peer is not an error.
 
         A client disconnecting mid-response (deadline hit client-side,
@@ -77,6 +79,8 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             if self.close_connection:
                 # An undrainable request body (or an earlier write
                 # failure) is about to end this connection; advertise
@@ -89,7 +93,16 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             self.service.note_client_disconnect()
 
     def _send_error_payload(self, exc: ServiceError) -> None:
-        self._send_json(exc.status, {"ok": False, "error": error_payload(exc)})
+        headers = None
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            # The header is spec'd as integer seconds; the exact float
+            # rides in the JSON payload for our own client.
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+        self._send_json(
+            exc.status, {"ok": False, "error": error_payload(exc)},
+            headers=headers,
+        )
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract

@@ -55,7 +55,8 @@ from ..engine import MotifEngine
 from ..engine import planner
 from ..engine.cache import fingerprint_points, metric_key
 from ..engine.corpus import corpus_index_cache_key
-from ..errors import ReproError
+from ..errors import ReproError, WorkerCrashError
+from ..faults import fail_at
 from ..store import (
     SnapshotError,
     load_snapshot_shards,
@@ -68,9 +69,11 @@ from .protocol import (
     BadRequestError,
     DeadlineExceededError,
     OverloadedError,
+    ServiceDegradedError,
     ServiceError,
     ServiceUnavailableError,
     UnknownSnapshotError,
+    WorkerCrashedError,
 )
 
 
@@ -142,6 +145,9 @@ class _Request:
     event: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: Optional[BaseException] = None
+    #: This request is the half-open circuit breaker's single probe;
+    #: its outcome decides whether the breaker closes or re-opens.
+    probe: bool = False
 
     def covers(self, deadline: Optional[float]) -> bool:
         """Whether this computation's budget covers ``deadline``.
@@ -182,6 +188,16 @@ class MotifService:
         watcher).  A changed ``content_key`` atomically swaps in the
         re-mapped index without dropping in-flight requests; see
         :meth:`check_snapshots`.
+    breaker_threshold / breaker_cooldown:
+        Circuit breaker: after ``breaker_threshold`` *consecutive*
+        infrastructure failures (unexpected engine errors, exhausted
+        worker re-dispatch, snapshot reload errors) the service trips
+        **open** and refuses new work with ``degraded`` (HTTP 503 +
+        ``Retry-After``) for ``breaker_cooldown`` seconds; then one
+        **half-open** probe request is admitted, and its outcome
+        closes or re-opens the breaker.  Bad requests and deadline
+        expiries never count -- they are the caller's failures, not
+        the service's.
     engine / engine_kwargs:
         Adopt a caller-owned engine, or forward construction kwargs to
         the owned one (e.g. ``result_cache_size=0`` for benchmarks).
@@ -195,6 +211,8 @@ class MotifService:
         max_pending: int = 32,
         coalesce: bool = True,
         snapshot_watch_interval: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
         engine: Optional[MotifEngine] = None,
         engine_kwargs: Optional[dict] = None,
     ) -> None:
@@ -206,6 +224,10 @@ class MotifService:
             snapshot_watch_interval = float(snapshot_watch_interval)
             if snapshot_watch_interval <= 0:
                 raise ValueError("snapshot_watch_interval must be positive")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be at least 1")
+        if breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else MotifEngine(
             workers=workers, **(engine_kwargs or {})
@@ -214,6 +236,13 @@ class MotifService:
         self.max_pending = int(max_pending)
         self.coalesce = bool(coalesce)
         self.snapshot_watch_interval = snapshot_watch_interval
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        # Circuit breaker state, guarded by _cond: closed (serving),
+        # open (shedding), half_open (one probe in flight).
+        self._breaker_state = "closed"
+        self._breaker_failures = 0
+        self._breaker_opened_at = 0.0
         self._snapshots: Dict[str, _Snapshot] = {}
         self._watch_stop = threading.Event()
         self._watch_thread: Optional[threading.Thread] = None
@@ -241,6 +270,10 @@ class MotifService:
             "client_disconnects": 0,
             "snapshot_reloads": 0,
             "reload_errors": 0,
+            "worker_crashes": 0,
+            "breaker_opens": 0,
+            "breaker_rejections": 0,
+            "breaker_recoveries": 0,
         }
         #: Test seam: called (with the request) in the serving thread
         #: right before execution; lets tests hold computations
@@ -323,6 +356,7 @@ class MotifService:
 
     def _map_snapshot(self, name: str, path, *, verify: bool) -> _Snapshot:
         """Map ``path`` (snapshot or shard set) into a registry entry."""
+        fail_at("service.reload")
         fingerprint = snapshot_fingerprint(path)
         indexes = load_snapshot_shards(path, mmap=True, verify=verify)
         shard_items = [snapshot_trajectories(index) for index in indexes]
@@ -363,8 +397,7 @@ class MotifService:
             try:
                 fingerprint = snapshot_fingerprint(snap.path)
             except (SnapshotError, OSError, ValueError):
-                with self._cond:
-                    self._counters["reload_errors"] += 1
+                self._note_reload_error()
                 continue
             if fingerprint == snap.content_key:
                 continue
@@ -373,8 +406,7 @@ class MotifService:
                     snap.name, snap.path, verify=snap.verify
                 )
             except (SnapshotError, OSError, ValueError):
-                with self._cond:
-                    self._counters["reload_errors"] += 1
+                self._note_reload_error()
                 continue
             fresh.generation = snap.generation + 1
             with self._cond:
@@ -384,8 +416,17 @@ class MotifService:
                     continue
                 self._snapshots[snap.name] = fresh
                 self._counters["snapshot_reloads"] += 1
+                # A healthy reload is evidence against a brewing
+                # infrastructure outage.
+                self._breaker_failures = 0
             reloaded.append(snap.name)
         return reloaded
+
+    def _note_reload_error(self) -> None:
+        """Count one failed reload; repeated ones trip the breaker."""
+        with self._cond:
+            self._counters["reload_errors"] += 1
+            self._breaker_failure_locked()
 
     def _watch_loop(self) -> None:
         while not self._watch_stop.wait(self.snapshot_watch_interval):
@@ -420,6 +461,12 @@ class MotifService:
             snapshots = {
                 name: snap.describe() for name, snap in self._snapshots.items()
             }
+            breaker = {
+                "state": self._breaker_state,
+                "consecutive_failures": self._breaker_failures,
+                "threshold": self.breaker_threshold,
+                "cooldown": self.breaker_cooldown,
+            }
         return {
             "pid": os.getpid(),
             "counters": counters,
@@ -428,6 +475,7 @@ class MotifService:
             "max_pending": self.max_pending,
             "coalesce": self.coalesce,
             "service_workers": self.service_workers,
+            "breaker": breaker,
             "snapshots": snapshots,
             "engine": {
                 "cache": self.engine.cache_info(),
@@ -438,11 +486,80 @@ class MotifService:
     def health(self) -> dict:
         with self._cond:
             running = self._running
+            breaker = self._breaker_state
+        # An open breaker is an outage for status-code health checks
+        # (load balancers must route around it); half-open is serving
+        # a probe and about to recover, so it stays routable.
         return {
-            "ok": running,
+            "ok": running and breaker != "open",
+            "degraded": breaker != "closed",
+            "breaker": breaker,
             "pid": os.getpid(),
             "snapshots": self.snapshot_names(),
         }
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (all helpers expect _cond held)
+    # ------------------------------------------------------------------
+    def _breaker_failure_locked(self, probe: bool = False) -> None:
+        """Record one infrastructure failure; trip the breaker if due."""
+        self._breaker_failures += 1
+        tripped = probe or (
+            self._breaker_state == "closed"
+            and self._breaker_failures >= self.breaker_threshold
+        )
+        if tripped and self._breaker_state != "open":
+            self._breaker_state = "open"
+            self._breaker_opened_at = time.monotonic()
+            self._counters["breaker_opens"] += 1
+
+    def _breaker_gate_locked(self) -> bool:
+        """Admission gate; True = this request may be the probe.
+
+        The caller flips the state to half-open only after the probe
+        request is actually enqueued -- a probe refused by the
+        admission bound must not wedge the breaker in half-open with
+        nothing in flight.
+        """
+        if self._breaker_state == "closed":
+            return False
+        if self._breaker_state == "open":
+            remaining = (
+                self._breaker_opened_at + self.breaker_cooldown
+                - time.monotonic()
+            )
+            if remaining > 0:
+                self._counters["breaker_rejections"] += 1
+                raise ServiceDegradedError(
+                    f"circuit breaker open ({self._breaker_failures} "
+                    f"consecutive failures); retrying in {remaining:.3f}s",
+                    retry_after=remaining,
+                )
+            return True
+        # half_open: exactly one probe is in flight; shed the rest.
+        self._counters["breaker_rejections"] += 1
+        raise ServiceDegradedError(
+            "circuit breaker half-open; a probe request is in flight",
+            retry_after=self.breaker_cooldown,
+        )
+
+    def _breaker_observe_locked(self, req: _Request, outcome: str,
+                                infra: bool) -> None:
+        """Fold one computation's outcome into the breaker state."""
+        if infra:
+            self._breaker_failure_locked(probe=req.probe)
+            return
+        if outcome == "completed":
+            self._breaker_failures = 0
+            if req.probe and self._breaker_state == "half_open":
+                self._breaker_state = "closed"
+                self._counters["breaker_recoveries"] += 1
+        elif req.probe and self._breaker_state == "half_open":
+            # The probe resolved without proving the service healthy
+            # (expired deadline, bad request): re-open for another
+            # cooldown rather than guessing either way.
+            self._breaker_state = "open"
+            self._breaker_opened_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # Submission
@@ -469,8 +586,11 @@ class MotifService:
         with self._cond:
             if not self._running:
                 raise ServiceUnavailableError("service is not running")
+            probe = self._breaker_gate_locked()
             req = None
-            if self.coalesce and key is not None:
+            if self.coalesce and key is not None and not probe:
+                # A probe must exercise the execution path itself, so
+                # it never attaches to a pre-trip computation.
                 candidate = self._inflight.get(key)
                 # Attach only when the in-flight budget covers this
                 # request's own deadline -- a shorter-budgeted sibling
@@ -486,7 +606,10 @@ class MotifService:
                     raise OverloadedError(
                         f"admission queue full ({self.max_pending} pending)"
                     )
-                req = _Request(op=op, key=key, runner=runner, deadline=deadline)
+                req = _Request(op=op, key=key, runner=runner,
+                               deadline=deadline, probe=probe)
+                if probe:
+                    self._breaker_state = "half_open"
                 if key is not None:
                     # Latest entry wins the key: future duplicates
                     # coalesce onto the most generously budgeted
@@ -520,6 +643,10 @@ class MotifService:
                     return
                 req = self._queue.popleft()
             outcome = "failed"
+            # Infrastructure failures (our fault) feed the circuit
+            # breaker; client failures (bad requests, expired
+            # deadlines) never do.
+            infra = False
             try:
                 if req.deadline is not None and time.monotonic() > req.deadline:
                     raise DeadlineExceededError(
@@ -528,11 +655,20 @@ class MotifService:
                 hook = self._before_execute
                 if hook is not None:
                     hook(req)
+                fail_at("service.execute")
                 req.result = req.runner(req.deadline)
                 outcome = "completed"
             except MotifTimeout as exc:
                 req.error = DeadlineExceededError(str(exc))
                 outcome = "deadline_expired"
+            except WorkerCrashError as exc:
+                # The engine already rebuilt its pool; surface the
+                # typed retryable error, not a generic bad request.
+                req.error = WorkerCrashedError(str(exc))
+                outcome = "failed"
+                infra = True
+                with self._cond:
+                    self._counters["worker_crashes"] += 1
             except ServiceError as exc:
                 req.error = exc
                 outcome = (
@@ -540,6 +676,9 @@ class MotifService:
                     if isinstance(exc, DeadlineExceededError)
                     else "failed"
                 )
+                # A runner raising the untyped base class is an
+                # internal failure; typed subclasses are caller-owned.
+                infra = type(exc) is ServiceError
             except (ReproError, ValueError, TypeError, KeyError,
                     IndexError) as exc:
                 req.error = BadRequestError(str(exc))
@@ -547,9 +686,11 @@ class MotifService:
             except Exception as exc:  # pragma: no cover - defensive
                 req.error = ServiceError(f"internal error: {exc}")
                 outcome = "failed"
+                infra = True
             finally:
                 with self._cond:
                     self._counters[outcome] += 1
+                    self._breaker_observe_locked(req, outcome, infra)
                     if req.key is not None and self._inflight.get(req.key) is req:
                         del self._inflight[req.key]
                 req.event.set()

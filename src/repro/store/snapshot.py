@@ -48,6 +48,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import ReproError
+from ..faults import fail_at
 from ..index import CorpusIndex
 from ..trajectory import Trajectory
 
@@ -95,6 +96,7 @@ class SnapshotSlabRef(NamedTuple):
 
 def _open_array(path: Path, shape: Tuple[int, ...], dtype: str, mmap: bool):
     """Map (or read) one raw array file, validating its size first."""
+    fail_at("snapshot.read")
     expected = int(np.dtype(dtype).itemsize) * int(np.prod(shape, dtype=np.int64))
     try:
         actual = path.stat().st_size

@@ -578,6 +578,61 @@ def test_rpr007_tracks_get_lock_acquisitions():
 
 
 # ----------------------------------------------------------------------
+# RPR008 -- crash-safe pool dispatch
+# ----------------------------------------------------------------------
+def test_rpr008_flags_direct_pool_map():
+    assert codes(
+        """
+        def run(pool, tasks):
+            return pool.map(work, tasks)
+        """,
+        EXECUTOR,
+    ) == ["RPR008"]
+
+
+def test_rpr008_flags_submit_on_pool_attribute():
+    assert codes(
+        """
+        class Engine:
+            def run(self, tasks):
+                return [self._pool.submit(work, t) for t in tasks]
+        """,
+        "src/repro/engine/engine.py",
+    ) == ["RPR008"]
+
+
+def test_rpr008_accepts_dispatch_inside_pool_map():
+    assert codes(
+        """
+        class Executor:
+            def pool_map(self, fn, tasks, workers):
+                pool = self.get_pool(workers)
+                return [pool.submit(fn, t) for t in tasks]
+        """,
+        EXECUTOR,
+    ) == []
+
+
+def test_rpr008_ignores_non_pool_receivers_and_other_paths():
+    # submit() on a non-pool receiver is not dispatch...
+    assert codes(
+        """
+        def run(queue, tasks):
+            return [queue.submit(t) for t in tasks]
+        """,
+        EXECUTOR,
+    ) == []
+    # ...and the rule is scoped to engine/service code.
+    assert codes(
+        """
+        def run(pool, tasks):
+            return pool.map(work, tasks)
+        """,
+        "src/repro/bench/harness.py",
+    ) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 def test_suppression_with_justification_is_honoured():
@@ -646,10 +701,10 @@ def test_json_report_shape():
     }
 
 
-def test_rule_catalog_covers_all_seven_rules():
+def test_rule_catalog_covers_all_eight_rules():
     assert [r["code"] for r in rule_catalog()] == [
         "RPR001", "RPR002", "RPR003", "RPR004",
-        "RPR005", "RPR006", "RPR007",
+        "RPR005", "RPR006", "RPR007", "RPR008",
     ]
 
 

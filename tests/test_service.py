@@ -70,7 +70,10 @@ class running_service:
             target=self.httpd.serve_forever, daemon=True
         )
         self.thread.start()
-        client = ServiceClient(port=self.httpd.server_address[1])
+        # retries=0: these tests assert exact counter values per request
+        # (one wire attempt each); retry behaviour is covered by
+        # test_faults.py.
+        client = ServiceClient(port=self.httpd.server_address[1], retries=0)
         return self.service, client
 
     def __exit__(self, *exc_info):
