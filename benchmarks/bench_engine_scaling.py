@@ -258,6 +258,105 @@ def test_indexed_join_speedup(benchmark):
         assert info_index["shm_index_refs"] > 0, info_index
 
 
+#: Hierarchical-index corpus shape per scale: many well-separated
+#: clusters of short geographic walks.  Under haversine the flat index
+#: has no monotone grid to lean on, so it pays the full n^2 endpoint
+#: pass; the tree's ball bounds discard whole cluster blocks at the
+#: node level instead.
+TREE_JOIN_SHAPE = {
+    "smoke": (120, 10, 30),   # clusters, per cluster, points
+    "quick": (120, 10, 30),
+    "full": (160, 12, 30),
+}
+
+
+def _tree_join_corpus(clusters: int, per_cluster: int, n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    corpus = []
+    cols = max(1, round(clusters ** 0.5))
+    for c in range(clusters):
+        centre = np.array([(c % cols) * 3.0, (c // cols) * 3.0])
+        for _ in range(per_cluster):
+            walk = rng.normal(size=(n, 2)).cumsum(axis=0) * 0.002
+            corpus.append(Trajectory(walk + centre + np.array([0.0, 45.0])))
+    return corpus
+
+
+def test_hierarchical_index_speedup(benchmark):
+    """The PR 9 tentpole row: the bulk-loaded trajectory tree must
+    answer the same join from node-level bounds, visiting far fewer
+    node pairs than the n^2 pair grid and beating the flat index at 2
+    workers (floor 1.2x).  Recorded in ``BENCH_engine_scaling.json``."""
+    benchmark.group = "engine: hierarchical index join"
+    clusters, per_cluster, n = TREE_JOIN_SHAPE.get(
+        bench_scale(), TREE_JOIN_SHAPE["smoke"]
+    )
+    corpus = _tree_join_corpus(clusters, per_cluster, n, seed=0)
+    shifted = [Trajectory(t.points + 0.0005) for t in corpus]
+    theta = 120.0  # metres; clusters are hundreds of km apart
+    repeats = 3
+    workers = max(WORKERS)
+
+    def measure(mode):
+        # Result cache off so every repeat pays the real join; thetas
+        # vary per repeat so candidate generation (the part under
+        # test) cannot hide behind the oracle tables either.
+        with MotifEngine(workers=workers, result_cache_size=0) as eng:
+            eng.join(corpus, shifted, theta, metric="haversine",
+                     index=mode)  # warm-up
+            times = []
+            for i in range(repeats):
+                per_theta = theta * (1.0 + 0.001 * (i + 1))
+                started = time.perf_counter()
+                matches, stats = eng.join(
+                    corpus, shifted, per_theta, metric="haversine",
+                    index=mode,
+                )
+                times.append(time.perf_counter() - started)
+            return min(times), matches, stats
+
+    def run():
+        t_flat, m_flat, s_flat = measure("grid")
+        t_tree, m_tree, s_tree = measure("tree")
+        return t_flat, m_flat, s_flat, t_tree, m_tree, s_tree
+
+    t_flat, m_flat, s_flat, t_tree, m_tree, s_tree = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    # Identical matches -- both index modes are admissible.
+    assert m_tree == m_flat
+    details = s_tree.details.get("index", {})
+    nodes_visited = details.get("nodes_visited", 0)
+    pairs_total = s_tree.pairs_total
+    speedup = t_flat / max(t_tree, 1e-9)
+    _update_bench_json("hierarchical_index", {
+        "clusters": clusters,
+        "per_cluster": per_cluster,
+        "n": n,
+        "theta": theta,
+        "metric": "haversine",
+        "workers": workers,
+        "repeats": repeats,
+        "pairs_total": pairs_total,
+        "nodes_visited": nodes_visited,
+        "nodes_pruned": details.get("nodes_pruned", 0),
+        "leaves_scanned": details.get("leaves_scanned", 0),
+        "matches": s_tree.matches,
+        "flat_seconds": t_flat,
+        "tree_seconds": t_tree,
+        "speedup": speedup,
+    })
+    # Acceptance floors; future PRs should beat them.
+    assert 0 < nodes_visited <= 0.05 * pairs_total, (
+        f"tree visited {nodes_visited} node pairs against a "
+        f"{pairs_total}-pair grid"
+    )
+    assert speedup >= 1.2, (
+        f"tree join {speedup:.2f}x vs flat index "
+        f"(flat {t_flat:.3f}s, tree {t_tree:.3f}s)"
+    )
+
+
 #: Service-throughput stream shape per scale: (unique queries,
 #: duplicates per query, trajectory length).  Duplicate-heavy on
 #: purpose -- the coalescing win under test is in-flight sharing.

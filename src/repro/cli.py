@@ -138,6 +138,11 @@ def _collection_for_join(paths, dataset, count, n, seed_base):
     ]
 
 
+def _index_arg(value):
+    """Map the CLI ``--index`` spelling onto the engine knob."""
+    return False if value in (False, "off") else value
+
+
 def _cmd_join(args: argparse.Namespace) -> int:
     if bool(args.left) != bool(args.right):
         raise SystemExit("provide both --left and --right (or neither, for synthetic)")
@@ -148,17 +153,18 @@ def _cmd_join(args: argparse.Namespace) -> int:
         args.right, args.dataset, args.count, args.n, args.seed + 1000
     )
     workers = getattr(args, "workers", 1)
+    index = _index_arg(args.index)
     with _engine_for(args) as engine:
         if args.top_k is not None:
             ranked = engine.join_top_k(
-                left, right, k=args.top_k, workers=workers, index=args.index
+                left, right, k=args.top_k, workers=workers, index=index
             )
             print(f"{len(ranked)} closest pair(s) by DFD")
             for rank, (dist, (a, b)) in enumerate(ranked, start=1):
                 print(f"  #{rank}: left[{a}] ~ right[{b}]  DFD = {dist:.6g}")
             return 0
         matches, stats = engine.join(
-            left, right, theta=args.theta, workers=workers, index=args.index
+            left, right, theta=args.theta, workers=workers, index=index
         )
     print(f"{len(matches)} matching pair(s) at theta={args.theta:g} "
           f"({stats.pairs_total} pairs examined)")
@@ -184,6 +190,37 @@ def _print_index_stats(index_stats) -> None:
     print(f"index: {rendered}")
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    if (args.radius is None) == (args.k is None):
+        raise SystemExit("provide exactly one of --radius or --k")
+    corpus = _collection_for_join(
+        args.corpus, args.dataset, args.count, args.n, args.seed
+    )
+    query = (
+        _load_input(args.query) if args.query
+        else get_dataset(args.dataset or "geolife",
+                         seed=args.seed + 5000).generate(args.n)
+    )
+    index = _index_arg(args.index)
+    with _engine_for(args) as engine:
+        if args.k is not None:
+            neighbors, stats = engine.knn(query, corpus, k=args.k,
+                                          index=index)
+            print(f"{len(neighbors)} nearest neighbour(s) by DFD")
+            for rank, (dist, i) in enumerate(neighbors, start=1):
+                print(f"  #{rank}: corpus[{i}]  DFD = {dist:.6g}")
+        else:
+            matches, stats = engine.range(query, corpus, args.radius,
+                                          index=index)
+            print(f"{len(matches)} trajectory(ies) within "
+                  f"radius={args.radius:g}")
+            for i, dist in matches:
+                print(f"  corpus[{i}]  DFD = {dist:.6g}")
+    if args.stats:
+        _print_index_stats(stats.as_dict())
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.input:
         traj = _load_input(args.input)
@@ -199,7 +236,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             stride=args.stride,
             min_cluster_size=args.min_size,
             workers=getattr(args, "workers", 1),
-            index=args.index,
+            index=_index_arg(args.index),
             with_stats=args.stats,
         )
     clusters, info = out if args.stats else (out, None)
@@ -438,12 +475,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report the k closest pairs instead of a threshold join")
     p.add_argument("--workers", type=int, default=1,
                    help="shard the candidate pairs across N worker processes")
-    p.add_argument("--index", action="store_true",
+    p.add_argument("--index", nargs="?", const="grid", default="off",
+                   choices=["off", "grid", "tree"],
                    help="prune candidate pairs with the corpus proximity "
-                        "index before the filter cascade (same matches)")
+                        "index before the filter cascade (same matches); "
+                        "'tree' walks the hierarchical dual traversal "
+                        "instead of the flat pair grid")
     p.add_argument("--stats", action="store_true",
                    help="print filter-cascade statistics")
     p.set_defaults(func=_cmd_join)
+
+    p = sub.add_parser("query",
+                       help="range / k-nearest-neighbour corpus search")
+    p.add_argument("--query", help="query trajectory file (.plt/.csv/.json)")
+    p.add_argument("--corpus", nargs="+",
+                   help="corpus trajectory files (.plt/.csv/.json)")
+    p.add_argument("--dataset", choices=dataset_names())
+    p.add_argument("--count", type=int, default=8,
+                   help="synthetic corpus size when no --corpus is given")
+    p.add_argument("--n", type=int, default=120)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--radius", type=float,
+                   help="report every trajectory within this exact DFD")
+    p.add_argument("--k", type=int,
+                   help="report the k nearest trajectories instead")
+    p.add_argument("--index", nargs="?", const="tree", default="tree",
+                   choices=["off", "grid", "tree"],
+                   help="'tree' (default) prunes with the hierarchical "
+                        "index; 'off' scans brute-force (same answer)")
+    p.add_argument("--stats", action="store_true",
+                   help="print the traversal's IndexStats accounting")
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("cluster", help="DFD subtrajectory clustering")
     p.add_argument("--input", help="trajectory file (.plt/.csv/.json)")
@@ -456,8 +518,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-size", type=int, default=2)
     p.add_argument("--workers", type=int, default=1,
                    help="shard the window-pair cascade across N worker processes")
-    p.add_argument("--index", action="store_true",
-                   help="prune window pairs with the corpus proximity index")
+    p.add_argument("--index", nargs="?", const="grid", default="off",
+                   choices=["off", "grid", "tree"],
+                   help="prune window pairs with the corpus proximity "
+                        "index ('tree' for the hierarchical traversal)")
     p.add_argument("--stats", action="store_true",
                    help="print window/candidate counts and index pruning stats")
     p.set_defaults(func=_cmd_cluster)

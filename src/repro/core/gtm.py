@@ -76,6 +76,13 @@ class GTM:
     #: :meth:`GroupLevel.from_matrix` (the plain serial behaviour).
     level_builder = None
 
+    #: Optional ``(level, space, pairs) -> (i_idx, j_idx)`` hook.  The
+    #: engine routes this through a per-``(level, space)`` cache so the
+    #: grouped scan and the seeded resolution pass expand each tau's
+    #: surviving pair set once instead of re-running the lexsorted
+    #: enumeration.  ``None`` means :func:`expand_pairs_to_subsets`.
+    subset_expander = None
+
     def __init__(
         self,
         tau: int = 32,
@@ -227,7 +234,8 @@ class GTM:
 
                 bounds = relaxed_subset_bounds(space, oracle, tables)
         else:
-            i_idx, j_idx = expand_pairs_to_subsets(level, space, survivors)
+            expand = self.subset_expander or expand_pairs_to_subsets
+            i_idx, j_idx = expand(level, space, survivors)
             with PhaseTimer(stats, "time_bounds"):
                 tables = BoundTables.build(space, oracle)
                 bounds = relaxed_subset_bounds_for_pairs(

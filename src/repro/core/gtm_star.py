@@ -56,6 +56,14 @@ class GTMStar:
 
     name = "gtm_star"
 
+    #: Optional ``(level, space, pairs) -> (i_idx, j_idx)`` hook; same
+    #: contract as :attr:`repro.core.gtm.GTM.subset_expander`.  The
+    #: engine wires a per-``(level, space)`` expansion cache through
+    #: here so repeated searches over the same corpus expand each
+    #: surviving pair set once.  ``None`` means
+    #: :func:`~repro.core.gtm.expand_pairs_to_subsets`.
+    subset_expander = None
+
     def __init__(
         self,
         tau: int = 32,
@@ -127,7 +135,8 @@ class GTMStar:
             survivors.sort()
             stats.group_levels[tau] = len(survivors)
 
-        i_idx, j_idx = expand_pairs_to_subsets(level, space, survivors)
+        expand = self.subset_expander or expand_pairs_to_subsets
+        i_idx, j_idx = expand(level, space, survivors)
         with PhaseTimer(stats, "time_bounds"):
             point_tables = BoundTables.build(space, oracle)
             bounds = relaxed_subset_bounds_for_pairs(

@@ -35,6 +35,7 @@ from ..core.motif import _as_trajectory
 from ..distances.ground import get_metric
 from ..errors import ReproError
 from ..extensions.join import (
+    JoinStats,
     _points_getter,
     join_pairs,
     join_top_k,
@@ -43,7 +44,7 @@ from ..extensions.join import (
     scan_join_topk,
     similarity_join,
 )
-from ..index import CorpusIndex
+from ..index import CorpusIndex, IndexStats
 from . import planner
 from . import worker as _worker
 from .cache import fingerprint_points, metric_key
@@ -123,7 +124,8 @@ def run_join(engine, left, right, theta, metric, workers, use_index):
     if theta < 0:  # one validation for both paths, same exception type
         raise ValueError("theta must be non-negative")
     resolved = get_metric(metric)
-    key = planner.join_result_key(left, right, resolved, theta, use_index)
+    mode = planner.normalize_index_mode(use_index)
+    key = planner.join_result_key(left, right, resolved, theta, mode)
 
     def as_answer(out):
         # Copies: a caller mutating the matches list or stats must
@@ -134,9 +136,9 @@ def run_join(engine, left, right, theta, metric, workers, use_index):
     cached = engine._oracles.result(key)
     if cached is not None:
         return as_answer(cached)
-    if use_index and len(left) and len(right):
+    if mode and len(left) and len(right):
         out = _indexed_join(engine, left, right, theta, metric, resolved,
-                            workers)
+                            workers, "tree" if mode == "tree" else "grid")
     else:
         out = _tiled_join(engine, left, right, theta, metric, workers)
     engine._oracles.put_result(key, out)
@@ -176,18 +178,27 @@ def _tiled_join(engine, left, right, theta, metric, workers):
     return matches, merge_join_stats(tile_stats)
 
 
-def _indexed_join(engine, left, right, theta, metric, resolved, workers):
-    """The indexed path: candidate pairs -> sharded pair cascade."""
+def _indexed_join(engine, left, right, theta, metric, resolved, workers,
+                  mode="grid"):
+    """The indexed path: candidate pairs -> sharded pair cascade.
+
+    ``mode`` picks the candidate generator (flat endpoint grid or the
+    hierarchical dual-tree walk); everything downstream of the
+    candidate list -- stride dealing, the pair cascade, the merge --
+    is mode-independent, which is why tree-mode matches are
+    byte-identical to grid-mode matches.
+    """
     exec_ = engine._exec
     index_left, fps_left = corpus_index_for(engine, left, resolved)
     index_right, fps_right = corpus_index_for(engine, right, resolved)
     self_join = fps_left == fps_right
-    # Candidate sets are pure functions of (corpora, metric, theta);
-    # serving workloads re-join the same collections, so they ride the
-    # tables cache next to the indexes themselves.
+    # Candidate sets are pure functions of (corpora, metric, theta,
+    # generator mode); serving workloads re-join the same collections,
+    # so they ride the tables cache next to the indexes themselves.
     pairs, index_stats = engine._oracles.tables.get_or_build(
-        ("cpairs", fps_left, fps_right, metric_key(resolved), float(theta)),
-        lambda: index_left.candidate_pairs(index_right, theta),
+        ("cpairs", fps_left, fps_right, metric_key(resolved), float(theta),
+         mode),
+        lambda: index_left.candidate_pairs(index_right, theta, mode=mode),
     )
     n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
     if not exec_.can_shard(workers) or len(pairs) < 2 or n_chunks < 2:
@@ -206,7 +217,7 @@ def _indexed_join(engine, left, right, theta, metric, resolved, workers):
                 )
                 pairs_ref = exec_.share_index(
                     planner.pairs_slab_key(fps_left, fps_right, resolved,
-                                           theta),
+                                           theta, mode),
                     {"pairs": pairs},
                 )
                 corpus_payload = _corpus_payloads(
@@ -273,6 +284,43 @@ def _merge_index_details(parts) -> Optional[dict]:
     return merged
 
 
+def _shard_block_bound(engine, left, right, resolved) -> float:
+    """Admissible DFD lower bound over an entire (left, right) block.
+
+    The root node of each shard's tree aggregates the whole shard, so
+    one vectorised root-pair bound plus one representative DP lower
+    -bounds every cross-shard trajectory pair -- O(1) per block, built
+    from summaries a snapshot-restored shard already carries.
+    """
+    index_left, _ = corpus_index_for(engine, left, resolved)
+    index_right, _ = corpus_index_for(engine, right, resolved)
+    left_tree = index_left.ensure_tree()
+    right_tree = index_right.ensure_tree()
+    root_lb = float(left_tree.pair_lower_bounds(right_tree, [0], [0])[0])
+    return max(root_lb, left_tree.rep_pair_bound(right_tree, 0, 0))
+
+
+def _skipped_block_stats(n_pairs: int) -> JoinStats:
+    """The statistics of a shard block pruned before scattering.
+
+    Every pair is accounted as index-pruned (one root-node visit, one
+    root-node prune) so the additive merge still covers the full pair
+    grid -- and ``summary_builds`` stays 0, preserving the
+    snapshot-served signature.
+    """
+    index_stats = IndexStats(
+        pairs_total=n_pairs,
+        pruned_grid=n_pairs,
+        nodes_visited=1,
+        nodes_pruned=1,
+    )
+    return JoinStats(
+        pairs_total=n_pairs,
+        pruned_index=n_pairs,
+        details={"index": index_stats.as_dict()},
+    )
+
+
 def run_sharded_join(engine, left_shards, right_shards, theta, metric,
                      workers, use_index):
     """Scatter a similarity join across shard pairs; merge exactly.
@@ -285,13 +333,29 @@ def run_sharded_join(engine, left_shards, right_shards, theta, metric,
     additively (:func:`merge_join_stats`); index accounting sums
     key-wise so a snapshot-served scatter still reports
     ``summary_builds == 0``.
+
+    In tree mode, provably-far shard *blocks* are skipped before any
+    scatter: the shard trees' root-pair bound exceeding ``theta``
+    (strictly) proves every cross pair exceeds it too, so the block
+    contributes no matches and only O(1) work.  Skips are reported in
+    ``details["shards"]["blocks_skipped"]``.
     """
+    mode = planner.normalize_index_mode(use_index)
+    resolved = get_metric(metric)
     left_offsets = _shard_offsets(left_shards)
     right_offsets = _shard_offsets(right_shards)
     matches: List[Tuple[int, int]] = []
     stat_parts = []
+    blocks_skipped = 0
     for i, left in enumerate(left_shards):
         for j, right in enumerate(right_shards):
+            if mode == "tree" and len(left) and len(right):
+                if _shard_block_bound(engine, left, right, resolved) > theta:
+                    blocks_skipped += 1
+                    stat_parts.append(
+                        _skipped_block_stats(len(left) * len(right))
+                    )
+                    continue
             part_matches, part_stats = run_join(
                 engine, left, right, theta, metric, workers, use_index
             )
@@ -303,9 +367,10 @@ def run_sharded_join(engine, left_shards, right_shards, theta, metric,
     index_detail = _merge_index_details(stat_parts)
     if index_detail is not None:
         stats.details["index"] = index_detail
-    stats.details["shards"] = {
-        "left": len(left_shards), "right": len(right_shards),
-    }
+    shard_info = {"left": len(left_shards), "right": len(right_shards)}
+    if mode == "tree":
+        shard_info["blocks_skipped"] = blocks_skipped
+    stats.details["shards"] = shard_info
     return matches, stats
 
 
@@ -318,20 +383,47 @@ def run_sharded_join_top_k(engine, left_shards, right_shards, k, metric,
     ``(distance, (a, b))`` total order -- the same
     :func:`merge_join_topk` reducer the PR 2 chunked scan uses, applied
     one level up.
+
+    In tree mode the blocks are visited in ascending root-pair-bound
+    order and a block whose bound strictly exceeds the running k-th
+    best distance is skipped outright: none of its pairs can displace
+    an already-merged entry, and ties at the k-th distance survive
+    because only a *strict* excess prunes.
     """
+    mode = planner.normalize_index_mode(use_index)
     left_offsets = _shard_offsets(left_shards)
     right_offsets = _shard_offsets(right_shards)
+    blocks = [
+        (i, j) for i in range(len(left_shards))
+        for j in range(len(right_shards))
+    ]
+    if mode == "tree":
+        resolved = get_metric(metric)
+        blocks.sort(key=lambda ij: (
+            _shard_block_bound(
+                engine, left_shards[ij[0]], right_shards[ij[1]], resolved
+            ) if len(left_shards[ij[0]]) and len(right_shards[ij[1]])
+            else -math.inf,
+            ij,
+        ))
     parts = []
-    for i, left in enumerate(left_shards):
-        for j, right in enumerate(right_shards):
-            entries = run_join_top_k(
-                engine, left, right, k, metric, workers, use_index
-            )
-            loff, roff = left_offsets[i], right_offsets[j]
-            parts.append([
-                (dist, (a + loff, b + roff)) for dist, (a, b) in entries
-            ])
-    return merge_join_topk(parts, k)
+    merged: List = []
+    for i, j in blocks:
+        left, right = left_shards[i], right_shards[j]
+        if (mode == "tree" and len(left) and len(right)
+                and len(merged) >= k
+                and _shard_block_bound(engine, left, right, resolved)
+                > merged[-1][0]):
+            continue
+        entries = run_join_top_k(
+            engine, left, right, k, metric, workers, use_index
+        )
+        loff, roff = left_offsets[i], right_offsets[j]
+        parts.append([
+            (dist, (a + loff, b + roff)) for dist, (a, b) in entries
+        ])
+        merged = merge_join_topk(parts, k)
+    return merged
 
 
 # ----------------------------------------------------------------------
@@ -354,9 +446,16 @@ def run_join_top_k(engine, left, right, k, metric, workers, use_index):
     cached = engine._oracles.result(key)
     if cached is not None:
         return list(cached)
+    mode = planner.normalize_index_mode(use_index)
+    if mode == "tree" and len(left) and len(right):
+        entries = _tree_join_topk(
+            engine, left, right, k, metric, resolved, workers
+        )
+        engine._oracles.put_result(key, entries)
+        return list(entries)
     exec_ = engine._exec
     pairs = lbs = None
-    use_index = use_index and bool(len(left)) and bool(len(right))
+    use_index = bool(mode) and bool(len(left)) and bool(len(right))
     if use_index:
         index_left, _ = corpus_index_for(engine, left, resolved)
         index_right, _ = corpus_index_for(engine, right, resolved)
@@ -386,8 +485,48 @@ def run_join_top_k(engine, left, right, k, metric, workers, use_index):
     return list(entries)
 
 
+def _tree_join_topk(engine, left, right, k, metric, resolved, workers):
+    """Top-k closest pairs via best-first dual-tree enumeration.
+
+    A head draw from the :class:`TreePairCursor` (a few multiples of
+    ``k``, cheapest lower bounds first) seeds a provisional k-th best
+    ``kth0``; the cursor then drains only the pairs whose monotone
+    bound does not strictly exceed it.  Any pair the cursor withholds
+    has ``lb > kth0 >= final k-th distance``, so it cannot appear in
+    the answer (ties at the k-th distance carry ``lb <= kth0`` and
+    survive) -- the merged heap is byte-identical to the flat scan's.
+    The n x n pair grid is never materialised.
+    """
+    exec_ = engine._exec
+    index_left, _ = corpus_index_for(engine, left, resolved)
+    index_right, _ = corpus_index_for(engine, right, resolved)
+    cursor = index_left.pair_cursor(index_right)
+    head_pairs, head_lbs = cursor.take(max(4 * k, 64))
+    head_entries = scan_join_topk(
+        _points_getter(left), _points_getter(right),
+        head_pairs, k, resolved, bounds=head_lbs, ordered=True,
+    )
+    kth0 = head_entries[k - 1][0] if len(head_entries) >= k else math.inf
+    rest_pairs, rest_lbs = cursor.take_within(kth0)
+    if not len(rest_pairs):
+        return list(head_entries)
+    n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
+    if not exec_.can_shard(workers) or len(rest_pairs) < 2 or n_chunks < 2:
+        rest_entries = scan_join_topk(
+            _points_getter(left), _points_getter(right),
+            rest_pairs, k, resolved, bounds=rest_lbs, ordered=True,
+            kth0=kth0,
+        )
+    else:
+        rest_entries = _sharded_join_topk(
+            engine, left, right, rest_pairs, rest_lbs, k, metric, resolved,
+            workers, kth0=kth0, mode=("tree", int(k)),
+        )
+    return merge_join_topk([list(head_entries), list(rest_entries)], k)
+
+
 def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
-                       workers):
+                       workers, *, kth0=math.inf, mode="grid"):
     """Deal the (ordered) pair list into chunks sharing the k-th best."""
     exec_ = engine._exec
     index_left, fps_left = corpus_index_for(engine, left, resolved)
@@ -406,7 +545,7 @@ def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
                 slabs["lbs"] = lbs
             pairs_ref = exec_.share_index(
                 planner.topk_pairs_slab_key(
-                    fps_left, fps_right, resolved, lbs is not None
+                    fps_left, fps_right, resolved, lbs is not None, mode
                 ),
                 slabs,
             )
@@ -418,6 +557,7 @@ def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
                 _worker.JoinTopKChunkTask(
                     k=int(k),
                     metric=metric,
+                    seed_kth=float(kth0),
                     pairs=None if pairs_ref is not None
                     else pairs[start::stride],
                     pairs_ref=pairs_ref,
@@ -457,6 +597,59 @@ def _sharded_join_topk(engine, left, right, pairs, lbs, k, metric, resolved,
         finally:
             exec_.shm.trim()
     return merge_join_topk(parts, k)
+
+
+# ----------------------------------------------------------------------
+# Range and k-nearest-neighbour queries
+# ----------------------------------------------------------------------
+def run_range(engine, query, corpus, radius, metric, use_index):
+    """All corpus trajectories within exact DFD ``radius`` of ``query``.
+
+    Returns ``(matches, stats)`` where matches are ``(index,
+    distance)`` pairs ascending by corpus index -- byte-identical to
+    the brute-force scan whether the tree traversal prunes or not
+    (bounds are admissible; only strict excess prunes, so ties at the
+    radius survive).  Results are content-addressed the same way joins
+    are, so repeated queries replay from the oracle cache.
+    """
+    if not len(corpus):
+        return [], IndexStats()
+    resolved = get_metric(metric)
+    use_tree = bool(planner.normalize_index_mode(use_index))
+    key = planner.range_result_key(query, corpus, resolved, radius, use_tree)
+    cached = engine._oracles.result(key)
+    if cached is not None:
+        matches, stats = cached
+        return list(matches), copy.deepcopy(stats)
+    index, _ = corpus_index_for(engine, corpus, resolved)
+    matches, stats = index.range_scan(query, radius, use_tree=use_tree)
+    engine._oracles.put_result(key, (list(matches), copy.deepcopy(stats)))
+    return matches, stats
+
+
+def run_knn(engine, query, corpus, k, metric, use_index):
+    """The ``k`` nearest corpus trajectories to ``query`` by exact DFD.
+
+    Returns ``(neighbors, stats)`` with neighbors as ``(distance,
+    index)`` ascending -- the canonical order ``sorted()[:k]`` yields,
+    ties broken by corpus index, reproduced exactly by the best-first
+    tree traversal.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not len(corpus):
+        return [], IndexStats()
+    resolved = get_metric(metric)
+    use_tree = bool(planner.normalize_index_mode(use_index))
+    key = planner.knn_result_key(query, corpus, resolved, k, use_tree)
+    cached = engine._oracles.result(key)
+    if cached is not None:
+        neighbors, stats = cached
+        return list(neighbors), copy.deepcopy(stats)
+    index, _ = corpus_index_for(engine, corpus, resolved)
+    neighbors, stats = index.knn_scan(query, k, use_tree=use_tree)
+    engine._oracles.put_result(key, (list(neighbors), copy.deepcopy(stats)))
+    return neighbors, stats
 
 
 # ----------------------------------------------------------------------
@@ -526,7 +719,8 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
             clusters_from_edges(starts, [], window_length, min_cluster_size),
             [],
         )
-    if use_index:
+    mode = planner.normalize_index_mode(use_index)
+    if mode:
         fp = (
             "cwindex", fingerprint_points(traj), int(window_length),
             int(stride), metric_key(resolved),
@@ -535,7 +729,8 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
             fp, lambda: CorpusIndex(windows, resolved)
         )
         candidates, index_stats = windex.candidate_pairs(
-            None, theta, pairs=pair_grid
+            None, theta, pairs=pair_grid,
+            mode="tree" if mode == "tree" else "grid",
         )
     else:
         windex = CorpusIndex(windows, resolved)
@@ -556,7 +751,7 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
                     planner.corpus_slab_key(fps), windex.transport_slabs()
                 )
                 pairs_ref = exec_.share_index(
-                    planner.pairs_slab_key(fps + (bool(use_index),),
+                    planner.pairs_slab_key(fps + (mode,),
                                            fps, resolved, theta),
                     {"pairs": candidates},
                 )

@@ -109,11 +109,15 @@ class MotifEngine:
         and republishes the shared best-so-far *inside* its best-first
         loop, so late chunks prune against early discoveries mid-scan.
     index:
-        Default for the corpus workloads' ``index=`` knob: consult a
-        :class:`repro.index.CorpusIndex` (admissible DFD lower bounds
-        + endpoint-grid bucketing) to prune candidate pairs before the
-        filter cascade.  Answers are identical either way; off by
-        default so unindexed filter statistics stay byte-stable.
+        Default for the corpus workloads' ``index=`` knob: ``False``
+        (off), ``True`` / ``"grid"`` (a flat
+        :class:`repro.index.CorpusIndex`: admissible DFD lower bounds
+        + endpoint-grid bucketing) or ``"tree"`` (the bulk-loaded
+        :class:`repro.index.TrajectoryTree`: the same bound family
+        aggregated up an STR-packed hierarchy, so joins walk node
+        pairs instead of the n x n grid).  Answers are identical on
+        every setting; off by default so unindexed filter statistics
+        stay byte-stable.
     adaptive_chunks:
         Let the planner rebalance ``chunks_per_worker`` from each
         dispatch round's observed chunk runtimes
@@ -137,14 +141,14 @@ class MotifEngine:
         shared_memory: bool = True,
         shared_bounds: bool = True,
         bsf_sync_every: int = 64,
-        index: bool = False,
+        index: Union[bool, str] = False,
         adaptive_chunks: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = int(workers)
         self.algorithm = algorithm
-        self.index = bool(index)
+        self.index = planner.normalize_index_mode(index)
         self._oracles = OracleManager(
             oracle_cache_size=oracle_cache_size,
             tables_cache_size=tables_cache_size,
@@ -289,7 +293,7 @@ class MotifEngine:
         metric: Union[str, GroundMetric, None] = None,
         workers: Optional[int] = None,
         dedupe: bool = True,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
         **algorithm_options,
     ) -> List[MotifResult]:
         """Discover motifs for a corpus of queries, in order.
@@ -306,7 +310,10 @@ class MotifEngine:
         """
         workers = self.workers if workers is None else max(1, int(workers))
         algorithm = self.algorithm if algorithm is None else algorithm
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         parsed = [planner.parse_item(item) for item in items]
 
         # Resolve each query to its result-cache key (content
@@ -460,7 +467,7 @@ class MotifEngine:
         theta: float,
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
     ):
         """DFD similarity join, sharding the candidate pairs into tiles.
 
@@ -479,7 +486,10 @@ class MotifEngine:
         (workers-independent).
         """
         workers = self.workers if workers is None else max(1, int(workers))
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         return _corpus.run_join(
             self, left, right, theta, metric, workers, use_index
         )
@@ -491,7 +501,7 @@ class MotifEngine:
         k: int = 5,
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
     ):
         """The ``k`` closest (left, right) pairs by exact DFD, ascending.
 
@@ -505,7 +515,10 @@ class MotifEngine:
         every worker count, indexed or not.
         """
         workers = self.workers if workers is None else max(1, int(workers))
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         return _corpus.run_join_top_k(
             self, left, right, k, metric, workers, use_index
         )
@@ -517,7 +530,7 @@ class MotifEngine:
         theta: float,
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
     ):
         """:meth:`join` scattered across contiguous corpus shards.
 
@@ -534,7 +547,10 @@ class MotifEngine:
         key-wise.
         """
         workers = self.workers if workers is None else max(1, int(workers))
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         return _corpus.run_sharded_join(
             self, left_shards, right_shards, theta, metric, workers, use_index
         )
@@ -546,7 +562,7 @@ class MotifEngine:
         k: int = 5,
         metric: Union[str, GroundMetric] = "euclidean",
         workers: Optional[int] = None,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
     ):
         """:meth:`join_top_k` scattered across contiguous corpus shards.
 
@@ -556,10 +572,62 @@ class MotifEngine:
         unsharded :meth:`join_top_k` exactly, ties included.
         """
         workers = self.workers if workers is None else max(1, int(workers))
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         return _corpus.run_sharded_join_top_k(
             self, left_shards, right_shards, k, metric, workers, use_index
         )
+
+    def range(
+        self,
+        query,
+        corpus: Sequence,
+        radius: float,
+        metric: Union[str, GroundMetric] = "euclidean",
+        index: Union[bool, str, None] = None,
+    ):
+        """All corpus trajectories within exact DFD ``radius`` of a query.
+
+        Returns ``(matches, stats)``: matches are ``(index, distance)``
+        pairs ascending by corpus index, ``stats`` the
+        :class:`~repro.index.IndexStats` accounting of the traversal.
+        With ``index="tree"`` (or any truthy mode) a best-first
+        :class:`~repro.index.TrajectoryTree` descent prunes node
+        subtrees whose admissible query bound strictly exceeds the
+        radius; ``index=False`` scans brute-force.  Answers are
+        byte-identical either way, ties at the radius included.
+        """
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
+        return _corpus.run_range(self, query, corpus, radius, metric,
+                                 use_index)
+
+    def knn(
+        self,
+        query,
+        corpus: Sequence,
+        k: int = 5,
+        metric: Union[str, GroundMetric] = "euclidean",
+        index: Union[bool, str, None] = None,
+    ):
+        """The ``k`` nearest corpus trajectories to a query by exact DFD.
+
+        Returns ``(neighbors, stats)``: neighbors as ``(distance,
+        index)`` ascending, ties broken by corpus index -- exactly
+        ``sorted((dfd(q, T_i), i))[:k]``.  The tree traversal
+        (``index="tree"`` or any truthy mode) expands node pairs
+        best-first against the evolving k-th best and stops when the
+        cheapest remaining bound strictly exceeds it.
+        """
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
+        return _corpus.run_knn(self, query, corpus, k, metric, use_index)
 
     def cluster(
         self,
@@ -571,7 +639,7 @@ class MotifEngine:
         min_cluster_size: int = 2,
         metric: Union[str, GroundMetric, None] = None,
         workers: Optional[int] = None,
-        index: Optional[bool] = None,
+        index: Union[bool, str, None] = None,
         with_stats: bool = False,
     ):
         """Window clustering through the engine's tiled candidate path.
@@ -587,7 +655,10 @@ class MotifEngine:
         (:meth:`IndexStats.as_dict`) and the cascade statistics.
         """
         workers = self.workers if workers is None else max(1, int(workers))
-        use_index = self.index if index is None else bool(index)
+        use_index = (
+            self.index if index is None
+            else planner.normalize_index_mode(index)
+        )
         return _corpus.run_cluster(
             self,
             trajectory,
@@ -697,6 +768,17 @@ class MotifEngine:
                     self._oracles, dense, okey, space, algo, stats, workers,
                     started,
                 )
+            if hasattr(type(algo), "subset_expander"):
+                # The resolution pass re-expands the same surviving
+                # pair sets the grouped scan just expanded; route both
+                # through the per-(level, space) expansion cache so
+                # the lexsorted enumeration happens once per tau (a
+                # copy keeps a caller-owned instance untouched).
+                if algo.subset_expander is None:
+                    algo = copy.copy(algo)
+                    algo.subset_expander = self._exec.subset_expander_for(
+                        self._oracles, okey
+                    )
             algo = self._exec.remaining_budget_algo(algo, started)
 
         with PhaseTimer(stats, "time_precompute"):

@@ -749,7 +749,9 @@ class EngineExecutor:
             return self.chunked_distance(
                 oracles, dense, okey, space, algo, stats, workers, started_at
             )
-        i_idx, j_idx = expand_pairs_to_subsets(level, space, survivors)
+        i_idx, j_idx = oracles.subset_expansion(
+            okey, level, space, survivors, expand_pairs_to_subsets
+        )
         tables = oracles.bound_tables(okey, space, dense)
         bounds = relaxed_subset_bounds_for_pairs(
             space, dense, tables, i_idx, j_idx
@@ -971,6 +973,18 @@ class EngineExecutor:
         """
         return lambda dmat, tau, mode: self.group_level(
             oracles, okey, dmat, tau, mode, workers
+        )
+
+    def subset_expander_for(self, oracles, okey):
+        """A ``subset_expander`` hook backed by the tables cache.
+
+        Both the grouped scan and the seeded resolution pass route
+        their pair-set expansion through
+        :meth:`OracleManager.subset_expansion`, so each ``(level,
+        space, pairs)`` triple is lexsort-enumerated once per corpus.
+        """
+        return lambda level, space, pairs: oracles.subset_expansion(
+            okey, level, space, pairs, expand_pairs_to_subsets
         )
 
     def remaining_budget_algo(self, algo, started_at: float):

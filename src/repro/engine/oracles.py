@@ -117,6 +117,20 @@ class OracleManager:
             planner.group_level_key(okey, tau, mode), builder
         )
 
+    def subset_expansion(self, okey, level, space, pairs, expander):
+        """One level's pair-set expansion, cached by content key.
+
+        The grouped distance scan and the seeded resolution pass expand
+        the same surviving group pairs at the same tau; caching the
+        ``(i_idx, j_idx)`` arrays per ``(oracle, space, tau, pairs)``
+        runs the lexsorted enumeration once and replays it for repeated
+        searches over the same corpus.
+        """
+        return self.tables.get_or_build(
+            planner.subset_expansion_key(okey, space, int(level.tau), pairs),
+            lambda: expander(level, space, pairs),
+        )
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ planner composes them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -156,12 +157,32 @@ def corpus_fingerprint(trajectories: Sequence) -> tuple:
     return tuple(fingerprint_points(t) for t in trajectories)
 
 
-def join_result_key(left, right, metric, theta: float, indexed: bool) -> tuple:
+def normalize_index_mode(index):
+    """Canonicalise a corpus-query ``index`` knob.
+
+    ``False`` disables the corpus index, ``True`` / ``"grid"`` select
+    the flat endpoint-grid candidate generator (the two spellings are
+    one cache identity -- ``"grid"`` maps to ``True`` so keys minted
+    before tree mode existed stay valid), and ``"tree"`` selects the
+    hierarchical dual-traversal.  Anything else is a query error.
+    """
+    if index is False or index is None:
+        return False
+    if index is True or index == "grid":
+        return True
+    if index == "tree":
+        return "tree"
+    raise ReproError(
+        f"index must be True, False, 'grid' or 'tree' (got {index!r})"
+    )
+
+
+def join_result_key(left, right, metric, theta: float, indexed) -> tuple:
     """Result-cache key of one similarity join.
 
-    ``indexed`` participates because the indexed and unindexed paths
-    report different (both correct) filter statistics; the *matches*
-    are identical either way.
+    ``indexed`` participates because the indexed, unindexed and
+    tree-walk paths report different (all correct) filter statistics;
+    the *matches* are identical in every mode.
     """
     return (
         "join",
@@ -169,7 +190,31 @@ def join_result_key(left, right, metric, theta: float, indexed: bool) -> tuple:
         corpus_fingerprint(right),
         metric_key(metric),
         float(theta),
-        bool(indexed),
+        normalize_index_mode(indexed),
+    )
+
+
+def range_result_key(query, corpus, metric, radius: float, use_tree) -> tuple:
+    """Result-cache key of one range query over a corpus."""
+    return (
+        "range",
+        fingerprint_points(query),
+        corpus_fingerprint(corpus),
+        metric_key(metric),
+        float(radius),
+        bool(use_tree),
+    )
+
+
+def knn_result_key(query, corpus, metric, k: int, use_tree) -> tuple:
+    """Result-cache key of one k-nearest-neighbour query over a corpus."""
+    return (
+        "knn",
+        fingerprint_points(query),
+        corpus_fingerprint(corpus),
+        metric_key(metric),
+        int(k),
+        bool(use_tree),
     )
 
 
@@ -189,16 +234,43 @@ def corpus_slab_key(fingerprints) -> tuple:
     return ("corpus", fingerprints)
 
 
-def pairs_slab_key(fps_left, fps_right, metric, theta: float) -> tuple:
-    """Shared-segment key of one join's candidate-pair slab."""
-    return ("pairs", fps_left, fps_right, metric_key(metric), float(theta))
+def pairs_slab_key(
+    fps_left, fps_right, metric, theta: float, mode="grid"
+) -> tuple:
+    """Shared-segment key of one join's candidate-pair slab.
+
+    ``mode`` (the candidate generator) participates: grid and tree
+    passes survive *different* candidate supersets, so sharing one
+    slab key would let a stale segment answer for the other mode.
+    """
+    return (
+        "pairs", fps_left, fps_right, metric_key(metric), float(theta),
+        str(mode),
+    )
 
 
-def topk_pairs_slab_key(fps_left, fps_right, metric, with_bounds: bool) -> tuple:
+def topk_pairs_slab_key(
+    fps_left, fps_right, metric, with_bounds: bool, mode="grid"
+) -> tuple:
     """Shared-segment key of one top-k join's ordered-pair slab."""
     return (
         "topk_pairs", fps_left, fps_right, metric_key(metric),
-        bool(with_bounds),
+        bool(with_bounds), str(mode),
+    )
+
+
+def subset_expansion_key(okey, space, tau: int, pairs) -> tuple:
+    """Tables-cache key of one survivor-set subset expansion.
+
+    Keyed by the oracle, the level geometry and a digest of the
+    survivor pair array itself: GTM's grouped-distance pass and the
+    resolution pass expand the *same* survivors at the same level, so
+    the second expansion is a cache hit instead of a recompute.
+    """
+    arr = np.ascontiguousarray(np.asarray(pairs, dtype=np.int64))
+    digest = hashlib.sha1(arr.astype("<i8", copy=False).tobytes()).hexdigest()
+    return (
+        "expand", okey, space.mode, space.xi, int(tau), int(arr.size), digest,
     )
 
 

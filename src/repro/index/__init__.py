@@ -16,10 +16,22 @@ from .index import (
     slab_points,
     slab_trajectory,
 )
+from .tree import (
+    DEFAULT_FANOUT,
+    TREE_ARRAY_FIELDS,
+    QuerySummary,
+    TrajectoryTree,
+    TreePairCursor,
+)
 
 __all__ = [
     "CorpusIndex",
     "IndexStats",
     "slab_points",
     "slab_trajectory",
+    "DEFAULT_FANOUT",
+    "TREE_ARRAY_FIELDS",
+    "QuerySummary",
+    "TrajectoryTree",
+    "TreePairCursor",
 ]

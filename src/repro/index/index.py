@@ -49,6 +49,8 @@ the other way around.
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -59,6 +61,12 @@ from ..distances.ground import GroundMetric, get_metric
 from ..errors import ReproError
 from ..trajectory import Trajectory
 from ..trajectory.ops import douglas_peucker
+from .tree import (
+    DEFAULT_FANOUT,
+    QuerySummary,
+    TrajectoryTree,
+    TreePairCursor,
+)
 
 
 @dataclass
@@ -82,6 +90,15 @@ class IndexStats:
     #: restored from a :mod:`repro.store` snapshot).  This is what makes
     #: snapshot hits observable in serving statistics.
     summary_builds: int = 0
+    #: Hierarchical-tree traversal accounting (zero on flat-grid
+    #: passes): tree nodes whose aggregate bound was evaluated, nodes
+    #: pruned with their whole subtree blocks, and leaf blocks whose
+    #: items were actually emitted.  ``nodes_visited`` being o(n^2) on
+    #: clustered corpora is the tree's whole point -- the scaling bench
+    #: asserts it.
+    nodes_visited: int = 0
+    nodes_pruned: int = 0
+    leaves_scanned: int = 0
     details: dict = field(default_factory=dict)
 
     @property
@@ -109,6 +126,9 @@ class IndexStats:
             "pruned_simplification": self.pruned_simplification,
             "candidates": self.candidates,
             "summary_builds": self.summary_builds,
+            "nodes_visited": self.nodes_visited,
+            "nodes_pruned": self.nodes_pruned,
+            "leaves_scanned": self.leaves_scanned,
         }
 
 
@@ -185,6 +205,9 @@ class CorpusIndex:
         # consumers (corpus batches) never pay the per-trajectory DPs.
         self._simplified: Optional[List[np.ndarray]] = None
         self._simp_errors: Optional[np.ndarray] = None
+        #: Hierarchical proximity tree, built lazily (threshold joins
+        #: that never engage tree mode do not pay the bulk load).
+        self._tree: Optional[TrajectoryTree] = None
         #: Per-trajectory summary DPs this index has actually run (a
         #: snapshot-restored index keeps this at 0 -- the serving-cost
         #: contract ``tests/test_store.py`` asserts).
@@ -210,6 +233,7 @@ class CorpusIndex:
         box_hi: np.ndarray,
         simplified: Optional[List[np.ndarray]] = None,
         simplification_errors: Optional[np.ndarray] = None,
+        tree: Optional[TrajectoryTree] = None,
         slabs: Optional[Dict[str, np.ndarray]] = None,
         slab_ref=None,
     ) -> "CorpusIndex":
@@ -240,6 +264,7 @@ class CorpusIndex:
         index.box_hi = box_hi
         index._simplified = None if simplified is None else list(simplified)
         index._simp_errors = simplification_errors
+        index._tree = tree
         index.summary_builds = 0
         index._slabs = slabs
         index.slab_ref = slab_ref
@@ -309,6 +334,32 @@ class CorpusIndex:
     # ------------------------------------------------------------------
     # Simplification summaries
     # ------------------------------------------------------------------
+    def _summary_for(
+        self, pts: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """One trajectory's Douglas-Peucker summary and exact DFD error.
+
+        The tolerance starts at ``simplify_frac`` of the bounding-box
+        diagonal and doubles until the summary fits
+        ``max_simplification_points`` -- noisy curves keep too many
+        points at the geometric tolerance, and summary cost is
+        quadratic in summary size at query time.  The returned error is
+        the *exact* discrete Frechet error of the kept simplification,
+        not the geometric epsilon: one small (n x k) DP makes the
+        triangle-inequality bound admissible by construction.
+        """
+        diag = float(np.linalg.norm(hi - lo))
+        eps = self.simplify_frac * diag
+        if eps == 0.0:
+            eps = 1e-9 * max(1.0, diag)
+        traj = Trajectory(pts)
+        simp = douglas_peucker(traj, eps).points
+        while simp.shape[0] > self.max_simplification_points:
+            eps *= 2.0
+            simp = douglas_peucker(traj, eps).points
+        err = float(dfd_matrix(self.metric.pairwise(pts, simp)))
+        return simp, err
+
     def ensure_summaries(self) -> None:
         """Build the Douglas-Peucker summaries (idempotent)."""
         if self._simplified is not None:
@@ -316,26 +367,53 @@ class CorpusIndex:
         simplified: List[np.ndarray] = []
         errors = np.zeros(self.n)
         for i, pts in enumerate(self._points):
-            diag = float(np.linalg.norm(self.box_hi[i] - self.box_lo[i]))
-            eps = self.simplify_frac * diag
-            if eps == 0.0:
-                eps = 1e-9 * max(1.0, diag)
-            traj = Trajectory(pts)
-            simp = douglas_peucker(traj, eps).points
-            # Cap the summary size: noisy curves keep too many points
-            # at the geometric tolerance, and summary cost is quadratic
-            # in summary size at query time.
-            while simp.shape[0] > self.max_simplification_points:
-                eps *= 2.0
-                simp = douglas_peucker(traj, eps).points
+            simp, err = self._summary_for(pts, self.box_lo[i], self.box_hi[i])
             simplified.append(simp)
-            # The *exact* discrete Frechet error of the simplification,
-            # not the geometric epsilon: one small (n x k) DP makes the
-            # triangle-inequality bound admissible by construction.
-            errors[i] = dfd_matrix(self.metric.pairwise(pts, simp))
+            errors[i] = err
         self._simplified = simplified
         self._simp_errors = errors
         self.summary_builds += self.n
+
+    def summarize_query(self, trajectory) -> QuerySummary:
+        """Reduce one query trajectory to the index's summary kinds.
+
+        The query-side DP runs on the *query*, never on the corpus --
+        a snapshot-served index keeps ``summary_builds`` at zero across
+        any number of range / knn queries.
+        """
+        pts = _as_points(trajectory)
+        if pts.shape[1] != self.dimensions:
+            raise ReproError(
+                "query dimensionality does not match the indexed corpus"
+            )
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        simp, err = self._summary_for(pts, lo, hi)
+        return QuerySummary(
+            points=pts,
+            start=pts[0],
+            end=pts[-1],
+            box_lo=lo,
+            box_hi=hi,
+            simplification=simp,
+            error=err,
+        )
+
+    def ensure_tree(self, fanout: int = DEFAULT_FANOUT) -> TrajectoryTree:
+        """Build (or return) the hierarchical proximity tree.
+
+        Bulk-loads :class:`~repro.index.tree.TrajectoryTree` over the
+        per-trajectory summaries on first use; a snapshot-restored
+        index reattaches its persisted node arrays instead and never
+        recomputes anything here.
+        """
+        if self._tree is None:
+            self._tree = TrajectoryTree.build(self, fanout=fanout)
+        return self._tree
+
+    def attach_tree(self, tree: TrajectoryTree) -> None:
+        """Adopt a restored tree (the snapshot loader's zero-rebuild hook)."""
+        self._tree = tree
 
     @property
     def simplifications(self) -> List[np.ndarray]:
@@ -447,6 +525,8 @@ class CorpusIndex:
         other: Optional["CorpusIndex"],
         theta: float,
         pairs: Optional[np.ndarray] = None,
+        *,
+        mode: str = "grid",
     ) -> Tuple[np.ndarray, IndexStats]:
         """All pairs the index cannot prove apart at threshold ``theta``.
 
@@ -456,12 +536,48 @@ class CorpusIndex:
         the grid to a caller-supplied pair list (window clustering's
         non-overlap rule); grid bucketing then does not apply, but the
         vectorised bound filters do.
+
+        ``mode`` selects the candidate generator: ``"grid"`` is the
+        flat endpoint-grid path, ``"tree"`` runs the dual-tree
+        traversal (:meth:`ensure_tree`) so the ``|L| x |R|`` grid is
+        never materialised -- pruned node pairs drop whole blocks and
+        land in ``pruned_grid``.  Both modes feed the same vectorised
+        filter tail, so surviving pairs (and therefore join answers)
+        are identical.
         """
         if theta < 0:
             raise ReproError("theta must be non-negative")
+        if mode not in ("grid", "tree"):
+            raise ReproError("candidate mode must be 'grid' or 'tree'")
         peer = self if other is None else other
         stats = IndexStats()
-        if pairs is not None:
+        built_before = self.summary_builds + (
+            0 if peer is self else peer.summary_builds
+        )
+        if mode == "tree":
+            walk = IndexStats()
+            tree_a, tree_b = self.ensure_tree().join_candidates(
+                peer.ensure_tree(), theta, walk
+            )
+            stats.nodes_visited = walk.nodes_visited
+            stats.nodes_pruned = walk.nodes_pruned
+            stats.leaves_scanned = walk.leaves_scanned
+            if pairs is not None:
+                pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+                stats.pairs_total = len(pairs)
+                # Intersect the caller's pair list with the pairs the
+                # dual traversal could not prove apart (the traversal's
+                # own block accounting covers the full grid, not the
+                # restricted list).
+                keys = pairs[:, 0] * peer.n + pairs[:, 1]
+                keep = np.isin(keys, tree_a * peer.n + tree_b)
+                a_idx, b_idx = pairs[keep, 0], pairs[keep, 1]
+                stats.pruned_grid = stats.pairs_total - len(a_idx)
+            else:
+                stats.pairs_total = self.n * peer.n
+                a_idx, b_idx = tree_a, tree_b
+                stats.pruned_grid = walk.pruned_grid
+        elif pairs is not None:
             pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
             stats.pairs_total = len(pairs)
             a_idx, b_idx = pairs[:, 0], pairs[:, 1]
@@ -488,16 +604,8 @@ class CorpusIndex:
             stats.pruned_box = int(np.sum(~keep)) - stats.pruned_endpoint
             a_idx, b_idx = a_idx[keep], b_idx[keep]
         if len(a_idx):
-            built_before = self.summary_builds + (
-                0 if peer is self else peer.summary_builds
-            )
             self.ensure_summaries()
             peer.ensure_summaries()
-            stats.summary_builds = (
-                self.summary_builds
-                + (0 if peer is self else peer.summary_builds)
-                - built_before
-            )
             keep_mask = np.ones(len(a_idx), dtype=bool)
             for pos, (i, j) in enumerate(zip(a_idx, b_idx)):
                 if self.simplification_bound(int(i), other, int(j)) > theta:
@@ -509,6 +617,11 @@ class CorpusIndex:
         )
         order = np.lexsort((out[:, 1], out[:, 0]))
         out = np.ascontiguousarray(out[order])
+        stats.summary_builds = (
+            self.summary_builds
+            + (0 if peer is self else peer.summary_builds)
+            - built_before
+        )
         stats.candidates = len(out)
         return out, stats
 
@@ -532,6 +645,219 @@ class CorpusIndex:
         order = np.lexsort((b_idx, a_idx, lbs))
         pairs = np.stack([a_idx[order], b_idx[order]], axis=1)
         return np.ascontiguousarray(pairs), np.ascontiguousarray(lbs[order])
+
+    def pair_cursor(
+        self, other: Optional["CorpusIndex"] = None
+    ) -> TreePairCursor:
+        """Lazy tree-backed replacement for :meth:`ordered_pairs`.
+
+        Returns a :class:`~repro.index.tree.TreePairCursor` streaming
+        item pairs in ascending admissible-bound order without ever
+        materialising (or sorting) the ``|L| x |R|`` grid -- the top-k
+        join pulls a head, fixes a cut-off and drains only what can
+        still matter.
+        """
+        peer = self if other is None else other
+        stats = IndexStats()
+        stats.pairs_total = self.n * peer.n
+        return TreePairCursor(self, peer, stats)
+
+    # ------------------------------------------------------------------
+    # Single-query traversals
+    # ------------------------------------------------------------------
+    def range_scan(
+        self, query, radius: float, *, use_tree: bool = True
+    ) -> Tuple[List[Tuple[int, float]], IndexStats]:
+        """All indexed trajectories within DFD ``radius`` of ``query``.
+
+        Returns ``([(index, distance), ...], stats)`` ascending by
+        index.  With ``use_tree`` the best-first descent visits only
+        nodes whose aggregate bound survives and resolves surviving
+        leaves through the flat filter cascade; without it the scan is
+        the brute-force reference (one exact DP per trajectory), which
+        the property suite holds the tree path byte-identical to --
+        every pruned subtree provably lies beyond ``radius``.
+        """
+        if radius < 0:
+            raise ReproError("radius must be non-negative")
+        m = self.metric
+        stats = IndexStats()
+        stats.pairs_total = self.n
+        q = self.summarize_query(query)
+        matches: List[Tuple[int, float]] = []
+        if not use_tree:
+            stats.candidates = self.n
+            for i, pts in enumerate(self._points):
+                dist = float(dfd_matrix(m.pairwise(q.points, pts)))
+                if dist <= radius:
+                    matches.append((i, dist))
+            return matches, stats
+        built_before = self.summary_builds
+        cand = self.ensure_tree().range_candidates(q, radius, stats)
+        if len(cand):
+            q_start = np.repeat(q.start[None, :], len(cand), axis=0)
+            q_end = np.repeat(q.end[None, :], len(cand), axis=0)
+            lb_end = np.maximum(
+                m.rowwise(q_start, self.starts[cand]),
+                m.rowwise(q_end, self.ends[cand]),
+            )
+            lb = lb_end
+            if m.coordinate_monotone:
+                gaps = np.maximum(
+                    0.0,
+                    np.maximum(
+                        self.box_lo[cand] - q.box_hi,
+                        q.box_lo - self.box_hi[cand],
+                    ),
+                )
+                lb = np.maximum(lb, m.rowwise(np.zeros_like(gaps), gaps))
+            keep = lb <= radius
+            stats.pruned_endpoint = int(np.sum(lb_end > radius))
+            stats.pruned_box = int(np.sum(~keep)) - stats.pruned_endpoint
+            cand = cand[keep]
+        if len(cand):
+            self.ensure_summaries()
+            errs = self.simplification_errors
+            keep_mask = np.ones(len(cand), dtype=bool)
+            for pos, i in enumerate(cand):
+                core = float(dfd_matrix(m.pairwise(
+                    q.simplification, self.simplifications[int(i)]
+                )))
+                if core - q.error - float(errs[int(i)]) > radius:
+                    keep_mask[pos] = False
+            stats.pruned_simplification = int(np.sum(~keep_mask))
+            cand = cand[keep_mask]
+        stats.summary_builds = self.summary_builds - built_before
+        stats.candidates = len(cand)
+        for i in cand:
+            dist = float(dfd_matrix(m.pairwise(q.points, self._points[int(i)])))
+            if dist <= radius:
+                matches.append((int(i), dist))
+        return matches, stats
+
+    def knn_scan(
+        self, query, k: int, *, use_tree: bool = True
+    ) -> Tuple[List[Tuple[float, int]], IndexStats]:
+        """The ``k`` indexed trajectories closest to ``query`` by DFD.
+
+        Returns ``([(distance, index), ...], stats)`` in canonical
+        ascending ``(distance, index)`` order -- ties break toward the
+        smaller index, exactly like sorting the brute-force scan.  The
+        tree path is best-first over monotone node keys (a child's key
+        is ``max(parent, own bound)``), so the first moment the key
+        stream passes the evolving k-th best distance, *everything*
+        still enqueued is provably further and the traversal stops.
+        """
+        if k <= 0:
+            raise ReproError("k must be positive")
+        m = self.metric
+        stats = IndexStats()
+        stats.pairs_total = self.n
+        q = self.summarize_query(query)
+        if not use_tree:
+            stats.candidates = self.n
+            entries = sorted(
+                (float(dfd_matrix(m.pairwise(q.points, pts))), i)
+                for i, pts in enumerate(self._points)
+            )
+            return entries[:k], stats
+        built_before = self.summary_builds
+        self.ensure_summaries()
+        errs = self.simplification_errors
+        tree = self.ensure_tree()
+        # Max-heap of the best k so far, keyed (-distance, -index): the
+        # root is the *worst* retained entry under the canonical
+        # (distance, index) order, so pushpop keeps exactly the entries
+        # a sorted brute-force scan would.
+        best: List[Tuple[float, int]] = []
+
+        def kth() -> float:
+            return -best[0][0] if len(best) >= k else math.inf
+
+        root_key = float(tree.query_lower_bounds(q, [0])[0])
+        heap: List[Tuple[float, int]] = [(root_key, 0)]
+        while heap:
+            key, node = heapq.heappop(heap)
+            if len(best) >= k and key > kth():
+                # Keys only ascend from here on: every enqueued subtree
+                # is provably further than the current k-th best.
+                stats.nodes_pruned += 1 + len(heap)
+                stats.pruned_grid += int(
+                    tree.item_hi[node] - tree.item_lo[node]
+                ) + int(sum(
+                    int(tree.item_hi[n] - tree.item_lo[n]) for _, n in heap
+                ))
+                break
+            stats.nodes_visited += 1
+            if tree.is_leaf(node):
+                stats.leaves_scanned += 1
+                items = tree.node_items(node)
+                q_start = np.repeat(q.start[None, :], len(items), axis=0)
+                q_end = np.repeat(q.end[None, :], len(items), axis=0)
+                lb_end = np.maximum(
+                    m.rowwise(q_start, self.starts[items]),
+                    m.rowwise(q_end, self.ends[items]),
+                )
+                lbs = lb_end
+                if m.coordinate_monotone:
+                    gaps = np.maximum(
+                        0.0,
+                        np.maximum(
+                            self.box_lo[items] - q.box_hi,
+                            q.box_lo - self.box_hi[items],
+                        ),
+                    )
+                    lbs = np.maximum(
+                        lbs, m.rowwise(np.zeros_like(gaps), gaps)
+                    )
+                for pos, i in enumerate(items):
+                    i = int(i)
+                    cut = kth()
+                    if len(best) >= k and float(lbs[pos]) > cut:
+                        if float(lb_end[pos]) > cut:
+                            stats.pruned_endpoint += 1
+                        else:
+                            stats.pruned_box += 1
+                        continue
+                    core = float(dfd_matrix(m.pairwise(
+                        q.simplification, self.simplifications[i]
+                    )))
+                    if (
+                        len(best) >= k
+                        and core - q.error - float(errs[i]) > cut
+                    ):
+                        stats.pruned_simplification += 1
+                        continue
+                    stats.candidates += 1
+                    dist = float(dfd_matrix(
+                        m.pairwise(q.points, self._points[i])
+                    ))
+                    entry = (-dist, -i)
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heappushpop(best, entry)
+            else:
+                children = np.arange(
+                    tree.child_lo[node], tree.child_hi[node], dtype=np.int64
+                )
+                child_lbs = tree.query_lower_bounds(q, children)
+                for pos, child in enumerate(children):
+                    child = int(child)
+                    child_key = max(key, float(child_lbs[pos]))
+                    if child_key <= kth():
+                        child_key = max(
+                            child_key, tree.rep_query_bound(q, child)
+                        )
+                    if len(best) >= k and child_key > kth():
+                        stats.nodes_pruned += 1
+                        stats.pruned_grid += int(
+                            tree.item_hi[child] - tree.item_lo[child]
+                        )
+                        continue
+                    heapq.heappush(heap, (child_key, child))
+        stats.summary_builds = self.summary_builds - built_before
+        return sorted((-d, -i) for d, i in best), stats
 
     # ------------------------------------------------------------------
     # Shared-memory transport

@@ -1,0 +1,750 @@
+"""Hierarchical Frechet proximity tree over per-trajectory summaries.
+
+The flat :class:`~repro.index.CorpusIndex` proves admissible discrete
+Frechet lower bounds per trajectory *pair*, but still enumerates the
+``|L| x |R|`` grid before its vectorised filters run.  This module
+packs the same summaries into a bulk-loaded R-tree (Sort-Tile-Recursive
+over bounding-box centers, after Leutenegger et al.; the practical
+Frechet-proximity construction follows Gudmundsson et al.,
+arXiv:2005.13773) so joins, range queries and k-nearest-neighbour
+queries descend only the node pairs whose *aggregate* bound survives --
+sublinear candidate generation on clustered corpora.
+
+Every node aggregates its subtree with exactly the summary kinds the
+flat index already proves admissible, lifted from items to sets:
+
+* **bounding box** -- the union box of member boxes.  For a
+  coordinate-monotone ground metric the box-to-box gap lower-bounds the
+  ground distance of every coupled point pair, hence the DFD, of every
+  member pair (the flat index's box bound, applied set-wise).  Start
+  and end hull boxes are kept too: endpoints couple to endpoints, so
+  their hull gap is an endpoint bound that survives aggregation.
+* **endpoint balls** -- a representative start (the first member's) and
+  the exact covering radius ``r = max_T d(center, start_T)``.  The
+  ground metric's triangle inequality gives
+  ``d(start_A, start_B) >= d(c_A, c_B) - r_A - r_B`` for any members,
+  and the first coupled pair makes that a DFD bound -- valid for *any*
+  metric satisfying the triangle inequality (haversine included, where
+  the monotone box bounds must stay off).  Internal nodes compose
+  radii: ``r_parent = max_child (d(c_parent, c_child) + r_child)``.
+* **representative simplification** -- the first member's
+  Douglas-Peucker summary ``R`` with the exact Frechet error radius
+  ``node_err = max_T (DFD(R, T^) + err_T)`` (internal nodes:
+  ``max_child (DFD(R, R_child) + child_err)``; the first child shares
+  ``R`` so its cross term is zero).  The DFD triangle inequality then
+  gives ``DFD(Q, T) >= DFD(Q^, R) - err_Q - node_err`` for every
+  member ``T`` -- one small DP bounds a whole subtree.
+
+Nodes live in flat arrays, root first, children of a node contiguous
+-- the layout snapshot-persists byte-for-byte through :mod:`repro.store`
+and rebuilds with **zero** computation on restore.  Traversals are
+level-synchronous and vectorised: the dual-tree join walks a frontier
+of node *pairs* and evaluates every bound for the whole frontier in a
+handful of numpy calls, so pruning cost scales with nodes visited, not
+with the pair grid.  Admissibility of every aggregate bound is
+property-tested in ``tests/test_tree.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..distances.frechet import dfd_matrix
+from ..errors import ReproError
+
+#: Node fan-out and leaf capacity of the STR packing.  Eight keeps the
+#: tree shallow (depth ~ log_8 n), node blocks big enough that one
+#: pruned pair of depth-1 nodes removes 64 trajectory pairs, and the
+#: per-node representative DP small.
+DEFAULT_FANOUT = 8
+
+
+@dataclass
+class QuerySummary:
+    """One query trajectory reduced to the index's summary kinds.
+
+    Built once per query (:meth:`CorpusIndex.summarize_query`) and then
+    compared against node aggregates and item summaries without ever
+    touching the query's full point set until the exact-distance stage.
+    """
+
+    points: np.ndarray
+    start: np.ndarray
+    end: np.ndarray
+    box_lo: np.ndarray
+    box_hi: np.ndarray
+    simplification: np.ndarray
+    error: float
+
+
+def _str_leaf_groups(centers: np.ndarray, leaf_cap: int) -> List[np.ndarray]:
+    """Sort-Tile-Recursive partition of items into leaf groups.
+
+    Items are sorted by bounding-box center along the first axis, cut
+    into vertical slabs sized so each slab holds about
+    ``n_leaves ** ((d - 1) / d)`` leaves, and recursed on the next axis
+    -- the classic STR packing that keeps each leaf's members spatially
+    tight.  Ties sort by item id, so the packing (and everything built
+    on it) is deterministic.
+    """
+    n, dims = centers.shape
+
+    groups: List[np.ndarray] = []
+
+    def rec(ids: np.ndarray, axis: int) -> None:
+        if len(ids) <= leaf_cap:
+            groups.append(ids)
+            return
+        srt = ids[np.lexsort((ids, centers[ids, axis]))]
+        n_leaves = -(-len(ids) // leaf_cap)
+        if axis >= dims - 1:
+            for k in range(0, len(srt), leaf_cap):
+                groups.append(srt[k:k + leaf_cap])
+            return
+        n_slabs = max(1, math.ceil(n_leaves ** (1.0 / (dims - axis))))
+        per_slab = -(-len(srt) // n_slabs)
+        for k in range(0, len(srt), per_slab):
+            rec(srt[k:k + per_slab], axis + 1)
+
+    rec(np.arange(n, dtype=np.int64), 0)
+    return groups
+
+
+class _Level:
+    """One tree level under construction (bottom-up bulk load)."""
+
+    __slots__ = (
+        "box_lo", "box_hi", "start_lo", "start_hi", "end_lo", "end_hi",
+        "start_center", "end_center", "start_radius", "end_radius",
+        "rep", "rep_err", "item_lo", "item_hi", "child_lo", "child_hi",
+    )
+
+    def __init__(self, count: int, dims: int) -> None:
+        self.box_lo = np.empty((count, dims))
+        self.box_hi = np.empty((count, dims))
+        self.start_lo = np.empty((count, dims))
+        self.start_hi = np.empty((count, dims))
+        self.end_lo = np.empty((count, dims))
+        self.end_hi = np.empty((count, dims))
+        self.start_center = np.empty((count, dims))
+        self.end_center = np.empty((count, dims))
+        self.start_radius = np.empty(count)
+        self.end_radius = np.empty(count)
+        self.rep: List[np.ndarray] = []
+        self.rep_err = np.empty(count)
+        self.item_lo = np.empty(count, dtype=np.int64)
+        self.item_hi = np.empty(count, dtype=np.int64)
+        # Child ranges are level-local during the build; the final
+        # flattening rebases them onto global node ids.
+        self.child_lo = np.zeros(count, dtype=np.int64)
+        self.child_hi = np.zeros(count, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.rep_err)
+
+
+class TrajectoryTree:
+    """STR-packed hierarchy of admissible-bound aggregates.
+
+    Built once per :class:`CorpusIndex` (:meth:`CorpusIndex.ensure_tree`)
+    or restored from snapshot arrays with zero recomputation.  All node
+    state is flat numpy arrays, root first (node 0 is the root), the
+    children of any internal node contiguous, and leaf members
+    contiguous runs of ``item_order`` -- cheap to persist, mmap and
+    traverse without pointer chasing.
+    """
+
+    def __init__(
+        self,
+        metric,
+        fanout: int,
+        *,
+        item_order: np.ndarray,
+        child_lo: np.ndarray,
+        child_hi: np.ndarray,
+        item_lo: np.ndarray,
+        item_hi: np.ndarray,
+        box_lo: np.ndarray,
+        box_hi: np.ndarray,
+        start_lo: np.ndarray,
+        start_hi: np.ndarray,
+        end_lo: np.ndarray,
+        end_hi: np.ndarray,
+        start_center: np.ndarray,
+        end_center: np.ndarray,
+        start_radius: np.ndarray,
+        end_radius: np.ndarray,
+        rep_points: np.ndarray,
+        rep_offsets: np.ndarray,
+        rep_err: np.ndarray,
+    ) -> None:
+        self.metric = metric
+        self.fanout = int(fanout)
+        self.item_order = item_order
+        self.child_lo = child_lo
+        self.child_hi = child_hi
+        self.item_lo = item_lo
+        self.item_hi = item_hi
+        self.box_lo = box_lo
+        self.box_hi = box_hi
+        self.start_lo = start_lo
+        self.start_hi = start_hi
+        self.end_lo = end_lo
+        self.end_hi = end_hi
+        self.start_center = start_center
+        self.end_center = end_center
+        self.start_radius = start_radius
+        self.end_radius = end_radius
+        self.rep_points = rep_points
+        self.rep_offsets = rep_offsets
+        self.rep_err = rep_err
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, index, fanout: int = DEFAULT_FANOUT) -> "TrajectoryTree":
+        """Bulk-load the tree from a :class:`CorpusIndex`'s summaries."""
+        if fanout < 2:
+            raise ReproError("tree fanout must be at least 2")
+        m = index.metric
+        index.ensure_summaries()
+        simp = index.simplifications
+        errs = index.simplification_errors
+        dims = index.dimensions
+        centers = 0.5 * (index.box_lo + index.box_hi)
+        groups = _str_leaf_groups(centers, fanout)
+        item_order = np.ascontiguousarray(
+            np.concatenate(groups).astype(np.int64)
+        )
+
+        leaf = _Level(len(groups), dims)
+        pos = 0
+        for g, members in enumerate(groups):
+            leaf.item_lo[g] = pos
+            pos += len(members)
+            leaf.item_hi[g] = pos
+            leaf.box_lo[g] = index.box_lo[members].min(axis=0)
+            leaf.box_hi[g] = index.box_hi[members].max(axis=0)
+            starts = index.starts[members]
+            ends = index.ends[members]
+            leaf.start_lo[g] = starts.min(axis=0)
+            leaf.start_hi[g] = starts.max(axis=0)
+            leaf.end_lo[g] = ends.min(axis=0)
+            leaf.end_hi[g] = ends.max(axis=0)
+            leaf.start_center[g] = starts[0]
+            leaf.end_center[g] = ends[0]
+            tile = np.repeat(starts[:1], len(members), axis=0)
+            leaf.start_radius[g] = float(m.rowwise(tile, starts).max())
+            tile = np.repeat(ends[:1], len(members), axis=0)
+            leaf.end_radius[g] = float(m.rowwise(tile, ends).max())
+            rep = simp[int(members[0])]
+            err = 0.0
+            for t in members:
+                t = int(t)
+                core = 0.0 if t == int(members[0]) else float(
+                    dfd_matrix(m.pairwise(rep, simp[t]))
+                )
+                err = max(err, core + float(errs[t]))
+            leaf.rep.append(rep)
+            leaf.rep_err[g] = err
+
+        levels = [leaf]
+        while len(levels[-1]) > 1:
+            levels.append(cls._parent_level(m, levels[-1], fanout))
+        levels.reverse()  # root level first
+
+        return cls._flatten(m, fanout, item_order, levels)
+
+    @staticmethod
+    def _parent_level(m, child: "_Level", fanout: int) -> "_Level":
+        """Aggregate one level of parents over contiguous child groups."""
+        n_children = len(child)
+        count = -(-n_children // fanout)
+        dims = child.box_lo.shape[1]
+        lvl = _Level(count, dims)
+        for g in range(count):
+            c0 = g * fanout
+            c1 = min(c0 + fanout, n_children)
+            lvl.child_lo[g] = c0
+            lvl.child_hi[g] = c1
+            lvl.item_lo[g] = child.item_lo[c0]
+            lvl.item_hi[g] = child.item_hi[c1 - 1]
+            lvl.box_lo[g] = child.box_lo[c0:c1].min(axis=0)
+            lvl.box_hi[g] = child.box_hi[c0:c1].max(axis=0)
+            lvl.start_lo[g] = child.start_lo[c0:c1].min(axis=0)
+            lvl.start_hi[g] = child.start_hi[c0:c1].max(axis=0)
+            lvl.end_lo[g] = child.end_lo[c0:c1].min(axis=0)
+            lvl.end_hi[g] = child.end_hi[c0:c1].max(axis=0)
+            lvl.start_center[g] = child.start_center[c0]
+            lvl.end_center[g] = child.end_center[c0]
+            tile = np.repeat(child.start_center[c0:c0 + 1], c1 - c0, axis=0)
+            lvl.start_radius[g] = float((
+                m.rowwise(tile, child.start_center[c0:c1])
+                + child.start_radius[c0:c1]
+            ).max())
+            tile = np.repeat(child.end_center[c0:c0 + 1], c1 - c0, axis=0)
+            lvl.end_radius[g] = float((
+                m.rowwise(tile, child.end_center[c0:c1])
+                + child.end_radius[c0:c1]
+            ).max())
+            rep = child.rep[c0]
+            # The first child shares the representative, so its cross
+            # term DFD(rep, rep) is zero by definition -- skip the DP.
+            err = float(child.rep_err[c0])
+            for c in range(c0 + 1, c1):
+                core = float(dfd_matrix(m.pairwise(rep, child.rep[c])))
+                err = max(err, core + float(child.rep_err[c]))
+            lvl.rep.append(rep)
+            lvl.rep_err[g] = err
+        return lvl
+
+    @classmethod
+    def _flatten(
+        cls, m, fanout: int, item_order: np.ndarray, levels: List["_Level"]
+    ) -> "TrajectoryTree":
+        """Concatenate root-first levels into the flat node arrays."""
+        counts = [len(lvl) for lvl in levels]
+        offsets = np.zeros(len(levels) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+
+        def cat(field: str) -> np.ndarray:
+            return np.ascontiguousarray(
+                np.concatenate([getattr(lvl, field) for lvl in levels])
+            )
+
+        child_lo = np.zeros(total, dtype=np.int64)
+        child_hi = np.zeros(total, dtype=np.int64)
+        for li, lvl in enumerate(levels[:-1]):
+            base = int(offsets[li])
+            child_base = int(offsets[li + 1])
+            child_lo[base:base + len(lvl)] = lvl.child_lo + child_base
+            child_hi[base:base + len(lvl)] = lvl.child_hi + child_base
+
+        reps = [r for lvl in levels for r in lvl.rep]
+        rep_offsets = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum([r.shape[0] for r in reps], out=rep_offsets[1:])
+        rep_points = np.ascontiguousarray(np.concatenate(reps, axis=0))
+
+        return cls(
+            m, fanout,
+            item_order=item_order,
+            child_lo=child_lo,
+            child_hi=child_hi,
+            item_lo=cat("item_lo"),
+            item_hi=cat("item_hi"),
+            box_lo=cat("box_lo"),
+            box_hi=cat("box_hi"),
+            start_lo=cat("start_lo"),
+            start_hi=cat("start_hi"),
+            end_lo=cat("end_lo"),
+            end_hi=cat("end_hi"),
+            start_center=cat("start_center"),
+            end_center=cat("end_center"),
+            start_radius=cat("start_radius"),
+            end_radius=cat("end_radius"),
+            rep_points=rep_points,
+            rep_offsets=rep_offsets,
+            rep_err=cat("rep_err"),
+        )
+
+    @classmethod
+    def restore(
+        cls, metric, fanout: int, arrays: Dict[str, np.ndarray]
+    ) -> "TrajectoryTree":
+        """Reattach snapshot-persisted node arrays -- zero recomputation."""
+        return cls(metric, fanout, **{
+            name: arrays[name] for name in TREE_ARRAY_FIELDS
+        })
+
+    def tree_arrays(self) -> Dict[str, np.ndarray]:
+        """The flat node arrays, keyed for snapshot persistence."""
+        return {name: getattr(self, name) for name in TREE_ARRAY_FIELDS}
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.rep_err)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.item_order)
+
+    @property
+    def dims(self) -> int:
+        return self.box_lo.shape[1]
+
+    def is_leaf(self, node: int) -> bool:
+        return self.child_hi[node] == self.child_lo[node]
+
+    def node_items(self, node: int) -> np.ndarray:
+        """Member item ids of ``node``'s subtree (a contiguous run)."""
+        return self.item_order[
+            int(self.item_lo[node]):int(self.item_hi[node])
+        ]
+
+    def item_counts(self, nodes: np.ndarray) -> np.ndarray:
+        """Subtree sizes, vectorised (for pruned-pair accounting)."""
+        return self.item_hi[nodes] - self.item_lo[nodes]
+
+    def rep(self, node: int) -> np.ndarray:
+        """Representative simplification of ``node`` (zero-copy view)."""
+        lo = int(self.rep_offsets[node])
+        hi = int(self.rep_offsets[node + 1])
+        return self.rep_points[lo:hi]
+
+    # ------------------------------------------------------------------
+    # Node-aggregate lower bounds
+    # ------------------------------------------------------------------
+    def pair_lower_bounds(
+        self, other: "TrajectoryTree", na, nb
+    ) -> np.ndarray:
+        """Vectorised admissible DFD lower bound per node *pair*.
+
+        For any member ``A`` of node ``na[i]`` and ``B`` of ``nb[i]``,
+        ``result[i] <= DFD(A, B)``.  Combines the endpoint-ball terms
+        (any triangle-inequality metric) with the union-box and
+        endpoint-hull gaps (coordinate-monotone metrics only), clamped
+        at zero.  The per-pair representative DP is *not* folded in --
+        that one is a Python-level call (:meth:`rep_pair_bound`)
+        reserved for surviving leaf pairs.
+        """
+        na = np.asarray(na, dtype=np.int64)
+        nb = np.asarray(nb, dtype=np.int64)
+        m = self.metric
+        lb = np.maximum(
+            m.rowwise(self.start_center[na], other.start_center[nb])
+            - self.start_radius[na] - other.start_radius[nb],
+            m.rowwise(self.end_center[na], other.end_center[nb])
+            - self.end_radius[na] - other.end_radius[nb],
+        )
+        if m.coordinate_monotone:
+            zeros = np.zeros((len(na), self.dims))
+            for lo_a, hi_a, lo_b, hi_b in (
+                (self.box_lo, self.box_hi, other.box_lo, other.box_hi),
+                (self.start_lo, self.start_hi,
+                 other.start_lo, other.start_hi),
+                (self.end_lo, self.end_hi, other.end_lo, other.end_hi),
+            ):
+                gaps = np.maximum(
+                    0.0,
+                    np.maximum(lo_b[nb] - hi_a[na], lo_a[na] - hi_b[nb]),
+                )
+                lb = np.maximum(lb, m.rowwise(zeros, gaps))
+        return np.maximum(lb, 0.0)
+
+    def rep_pair_bound(self, other: "TrajectoryTree", a: int, b: int) -> float:
+        """Representative-simplification bound for one node pair.
+
+        One small DP: ``DFD(R_a, R_b) - err_a - err_b`` lower-bounds the
+        DFD of every member pair by two triangle-inequality steps.
+        """
+        core = float(dfd_matrix(self.metric.pairwise(
+            self.rep(int(a)), other.rep(int(b))
+        )))
+        return core - float(self.rep_err[a]) - float(other.rep_err[b])
+
+    def query_lower_bounds(self, query: QuerySummary, nodes) -> np.ndarray:
+        """Vectorised admissible lower bound of ``DFD(query, T)`` over
+        every member ``T`` of each node in ``nodes``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        m = self.metric
+        count = len(nodes)
+        q_start = np.repeat(query.start[None, :], count, axis=0)
+        q_end = np.repeat(query.end[None, :], count, axis=0)
+        lb = np.maximum(
+            m.rowwise(q_start, self.start_center[nodes])
+            - self.start_radius[nodes],
+            m.rowwise(q_end, self.end_center[nodes])
+            - self.end_radius[nodes],
+        )
+        if m.coordinate_monotone:
+            zeros = np.zeros((count, self.dims))
+            for q_lo, q_hi, lo, hi in (
+                (query.box_lo, query.box_hi, self.box_lo, self.box_hi),
+                (query.start, query.start, self.start_lo, self.start_hi),
+                (query.end, query.end, self.end_lo, self.end_hi),
+            ):
+                gaps = np.maximum(
+                    0.0,
+                    np.maximum(lo[nodes] - q_hi, q_lo - hi[nodes]),
+                )
+                lb = np.maximum(lb, m.rowwise(zeros, gaps))
+        return np.maximum(lb, 0.0)
+
+    def rep_query_bound(self, query: QuerySummary, node: int) -> float:
+        """Representative bound for one (query, node) pair."""
+        core = float(dfd_matrix(self.metric.pairwise(
+            query.simplification, self.rep(int(node))
+        )))
+        return core - float(query.error) - float(self.rep_err[node])
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def join_candidates(
+        self, other: "TrajectoryTree", theta: float, stats
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Dual-tree candidate generation at threshold ``theta``.
+
+        Level-synchronous BFS over a frontier of node pairs: the whole
+        frontier's aggregate bounds are evaluated in one vectorised
+        pass, pairs proved apart (``bound > theta``, strict -- ties
+        survive) are dropped with their entire item-pair blocks, and
+        surviving leaf-leaf pairs emit their item cross products after
+        one representative DP each.  Returns parallel ``(a, b)`` item
+        index arrays; ``stats`` (an :class:`IndexStats`) picks up
+        ``nodes_visited`` / ``nodes_pruned`` / ``leaves_scanned`` and
+        the pruned item-pair count lands in ``pruned_grid``.
+        """
+        na = np.zeros(1, dtype=np.int64)
+        nb = np.zeros(1, dtype=np.int64)
+        out_a: List[np.ndarray] = []
+        out_b: List[np.ndarray] = []
+        while len(na):
+            stats.nodes_visited += len(na)
+            lbs = self.pair_lower_bounds(other, na, nb)
+            keep = lbs <= theta
+            if not keep.all():
+                drop_a, drop_b = na[~keep], nb[~keep]
+                stats.nodes_pruned += len(drop_a)
+                stats.pruned_grid += int(np.sum(
+                    self.item_counts(drop_a) * other.item_counts(drop_b)
+                ))
+                na, nb = na[keep], nb[keep]
+            if not len(na):
+                break
+            leaf_a = self.child_hi[na] == self.child_lo[na]
+            leaf_b = other.child_hi[nb] == other.child_lo[nb]
+            both = leaf_a & leaf_b
+            for pa, pb in zip(na[both], nb[both]):
+                pa, pb = int(pa), int(pb)
+                block = int(
+                    (self.item_hi[pa] - self.item_lo[pa])
+                    * (other.item_hi[pb] - other.item_lo[pb])
+                )
+                if self.rep_pair_bound(other, pa, pb) > theta:
+                    stats.nodes_pruned += 1
+                    stats.pruned_grid += block
+                    continue
+                stats.leaves_scanned += 1
+                items_a = self.node_items(pa)
+                items_b = other.node_items(pb)
+                out_a.append(np.repeat(items_a, len(items_b)))
+                out_b.append(np.tile(items_b, len(items_a)))
+            next_a: List[np.ndarray] = []
+            next_b: List[np.ndarray] = []
+            mixed = ~both
+            for pa, pb, la, lb_leaf in zip(
+                na[mixed], nb[mixed], leaf_a[mixed], leaf_b[mixed]
+            ):
+                ca = (
+                    np.array([pa], dtype=np.int64) if la
+                    else np.arange(
+                        self.child_lo[pa], self.child_hi[pa], dtype=np.int64
+                    )
+                )
+                cb = (
+                    np.array([pb], dtype=np.int64) if lb_leaf
+                    else np.arange(
+                        other.child_lo[pb], other.child_hi[pb],
+                        dtype=np.int64,
+                    )
+                )
+                next_a.append(np.repeat(ca, len(cb)))
+                next_b.append(np.tile(cb, len(ca)))
+            na = (
+                np.concatenate(next_a) if next_a
+                else np.empty(0, dtype=np.int64)
+            )
+            nb = (
+                np.concatenate(next_b) if next_b
+                else np.empty(0, dtype=np.int64)
+            )
+        if out_a:
+            return np.concatenate(out_a), np.concatenate(out_b)
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    def range_candidates(
+        self, query: QuerySummary, radius: float, stats
+    ) -> np.ndarray:
+        """Item ids the tree cannot prove further than ``radius`` away.
+
+        Level-synchronous descent from the root, vectorised aggregate
+        bounds per frontier, one representative DP per surviving leaf.
+        Returns ascending item ids; pruned subtree sizes accumulate in
+        ``stats.pruned_grid``.
+        """
+        frontier = np.zeros(1, dtype=np.int64)
+        survivors: List[np.ndarray] = []
+        while len(frontier):
+            stats.nodes_visited += len(frontier)
+            lbs = self.query_lower_bounds(query, frontier)
+            keep = lbs <= radius
+            if not keep.all():
+                dropped = frontier[~keep]
+                stats.nodes_pruned += len(dropped)
+                stats.pruned_grid += int(self.item_counts(dropped).sum())
+                frontier = frontier[keep]
+            if not len(frontier):
+                break
+            is_leaf = self.child_hi[frontier] == self.child_lo[frontier]
+            for node in frontier[is_leaf]:
+                node = int(node)
+                if self.rep_query_bound(query, node) > radius:
+                    stats.nodes_pruned += 1
+                    stats.pruned_grid += int(
+                        self.item_hi[node] - self.item_lo[node]
+                    )
+                    continue
+                stats.leaves_scanned += 1
+                survivors.append(self.node_items(node))
+            internal = frontier[~is_leaf]
+            frontier = (
+                np.concatenate([
+                    np.arange(
+                        self.child_lo[p], self.child_hi[p], dtype=np.int64
+                    )
+                    for p in internal
+                ]) if len(internal) else np.empty(0, dtype=np.int64)
+            )
+        if survivors:
+            return np.sort(np.concatenate(survivors))
+        return np.empty(0, dtype=np.int64)
+
+
+_NODE_PAIR = 0
+_ITEM_PAIR = 1
+
+
+class TreePairCursor:
+    """Lazy ascending-lower-bound stream of item pairs from two trees.
+
+    The flat top-k path materialises and sorts the full pair grid up
+    front (:meth:`CorpusIndex.ordered_pairs`); this cursor replaces it
+    with a best-first heap over node pairs that only refines what the
+    consumer actually pulls.  Heap keys are *monotone*: a child's key
+    is ``max(parent key, child's own bound)``, so keys never decrease
+    along a root-to-item path and the stream is globally ascending.
+    Every key is admissible (``key <= DFD`` of the pair), so a consumer
+    that stops at a cut-off ``c`` and later drains :meth:`take_within`
+    at ``c`` has seen *every* pair whose true distance can be ``<= c``.
+    Surviving leaf pairs fold in their representative DP, tightening
+    all item keys beneath them at one DP per leaf pair.
+    """
+
+    def __init__(self, left, right, stats) -> None:
+        self._left = left
+        self._right = right
+        self._lt = left.ensure_tree()
+        self._rt = right.ensure_tree()
+        self.stats = stats
+        root_lb = float(
+            self._lt.pair_lower_bounds(self._rt, [0], [0])[0]
+        )
+        self._heap: List[Tuple[float, int, int, int]] = [
+            (root_lb, _NODE_PAIR, 0, 0)
+        ]
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._heap
+
+    def _expand(self, key: float, pa: int, pb: int) -> None:
+        """Replace a popped node pair by its children / item pairs."""
+        lt, rt = self._lt, self._rt
+        self.stats.nodes_visited += 1
+        leaf_a = lt.is_leaf(pa)
+        leaf_b = rt.is_leaf(pb)
+        if leaf_a and leaf_b:
+            self.stats.leaves_scanned += 1
+            key = max(key, lt.rep_pair_bound(rt, pa, pb))
+            items_a = lt.node_items(pa)
+            items_b = rt.node_items(pb)
+            a_idx = np.repeat(items_a, len(items_b))
+            b_idx = np.tile(items_b, len(items_a))
+            lbs = self._left.pair_bounds(self._right, a_idx, b_idx)
+            for a, b, lb in zip(a_idx, b_idx, lbs):
+                heapq.heappush(
+                    self._heap,
+                    (max(key, float(lb)), _ITEM_PAIR, int(a), int(b)),
+                )
+            return
+        ca = (
+            np.array([pa], dtype=np.int64) if leaf_a
+            else np.arange(lt.child_lo[pa], lt.child_hi[pa], dtype=np.int64)
+        )
+        cb = (
+            np.array([pb], dtype=np.int64) if leaf_b
+            else np.arange(rt.child_lo[pb], rt.child_hi[pb], dtype=np.int64)
+        )
+        na = np.repeat(ca, len(cb))
+        nb = np.tile(cb, len(ca))
+        lbs = lt.pair_lower_bounds(rt, na, nb)
+        for a, b, lb in zip(na, nb, lbs):
+            heapq.heappush(
+                self._heap,
+                (max(key, float(lb)), _NODE_PAIR, int(a), int(b)),
+            )
+
+    def take(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop the next ``count`` item pairs (fewer when exhausted)."""
+        pairs: List[Tuple[int, int]] = []
+        lbs: List[float] = []
+        while self._heap and len(pairs) < count:
+            key, kind, a, b = heapq.heappop(self._heap)
+            if kind == _ITEM_PAIR:
+                pairs.append((a, b))
+                lbs.append(key)
+            else:
+                self._expand(key, a, b)
+        return (
+            np.asarray(pairs, dtype=np.int64).reshape(-1, 2),
+            np.asarray(lbs, dtype=np.float64),
+        )
+
+    def take_within(self, cut: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Drain every remaining item pair whose key is ``<= cut``.
+
+        Node pairs with key beyond the cut stay unexpanded -- their
+        entire item blocks provably exceed ``cut`` (strictly), which is
+        what makes a cursor-fed top-k scan exact under ties.
+        """
+        pairs: List[Tuple[int, int]] = []
+        lbs: List[float] = []
+        while self._heap and self._heap[0][0] <= cut:
+            key, kind, a, b = heapq.heappop(self._heap)
+            if kind == _ITEM_PAIR:
+                pairs.append((a, b))
+                lbs.append(key)
+            else:
+                self._expand(key, a, b)
+        return (
+            np.asarray(pairs, dtype=np.int64).reshape(-1, 2),
+            np.asarray(lbs, dtype=np.float64),
+        )
+
+
+#: Snapshot-persisted node arrays, in manifest order.
+TREE_ARRAY_FIELDS = (
+    "item_order", "child_lo", "child_hi", "item_lo", "item_hi",
+    "box_lo", "box_hi", "start_lo", "start_hi", "end_lo", "end_hi",
+    "start_center", "end_center", "start_radius", "end_radius",
+    "rep_points", "rep_offsets", "rep_err",
+)
+
+__all__ = [
+    "DEFAULT_FANOUT",
+    "TREE_ARRAY_FIELDS",
+    "QuerySummary",
+    "TrajectoryTree",
+    "TreePairCursor",
+]

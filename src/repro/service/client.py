@@ -345,14 +345,14 @@ class ServiceClient:
         theta: float,
         *,
         metric: Union[str, None] = None,
-        index: bool = True,
+        index: Union[bool, str] = True,
         timeout: Optional[float] = None,
     ) -> dict:
         params = {
             "left": _corpus_spec(left),
             "right": _corpus_spec(right),
             "theta": float(theta),
-            "index": bool(index),
+            "index": index if isinstance(index, str) else bool(index),
         }
         if metric is not None:
             params["metric"] = metric
@@ -365,14 +365,14 @@ class ServiceClient:
         *,
         k: int = 5,
         metric: Union[str, None] = None,
-        index: bool = True,
+        index: Union[bool, str] = True,
         timeout: Optional[float] = None,
     ) -> List[dict]:
         params = {
             "left": _corpus_spec(left),
             "right": _corpus_spec(right),
             "k": int(k),
-            "index": bool(index),
+            "index": index if isinstance(index, str) else bool(index),
         }
         if metric is not None:
             params["metric"] = metric
@@ -387,7 +387,7 @@ class ServiceClient:
         stride: int = 1,
         min_cluster_size: int = 2,
         metric: Optional[str] = None,
-        index: bool = True,
+        index: Union[bool, str] = True,
         timeout: Optional[float] = None,
     ) -> dict:
         params = {
@@ -396,8 +396,59 @@ class ServiceClient:
             "theta": float(theta),
             "stride": int(stride),
             "min_cluster_size": int(min_cluster_size),
-            "index": bool(index),
+            "index": index if isinstance(index, str) else bool(index),
         }
         if metric is not None:
             params["metric"] = metric
         return self.call("cluster", params, timeout)["result"]
+
+    def range(
+        self,
+        query,
+        corpus,
+        radius: float,
+        *,
+        metric: Union[str, None] = None,
+        index: Union[bool, str] = "tree",
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """All corpus trajectories within exact DFD ``radius`` of a query.
+
+        The reply carries ``matches`` (``[index, distance]`` pairs
+        ascending by corpus index) and the traversal's ``stats``.
+        """
+        params = {
+            "query": _spec(query),
+            "corpus": _corpus_spec(corpus),
+            "radius": float(radius),
+            "index": index if isinstance(index, str) else bool(index),
+        }
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("range", params, timeout)["result"]
+
+    def knn(
+        self,
+        query,
+        corpus,
+        *,
+        k: int = 5,
+        metric: Union[str, None] = None,
+        index: Union[bool, str] = "tree",
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """The ``k`` nearest corpus trajectories to a query by exact DFD.
+
+        The reply carries ``neighbors`` (``[distance, index]`` pairs
+        ascending, ties broken by corpus index) and the traversal's
+        ``stats``.
+        """
+        params = {
+            "query": _spec(query),
+            "corpus": _corpus_spec(corpus),
+            "k": int(k),
+            "index": index if isinstance(index, str) else bool(index),
+        }
+        if metric is not None:
+            params["metric"] = metric
+        return self.call("knn", params, timeout)["result"]

@@ -32,7 +32,10 @@ from __future__ import annotations
 from ..errors import ReproError
 
 #: Operations the service answers, mirroring the MotifEngine surface.
-OPS = ("discover", "discover_many", "top_k", "join", "join_top_k", "cluster")
+OPS = (
+    "discover", "discover_many", "top_k", "join", "join_top_k", "cluster",
+    "range", "knn",
+)
 
 
 class ServiceError(ReproError):

@@ -274,6 +274,11 @@ class MotifService:
             "breaker_opens": 0,
             "breaker_rejections": 0,
             "breaker_recoveries": 0,
+            # Hierarchical-index traversal totals, folded from every
+            # tree-walking reply this process served (join/range/knn).
+            "tree_nodes_visited": 0,
+            "tree_nodes_pruned": 0,
+            "tree_leaves_scanned": 0,
         }
         #: Test seam: called (with the request) in the serving thread
         #: right before execution; lets tests hold computations
@@ -750,6 +755,24 @@ class MotifService:
             return snap.trajectories, snap.shard_items
         return self._corpus_from_spec(spec), None
 
+    def _note_tree_stats(self, index_stats) -> None:
+        """Fold one reply's tree-traversal accounting into /stats."""
+        if not index_stats:
+            return
+        with self._cond:
+            for name in ("nodes_visited", "nodes_pruned", "leaves_scanned"):
+                self._counters[f"tree_{name}"] += int(
+                    index_stats.get(name, 0)
+                )
+
+    @staticmethod
+    def _index_mode(value):
+        """The request's ``index`` knob, normalized; bad values are 400s."""
+        try:
+            return planner.normalize_index_mode(value)
+        except ReproError as exc:
+            raise BadRequestError(str(exc)) from exc
+
     @staticmethod
     def _options_from(params: dict) -> dict:
         options = params.get("options", {})
@@ -891,7 +914,7 @@ class MotifService:
         )
         theta = float(params["theta"])
         metric = params.get("metric") or "euclidean"
-        use_index = bool(params.get("index", True))
+        use_index = self._index_mode(params.get("index", True))
         resolved = get_metric(metric)
         # The shard signature joins the key: a scattered run answers
         # identical matches but shard-local stats, so it must not
@@ -917,6 +940,7 @@ class MotifService:
                 matches, stats = self.engine.join(
                     left, right, theta, metric=metric, index=use_index,
                 )
+            self._note_tree_stats(stats.details.get("index"))
             return {
                 "matches": [[int(a), int(b)] for a, b in matches],
                 "stats": _encode_join_stats(stats),
@@ -931,7 +955,7 @@ class MotifService:
         )
         k = int(params.get("k", 5))
         metric = params.get("metric") or "euclidean"
-        use_index = bool(params.get("index", True))
+        use_index = self._index_mode(params.get("index", True))
         resolved = get_metric(metric)
         shard_sig = (
             len(left_shards) if left_shards else 1,
@@ -967,7 +991,7 @@ class MotifService:
         stride = int(params.get("stride", 1))
         min_cluster_size = int(params.get("min_cluster_size", 2))
         metric = params.get("metric")
-        use_index = bool(params.get("index", True))
+        use_index = self._index_mode(params.get("index", True))
         resolved = get_metric(metric, crs=traj.crs)
         key = (
             "svc", "cluster",
@@ -991,3 +1015,91 @@ class MotifService:
             }
 
         return key, runner
+
+    def _prepare_range(self, params: dict):
+        query = self._trajectory_from_spec(params["query"])
+        corpus, shards = self._corpus_and_shards_from_spec(params["corpus"])
+        radius = float(params["radius"])
+        metric = params.get("metric") or "euclidean"
+        use_index = self._index_mode(params.get("index", "tree"))
+        resolved = get_metric(metric)
+        key = (
+            "svc", "range", len(shards) if shards else 1,
+            planner.range_result_key(
+                query, corpus, resolved, radius, bool(use_index)
+            ),
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)
+            matches, stats = self._scatter_scan(
+                shards, corpus,
+                lambda part: self.engine.range(
+                    query, part, radius, metric=metric, index=use_index
+                ),
+            )
+            # Shard answers are index-ascending and offsets increase,
+            # so the concatenation is already the unsharded order.
+            return {
+                "matches": [[int(i), float(d)] for i, d in matches],
+                "stats": stats,
+            }
+
+        return key, runner
+
+    def _prepare_knn(self, params: dict):
+        query = self._trajectory_from_spec(params["query"])
+        corpus, shards = self._corpus_and_shards_from_spec(params["corpus"])
+        k = int(params.get("k", 5))
+        metric = params.get("metric") or "euclidean"
+        use_index = self._index_mode(params.get("index", "tree"))
+        resolved = get_metric(metric)
+        key = (
+            "svc", "knn", len(shards) if shards else 1,
+            planner.knn_result_key(
+                query, corpus, resolved, k, bool(use_index)
+            ),
+        )
+
+        def runner(deadline):
+            self._remaining(deadline)
+            entries, stats = self._scatter_scan(
+                shards, corpus,
+                lambda part: self.engine.knn(
+                    query, part, k, metric=metric, index=use_index
+                ),
+                shift=lambda nbrs, off: [(d, i + off) for d, i in nbrs],
+            )
+            # Per-shard (distance, global index) entries merge under
+            # the same canonical order sorted()[:k] yields.
+            entries = sorted(entries)[:k]
+            return {
+                "neighbors": [[float(d), int(i)] for d, i in entries],
+                "stats": stats,
+            }
+
+        return key, runner
+
+    def _scatter_scan(self, shards, corpus, scan, *, shift=None):
+        """Run a per-corpus scan over each shard; fold stats.
+
+        ``scan(part)`` returns ``(entries, IndexStats)``; entries are
+        shifted to global indices (``shift`` defaults to the
+        range-scan ``(index, distance)`` shape) and concatenated in
+        shard order.  Traversal counters sum key-wise and fold into
+        the service's ``tree_*`` totals.
+        """
+        if shift is None:
+            def shift(matches, off):
+                return [(i + off, d) for i, d in matches]
+        merged: list = []
+        totals: Dict[str, int] = {}
+        offset = 0
+        for part in (shards or [corpus]):
+            entries, stats = scan(part)
+            merged.extend(shift(entries, offset))
+            offset += len(part)
+            for name, value in stats.as_dict().items():
+                totals[name] = totals.get(name, 0) + int(value)
+        self._note_tree_stats(totals)
+        return merged, totals

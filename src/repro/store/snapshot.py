@@ -49,7 +49,7 @@ import numpy as np
 
 from ..errors import ReproError
 from ..faults import fail_at
-from ..index import CorpusIndex
+from ..index import TREE_ARRAY_FIELDS, CorpusIndex, TrajectoryTree
 from ..trajectory import Trajectory
 
 SNAPSHOT_FORMAT = "repro-corpus-snapshot"
@@ -303,6 +303,14 @@ def save_snapshot(
         "simp_offsets": (_le(simp_offsets, _INT), _INT),
         "simp_errors": (_le(index.simplification_errors, _FLOAT), _FLOAT),
     }
+    # The hierarchical proximity tree persists alongside the summaries
+    # it aggregates: loaders reattach the node arrays with zero bulk
+    # load, so snapshot-served range / knn / tree-mode joins recompute
+    # nothing (the same contract the simplification arrays carry).
+    tree = index.ensure_tree()
+    for name, array in tree.tree_arrays().items():
+        dtype = _INT if array.dtype.kind == "i" else _FLOAT
+        arrays[f"tree_{name}"] = (_le(array, dtype), dtype)
     specs = {}
     for name, (array, dtype) in arrays.items():
         filename = f"{name}.bin"
@@ -334,6 +342,7 @@ def save_snapshot(
         "dimensions": index.dimensions,
         "crs": crs,
         "trajectory_ids": trajectory_ids,
+        "tree": {"fanout": tree.fanout},
         "arrays": specs,
     }
     manifest_path = root / MANIFEST_NAME
@@ -472,7 +481,13 @@ def load_snapshot(
         simp_points[int(simp_offsets[i]):int(simp_offsets[i + 1])]
         for i in range(n)
     ]
-    transport = ("points", "timestamps", "offsets")
+    # Tree node arrays ride the same by-reference transport as the
+    # corpus slabs: pool workers that attach the ref re-map them from
+    # the page cache instead of receiving pickled copies.
+    transport = ("points", "timestamps", "offsets") + tuple(
+        f"tree_{name}" for name in TREE_ARRAY_FIELDS
+        if f"tree_{name}" in specs
+    )
     slab_ref = SnapshotSlabRef(
         root=str(root.resolve()),
         fields=tuple(
@@ -496,6 +511,20 @@ def load_snapshot(
         slabs={"points": points, "timestamps": timestamps, "offsets": offsets},
         slab_ref=slab_ref,
     )
+    tree_info = manifest.get("tree")
+    if tree_info and all(
+        f"tree_{name}" in specs for name in TREE_ARRAY_FIELDS
+    ):
+        # Reattach the persisted hierarchy -- zero bulk load, zero DPs;
+        # older snapshots without tree arrays simply rebuild lazily.
+        index.attach_tree(TrajectoryTree.restore(
+            index.metric,
+            int(tree_info["fanout"]),
+            {
+                name: open_named(f"tree_{name}")
+                for name in TREE_ARRAY_FIELDS
+            },
+        ))
     index.snapshot_manifest = manifest
     index.snapshot_path = str(root.resolve())
     if verify and index.content_key != manifest["content_key"]:
