@@ -660,3 +660,82 @@ def test_parallel_paths_pickle_no_dense_matrices(benchmark):
     assert info["shm_segments"] >= 1 and info["shm_bytes"] > 0, info
     assert info["shm_bounds_segments"] >= 1, info
     assert info["shm_bounds_bytes"] > 0, info
+
+
+OVERHEAD_SHAPE = {
+    "smoke": (16, 2, 50),   # clusters, per cluster, points
+    "quick": (16, 2, 50),
+    "full": (24, 3, 80),
+}
+
+
+def test_observability_overhead(benchmark):
+    """The PR 10 guardrail row: the same clustered indexed join measured
+    with the observability pillars off and fully on (metrics plus
+    tracing with an active per-query trace, the serving configuration).
+    The telemetry layer must cost <= 5% wall clock -- recorded in
+    ``BENCH_engine_scaling.json`` so future PRs diff against it."""
+    import repro.obs as obs
+
+    benchmark.group = "obs: telemetry overhead"
+    clusters, per_cluster, n = OVERHEAD_SHAPE.get(bench_scale(), (16, 2, 50))
+    corpus = _indexed_join_corpus(clusters, per_cluster, n, seed=2)
+    shifted = [Trajectory(t.points + 0.5) for t in corpus]
+    theta = 6.0
+    repeats = 5
+    workers = max(WORKERS)
+    prior_metrics, prior_tracing = obs.metrics_enabled(), obs.trace_enabled()
+
+    def measure(enabled: bool):
+        # Flip the pillars *before* the engine forks its pool so the
+        # children inherit the setting, exactly like a served fleet.
+        obs.configure(metrics=enabled, tracing=enabled)
+        with MotifEngine(workers=workers, result_cache_size=0) as eng:
+            def one():
+                if enabled:
+                    obs.start_trace()
+                try:
+                    return eng.join(corpus, shifted, theta, index=True)
+                finally:
+                    if enabled:
+                        obs.clear_trace()
+
+            one()  # warm-up
+            times = []
+            matches = None
+            for _ in range(repeats):
+                started = time.perf_counter()
+                matches, _ = one()
+                times.append(time.perf_counter() - started)
+            return min(times), matches
+
+    def run():
+        try:
+            t_off, m_off = measure(False)
+            t_on, m_on = measure(True)
+        finally:
+            obs.configure(metrics=prior_metrics, tracing=prior_tracing)
+            obs.clear_trace()
+        return t_off, m_off, t_on, m_on
+
+    t_off, m_off, t_on, m_on = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Telemetry must never change answers.
+    assert m_on == m_off
+    ratio = t_on / max(t_off, 1e-9)
+    _update_bench_json("observability_overhead", {
+        "clusters": clusters,
+        "per_cluster": per_cluster,
+        "n": n,
+        "theta": theta,
+        "workers": workers,
+        "repeats": repeats,
+        "off_seconds": t_off,
+        "on_seconds": t_on,
+        "ratio": ratio,
+        "floor": 1.05,
+    })
+    # Acceptance floor; future PRs must keep telemetry this cheap.
+    assert ratio <= 1.05, (
+        f"observability overhead {ratio:.3f}x "
+        f"(off {t_off:.3f}s, on {t_on:.3f}s)"
+    )

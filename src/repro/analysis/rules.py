@@ -1,4 +1,4 @@
-"""The eight project-invariant rules (``RPR001``..``RPR008``).
+"""The nine project-invariant rules (``RPR001``..``RPR009``).
 
 Each rule encodes a contract an earlier PR established and the test
 suite defends only dynamically; DESIGN.md section 11 catalogues them.
@@ -822,5 +822,61 @@ class PoolDispatchRule(Rule):
                 "crash-safe pool_map dispatcher (no broken-pool "
                 "detection, no re-dispatch, no worker_crashes "
                 "accounting)",
+            ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RPR009 -- no stray output on library paths
+# ----------------------------------------------------------------------
+@register
+class StrayOutputRule(Rule):
+    """Library code must not write to stdout.
+
+    The serving stack observes itself through the metrics registry,
+    the trace sink and the ``repro.service`` logger -- never through
+    ``print``.  A stray ``print`` on a library path corrupts
+    machine-read stdout (the CLI's JSON mode, a piped scrape),
+    interleaves arbitrarily across fleet workers and pool children,
+    and vanishes entirely in daemonised deployments.  Only the
+    operator-facing surfaces -- the CLIs, the plotting helpers and
+    the test harness -- own stdout; everything else reports through
+    ``logging`` or :mod:`repro.obs`.
+    """
+
+    code = "RPR009"
+    name = "no-stray-output"
+    description = (
+        "no print()/sys.stdout.write() outside the CLI, viz and "
+        "testing surfaces"
+    )
+    paths = ("repro/",)
+
+    #: Operator-facing surfaces where stdout *is* the interface.
+    _EXEMPT = (
+        "repro/cli.py",
+        "repro/analysis/cli.py",
+        "repro/viz.py",
+        "repro/testing.py",
+    )
+
+    def check(self, tree, source, path):
+        normalized = path.replace("\\", "/")
+        if any(fragment in normalized for fragment in self._EXEMPT):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                what = "print()"
+            elif _dotted(node.func) == "sys.stdout.write":
+                what = "sys.stdout.write()"
+            else:
+                continue
+            findings.append(self.finding(
+                path, node,
+                f"stray {what} on a library path; report through "
+                "logging or repro.obs (stdout belongs to the CLI)",
             ))
         return findings

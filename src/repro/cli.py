@@ -9,6 +9,7 @@ Subcommands::
     repro-motif snapshot build --dataset truck --count 12 --output snap/
     repro-motif snapshot inspect snap/
     repro-motif serve --snapshot fleet=snap/ --port 8707 --workers 2
+    repro-motif metrics --port 8707 --filter repro_service
     repro-motif bench fig18 --scale quick
     repro-motif analyze src tests benchmarks --format json
     repro-motif datasets
@@ -21,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -334,9 +336,14 @@ def _parse_snapshot_mounts(specs):
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from . import obs
     from .service import MotifService, ServiceFleet, serve, serve_fleet
     from .store import SnapshotError
 
+    if args.trace_path:
+        # Before any fork, so fleet workers and pool children inherit
+        # the sink and their spans interleave into one JSONL file.
+        obs.configure(trace_path=args.trace_path)
     service_kwargs = dict(
         workers=args.workers,
         service_workers=args.service_workers,
@@ -345,6 +352,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_watch_interval=args.reload_interval,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        slow_query_threshold=args.slow_query_threshold,
     )
     mounts = _parse_snapshot_mounts(args.snapshot)
     if args.fleet > 1:
@@ -397,6 +405,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+    from .service.protocol import ServiceError
+
+    client = ServiceClient(args.host, args.port, retries=0)
+    try:
+        text = client.metrics_text()
+    except ServiceError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.filter:
+        text = "\n".join(
+            line for line in text.splitlines() if args.filter in line
+        )
+    try:
+        print(text)
+    except BrokenPipeError:  # e.g. `repro-motif metrics | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     for name in dataset_names():
         gen = get_dataset(name)
@@ -411,6 +440,12 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     print(f"datasets:   {', '.join(dataset_names())}")
     print(f"experiments: {', '.join(EXPERIMENTS)}")
     return 0
+
+
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", action="store_true",
+                   help="record observability spans for this run and "
+                        "print the trace tree afterwards")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -442,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true", help="print search statistics")
     p.add_argument("--plot", action="store_true",
                    help="render the motif as ASCII art")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_discover)
 
     p = sub.add_parser("topk", help="top-k motif discovery")
@@ -456,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shared-memory", action="store_true",
                    help="ship dG and bound arrays through the pool pipe "
                         "instead of shared-memory segments (debug/ops knob)")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_topk)
 
     p = sub.add_parser("join", help="DFD similarity join between two collections")
@@ -483,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of the flat pair grid")
     p.add_argument("--stats", action="store_true",
                    help="print filter-cascade statistics")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_join)
 
     p = sub.add_parser("query",
@@ -505,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "index; 'off' scans brute-force (same answer)")
     p.add_argument("--stats", action="store_true",
                    help="print the traversal's IndexStats accounting")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("cluster", help="DFD subtrajectory clustering")
@@ -524,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "index ('tree' for the hierarchical traversal)")
     p.add_argument("--stats", action="store_true",
                    help="print window/candidate counts and index pruning stats")
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("snapshot",
@@ -584,7 +624,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--breaker-cooldown", type=float, default=5.0,
                    help="seconds the open breaker sheds load before "
                         "admitting a half-open probe request")
+    p.add_argument("--slow-query-threshold", type=float, default=None,
+                   help="log a WARNING with the span tree for requests "
+                        "whose execution exceeds this many seconds")
+    p.add_argument("--trace-path", default=None,
+                   help="append span/event records (JSONL) from every "
+                        "serving process to this file")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("metrics",
+                       help="scrape a running service's /metrics endpoint")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8707)
+    p.add_argument("--filter",
+                   help="print only lines containing this substring")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("bench", help="run experiment(s) and print tables")
     p.add_argument("experiment", nargs="+",
@@ -614,6 +668,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", False):
+        from . import obs
+
+        # The tree below holds this process's spans; pool-worker spans
+        # land in the children's rings (point REPRO_TRACE_PATH at a
+        # file to capture the cross-process view).
+        trace_id = obs.start_trace()
+        try:
+            code = args.func(args)
+        finally:
+            print()
+            print(f"trace {trace_id}:")
+            print(obs.format_trace(obs.recent_records(trace_id)))
+            obs.clear_trace()
+        return code
     return args.func(args)
 
 

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.motif import _as_trajectory
 from ..distances.ground import get_metric
 from ..errors import ReproError
@@ -168,7 +169,8 @@ def _tiled_join(engine, left, right, theta, metric, workers):
         for left_idx, right_idx in plan.tiles
     ]
     with exec_.scan_lock:  # pool use is engine-wide exclusive
-        parts = exec_.map_tasks(tasks, workers, _worker.join_tile)
+        with obs.span("engine.dispatch", tasks=len(tasks)):
+            parts = exec_.map_tasks(tasks, workers, _worker.join_tile)
     matches: List[Tuple[int, int]] = []
     tile_stats = []
     for part_matches, part_stats in parts:
@@ -195,11 +197,14 @@ def _indexed_join(engine, left, right, theta, metric, resolved, workers,
     # Candidate sets are pure functions of (corpora, metric, theta,
     # generator mode); serving workloads re-join the same collections,
     # so they ride the tables cache next to the indexes themselves.
-    pairs, index_stats = engine._oracles.tables.get_or_build(
-        ("cpairs", fps_left, fps_right, metric_key(resolved), float(theta),
-         mode),
-        lambda: index_left.candidate_pairs(index_right, theta, mode=mode),
-    )
+    with obs.span("engine.index", mode=mode) as _sp:
+        pairs, index_stats = engine._oracles.tables.get_or_build(
+            ("cpairs", fps_left, fps_right, metric_key(resolved),
+             float(theta), mode),
+            lambda: index_left.candidate_pairs(index_right, theta, mode=mode),
+        )
+        if _sp is not None:
+            _sp.attrs["candidates"] = int(len(pairs))
     n_chunks = planner.n_chunks_for(workers, exec_.chunks_per_worker)
     if not exec_.can_shard(workers) or len(pairs) < 2 or n_chunks < 2:
         matches, stats = join_pairs(
@@ -239,8 +244,9 @@ def _indexed_join(engine, left, right, theta, metric, resolved, workers,
                         len(pairs), workers, exec_.chunks_per_worker
                     )
                 ]
-                parts = exec_.map_tasks(tasks, workers,
-                                        _worker.pairs_join_tile)
+                with obs.span("engine.dispatch", tasks=len(tasks)):
+                    parts = exec_.map_tasks(tasks, workers,
+                                            _worker.pairs_join_tile)
             finally:
                 exec_.shm.trim()
         matches = []
@@ -772,8 +778,9 @@ def run_cluster(engine, trajectory, *, window_length, theta, stride,
                         len(candidates), workers, exec_.chunks_per_worker
                     )
                 ]
-                parts = exec_.map_tasks(tasks, workers,
-                                        _worker.pairs_join_tile)
+                with obs.span("engine.dispatch", tasks=len(tasks)):
+                    parts = exec_.map_tasks(tasks, workers,
+                                            _worker.pairs_join_tile)
             finally:
                 exec_.shm.trim()
         edges = []

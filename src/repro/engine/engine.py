@@ -44,6 +44,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..core.gtm import GTM
 from ..core.motif import MotifResult, _as_trajectory, _make_algorithm
 from ..core.stats import PhaseTimer, SearchStats
@@ -63,6 +64,18 @@ class MatrixMotifResult(NamedTuple):
     distance: float
     indices: Tuple[int, int, int, int]
     stats: SearchStats
+
+
+#: Search phases observed into the fork-shared latency histogram (and
+#: mirrored as spans when a trace is active).  Registered at module
+#: scope so forked workers agree on the metric layout.
+_PHASES = ("plan", "chunks", "oracle", "search", "total")
+_PHASE_SECONDS = obs.REGISTRY.histogram(
+    "repro_engine_phase_seconds",
+    "engine search-phase latency by phase",
+    labels=("phase",),
+    values=[(p,) for p in _PHASES],
+)
 
 
 class MotifEngine:
@@ -736,60 +749,77 @@ class MotifEngine:
             mode=space.mode, n_rows=space.n_rows, n_cols=space.n_cols, xi=space.xi
         )
         started = time.perf_counter()
-        parallel = planner.should_partition(
-            workers, seed, getattr(algo, "approx_factor", 1.0)
-        )
+        with obs.span("engine.plan", workers=workers):
+            parallel = planner.should_partition(
+                workers, seed, getattr(algo, "approx_factor", 1.0)
+            )
+        _PHASE_SECONDS.labels("plan").observe(time.perf_counter() - started)
 
         d_star = math.inf
         if parallel:
-            dense, okey = (
-                self._oracles.dense_oracle(traj_a, traj_b, metric)
-                if matrix is None
-                else self._oracles.matrix_oracle(matrix)
-            )
-            if isinstance(algo, GTM):
-                # GTM queries run the paper's grouping phase first --
-                # sharded across the pool -- so the chunk scan sees
-                # only the surviving subsets with a proven threshold.
-                d_star = self._exec.grouped_distance(
-                    self._oracles, dense, okey, space, algo, stats, workers,
-                    started,
+            chunks_started = time.perf_counter()
+            with obs.span("engine.chunks", workers=workers):
+                dense, okey = (
+                    self._oracles.dense_oracle(traj_a, traj_b, metric)
+                    if matrix is None
+                    else self._oracles.matrix_oracle(matrix)
                 )
-                # The resolution pass descends the same tau sequence;
-                # hand it the levels this scan just built and cached
-                # so it never re-reduces the O(n^2) matrix (a copy
-                # keeps a caller-owned algorithm instance untouched).
-                algo = copy.copy(algo)
-                algo.level_builder = self._exec.level_builder_for(
-                    self._oracles, okey, workers
-                )
-            else:
-                d_star = self._exec.chunked_distance(
-                    self._oracles, dense, okey, space, algo, stats, workers,
-                    started,
-                )
-            if hasattr(type(algo), "subset_expander"):
-                # The resolution pass re-expands the same surviving
-                # pair sets the grouped scan just expanded; route both
-                # through the per-(level, space) expansion cache so
-                # the lexsorted enumeration happens once per tau (a
-                # copy keeps a caller-owned instance untouched).
-                if algo.subset_expander is None:
-                    algo = copy.copy(algo)
-                    algo.subset_expander = self._exec.subset_expander_for(
-                        self._oracles, okey
+                if isinstance(algo, GTM):
+                    # GTM queries run the paper's grouping phase first --
+                    # sharded across the pool -- so the chunk scan sees
+                    # only the surviving subsets with a proven threshold.
+                    d_star = self._exec.grouped_distance(
+                        self._oracles, dense, okey, space, algo, stats,
+                        workers, started,
                     )
-            algo = self._exec.remaining_budget_algo(algo, started)
-
-        with PhaseTimer(stats, "time_precompute"):
-            oracle = self._oracles.serial_oracle(
-                algo, traj_a, traj_b, metric, matrix
+                    # The resolution pass descends the same tau sequence;
+                    # hand it the levels this scan just built and cached
+                    # so it never re-reduces the O(n^2) matrix (a copy
+                    # keeps a caller-owned algorithm instance untouched).
+                    algo = copy.copy(algo)
+                    algo.level_builder = self._exec.level_builder_for(
+                        self._oracles, okey, workers
+                    )
+                else:
+                    d_star = self._exec.chunked_distance(
+                        self._oracles, dense, okey, space, algo, stats,
+                        workers, started,
+                    )
+                if hasattr(type(algo), "subset_expander"):
+                    # The resolution pass re-expands the same surviving
+                    # pair sets the grouped scan just expanded; route both
+                    # through the per-(level, space) expansion cache so
+                    # the lexsorted enumeration happens once per tau (a
+                    # copy keeps a caller-owned instance untouched).
+                    if algo.subset_expander is None:
+                        algo = copy.copy(algo)
+                        algo.subset_expander = self._exec.subset_expander_for(
+                            self._oracles, okey
+                        )
+                algo = self._exec.remaining_budget_algo(algo, started)
+            _PHASE_SECONDS.labels("chunks").observe(
+                time.perf_counter() - chunks_started
             )
+
+        with obs.span("engine.oracle"):
+            with PhaseTimer(stats, "time_precompute"):
+                oracle = self._oracles.serial_oracle(
+                    algo, traj_a, traj_b, metric, matrix
+                )
+        _PHASE_SECONDS.labels("oracle").observe(stats.time_precompute)
         bsf0, best0 = (math.inf, None) if seed is None else seed
         if d_star < bsf0:
             bsf0, best0 = d_star, None
-        distance, best = algo.search(oracle, space, stats, bsf0=bsf0, best0=best0)
+        search_started = time.perf_counter()
+        with obs.span("engine.search"):
+            distance, best = algo.search(
+                oracle, space, stats, bsf0=bsf0, best0=best0
+            )
+        _PHASE_SECONDS.labels("search").observe(
+            time.perf_counter() - search_started
+        )
         stats.time_total = time.perf_counter() - started
+        _PHASE_SECONDS.labels("total").observe(stats.time_total)
         if best is None:
             raise ReproError(
                 "search finished without a witness pair; this indicates a bug"

@@ -60,6 +60,7 @@ from ..core.grouping import (
     group_dfd_bounds,
     pattern_bounds_for_pairs,
 )
+from .. import obs
 from ..core.gtm import expand_pairs_to_subsets
 from ..core.problem import SearchSpace
 from ..distances.ground import DenseGroundMatrix
@@ -375,6 +376,15 @@ class EngineExecutor:
         rebuild/re-dispatch cycle.
         """
         tasks = list(tasks)
+        # Attach the caller's trace context as a tiny ref on every task
+        # that can carry one; workers re-open it around the task run.
+        trace_ctx = obs.current_trace() if obs.trace_enabled() else None
+        if trace_ctx is not None:
+            tasks = [
+                dataclasses.replace(task, trace=trace_ctx)
+                if hasattr(task, "trace") else task
+                for task in tasks
+            ]
         results: list = [None] * len(tasks)
         pending = list(range(len(tasks)))
         attempts = 0
@@ -384,7 +394,9 @@ class EngineExecutor:
             crashed = False
             try:
                 for idx in pending:
-                    futures[idx] = pool.submit(fn, tasks[idx])
+                    futures[idx] = pool.submit(
+                        _worker.run_task, fn, tasks[idx]
+                    )
             except BrokenProcessPool:
                 crashed = True
             if futures and not crashed:
@@ -410,6 +422,9 @@ class EngineExecutor:
             attempts += 1
             self.transfer["worker_crashes"] += 1
             self.close_pool()
+            obs.add_event(
+                "pool.rebuild", attempt=attempts, unfinished=len(survivors)
+            )
             if not survivors:
                 # The pool died after the last result landed; nothing
                 # to re-run.
@@ -420,6 +435,9 @@ class EngineExecutor:
                     f"{len(survivors)} of {len(tasks)} tasks unfinished"
                 )
             self.transfer["redispatches"] += 1
+            obs.add_event(
+                "pool.redispatch", attempt=attempts, tasks=len(survivors)
+            )
             pending = sorted(survivors)
         return results
 

@@ -49,6 +49,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.bounds import SubsetBounds
 from ..core.brute import MotifTimeout
 from ..core.btm import run_best_first
@@ -62,6 +63,13 @@ from ..errors import ReproError
 from ..faults import fail_at
 from .shm import SharedArrayRef, SharedMatrixRef, attach_matrix, attach_slabs
 
+#: Registered at import time -- i.e. before any pool fork -- so every
+#: worker process increments the same fork-shared cell.
+_TASK_RUNS = obs.REGISTRY.counter(
+    "repro_worker_tasks_total",
+    "pool tasks executed inside engine worker processes",
+)
+
 #: Shared best-so-far threshold; installed per worker by init_worker().
 #: The engine resets it to +inf before every chunked scan, so within one
 #: scan it holds the tightest published value of whatever that scan
@@ -73,6 +81,27 @@ def init_worker(shared_bsf) -> None:
     """Pool initializer: adopt the engine's shared threshold value."""
     global _SHARED_BSF
     _SHARED_BSF = shared_bsf
+    # A pool can be forked mid-request; whatever trace context the
+    # forking thread held does not belong to this fresh worker.
+    obs.clear_trace()
+
+
+def run_task(fn, task):
+    """Child-side entry point of every pool dispatch (see
+    :meth:`EngineExecutor.pool_map`): join the task's trace, open the
+    ``worker.task`` span *before* the task function runs -- so a
+    failpoint fired inside it lands in the span -- and count the run.
+    """
+    _TASK_RUNS.inc()
+    trace = getattr(task, "trace", None)
+    if trace is None:
+        return fn(task)
+    obs.set_trace(*trace)
+    try:
+        with obs.span("worker.task", task=type(task).__name__):
+            return fn(task)
+    finally:
+        obs.clear_trace()
 
 
 def read_shared_bsf() -> float:
@@ -187,6 +216,9 @@ class ChunkTask:
     sync_every: int = 64
     #: Restore the pre-lazy full argsort (perf-trajectory baseline).
     eager_order: bool = False
+    #: ``(trace_id, parent_span_id)`` attached by ``pool_map`` at
+    #: dispatch time; observability only, never part of any cache key.
+    trace: Optional[Tuple[str, str]] = None
 
 
 class ChunkResult(NamedTuple):
@@ -267,6 +299,7 @@ class TopKChunkTask:
     matrix_ref: Optional[SharedMatrixRef] = None
     seed_kth: float = math.inf
     sync_every: int = 64
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 class TopKChunkResult(NamedTuple):
@@ -347,6 +380,7 @@ class QueryTask:
     corpus_ref: Optional[SharedArrayRef] = None
     a_spec: Optional[Tuple[int, str, Optional[str]]] = None
     b_spec: Optional[Tuple[int, str, Optional[str]]] = None
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def run_query(task: QueryTask) -> MotifResult:
@@ -398,6 +432,7 @@ class JoinTask:
     metric: object
     left_offset: int  # absolute index of left[0] in the full collection
     right_offset: int  # absolute index of right[0] in the full collection
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def join_tile(task: JoinTask):
@@ -481,6 +516,7 @@ class PairsJoinTask:
     left_ref: Optional[SharedArrayRef] = None
     right_points: Optional[Sequence] = None
     right_ref: Optional[SharedArrayRef] = None
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def pairs_join_tile(task: PairsJoinTask):
@@ -522,6 +558,7 @@ class JoinTopKChunkTask:
     right_ref: Optional[SharedArrayRef] = None
     seed_kth: float = math.inf
     sync_every: int = 64
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def join_topk_chunk(task: JoinTopKChunkTask):
@@ -586,6 +623,7 @@ class GroupReduceTask:
     u_end: int
     matrix: Optional[np.ndarray] = None
     matrix_ref: Optional[SharedMatrixRef] = None
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def group_reduce(task: GroupReduceTask):
@@ -619,6 +657,7 @@ class GroupDFDTask:
     #: timeout-bounded query (CLOCK_MONOTONIC is system-wide on the
     #: platforms with fork), mirroring ChunkTask's budget contract.
     deadline: Optional[float] = None
+    trace: Optional[Tuple[str, str]] = None  # see ChunkTask.trace
 
 
 def group_dfd_chunk(task: GroupDFDTask) -> np.ndarray:

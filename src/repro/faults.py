@@ -73,6 +73,10 @@ SITES = (
 
 _ACTIONS = ("raise", "kill", "exit")
 
+#: Bound on the shared hit/budget counter locks (see
+#: :meth:`_Failpoint.trigger` for why an unbounded acquire can hang).
+COUNTER_TIMEOUT = 5.0
+
 
 def _shared_counter():
     """A fork-shared int cell; plain fallback where fork is missing.
@@ -143,20 +147,40 @@ class _Failpoint:
     def trigger(self) -> None:
         # Both counter locks are released before the action runs: a
         # SIGKILL while holding a fork-shared lock would deadlock every
-        # sibling process incrementing the same counter.
-        with self.hits.get_lock():
+        # sibling process incrementing the same counter.  The acquires
+        # are bounded for the deaths this module *causes*: tearing down
+        # a broken pool SIGTERMs every sibling, and one dying inside
+        # this critical section would orphan the semaphore for all
+        # later pool generations (they inherit these counters through
+        # ``_ARMED``).  An orphaned failpoint stops firing.
+        hlock = self.hits.get_lock()
+        if not hlock.acquire(timeout=COUNTER_TIMEOUT):
+            return
+        try:
             self.hits.value += 1
             hit = self.hits.value
+        finally:
+            hlock.release()
         if not (self.first <= hit <= self.last):
             return
-        if self.limit is not None:
-            with self.fires.get_lock():
-                if self.fires.value >= self.limit:
-                    return
-                self.fires.value += 1
-        else:
-            with self.fires.get_lock():
-                self.fires.value += 1
+        flock = self.fires.get_lock()
+        if not flock.acquire(timeout=COUNTER_TIMEOUT):
+            return
+        try:
+            if self.limit is not None and self.fires.value >= self.limit:
+                return
+            self.fires.value += 1
+        finally:
+            flock.release()
+        # Record the fire as a span event *before* the action runs:
+        # events flush to the JSONL sink immediately, so even a
+        # SIGKILLing failpoint leaves its fire in the trace.
+        from . import obs
+
+        obs.add_event(
+            "failpoint", site=self.site, action=self.action, hit=hit,
+            spec=self.spec,
+        )
         self._fire(hit)
 
     def _fire(self, hit: int) -> None:

@@ -1,0 +1,102 @@
+"""End-to-end observability: fork-shared metrics and request tracing.
+
+``repro.obs`` is the telemetry layer of the serving stack -- stdlib
+only, fork-aware, and cheap enough to leave on in production:
+
+* :mod:`repro.obs.metrics` -- typed ``Counter``/``Gauge``/``Histogram``
+  series in one fork-shared slab, merged across the fleet master, its
+  service workers and every engine pool child, rendered by
+  :func:`render_prometheus` for ``GET /metrics``.
+* :mod:`repro.obs.trace` -- trace contexts, spans and events recorded
+  to a bounded ring plus an optional JSONL file, propagated over HTTP
+  via the ``X-Repro-Trace-Id`` header and into pool workers via task
+  refs.
+
+:func:`configure` is the one switch operators need: it flips metrics
+and tracing independently (the overhead benchmark drives both) and
+points the span sink at a file.  The environment equivalents --
+``REPRO_OBS_METRICS``, ``REPRO_OBS_TRACING``, ``REPRO_TRACE_PATH`` --
+apply at import time, before any fork, which is how the fleet and its
+workers end up agreeing without re-plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    render_prometheus,
+)
+from .trace import (
+    TRACE_HEADER,
+    add_event,
+    clear_trace,
+    current_trace,
+    format_trace,
+    new_span_id,
+    new_trace_id,
+    recent_records,
+    set_trace,
+    set_trace_path,
+    span,
+    start_trace,
+    trace_enabled,
+    trace_path,
+)
+from . import trace as _trace
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TRACE_HEADER",
+    "add_event",
+    "clear_trace",
+    "configure",
+    "current_trace",
+    "format_trace",
+    "metrics_enabled",
+    "new_span_id",
+    "new_trace_id",
+    "recent_records",
+    "render_prometheus",
+    "set_trace",
+    "set_trace_path",
+    "span",
+    "start_trace",
+    "trace_enabled",
+    "trace_path",
+]
+
+_UNSET = object()
+
+
+def metrics_enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def configure(*, metrics: Optional[bool] = None,
+              tracing: Optional[bool] = None,
+              trace_path=_UNSET) -> None:
+    """Flip the observability pillars at runtime.
+
+    ``metrics``/``tracing`` enable or disable their pillar (``None``
+    leaves it alone); ``trace_path`` repoints the JSONL span sink
+    (``None`` closes it).  Call before forking workers when possible so
+    children inherit the setting.
+    """
+    if metrics is not None:
+        REGISTRY.enabled = bool(metrics)
+    if tracing is not None:
+        _trace.set_enabled(bool(tracing))
+    if trace_path is not _UNSET:
+        set_trace_path(trace_path)

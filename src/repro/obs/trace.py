@@ -1,0 +1,312 @@
+"""Request tracing: trace context, spans, and a bounded JSONL sink.
+
+A *trace* is one request's causal tree: the service mints (or adopts,
+from the ``X-Repro-Trace-Id`` header) a trace id at admission, opens a
+root span, and every layer below -- engine phases, snapshot reloads,
+pool-worker tasks -- nests child spans under whatever span its thread
+currently has open.  Worker processes join an existing trace via
+:func:`set_trace` with the ``(trace_id, parent_span_id)`` ref the task
+struct carried over the pipe.
+
+Records land in two sinks:
+
+* a bounded in-process ring (the last :data:`RING_CAPACITY` records),
+  which feeds the slow-query log and the CLI's ``--trace`` rendering;
+* optionally a JSONL file (``REPRO_TRACE_PATH`` or
+  :func:`set_trace_path`), appended with ``O_APPEND`` + ``os.write``
+  per record so lines from many processes interleave whole and are
+  durable the instant they are written.
+
+Span records are written when the span *closes*; events
+(:func:`add_event`) are flushed immediately, which is what lets a
+failpoint that SIGKILLs its own process still leave its fire in the
+trace.  All timestamps are ``time.perf_counter()`` -- monotonic and,
+on Linux, comparable across the processes of one boot -- so nothing
+here touches the wall clock (RPR004) and trace ids never reach cache
+keys (RPR003): the context lives in thread-local state and task refs,
+never in request params.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "TRACE_HEADER",
+    "add_event",
+    "clear_trace",
+    "current_trace",
+    "format_trace",
+    "new_span_id",
+    "new_trace_id",
+    "recent_records",
+    "set_trace",
+    "set_trace_path",
+    "span",
+    "start_trace",
+    "trace_enabled",
+    "trace_path",
+]
+
+#: HTTP header carrying the trace id into and back out of the service.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Ring capacity (records, newest win).
+RING_CAPACITY = 4096
+
+_RING: "collections.deque" = collections.deque(maxlen=RING_CAPACITY)
+_LOCAL = threading.local()
+_STATE = {
+    "enabled": os.environ.get("REPRO_OBS_TRACING", "").lower()
+    not in ("0", "false", "off"),
+    "path": os.environ.get("REPRO_TRACE_PATH") or None,
+    "fd": None,
+    "fd_pid": None,
+}
+_FILE_LOCK = threading.Lock()
+
+
+def _after_fork_in_child() -> None:
+    # The inherited fd is shared O_APPEND -- safe -- but the lock may
+    # have been held by a parent thread at fork time.
+    global _FILE_LOCK
+    _FILE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+def trace_enabled() -> bool:
+    return bool(_STATE["enabled"])
+
+
+def set_enabled(flag: bool) -> None:
+    _STATE["enabled"] = bool(flag)
+
+
+def trace_path() -> Optional[str]:
+    return _STATE["path"]
+
+
+def set_trace_path(path: Optional[str]) -> None:
+    """Point the JSONL sink at ``path`` (``None`` disables the file)."""
+    with _FILE_LOCK:
+        if _STATE["fd"] is not None and _STATE["fd_pid"] == os.getpid():
+            try:
+                os.close(_STATE["fd"])
+            except OSError:  # pragma: no cover
+                pass
+        _STATE["fd"] = None
+        _STATE["fd_pid"] = None
+        _STATE["path"] = str(path) if path else None
+
+
+@dataclass
+class Span:
+    """One open span; mutate ``attrs`` freely while it is current."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    events: List[dict] = field(default_factory=list)
+    links: List[str] = field(default_factory=list)
+
+
+def _stack() -> List[Span]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_trace() -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` of this thread's current span, or the
+    remote context installed by :func:`set_trace`, or ``None``."""
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        top = stack[-1]
+        return (top.trace_id, top.span_id)
+    return getattr(_LOCAL, "ctx", None)
+
+
+def set_trace(trace_id: str, parent_span_id: Optional[str] = None) -> None:
+    """Join an existing trace (worker side of a task ref)."""
+    _LOCAL.ctx = (trace_id, parent_span_id)
+    _LOCAL.stack = []
+
+
+def clear_trace() -> None:
+    _LOCAL.ctx = None
+    _LOCAL.stack = []
+
+
+def start_trace(trace_id: Optional[str] = None) -> str:
+    """Install a fresh root context on this thread; returns the id."""
+    trace_id = trace_id or new_trace_id()
+    set_trace(trace_id, None)
+    return trace_id
+
+
+def _write(record: dict, *, to_file: bool = True) -> None:
+    _RING.append(record)
+    path = _STATE["path"]
+    if not path or not to_file:
+        return
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    with _FILE_LOCK:
+        pid = os.getpid()
+        if _STATE["fd"] is None or _STATE["fd_pid"] != pid:
+            _STATE["fd"] = os.open(
+                path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            _STATE["fd_pid"] = pid
+        try:
+            os.write(_STATE["fd"], line)
+        except OSError:  # pragma: no cover - sink must never break serving
+            pass
+
+
+@contextmanager
+def span(name: str, links: Optional[Iterable[str]] = None, **attrs):
+    """Open a child span of this thread's current context.
+
+    No-op (yields ``None``) when tracing is disabled or no trace is
+    active -- plain engine use stays record-free unless a caller
+    started a trace.
+    """
+    ctx = current_trace() if _STATE["enabled"] else None
+    if ctx is None:
+        yield None
+        return
+    sp = Span(
+        trace_id=ctx[0],
+        span_id=new_span_id(),
+        parent_id=ctx[1],
+        name=name,
+        start=time.perf_counter(),
+        attrs=dict(attrs),
+        links=list(links or ()),
+    )
+    stack = _stack()
+    stack.append(sp)
+    try:
+        yield sp
+    finally:
+        end = time.perf_counter()
+        if stack and stack[-1] is sp:
+            stack.pop()
+        _write({
+            "kind": "span",
+            "trace": sp.trace_id,
+            "span": sp.span_id,
+            "parent": sp.parent_id,
+            "name": sp.name,
+            "pid": os.getpid(),
+            "start": sp.start,
+            "end": end,
+            "dur_s": end - sp.start,
+            "attrs": sp.attrs,
+            "events": sp.events,
+            "links": sp.links,
+        })
+
+
+def add_event(name: str, **attrs) -> None:
+    """Record an instantaneous event on the current span.
+
+    Flushed to the JSONL sink immediately (unlike spans, which are
+    written on close) so events survive a process killed mid-span.
+    """
+    if not _STATE["enabled"]:
+        return
+    ctx = current_trace()
+    if ctx is None:
+        return
+    t = time.perf_counter()
+    stack = getattr(_LOCAL, "stack", None)
+    if stack:
+        stack[-1].events.append({"name": name, "t": t, "attrs": attrs})
+    _write({
+        "kind": "event",
+        "trace": ctx[0],
+        "span": ctx[1],
+        "name": name,
+        "pid": os.getpid(),
+        "t": t,
+        "attrs": attrs,
+    })
+
+
+def recent_records(trace_id: Optional[str] = None) -> List[dict]:
+    """A snapshot of the ring, optionally filtered to one trace."""
+    records = list(_RING)
+    if trace_id is None:
+        return records
+    return [r for r in records if r.get("trace") == trace_id]
+
+
+def format_trace(records: Iterable[dict],
+                 trace_id: Optional[str] = None) -> str:
+    """Render span records as an indented tree (slow-query log, CLI)."""
+    spans = [
+        r for r in records
+        if r.get("kind") == "span"
+        and (trace_id is None or r.get("trace") == trace_id)
+    ]
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {r["span"]: r for r in spans}
+    children: Dict[Optional[str], List[dict]] = {}
+    for r in spans:
+        parent = r.get("parent")
+        if parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(r)
+    for kids in children.values():
+        kids.sort(key=lambda r: r.get("start", 0.0))
+
+    lines: List[str] = []
+
+    def walk(record: dict, depth: int) -> None:
+        attrs = record.get("attrs") or {}
+        extras = "".join(f" {k}={v}" for k, v in sorted(attrs.items()))
+        links = record.get("links") or []
+        if links:
+            extras += " links=" + ",".join(links)
+        lines.append(
+            "{}{} {:.3f}ms pid={}{}".format(
+                "  " * depth, record["name"],
+                1e3 * record.get("dur_s", 0.0), record.get("pid"), extras,
+            )
+        )
+        for event in record.get("events") or []:
+            eattrs = event.get("attrs") or {}
+            erend = "".join(f" {k}={v}" for k, v in sorted(eattrs.items()))
+            lines.append("{}· {}{}".format("  " * (depth + 1),
+                                           event["name"], erend))
+        for child in children.get(record["span"], ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)

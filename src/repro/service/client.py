@@ -39,6 +39,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from .. import obs
 from .protocol import ServiceError, error_from_payload
 
 #: Extra socket-timeout slack past the request deadline, so the server
@@ -172,7 +173,8 @@ class ServiceClient:
     # Transport
     # ------------------------------------------------------------------
     def _exchange(self, method: str, path: str, payload: Optional[str],
-                  sock_timeout: float) -> dict:
+                  sock_timeout: float, extra_headers: Optional[dict] = None,
+                  raw: bool = False):
         """One HTTP round-trip on the pooled connection.
 
         A pooled socket can be stale -- the server restarted, a fleet
@@ -183,6 +185,7 @@ class ServiceClient:
         transport failures then propagate to the retry policy above.
         """
         headers = {"Content-Type": "application/json"} if payload else {}
+        headers.update(extra_headers or {})
         fresh_attempted = False
         while True:
             conn = self._connection(sock_timeout)
@@ -190,7 +193,7 @@ class ServiceClient:
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
-                raw = response.read()
+                body = response.read()
             except _STALE_ERRORS:
                 self._drop_connection()
                 if was_fresh or fresh_attempted:
@@ -204,12 +207,21 @@ class ServiceClient:
                 # reuse the socket, a later request would desync.
                 self._drop_connection()
                 raise
+            echoed = response.getheader(obs.TRACE_HEADER)
+            if echoed:
+                self._local.last_trace_id = echoed
             if response.will_close:
                 self._drop_connection()
-            return json.loads(raw)
+            return body if raw else json.loads(body)
+
+    @property
+    def last_trace_id(self) -> Optional[str]:
+        """The ``X-Repro-Trace-Id`` echoed on this thread's last reply."""
+        return getattr(self._local, "last_trace_id", None)
 
     def _http(self, method: str, path: str, body: Optional[dict],
-              deadline: Optional[float]) -> dict:
+              deadline: Optional[float],
+              extra_headers: Optional[dict] = None) -> dict:
         sock_timeout = self.socket_timeout
         if deadline is not None:
             sock_timeout = max(sock_timeout, float(deadline) + _DEADLINE_GRACE)
@@ -219,7 +231,8 @@ class ServiceClient:
         for attempt in range(attempts):
             retry_after = None
             try:
-                data = self._exchange(method, path, payload, sock_timeout)
+                data = self._exchange(method, path, payload, sock_timeout,
+                                      extra_headers)
             except (OSError, ValueError, HTTPException) as exc:
                 error = ServiceError(
                     f"service at {self.host}:{self.port} unreachable: {exc}"
@@ -247,13 +260,26 @@ class ServiceClient:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def call(self, op: str, params: dict,
-             timeout: Optional[float] = None) -> dict:
-        """One query; returns the full ``{"result", "coalesced"}`` envelope."""
+             timeout: Optional[float] = None,
+             trace_id: Optional[str] = None) -> dict:
+        """One query; returns the full ``{"result", "coalesced"}`` envelope.
+
+        ``trace_id`` rides the ``X-Repro-Trace-Id`` header so the
+        server joins the caller's trace; without it an active trace on
+        the calling thread is propagated automatically.  The id the
+        server echoed back is readable as :attr:`last_trace_id`.
+        """
         deadline = self.timeout if timeout is None else timeout
         body = {"params": params}
         if deadline is not None:
             body["timeout"] = float(deadline)
-        return self._http("POST", f"/v1/{op}", body, deadline)
+        if trace_id is None and obs.trace_enabled():
+            ctx = obs.current_trace()
+            if ctx is not None:
+                trace_id = ctx[0]
+        headers = {obs.TRACE_HEADER: str(trace_id)} if trace_id else None
+        return self._http("POST", f"/v1/{op}", body, deadline,
+                          extra_headers=headers)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -263,6 +289,20 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self._http("GET", "/stats", None, None)["stats"]
+
+    def metrics_text(self) -> str:
+        """Scrape ``GET /metrics``; returns the Prometheus text body."""
+        try:
+            body = self._exchange(
+                "GET", "/metrics", None, self.socket_timeout, raw=True
+            )
+        except (OSError, ValueError, HTTPException) as exc:
+            error = ServiceError(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            )
+            error.__cause__ = exc
+            raise error from exc
+        return body.decode()
 
     # ------------------------------------------------------------------
     # Queries (mirroring the MotifEngine surface)

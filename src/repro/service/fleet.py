@@ -35,7 +35,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..faults import fail_at
 from .server import make_server
-from .service import MotifService
+from .service import (
+    MotifService,
+    service_counter_totals,
+    service_counters_per_process,
+)
 
 #: Kernel accept backlog of the shared listener (matches the
 #: single-process server's request_queue_size rationale: bursts queue,
@@ -251,9 +255,17 @@ class ServiceFleet:
         ``restart_backoffs`` is the per-slot crash-loop delay in
         seconds -- 0.0 for slots with no recent crash history, growing
         exponentially for slots whose worker keeps dying at boot.
+        ``service_counters`` merges every worker's request counters
+        straight out of the fork-shared metrics registry (no HTTP
+        round-trips), and ``service_counters_per_worker`` breaks the
+        live slots out per worker pid.
         """
         with self._lock:
-            return {
+            pids = {
+                p.pid for p in self._procs
+                if p is not None and p.pid is not None
+            }
+            out = {
                 "workers": self.workers,
                 "alive": sum(
                     1 for p in self._procs if p is not None and p.is_alive()
@@ -264,6 +276,13 @@ class ServiceFleet:
                     None if p is None else p.pid for p in self._procs
                 ],
             }
+        out["service_counters"] = service_counter_totals()
+        out["service_counters_per_worker"] = {
+            pid: counters
+            for pid, counters in service_counters_per_process().items()
+            if pid in pids
+        }
+        return out
 
     # ------------------------------------------------------------------
     # Workers
@@ -349,6 +368,7 @@ def serve_fleet(
     previous = signal.signal(signal.SIGTERM, _stop)
     try:
         with fleet:
+            # repro: ignore[RPR009] -- operator-facing startup banner on the CLI serve path
             print(
                 f"fleet of {fleet.workers} serving on "
                 f"http://{fleet.host}:{fleet.port} (pids {fleet.pids()})",

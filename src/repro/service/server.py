@@ -13,6 +13,14 @@ Endpoints (see :mod:`repro.service.protocol` for the envelope):
 * ``GET /healthz`` -- liveness + loaded snapshot names.
 * ``GET /stats`` -- service counters, queue depth, snapshot registry
   and the engine's cache / transfer accounting.
+* ``GET /metrics`` -- the fork-shared registry in Prometheus text
+  format; behind a fleet listener any worker answers with the merged
+  view of every process.
+
+Tracing: a ``POST`` carrying ``X-Repro-Trace-Id`` joins that trace
+(the id is echoed back on success and error alike); without the
+header a fresh id is minted at admission whenever tracing is enabled,
+so every request is greppable in the span sink.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from .. import obs
 from .protocol import (
     OPS,
     BadRequestError,
@@ -92,16 +101,33 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self.service.note_client_disconnect()
 
-    def _send_error_payload(self, exc: ServiceError) -> None:
-        headers = None
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        """Write one plain-text response (the ``/metrics`` shape)."""
+        body = text.encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except _DISCONNECT_ERRORS:
+            self.close_connection = True
+            self.service.note_client_disconnect()
+
+    def _send_error_payload(self, exc: ServiceError,
+                            headers: Optional[dict] = None) -> None:
+        headers = dict(headers or {})
         retry_after = getattr(exc, "retry_after", None)
         if retry_after is not None:
             # The header is spec'd as integer seconds; the exact float
             # rides in the JSON payload for our own client.
-            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
         self._send_json(
             exc.status, {"ok": False, "error": error_payload(exc)},
-            headers=headers,
+            headers=headers or None,
         )
 
     # ------------------------------------------------------------------
@@ -113,6 +139,12 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200 if health["ok"] else 503, health)
         elif self.path == "/stats":
             self._send_json(200, {"ok": True, "stats": self.service.stats()})
+        elif self.path == "/metrics":
+            # version=0.0.4 is the Prometheus text exposition format.
+            self._send_text(
+                200, obs.render_prometheus(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._send_error_payload(
                 BadRequestError(f"unknown path {self.path!r}")
@@ -120,6 +152,12 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
         self._body_consumed = 0
+        trace_id = self.headers.get(obs.TRACE_HEADER)
+        if trace_id is None and obs.trace_enabled():
+            # Mint at admission: an untraced client still gets a trace
+            # id (echoed back below) so operators can grep the sink.
+            trace_id = obs.new_trace_id()
+        echo = {obs.TRACE_HEADER: trace_id} if trace_id else None
         try:
             op, params, timeout = self._parse_request()
         except ServiceError as exc:
@@ -129,18 +167,22 @@ class MotifRequestHandler(BaseHTTPRequestHandler):
             # connection.  Drain them (bounded) or close the
             # connection before answering.
             self._discard_request_body()
-            self._send_error_payload(exc)
+            self._send_error_payload(exc, headers=echo)
             return
         try:
-            result, coalesced = self.service.submit(op, params, timeout)
+            result, coalesced = self.service.submit(
+                op, params, timeout, trace_id=trace_id
+            )
         except ServiceError as exc:
-            self._send_error_payload(exc)
+            self._send_error_payload(exc, headers=echo)
             return
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_payload(ServiceError(f"internal error: {exc}"))
+            self._send_error_payload(ServiceError(f"internal error: {exc}"),
+                                     headers=echo)
             return
         self._send_json(
-            200, {"ok": True, "result": result, "coalesced": coalesced}
+            200, {"ok": True, "result": result, "coalesced": coalesced},
+            headers=echo,
         )
 
     def _discard_request_body(self) -> None:

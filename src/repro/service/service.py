@@ -40,6 +40,7 @@ themselves (one host-wide page cache, nothing pickled or copied).
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -49,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.brute import MotifTimeout
 from ..distances.ground import get_metric
 from ..engine import MotifEngine
@@ -75,6 +77,101 @@ from .protocol import (
     UnknownSnapshotError,
     WorkerCrashedError,
 )
+
+
+_LOG = logging.getLogger("repro.service")
+
+# ----------------------------------------------------------------------
+# Metrics (registered at import, before any fork, so every fleet
+# worker and pool child agrees on the shared slab's cell offsets)
+# ----------------------------------------------------------------------
+#: Every ``stats()['counters']`` key.  Admission (accepted/coalesced/
+#: rejected) and computation outcomes (completed/failed/
+#: deadline_expired) are disjoint families: outcomes sum to accepted
+#: once the queue drains.  waiter_timeouts counts callers who gave up
+#: waiting (their computation may still complete) -- it overlaps, by
+#: design.  client_disconnects / snapshot_reloads / reload_errors
+#: track transport and registry churn outside the request families,
+#: and the tree_* totals fold every tree-walking reply's traversal
+#: accounting (join/range/knn).
+_COUNTER_KEYS = (
+    "accepted", "coalesced", "rejected", "completed", "failed",
+    "deadline_expired", "waiter_timeouts", "client_disconnects",
+    "snapshot_reloads", "reload_errors", "worker_crashes",
+    "breaker_opens", "breaker_rejections", "breaker_recoveries",
+    "tree_nodes_visited", "tree_nodes_pruned", "tree_leaves_scanned",
+)
+_EVENTS = obs.REGISTRY.counter(
+    "repro_service_events_total",
+    "service admission, outcome, breaker and registry event counts",
+    labels=("event",), values=[(key,) for key in _COUNTER_KEYS],
+)
+_REQUEST_SECONDS = obs.REGISTRY.histogram(
+    "repro_service_request_seconds",
+    "request execution latency by operation",
+    labels=("op",), values=[(op,) for op in OPS],
+)
+_BREAKER_STATE = obs.REGISTRY.gauge(
+    "repro_service_breaker_state",
+    "circuit breaker state (0=closed, 1=half_open, 2=open)",
+)
+_BREAKER_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def service_counter_totals() -> Dict[str, int]:
+    """Merged service counters across every process sharing the registry."""
+    return {key: int(_EVENTS.labels(key).value()) for key in _COUNTER_KEYS}
+
+
+def service_counters_per_process() -> Dict[int, Dict[str, int]]:
+    """``{pid: {counter: value}}`` over live processes (the fleet view)."""
+    out: Dict[int, Dict[str, int]] = {}
+    for key in _COUNTER_KEYS:
+        for pid, value in _EVENTS.labels(key).per_process().items():
+            out.setdefault(pid, {})[key] = int(value)
+    return out
+
+
+class _ServiceCounters:
+    """Per-instance view over the shared service counter family.
+
+    Increments land in the fork-shared registry -- the series
+    ``GET /metrics`` scrapes and the fleet master merges -- while
+    reads subtract the baseline captured at construction, so a fresh
+    :class:`MotifService` in a long-lived process still reports
+    counters that start at zero.  With metrics disabled the counts
+    fall back to a plain process-local dict: ``stats()`` never goes
+    dark.
+    """
+
+    __slots__ = ("_children", "_base", "_plain")
+
+    def __init__(self) -> None:
+        self._plain: Optional[Dict[str, int]] = None
+        self._children: Dict[str, obs.Counter] = {}
+        self._base: Dict[str, float] = {}
+        if not obs.metrics_enabled():
+            self._plain = dict.fromkeys(_COUNTER_KEYS, 0)
+            return
+        self._children = {key: _EVENTS.labels(key) for key in _COUNTER_KEYS}
+        self._base = {
+            key: child.local_value()
+            for key, child in self._children.items()
+        }
+
+    def add(self, key: str, n: int = 1) -> None:
+        if self._plain is not None:
+            self._plain[key] += n
+        else:
+            self._children[key].inc(n)
+
+    def snapshot(self) -> Dict[str, int]:
+        if self._plain is not None:
+            return dict(self._plain)
+        return {
+            key: int(child.local_value() - self._base[key])
+            for key, child in self._children.items()
+        }
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +245,11 @@ class _Request:
     #: This request is the half-open circuit breaker's single probe;
     #: its outcome decides whether the breaker closes or re-opens.
     probe: bool = False
+    #: ``(trace_id, root span id)`` of the submitter that created this
+    #: computation; the serving thread joins the same trace so engine
+    #: phases and pool-worker spans nest under the admission span.
+    #: Never part of the coalescing key (RPR003: ids are not content).
+    trace: Optional[Tuple[str, str]] = None
 
     def covers(self, deadline: Optional[float]) -> bool:
         """Whether this computation's budget covers ``deadline``.
@@ -188,6 +290,11 @@ class MotifService:
         watcher).  A changed ``content_key`` atomically swaps in the
         re-mapped index without dropping in-flight requests; see
         :meth:`check_snapshots`.
+    slow_query_threshold:
+        Requests whose execution exceeds this many seconds emit one
+        WARNING line on the ``repro.service`` logger, with the
+        request's span tree attached when it was traced (``None``
+        disables the log).
     breaker_threshold / breaker_cooldown:
         Circuit breaker: after ``breaker_threshold`` *consecutive*
         infrastructure failures (unexpected engine errors, exhausted
@@ -213,6 +320,7 @@ class MotifService:
         snapshot_watch_interval: Optional[float] = None,
         breaker_threshold: int = 5,
         breaker_cooldown: float = 5.0,
+        slow_query_threshold: Optional[float] = None,
         engine: Optional[MotifEngine] = None,
         engine_kwargs: Optional[dict] = None,
     ) -> None:
@@ -228,6 +336,10 @@ class MotifService:
             raise ValueError("breaker_threshold must be at least 1")
         if breaker_cooldown <= 0:
             raise ValueError("breaker_cooldown must be positive")
+        if slow_query_threshold is not None:
+            slow_query_threshold = float(slow_query_threshold)
+            if slow_query_threshold <= 0:
+                raise ValueError("slow_query_threshold must be positive")
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else MotifEngine(
             workers=workers, **(engine_kwargs or {})
@@ -238,9 +350,11 @@ class MotifService:
         self.snapshot_watch_interval = snapshot_watch_interval
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown = float(breaker_cooldown)
+        self.slow_query_threshold = slow_query_threshold
         # Circuit breaker state, guarded by _cond: closed (serving),
         # open (shedding), half_open (one probe in flight).
         self._breaker_state = "closed"
+        _BREAKER_STATE.set(_BREAKER_CODES["closed"])
         self._breaker_failures = 0
         self._breaker_opened_at = 0.0
         self._snapshots: Dict[str, _Snapshot] = {}
@@ -251,35 +365,9 @@ class MotifService:
         self._inflight: Dict[tuple, _Request] = {}
         self._threads: List[threading.Thread] = []
         self._running = False
-        # Admission (accepted/coalesced/rejected) and computation
-        # outcomes (completed/failed/deadline_expired) are disjoint
-        # families: outcomes sum to accepted once the queue drains.
-        # waiter_timeouts counts callers who gave up waiting (their
-        # computation may still complete) -- it overlaps, by design.
-        # The last three track transport/registry churn outside the
-        # request families: peers vanishing mid-exchange, hot-reload
-        # swaps, and reloads that failed (old registration kept).
-        self._counters = {
-            "accepted": 0,
-            "coalesced": 0,
-            "rejected": 0,
-            "completed": 0,
-            "failed": 0,
-            "deadline_expired": 0,
-            "waiter_timeouts": 0,
-            "client_disconnects": 0,
-            "snapshot_reloads": 0,
-            "reload_errors": 0,
-            "worker_crashes": 0,
-            "breaker_opens": 0,
-            "breaker_rejections": 0,
-            "breaker_recoveries": 0,
-            # Hierarchical-index traversal totals, folded from every
-            # tree-walking reply this process served (join/range/knn).
-            "tree_nodes_visited": 0,
-            "tree_nodes_pruned": 0,
-            "tree_leaves_scanned": 0,
-        }
+        # Counter semantics live on _COUNTER_KEYS; increments go to
+        # the fork-shared registry, reads are per-instance deltas.
+        self._counters = _ServiceCounters()
         #: Test seam: called (with the request) in the serving thread
         #: right before execution; lets tests hold computations
         #: in-flight deterministically.
@@ -407,9 +495,10 @@ class MotifService:
             if fingerprint == snap.content_key:
                 continue
             try:
-                fresh = self._map_snapshot(
-                    snap.name, snap.path, verify=snap.verify
-                )
+                with obs.span("service.reload", snapshot=snap.name):
+                    fresh = self._map_snapshot(
+                        snap.name, snap.path, verify=snap.verify
+                    )
             except (SnapshotError, OSError, ValueError):
                 self._note_reload_error()
                 continue
@@ -420,7 +509,7 @@ class MotifService:
                 if self._snapshots.get(snap.name) is not snap:
                     continue
                 self._snapshots[snap.name] = fresh
-                self._counters["snapshot_reloads"] += 1
+                self._counters.add("snapshot_reloads")
                 # A healthy reload is evidence against a brewing
                 # infrastructure outage.
                 self._breaker_failures = 0
@@ -430,7 +519,7 @@ class MotifService:
     def _note_reload_error(self) -> None:
         """Count one failed reload; repeated ones trip the breaker."""
         with self._cond:
-            self._counters["reload_errors"] += 1
+            self._counters.add("reload_errors")
             self._breaker_failure_locked()
 
     def _watch_loop(self) -> None:
@@ -440,7 +529,7 @@ class MotifService:
     def note_client_disconnect(self) -> None:
         """Count a peer that vanished mid-exchange (transport churn)."""
         with self._cond:
-            self._counters["client_disconnects"] += 1
+            self._counters.add("client_disconnects")
 
     def snapshot_names(self) -> List[str]:
         with self._cond:
@@ -460,7 +549,7 @@ class MotifService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         with self._cond:
-            counters = dict(self._counters)
+            counters = self._counters.snapshot()
             pending = len(self._queue)
             inflight = len(self._inflight)
             snapshots = {
@@ -506,6 +595,11 @@ class MotifService:
     # ------------------------------------------------------------------
     # Circuit breaker (all helpers expect _cond held)
     # ------------------------------------------------------------------
+    def _set_breaker_locked(self, state: str) -> None:
+        """One choke point for state flips: attribute plus gauge."""
+        self._breaker_state = state
+        _BREAKER_STATE.set(_BREAKER_CODES[state])
+
     def _breaker_failure_locked(self, probe: bool = False) -> None:
         """Record one infrastructure failure; trip the breaker if due."""
         self._breaker_failures += 1
@@ -514,9 +608,9 @@ class MotifService:
             and self._breaker_failures >= self.breaker_threshold
         )
         if tripped and self._breaker_state != "open":
-            self._breaker_state = "open"
+            self._set_breaker_locked("open")
             self._breaker_opened_at = time.monotonic()
-            self._counters["breaker_opens"] += 1
+            self._counters.add("breaker_opens")
 
     def _breaker_gate_locked(self) -> bool:
         """Admission gate; True = this request may be the probe.
@@ -534,7 +628,7 @@ class MotifService:
                 - time.monotonic()
             )
             if remaining > 0:
-                self._counters["breaker_rejections"] += 1
+                self._counters.add("breaker_rejections")
                 raise ServiceDegradedError(
                     f"circuit breaker open ({self._breaker_failures} "
                     f"consecutive failures); retrying in {remaining:.3f}s",
@@ -542,7 +636,7 @@ class MotifService:
                 )
             return True
         # half_open: exactly one probe is in flight; shed the rest.
-        self._counters["breaker_rejections"] += 1
+        self._counters.add("breaker_rejections")
         raise ServiceDegradedError(
             "circuit breaker half-open; a probe request is in flight",
             retry_after=self.breaker_cooldown,
@@ -557,27 +651,51 @@ class MotifService:
         if outcome == "completed":
             self._breaker_failures = 0
             if req.probe and self._breaker_state == "half_open":
-                self._breaker_state = "closed"
-                self._counters["breaker_recoveries"] += 1
+                self._set_breaker_locked("closed")
+                self._counters.add("breaker_recoveries")
         elif req.probe and self._breaker_state == "half_open":
             # The probe resolved without proving the service healthy
             # (expired deadline, bad request): re-open for another
             # cooldown rather than guessing either way.
-            self._breaker_state = "open"
+            self._set_breaker_locked("open")
             self._breaker_opened_at = time.monotonic()
 
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
     def submit(
-        self, op: str, params: dict, timeout: Optional[float] = None
+        self, op: str, params: dict, timeout: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Tuple[object, bool]:
         """Answer one request; returns ``(result, coalesced)``.
 
         Blocks until the computation completes or ``timeout`` seconds
         elapse (:class:`DeadlineExceededError`).  This is the whole
         serving path -- the HTTP layer is a thin wrapper around it.
+
+        ``trace_id`` (the ``X-Repro-Trace-Id`` header value) joins the
+        request to that trace: a ``service.request`` root span covers
+        admission through completion, and the serving thread adopts
+        the same context while executing, so engine phases and
+        pool-worker spans nest under it.  Without ``trace_id`` an
+        already-active trace on the calling thread is used; with
+        neither, the request runs record-free.
         """
+        adopted = False
+        if trace_id is not None and obs.trace_enabled():
+            obs.set_trace(str(trace_id), None)
+            adopted = True
+        try:
+            with obs.span("service.request", op=op) as sp:
+                return self._submit(op, params, timeout, sp)
+        finally:
+            if adopted:
+                obs.clear_trace()
+
+    def _submit(
+        self, op: str, params: dict, timeout: Optional[float],
+        sp,
+    ) -> Tuple[object, bool]:
         if op not in OPS:
             raise BadRequestError(
                 f"unknown operation {op!r}; known: {', '.join(OPS)}"
@@ -603,32 +721,41 @@ class MotifService:
                 if candidate is not None and candidate.covers(deadline):
                     req = candidate
             if req is not None:
-                self._counters["coalesced"] += 1
+                self._counters.add("coalesced")
                 coalesced = True
+                if sp is not None:
+                    # The duplicate's span *links* to the primary's
+                    # root span instead of parenting under it -- the
+                    # computation belongs to the primary's tree.
+                    sp.attrs["coalesced"] = True
+                    if req.trace is not None:
+                        sp.links.append(req.trace[1])
             else:
                 if len(self._queue) >= self.max_pending:
-                    self._counters["rejected"] += 1
+                    self._counters.add("rejected")
                     raise OverloadedError(
                         f"admission queue full ({self.max_pending} pending)"
                     )
                 req = _Request(op=op, key=key, runner=runner,
-                               deadline=deadline, probe=probe)
+                               deadline=deadline, probe=probe,
+                               trace=(None if sp is None
+                                      else (sp.trace_id, sp.span_id)))
                 if probe:
-                    self._breaker_state = "half_open"
+                    self._set_breaker_locked("half_open")
                 if key is not None:
                     # Latest entry wins the key: future duplicates
                     # coalesce onto the most generously budgeted
                     # computation (identity-guarded on removal).
                     self._inflight[key] = req
                 self._queue.append(req)
-                self._counters["accepted"] += 1
+                self._counters.add("accepted")
                 self._cond.notify()
                 coalesced = False
         remaining = None if deadline is None else deadline - time.monotonic()
         finished = req.event.wait(remaining)
         if not finished:
             with self._cond:
-                self._counters["waiter_timeouts"] += 1
+                self._counters.add("waiter_timeouts")
             raise DeadlineExceededError(
                 f"{op} missed its {float(timeout):.3f}s deadline"
             )
@@ -652,6 +779,12 @@ class MotifService:
             # breaker; client failures (bad requests, expired
             # deadlines) never do.
             infra = False
+            started = time.perf_counter()
+            if req.trace is not None:
+                # Join the submitter's trace: the execute span (and
+                # everything the engine opens below it) parents under
+                # the primary's service.request span.
+                obs.set_trace(*req.trace)
             try:
                 if req.deadline is not None and time.monotonic() > req.deadline:
                     raise DeadlineExceededError(
@@ -660,8 +793,9 @@ class MotifService:
                 hook = self._before_execute
                 if hook is not None:
                     hook(req)
-                fail_at("service.execute")
-                req.result = req.runner(req.deadline)
+                with obs.span("service.execute", op=req.op):
+                    fail_at("service.execute")
+                    req.result = req.runner(req.deadline)
                 outcome = "completed"
             except MotifTimeout as exc:
                 req.error = DeadlineExceededError(str(exc))
@@ -673,7 +807,7 @@ class MotifService:
                 outcome = "failed"
                 infra = True
                 with self._cond:
-                    self._counters["worker_crashes"] += 1
+                    self._counters.add("worker_crashes")
             except ServiceError as exc:
                 req.error = exc
                 outcome = (
@@ -693,12 +827,35 @@ class MotifService:
                 outcome = "failed"
                 infra = True
             finally:
+                obs.clear_trace()
+                elapsed = time.perf_counter() - started
+                _REQUEST_SECONDS.labels(req.op).observe(elapsed)
+                if (self.slow_query_threshold is not None
+                        and elapsed >= self.slow_query_threshold):
+                    self._log_slow_query(req, elapsed)
                 with self._cond:
-                    self._counters[outcome] += 1
+                    self._counters.add(outcome)
                     self._breaker_observe_locked(req, outcome, infra)
                     if req.key is not None and self._inflight.get(req.key) is req:
                         del self._inflight[req.key]
                 req.event.set()
+
+    def _log_slow_query(self, req: _Request, elapsed: float) -> None:
+        """One WARNING per over-threshold request, span tree attached.
+
+        The tree comes from the in-process ring, so it holds this
+        process's spans for the trace (pool-worker spans live in the
+        children's rings; the JSONL sink has the cross-process view).
+        """
+        tree = ""
+        if req.trace is not None:
+            rendered = obs.format_trace(obs.recent_records(req.trace[0]))
+            if rendered:
+                tree = "\n" + rendered
+        _LOG.warning(
+            "slow query: op=%s took %.3fs (threshold %.3fs)%s",
+            req.op, elapsed, self.slow_query_threshold, tree,
+        )
 
     # ------------------------------------------------------------------
     # Request resolution (specs -> engine calls + coalescing keys)
@@ -761,8 +918,8 @@ class MotifService:
             return
         with self._cond:
             for name in ("nodes_visited", "nodes_pruned", "leaves_scanned"):
-                self._counters[f"tree_{name}"] += int(
-                    index_stats.get(name, 0)
+                self._counters.add(
+                    f"tree_{name}", int(index_stats.get(name, 0))
                 )
 
     @staticmethod

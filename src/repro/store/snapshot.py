@@ -47,6 +47,7 @@ from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import obs
 from ..errors import ReproError
 from ..faults import fail_at
 from ..index import TREE_ARRAY_FIELDS, CorpusIndex, TrajectoryTree
@@ -442,6 +443,17 @@ def load_snapshot(
     ``snapshot_path`` attributes and a :class:`SnapshotSlabRef` the
     engine ships to pool workers in place of shared-memory segments.
     """
+    with obs.span("snapshot.load", path=str(path), mmap=bool(mmap),
+                  verify=bool(verify)) as sp:
+        index = _load_snapshot(path, mmap=mmap, verify=verify)
+        if sp is not None:
+            sp.attrs["n"] = int(index.n)
+        return index
+
+
+def _load_snapshot(
+    path: Union[str, Path], *, mmap: bool, verify: bool
+) -> CorpusIndex:
     root = Path(path)
     manifest = _read_manifest(
         root, formats=(SNAPSHOT_FORMAT, SHARD_SET_FORMAT)

@@ -633,6 +633,60 @@ def test_rpr008_ignores_non_pool_receivers_and_other_paths():
 
 
 # ----------------------------------------------------------------------
+# RPR009 -- no stray output on library paths
+# ----------------------------------------------------------------------
+def test_rpr009_flags_print_in_library_code():
+    assert codes(
+        """
+        def run(x):
+            print("debug", x)
+            return x
+        """,
+        SERVICE,
+    ) == ["RPR009"]
+
+
+def test_rpr009_flags_sys_stdout_write():
+    assert codes(
+        """
+        import sys
+
+        def run(x):
+            sys.stdout.write(str(x))
+        """,
+        SERVICE,
+    ) == ["RPR009"]
+
+
+def test_rpr009_exempts_cli_viz_and_testing_surfaces():
+    snippet = """
+        def run(x):
+            print(x)
+        """
+    for path in (
+        "src/repro/cli.py",
+        "src/repro/analysis/cli.py",
+        "src/repro/viz.py",
+        "src/repro/testing.py",
+    ):
+        assert codes(snippet, path) == []
+
+
+def test_rpr009_accepts_logging_and_stderr_free_paths():
+    assert codes(
+        """
+        import logging
+
+        log = logging.getLogger("repro.service")
+
+        def run(x):
+            log.warning("slow: %s", x)
+        """,
+        SERVICE,
+    ) == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 def test_suppression_with_justification_is_honoured():
@@ -701,10 +755,11 @@ def test_json_report_shape():
     }
 
 
-def test_rule_catalog_covers_all_eight_rules():
+def test_rule_catalog_covers_all_nine_rules():
     assert [r["code"] for r in rule_catalog()] == [
         "RPR001", "RPR002", "RPR003", "RPR004",
         "RPR005", "RPR006", "RPR007", "RPR008",
+        "RPR009",
     ]
 
 
